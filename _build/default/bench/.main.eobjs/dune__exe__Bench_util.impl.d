@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Datatype Float List Printf Random Sb_optimizer Sb_qes Sb_storage Starburst String Unix

@@ -1,0 +1,1 @@
+bench/experiments_exec.ml: Bench_util List Option Printf Sb_extensions Sb_hydrogen Sb_optimizer Sb_qes Sb_rewrite Sb_storage Seq Starburst

@@ -1,0 +1,1 @@
+bench/experiments_optimizer.ml: Bench_util Catalog List Printf Sb_extensions Sb_hydrogen Sb_optimizer Sb_qes Sb_storage Starburst Stats String Table_store

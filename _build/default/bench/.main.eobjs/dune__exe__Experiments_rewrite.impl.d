@@ -1,0 +1,1 @@
+bench/experiments_rewrite.ml: Bench_util Float List Printf Sb_hydrogen Sb_optimizer Sb_qgm Sb_rewrite Starburst String

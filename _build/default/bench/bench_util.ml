@@ -1,0 +1,128 @@
+(** Shared machinery for the experiment harness: timing, table
+    rendering, and workload generators. *)
+
+open Sb_storage
+
+(* --- timing --- *)
+
+(** Median-of-[reps] wall-clock milliseconds. *)
+let time_ms ?(reps = 3) f =
+  let runs =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  List.nth (List.sort Float.compare runs) (reps / 2)
+
+(* --- output --- *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let table ~cols rows =
+  let all = cols :: rows in
+  let n = List.length cols in
+  let widths = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         if i < n then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+         r)
+  in
+  print_endline (render cols);
+  print_endline
+    (String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun r -> print_endline (render r)) rows
+
+let ms v = Printf.sprintf "%.2f" v
+let itos = string_of_int
+let ratio a b = if b = 0.0 then "-" else Printf.sprintf "%.1fx" (a /. b)
+
+(* --- workloads --- *)
+
+let insert_batch db table rows =
+  (* chunked insert to keep statements manageable *)
+  let rec go = function
+    | [] -> ()
+    | rows ->
+      let chunk = List.filteri (fun i _ -> i < 500) rows in
+      let rest = List.filteri (fun i _ -> i >= 500) rows in
+      ignore
+        (Starburst.run db
+           (Printf.sprintf "INSERT INTO %s VALUES %s" table (String.concat "," chunk)));
+      go rest
+  in
+  go rows
+
+(** The parts/supply workload at a size: [n_parts] unique parts,
+    [fanout] quotations per part. *)
+let parts_db ~n_parts ~fanout () =
+  let db = Starburst.create () in
+  ignore
+    (Starburst.run db
+       "CREATE TABLE inventory (partno INT NOT NULL UNIQUE, onhand_qty INT, type STRING)");
+  ignore
+    (Starburst.run db
+       "CREATE TABLE quotations (partno INT NOT NULL, price FLOAT, order_qty INT, supplier STRING)");
+  let rng = Random.State.make [| 42 |] in
+  insert_batch db "inventory"
+    (List.init n_parts (fun k ->
+         Printf.sprintf "(%d, %d, '%s')" k
+           (Random.State.int rng 1000)
+           (if k mod 3 = 0 then "CPU" else if k mod 3 = 1 then "DISK" else "RAM")));
+  insert_batch db "quotations"
+    (List.init (n_parts * fanout) (fun k ->
+         Printf.sprintf "(%d, %.2f, %d, 's%d')" (k mod n_parts)
+           (Random.State.float rng 100.0)
+           (Random.State.int rng 200)
+           (k mod 17)));
+  ignore (Starburst.run db "ANALYZE");
+  db
+
+(** A chain-of-[n] edges graph db plus disconnected noise components. *)
+let graph_db ~chains ~chain_len () =
+  let db = Starburst.create () in
+  ignore (Starburst.run db "CREATE TABLE edges (src INT, dst INT)");
+  let rows = ref [] in
+  for c = 0 to chains - 1 do
+    let base = c * (chain_len + 1) in
+    for k = 0 to chain_len - 1 do
+      rows := Printf.sprintf "(%d, %d)" (base + k) (base + k + 1) :: !rows
+    done
+  done;
+  insert_batch db "edges" !rows;
+  ignore (Starburst.run db "ANALYZE");
+  db
+
+(** Two generic tables for join experiments. *)
+let join_db ~outer_rows ~inner_rows ~matches_per_key () =
+  let db = Starburst.create () in
+  ignore (Starburst.run db "CREATE TABLE outer_t (k INT NOT NULL, v INT)");
+  ignore (Starburst.run db "CREATE TABLE inner_t (k INT NOT NULL, w INT)");
+  insert_batch db "outer_t"
+    (List.init outer_rows (fun i -> Printf.sprintf "(%d, %d)" i (i * 3)));
+  insert_batch db "inner_t"
+    (List.init inner_rows (fun i ->
+         Printf.sprintf "(%d, %d)" (i / max 1 matches_per_key) i));
+  ignore (Starburst.run db "ANALYZE");
+  db
+
+let counters db = Starburst.counters db
+
+let run_q db text = ignore (Starburst.query db text)
+
+let scanned db = (counters db).Sb_qes.Exec.c_scanned
+
+let plan_text db text = Sb_optimizer.Plan.to_string (Starburst.compile_text db text)
+
+let check label ok = Printf.printf "  [%s] %s\n" (if ok then "ok" else "DEVIATION") label
+
+(* silence unused warnings for generators some experiments skip *)
+let _ = plan_text
+let _ = ratio
+let _ = Datatype.Int

@@ -1,0 +1,93 @@
+(** The experiment harness: regenerates every figure and measurable
+    claim of the paper (see DESIGN.md section 5 and EXPERIMENTS.md).
+
+    {v
+    dune exec bench/main.exe            # all experiments
+    dune exec bench/main.exe -- e6 e8   # a subset
+    dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only
+    v} *)
+
+let experiments =
+  [
+    ("f1", "phases of query processing (Figure 1)", Experiments_rewrite.f1);
+    ("f2", "the Figure 2 rewrite trace", Experiments_rewrite.f2);
+    ("e1", "rewrite benefit on the paper query", Experiments_rewrite.e1);
+    ("e2", "predicate push-down", Experiments_rewrite.e2);
+    ("e3", "view merging", Experiments_rewrite.e3);
+    ("e4", "rule-engine strategies and budget", Experiments_rewrite.e4);
+    ("e5", "magic-sets rule for recursion", Experiments_rewrite.e5);
+    ("e6", "join enumerator search space", Experiments_optimizer.e6);
+    ("e7", "STAR inventory", Experiments_optimizer.e7);
+    ("e8", "join methods", Experiments_optimizer.e8);
+    ("e9", "evaluate-on-demand subqueries", Experiments_exec.e9);
+    ("e10", "the OR operator", Experiments_exec.e10);
+    ("e11", "access-method attachments", Experiments_exec.e11);
+    ("e12", "storage managers", Experiments_exec.e12);
+    ("e13", "cost of the outer-join extension", Experiments_exec.e13);
+    ("e14", "distributed Bloom-join", Experiments_exec.e14);
+    ("e15", "rule-class ablation", Experiments_rewrite.e15);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: compiler-side throughput                 *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Bench_util.header "Micro-benchmarks (Bechamel): compiler phases, ns/run";
+  let db = Bench_util.parts_db ~n_parts:300 ~fanout:3 () in
+  let text =
+    "SELECT q.partno, q.price FROM quotations q WHERE q.partno IN (SELECT \
+     partno FROM inventory WHERE type = 'CPU') AND q.price < 50"
+  in
+  let ast = Sb_hydrogen.Parser.query_text text in
+  let tests =
+    Test.make_grouped ~name:"corona"
+      [
+        Test.make ~name:"parse"
+          (Staged.stage (fun () -> Sb_hydrogen.Parser.query_text text));
+        Test.make ~name:"build-qgm"
+          (Staged.stage (fun () -> Starburst.build_qgm db ast));
+        Test.make ~name:"rewrite"
+          (Staged.stage (fun () ->
+               let g = Starburst.build_qgm db ast in
+               Starburst.rewrite db g));
+        Test.make ~name:"optimize"
+          (Staged.stage (fun () ->
+               let g = Starburst.build_qgm db ast in
+               ignore (Starburst.rewrite db g);
+               Sb_optimizer.Generator.optimize db.Starburst.Corona.optimizer g));
+        Test.make ~name:"execute"
+          (Staged.stage
+             (let plan = Starburst.compile_text db text in
+              fun () -> Starburst.run_plan db plan));
+      ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "  %-24s %12.0f ns/run\n" name est
+         | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.map String.lowercase_ascii in
+  let wanted name = args = [] || List.mem name args in
+  print_endline "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
+  List.iter
+    (fun (name, _descr, f) -> if wanted name then f ())
+    experiments;
+  if args = [] || List.mem "micro" args then micro ()

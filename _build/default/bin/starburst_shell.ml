@@ -1,0 +1,82 @@
+(** The Starburst interactive shell and script runner.
+
+    {v
+    starburst_shell                 # interactive REPL
+    starburst_shell script.sql      # run a script
+    starburst_shell -e "SELECT 1"   # one statement   (not valid: needs FROM)
+    v}
+
+    All bundled extensions (outer join, spatial, sampling, MAJORITY,
+    statistics aggregates) are installed unless [--bare] is given. *)
+
+let install_extensions db =
+  Sb_extensions.Outer_join.install db;
+  Sb_extensions.Spatial.install db;
+  Sb_extensions.Sampling.install db;
+  Sb_extensions.Majority.install db;
+  Sb_extensions.Stats_fns.install db
+
+let print_result db r =
+  print_endline
+    (Starburst.render_result
+       ~registry:db.Starburst.Corona.catalog.Sb_storage.Catalog.datatypes r)
+
+let run_one db text =
+  match Starburst.run db text with
+  | r -> print_result db r
+  | exception Starburst.Error msg -> Printf.printf "error: %s\n" msg
+  | exception Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
+  | exception Sb_optimizer.Generator.Unsupported msg ->
+    Printf.printf "unsupported: %s\n" msg
+  | exception Sb_qes.Exec.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg
+  | exception Sb_storage.Value.Type_error msg -> Printf.printf "type error: %s\n" msg
+
+let run_script db text =
+  List.iter
+    (fun stmt -> run_one db (Sb_hydrogen.Pretty.statement_to_string stmt))
+    (Sb_hydrogen.Parser.script text)
+
+let repl db =
+  print_endline "Starburst shell — end statements with ';', \\q to quit.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\q" | "\\quit" -> ()
+    | line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      let text = Buffer.contents buf in
+      if String.contains line ';' then begin
+        Buffer.clear buf;
+        (try run_script db text
+         with
+        | Sb_hydrogen.Parser.Parse_error (msg, _) -> Printf.printf "parse error: %s\n" msg
+        | Sb_hydrogen.Lexer.Lex_error (msg, _) -> Printf.printf "lex error: %s\n" msg)
+      end;
+      loop ()
+  in
+  loop ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let bare = List.mem "--bare" args in
+  let args = List.filter (fun a -> a <> "--bare") args in
+  let db = Starburst.create () in
+  if not bare then install_extensions db;
+  match args with
+  | [] -> repl db
+  | [ "-e"; stmt ] -> run_one db stmt
+  | [ path ] ->
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    (try run_script db text
+     with
+    | Sb_hydrogen.Parser.Parse_error (msg, _) -> Printf.printf "parse error: %s\n" msg
+    | Sb_hydrogen.Lexer.Lex_error (msg, _) -> Printf.printf "lex error: %s\n" msg)
+  | _ ->
+    prerr_endline "usage: starburst_shell [--bare] [script.sql | -e STATEMENT]";
+    exit 2

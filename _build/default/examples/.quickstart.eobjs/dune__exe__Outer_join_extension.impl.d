@@ -1,0 +1,1 @@
+examples/outer_join_extension.ml: Printf Sb_extensions Sb_qgm Starburst

@@ -1,0 +1,1 @@
+examples/parts_supply.ml: Printf Sb_extensions Starburst

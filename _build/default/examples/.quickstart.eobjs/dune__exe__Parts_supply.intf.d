@@ -1,0 +1,1 @@
+examples/parts_supply.mli:

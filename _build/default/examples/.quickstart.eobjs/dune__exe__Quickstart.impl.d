@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Sb_qes Sb_storage Starburst

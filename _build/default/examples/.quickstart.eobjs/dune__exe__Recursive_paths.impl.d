@@ -1,0 +1,1 @@
+examples/recursive_paths.ml: List Printf Sb_qes Starburst String Unix

@@ -1,0 +1,1 @@
+examples/spatial_rtree.ml: List Printf Sb_extensions Sb_storage Starburst String

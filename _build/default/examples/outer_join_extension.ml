@@ -1,0 +1,64 @@
+(** The paper's running extension example, end to end: registering left
+    outer join as a database-customizer extension and watching it flow
+    through every layer — PF quantifiers in QGM, extension-specific
+    rewrite rules (predicate push-through and outer-join reduction), a
+    plan with the new join kind, and execution. *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let db = Starburst.create () in
+  let run s = print_endline (Starburst.render_result (Starburst.run db s)) in
+
+  section "Schema and data";
+  run "CREATE TABLE dept (id INT NOT NULL UNIQUE, dname STRING, region STRING)";
+  run "CREATE TABLE emp (eid INT, dept INT, salary FLOAT)";
+  run
+    "INSERT INTO dept VALUES (1,'eng','west'),(2,'sales','east'),\
+     (3,'legal','west'),(4,'empty','east')";
+  run
+    "INSERT INTO emp VALUES (10,1,100.0),(11,1,120.0),(12,2,90.0),(13,1,95.0),\
+     (14,3,150.0)";
+  run "ANALYZE";
+
+  section "Without the extension, the syntax is rejected";
+  (try ignore (Starburst.run db "SELECT d.dname FROM dept d LEFT OUTER JOIN emp e ON d.id = e.dept")
+   with Sb_qgm.Builder.Semantic_error msg -> Printf.printf "rejected: %s\n" msg);
+
+  section "Install the extension (one call; see Sb_extensions.Outer_join)";
+  Sb_extensions.Outer_join.install db;
+  print_endline "installed: PF quantifier type, rewrite rules, plan handler, join kind";
+
+  section "Preserved rows appear with NULLs";
+  run
+    "SELECT d.dname, e.eid, e.salary FROM dept d LEFT OUTER JOIN emp e ON \
+     d.id = e.dept ORDER BY 1, 2";
+
+  section "QGM: the preserved side ranges through a PF setformer";
+  run
+    "EXPLAIN QGM SELECT d.dname, e.salary FROM dept d LEFT OUTER JOIN emp e \
+     ON d.id = e.dept";
+
+  section
+    "Extension rewrite 1: predicates on preserved columns push THROUGH the \
+     outer join";
+  run
+    "EXPLAIN REWRITE SELECT d.dname, e.salary FROM dept d LEFT OUTER JOIN emp \
+     e ON d.id = e.dept WHERE d.region = 'west'";
+
+  section
+    "Extension rewrite 2: a null-intolerant predicate on the null-producing \
+     side reduces the outer join to a regular join (PF becomes F)";
+  run
+    "EXPLAIN REWRITE SELECT d.dname FROM dept d LEFT OUTER JOIN emp e ON d.id \
+     = e.dept WHERE e.salary > 100";
+
+  section "The plan uses the extension join kind (and the hash variant)";
+  run
+    "EXPLAIN PLAN SELECT d.dname, e.salary FROM dept d LEFT OUTER JOIN emp e \
+     ON d.id = e.dept";
+
+  section "Right outer join is normalized to left outer";
+  run
+    "SELECT d.dname, e.eid FROM emp e RIGHT OUTER JOIN dept d ON d.id = \
+     e.dept ORDER BY 1, 2"

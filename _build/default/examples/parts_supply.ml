@@ -1,0 +1,68 @@
+(** An engineering parts-supply workload exercising Hydrogen's
+    orthogonality (section 2): views used like tables, aggregation over
+    views joined to other tables (illegal in SQL'89, legal in Hydrogen),
+    set operations inside FROM, table expressions factoring out common
+    subexpressions, and DBC aggregates. *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let db = Starburst.create () in
+  Sb_extensions.Stats_fns.install db;
+  Sb_extensions.Sampling.install db;
+  let run s = print_endline (Starburst.render_result (Starburst.run db s)) in
+
+  section "Schema";
+  run "CREATE TABLE parts (partno INT NOT NULL UNIQUE, pname STRING, weight FLOAT)";
+  run "CREATE TABLE suppliers (sid INT NOT NULL UNIQUE, sname STRING, region STRING)";
+  run "CREATE TABLE supply (sid INT, partno INT, qty INT, cost FLOAT)";
+  run "CREATE INDEX supply_part ON supply (partno)";
+
+  section "Data";
+  run
+    "INSERT INTO parts VALUES (1,'bolt',0.1),(2,'nut',0.05),(3,'gear',2.5),\
+     (4,'axle',7.0),(5,'frame',22.0)";
+  run
+    "INSERT INTO suppliers VALUES (10,'acme','west'),(11,'globex','east'),\
+     (12,'initech','west')";
+  run
+    "INSERT INTO supply VALUES (10,1,1000,0.02),(10,2,800,0.01),(10,3,50,3.1),\
+     (11,1,200,0.03),(11,4,20,8.5),(12,5,5,30.0),(12,3,60,2.9),(11,3,10,3.5)";
+  run "ANALYZE";
+
+  section "A view with aggregation";
+  run
+    "CREATE VIEW part_totals AS SELECT partno, sum(qty) AS total_qty, \
+     avg(cost) AS avg_cost FROM supply GROUP BY partno";
+
+  section "Joining an aggregating view to a base table (beyond SQL'89)";
+  run
+    "SELECT p.pname, t.total_qty, t.avg_cost FROM part_totals t, parts p \
+     WHERE p.partno = t.partno AND t.total_qty > 50 ORDER BY t.total_qty DESC";
+
+  section "Set operations anywhere a table may appear";
+  run
+    "SELECT pname FROM parts WHERE partno IN ((SELECT partno FROM supply \
+     WHERE qty > 500) UNION (SELECT partno FROM supply WHERE cost > 10))";
+
+  section "Table expressions (WITH) factoring a common subexpression";
+  run
+    "WITH west_supply (partno, qty) AS (SELECT s.partno, s.qty FROM supply s, \
+     suppliers u WHERE s.sid = u.sid AND u.region = 'west') SELECT p.pname, \
+     w.qty FROM west_supply w, parts p WHERE p.partno = w.partno AND w.qty > \
+     40 ORDER BY w.qty DESC";
+
+  section "DBC aggregates over groups";
+  run
+    "SELECT region, count(*) AS lines, stddev(cost) AS sd FROM supply s, \
+     suppliers u WHERE s.sid = u.sid GROUP BY region ORDER BY region";
+
+  section "Quantified comparisons";
+  run
+    "SELECT pname FROM parts WHERE weight >= ALL (SELECT weight FROM parts)";
+  run
+    "SELECT sname FROM suppliers u WHERE NOT EXISTS (SELECT * FROM supply s \
+     WHERE s.sid = u.sid AND s.cost > 5)";
+
+  section "Sampling through a table function";
+  run "SELECT partno, qty FROM sample(supply, 3) s ORDER BY partno"

@@ -1,0 +1,45 @@
+(** The data-management extension example: a BOX datatype, spatial
+    functions, and an R-tree access-method attachment [GUTT84].  The
+    optimizer recognizes when the R-tree answers an [overlaps] predicate
+    ("Corona must recognize when this access method is useful") once the
+    extension registers its probe matcher. *)
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  let db = Starburst.create () in
+  Sb_extensions.Spatial.install db;
+  let registry = db.Starburst.Corona.catalog.Sb_storage.Catalog.datatypes in
+  let run s = print_endline (Starburst.render_result ~registry (Starburst.run db s)) in
+
+  section "A table with a BOX column";
+  run "CREATE TABLE landmarks (name STRING, footprint BOX)";
+  (* a grid of landmarks *)
+  let rows =
+    List.init 400 (fun i ->
+        let x = float_of_int (i mod 20) *. 10.0 in
+        let y = float_of_int (i / 20) *. 10.0 in
+        Printf.sprintf "('lm%d', make_box(%g, %g, %g, %g))" i x y (x +. 4.0)
+          (y +. 4.0))
+    |> String.concat ","
+  in
+  run ("INSERT INTO landmarks VALUES " ^ rows);
+  run "ANALYZE";
+
+  section "Spatial predicate without an index: table scan";
+  let q =
+    "SELECT name FROM landmarks WHERE overlaps(footprint, make_box(11, 11, \
+     23, 23))"
+  in
+  run ("EXPLAIN PLAN " ^ q);
+  run q;
+
+  section "Attach an R-tree; the optimizer now picks an index probe";
+  run "CREATE INDEX landmarks_fp ON landmarks (footprint) USING rtree";
+  run ("EXPLAIN PLAN " ^ q);
+  run q;
+
+  section "Spatial functions compose with ordinary SQL";
+  run
+    "SELECT count(*) AS n, sum(area(footprint)) AS covered FROM landmarks \
+     WHERE overlaps(footprint, make_box(0, 0, 50, 50))"

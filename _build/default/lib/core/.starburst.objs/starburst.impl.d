@@ -1,0 +1,1 @@
+lib/core/starburst.ml: Corona Extension

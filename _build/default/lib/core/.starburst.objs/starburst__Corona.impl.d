@@ -1,0 +1,1 @@
+lib/core/corona.ml: Array Buffer Catalog Datatype Fmt Fun Hashtbl List Option Sb_hydrogen Sb_optimizer Sb_qes Sb_qgm Sb_rewrite Sb_storage Schema Seq String Table_store Tuple Value

@@ -1,0 +1,1 @@
+lib/core/corona.mli: Catalog Datatype Hashtbl Sb_hydrogen Sb_optimizer Sb_qes Sb_qgm Sb_rewrite Sb_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/core/extension.ml: Access_method Catalog Corona Datatype List Sb_hydrogen Sb_optimizer Sb_qes Sb_qgm Sb_rewrite Sb_storage Storage_manager

@@ -1,0 +1,1 @@
+lib/core/extension.mli: Access_method Corona Datatype Sb_hydrogen Sb_optimizer Sb_qes Sb_qgm Sb_rewrite Sb_storage Storage_manager

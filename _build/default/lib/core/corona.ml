@@ -1,0 +1,576 @@
+(** Corona, the Starburst query language processor: the full pipeline of
+    Figure 1 — parse → QGM (with semantic analysis) → query rewrite →
+    cost-based plan optimization → plan refinement → execution — over
+    the Core data manager, in one handle.
+
+    {[
+      let db = Starburst.create () in
+      Starburst.run db "CREATE TABLE parts (partno INT UNIQUE, name STRING)";
+      Starburst.run db "INSERT INTO parts VALUES (1, 'bolt')";
+      match Starburst.run db "SELECT name FROM parts WHERE partno = 1" with
+      | Rows { rows; _ } -> ...
+    ]} *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+module Parser = Sb_hydrogen.Parser
+module Pretty = Sb_hydrogen.Pretty
+module Functions = Sb_hydrogen.Functions
+module Qgm = Sb_qgm.Qgm
+module Builder = Sb_qgm.Builder
+module Check = Sb_qgm.Check
+module Qgm_print = Sb_qgm.Print
+module Rule = Sb_rewrite.Rule
+module Engine = Sb_rewrite.Engine
+module Base_rules = Sb_rewrite.Base_rules
+module Plan = Sb_optimizer.Plan
+module Star = Sb_optimizer.Star
+module Generator = Sb_optimizer.Generator
+module Exec = Sb_qes.Exec
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(** A compiled query: "these two stages may be separated in time, since
+    the result of the compilation stage can be stored for future use"
+    (section 3).  Host variables are bound at execution time, so one
+    prepared plan serves many parameter values. *)
+type prepared = {
+  prep_text : string;
+  prep_columns : string list;
+  prep_plan : Plan.plan;
+}
+
+type t = {
+  catalog : Catalog.t;
+  plan_cache : (string, prepared) Hashtbl.t;
+  functions : Functions.t;
+  builder_cfg : Builder.config;
+  rules : Rule.set;
+  optimizer : Generator.t;
+  exec_db : Exec.db;
+  mutable rewrite_enabled : bool;
+  mutable rewrite_strategy : Engine.strategy;
+  mutable rewrite_search : Engine.search;
+  mutable rewrite_budget : int option;
+  mutable check_qgm : bool;  (** verify QGM consistency after each rule *)
+  mutable hosts : (string * Value.t) list;  (** host-variable bindings *)
+  mutable last_counters : Exec.counters;
+  mutable last_rewrite : Engine.stats option;
+}
+
+type result =
+  | Rows of { columns : string list; rows : Tuple.t list }
+  | Affected of int
+  | Message of string
+
+let create ?(pool_capacity = 256) () : t =
+  let catalog = Catalog.create ~pool_capacity () in
+  let functions = Functions.create () in
+  let builder_cfg = Builder.make_config ~catalog ~functions in
+  {
+    catalog;
+    plan_cache = Hashtbl.create 32;
+    functions;
+    builder_cfg;
+    rules = Base_rules.default_set ~catalog;
+    optimizer = Generator.create ~catalog ~functions ();
+    exec_db = Exec.make_db ~catalog ~functions;
+    rewrite_enabled = true;
+    rewrite_strategy = Engine.Sequential;
+    rewrite_search = Engine.Depth_first;
+    rewrite_budget = None;
+    check_qgm = false;
+    hosts = [];
+    last_counters = Exec.fresh_counters ();
+    last_rewrite = None;
+  }
+
+let bind_host t name value =
+  t.hosts <- (name, value) :: List.remove_assoc name t.hosts
+
+let counters t = t.last_counters
+
+(* ------------------------------------------------------------------ *)
+(* The compilation pipeline                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_qgm t (wq : Ast.with_query) : Qgm.t = Builder.build t.builder_cfg wq
+
+let rewrite t (g : Qgm.t) : Engine.stats =
+  let stats =
+    Engine.run ~strategy:t.rewrite_strategy ~search:t.rewrite_search
+      ?budget:t.rewrite_budget ~check_each:t.check_qgm
+      ~rules:(Rule.all t.rules) g
+  in
+  t.last_rewrite <- Some stats;
+  stats
+
+(** Plan refinement (Figure 1's final compile phase): cleanups between
+    the optimizer's output and the executable plan —
+    residual CHOOSE nodes resolve to their first alternative, empty
+    filters disappear, subquery-free filters collapse into the SCAN
+    below them, and adjacent projections fuse. *)
+let rec refine (p : Plan.plan) : Plan.plan =
+  let p = { p with Plan.inputs = List.map refine p.Plan.inputs } in
+  match p.Plan.op, p.Plan.inputs with
+  | Plan.Choose_op, first :: _ -> first
+  | Plan.Filter [], [ input ] -> input
+  | ( Plan.Filter preds,
+      [ { Plan.op = Plan.Scan { sc_table; sc_cols; sc_preds }; inputs = []; props = _ } ] )
+    when not (List.exists Plan.rexpr_has_sub preds) ->
+    (* scan predicates are expressed over base column indices; remap the
+       filter's output-slot references through sc_cols *)
+    let cols = Array.of_list sc_cols in
+    let remapped =
+      List.map (Plan.map_rexpr (function
+        | Plan.RCol i when i < Array.length cols -> Plan.RCol cols.(i)
+        | e -> e))
+        preds
+    in
+    {
+      p with
+      Plan.op = Plan.Scan { sc_table; sc_cols; sc_preds = sc_preds @ remapped };
+      inputs = [];
+    }
+  | Plan.Project outer_exprs, [ { Plan.op = Plan.Project inner_exprs; inputs; props = _ } ]
+    when not (List.exists Plan.rexpr_has_sub (outer_exprs @ inner_exprs)) ->
+    (* compose: outer slots index into inner expressions *)
+    let inner = Array.of_list inner_exprs in
+    let composed =
+      List.map
+        (Plan.map_rexpr (function
+          | Plan.RCol i when i < Array.length inner -> inner.(i)
+          | e -> e))
+        outer_exprs
+    in
+    { p with Plan.op = Plan.Project composed; inputs }
+  | _ -> p
+
+let compile ?(rewrite_enabled = true) t (wq : Ast.with_query) : Plan.plan =
+  let g = build_qgm t wq in
+  if rewrite_enabled && t.rewrite_enabled then ignore (rewrite t g);
+  refine (Generator.optimize t.optimizer g)
+
+let compile_text t (text : string) : Plan.plan =
+  compile t (Parser.query_text text)
+
+(* ------------------------------------------------------------------ *)
+(* Query execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_plan t (plan : Plan.plan) : Tuple.t list =
+  let counters = Exec.fresh_counters () in
+  t.last_counters <- counters;
+  Exec.run ~hosts:t.hosts ~counters t.exec_db plan
+
+let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
+  let g = build_qgm t wq in
+  if t.rewrite_enabled then ignore (rewrite t g);
+  let columns =
+    List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head
+  in
+  let plan = refine (Generator.optimize t.optimizer g) in
+  (columns, run_plan t plan)
+
+(** Runs a query text, returning its rows. *)
+let query t (text : string) : Tuple.t list =
+  snd (query_ast t (Parser.query_text text))
+
+(* ------------------------------------------------------------------ *)
+(* Prepared statements                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Compiles [text] once; see {!execute_prepared}. *)
+let prepare t (text : string) : prepared =
+  let wq = Parser.query_text text in
+  let g = build_qgm t wq in
+  if t.rewrite_enabled then ignore (rewrite t g);
+  let columns = List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head in
+  let plan = refine (Generator.optimize t.optimizer g) in
+  { prep_text = text; prep_columns = columns; prep_plan = plan }
+
+(** Executes a prepared query under the current host-variable bindings. *)
+let execute_prepared t (p : prepared) : Tuple.t list = run_plan t p.prep_plan
+
+(** Like {!query}, but caches the compiled plan per query text.  The
+    cache is invalidated by any DDL statement. *)
+let cached_query t (text : string) : Tuple.t list =
+  let p =
+    match Hashtbl.find_opt t.plan_cache text with
+    | Some p -> p
+    | None ->
+      if Hashtbl.length t.plan_cache > 256 then Hashtbl.reset t.plan_cache;
+      let p = prepare t text in
+      Hashtbl.replace t.plan_cache text p;
+      p
+  in
+  execute_prepared t p
+
+let clear_plan_cache t = Hashtbl.reset t.plan_cache
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Compiles an expression over a single table's row (no subqueries) for
+    UPDATE/DELETE; columns resolve against the table schema. *)
+let compile_row_expr t ~(schema : Schema.t) ~alias (e : Ast.expr) : Plan.rexpr =
+  let rec go (e : Ast.expr) : Plan.rexpr =
+    match e with
+    | Ast.Lit v -> Plan.RLit v
+    | Ast.Host v -> Plan.RHost v
+    | Ast.Col (qual, name) -> (
+      (match qual with
+      | Some q when Option.map String.lowercase_ascii alias
+                    <> Some (String.lowercase_ascii q)
+                    && String.lowercase_ascii q
+                       <> String.lowercase_ascii (Option.value ~default:q alias) ->
+        ()
+      | _ -> ());
+      match Schema.find_index schema name with
+      | Some i -> Plan.RCol i
+      | None -> error "unknown column %s" name)
+    | Ast.Bin (op, a, b) -> Plan.RBin (op, go a, go b)
+    | Ast.Un (op, a) -> Plan.RUn (op, go a)
+    | Ast.Func (name, args) ->
+      if Functions.find_scalar t.functions name = None then
+        error "unknown function %s" name;
+      Plan.RFun (name, List.map go args)
+    | Ast.Case (arms, els) ->
+      Plan.RCase (List.map (fun (c, v) -> (go c, go v)) arms, Option.map go els)
+    | Ast.Is_null a -> Plan.RIs_null (go a)
+    | Ast.Like (a, pat) -> Plan.RLike (go a, pat)
+    | Ast.Between (a, lo, hi) ->
+      let x = go a in
+      Plan.RBin (Ast.And, Plan.RBin (Ast.Ge, x, go lo), Plan.RBin (Ast.Le, x, go hi))
+    | Ast.In_list (a, items) ->
+      let x = go a in
+      List.fold_left
+        (fun acc item -> Plan.RBin (Ast.Or, acc, Plan.RBin (Ast.Eq, x, go item)))
+        (Plan.RLit (Value.Bool false))
+        items
+    | Ast.Agg _ | Ast.In_query _ | Ast.Exists _ | Ast.Quant_cmp _
+    | Ast.Scalar_query _ ->
+      error "subqueries and aggregates are not supported in UPDATE/DELETE"
+  in
+  go e
+
+let find_table t name =
+  match Catalog.find_table t.catalog name with
+  | Some tab -> tab
+  | None -> error "no such table %s" name
+
+let do_insert t ~table ~columns (wq : Ast.with_query) : result =
+  let tab = find_table t table in
+  let schema = tab.Table_store.schema in
+  let _, rows = query_ast t wq in
+  let positions =
+    match columns with
+    | None -> List.init (Array.length schema) Fun.id
+    | Some names ->
+      List.map
+        (fun name ->
+          match Schema.find_index schema name with
+          | Some i -> i
+          | None -> error "no column %s in %s" name table)
+        names
+  in
+  let n = ref 0 in
+  List.iter
+    (fun row ->
+      if Array.length row <> List.length positions then
+        error "INSERT arity mismatch: %d values for %d columns"
+          (Array.length row) (List.length positions);
+      let tuple = Array.make (Array.length schema) Value.Null in
+      List.iteri (fun i pos -> tuple.(pos) <- row.(i)) positions;
+      (try ignore (Table_store.insert tab tuple) with
+      | Invalid_argument msg -> error "%s" msg
+      | Table_store.Constraint_violation msg -> error "%s" msg);
+      incr n)
+    rows;
+  Affected !n
+
+let do_delete t ~table ~alias ~where : result =
+  let tab = find_table t table in
+  let pred =
+    Option.map (compile_row_expr t ~schema:tab.Table_store.schema ~alias) where
+  in
+  let victims =
+    Seq.filter_map
+      (fun (rid, row) ->
+        match pred with
+        | None -> Some rid
+        | Some p -> (
+          match Exec.eval_row ~hosts:t.hosts t.exec_db ~row p with
+          | Value.Bool true -> Some rid
+          | _ -> None))
+      (Table_store.scan tab)
+    |> List.of_seq
+  in
+  List.iter (fun rid -> ignore (Table_store.delete tab rid)) victims;
+  Affected (List.length victims)
+
+let do_update t ~table ~alias ~sets ~where : result =
+  let tab = find_table t table in
+  let schema = tab.Table_store.schema in
+  let pred = Option.map (compile_row_expr t ~schema ~alias) where in
+  let compiled_sets =
+    List.map
+      (fun (col, e) ->
+        match Schema.find_index schema col with
+        | Some i -> (i, compile_row_expr t ~schema ~alias e)
+        | None -> error "no column %s in %s" col table)
+      sets
+  in
+  let updates =
+    Seq.filter_map
+      (fun (rid, row) ->
+        let keep =
+          match pred with
+          | None -> true
+          | Some p ->
+            Exec.eval_row ~hosts:t.hosts t.exec_db ~row p = Value.Bool true
+        in
+        if keep then begin
+          let row' = Array.copy row in
+          List.iter
+            (fun (i, e) -> row'.(i) <- Exec.eval_row ~hosts:t.hosts t.exec_db ~row e)
+            compiled_sets;
+          Some (rid, row')
+        end
+        else None)
+      (Table_store.scan tab)
+    |> List.of_seq
+  in
+  List.iter
+    (fun (rid, row) ->
+      try ignore (Table_store.update tab rid row) with
+      | Invalid_argument msg -> error "%s" msg
+      | Table_store.Constraint_violation msg -> error "%s" msg)
+    updates;
+  Affected (List.length updates)
+
+(* ------------------------------------------------------------------ *)
+(* DDL                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let do_create_table t ~name ~columns ~storage : result =
+  let schema =
+    Array.of_list
+      (List.map
+         (fun (cname, ctype, nullable, unique) ->
+           match Datatype.of_string t.catalog.Catalog.datatypes ctype with
+           | Some ty -> Schema.column ~nullable ~unique cname ty
+           | None -> error "unknown type %s" ctype)
+         columns)
+  in
+  (try
+     ignore
+       (Catalog.create_table t.catalog ?storage ~name ~schema ()
+         : Table_store.t)
+   with Catalog.Catalog_error msg -> error "%s" msg);
+  Message (Fmt.str "table %s created" name)
+
+(* ------------------------------------------------------------------ *)
+(* SET options                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let on_off = function
+  | "on" | "true" | "1" -> true
+  | "off" | "false" | "0" -> false
+  | v -> error "expected on/off, got %s" v
+
+let do_set t key value : result =
+  (match key with
+  | "rewrite" -> t.rewrite_enabled <- on_off value
+  | "bushy" -> t.optimizer.Generator.allow_bushy <- on_off value
+  | "cartesian" -> t.optimizer.Generator.allow_cartesian <- on_off value
+  | "check_qgm" -> t.check_qgm <- on_off value
+  | "rewrite_budget" ->
+    t.rewrite_budget <-
+      (match int_of_string_opt value with
+      | Some n when n >= 0 -> Some n
+      | _ -> error "rewrite_budget expects an integer")
+  | "rewrite_strategy" ->
+    t.rewrite_strategy <-
+      (match value with
+      | "sequential" -> Engine.Sequential
+      | "priority" -> Engine.Priority
+      | "statistical" -> Engine.Statistical { weights = []; seed = 42 }
+      | v -> error "unknown rewrite strategy %s" v)
+  | "rewrite_search" ->
+    t.rewrite_search <-
+      (match value with
+      | "depth" | "depth_first" -> Engine.Depth_first
+      | "breadth" | "breadth_first" -> Engine.Breadth_first
+      | v -> error "unknown search strategy %s" v)
+  | k -> error "unknown option %s" k);
+  Message (Fmt.str "%s = %s" key value)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain t mode (wq : Ast.with_query) : string =
+  let buf = Buffer.create 512 in
+  let g = build_qgm t wq in
+  (match mode with
+  | Ast.Explain_qgm | Ast.Explain_all ->
+    Buffer.add_string buf "== QGM ==\n";
+    Buffer.add_string buf (Qgm_print.to_string g)
+  | Ast.Explain_rewrite | Ast.Explain_plan | Ast.Explain_dot -> ());
+  if t.rewrite_enabled then begin
+    let stats = rewrite t g in
+    match mode with
+    | Ast.Explain_rewrite | Ast.Explain_all ->
+      Buffer.add_string buf
+        (Fmt.str "== QGM after rewrite (%d rules fired) ==\n" stats.Engine.rules_fired);
+      Buffer.add_string buf (Qgm_print.to_string g)
+    | Ast.Explain_qgm | Ast.Explain_plan | Ast.Explain_dot -> ()
+  end;
+  (match mode with
+  | Ast.Explain_dot ->
+    (* Graphviz rendering of the (rewritten) QGM, drawn with the
+       paper's Figure 2 conventions *)
+    Buffer.add_string buf (Qgm_print.to_dot g)
+  | Ast.Explain_qgm | Ast.Explain_rewrite | Ast.Explain_plan | Ast.Explain_all -> ());
+  (match mode with
+  | Ast.Explain_plan | Ast.Explain_all ->
+    let plan = refine (Generator.optimize t.optimizer g) in
+    Buffer.add_string buf "== PLAN ==\n";
+    Buffer.add_string buf (Plan.to_string plan)
+  | Ast.Explain_qgm | Ast.Explain_rewrite | Ast.Explain_dot -> ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Statement dispatch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_statement t (stmt : Ast.statement) : result =
+  (match stmt with
+  | Ast.Stmt_create_table _ | Ast.Stmt_create_index _ | Ast.Stmt_create_view _
+  | Ast.Stmt_drop_table _ | Ast.Stmt_drop_view _ | Ast.Stmt_drop_index _
+  | Ast.Stmt_analyze _ | Ast.Stmt_set _ ->
+    clear_plan_cache t
+  | _ -> ());
+  match stmt with
+  | Ast.Stmt_query wq ->
+    let columns, rows = query_ast t wq in
+    Rows { columns; rows }
+  | Ast.Stmt_insert { ins_table; ins_columns; ins_source = Ast.Ins_query wq } ->
+    do_insert t ~table:ins_table ~columns:ins_columns wq
+  | Ast.Stmt_update { upd_table; upd_alias; upd_sets; upd_where } ->
+    do_update t ~table:upd_table ~alias:upd_alias ~sets:upd_sets ~where:upd_where
+  | Ast.Stmt_delete { del_table; del_alias; del_where } ->
+    do_delete t ~table:del_table ~alias:del_alias ~where:del_where
+  | Ast.Stmt_create_table { ct_name; ct_source = Some wq; _ } ->
+    (* CREATE TABLE AS: infer the schema from the query's head *)
+    let g = build_qgm t wq in
+    let schema =
+      Array.of_list
+        (List.map
+           (fun hc ->
+             Schema.column hc.Qgm.hc_name
+               (Option.value ~default:Datatype.String hc.Qgm.hc_type))
+           (Qgm.top_box g).Qgm.b_head)
+    in
+    (try ignore (Catalog.create_table t.catalog ~name:ct_name ~schema () : Table_store.t)
+     with Catalog.Catalog_error msg -> error "%s" msg);
+    let n =
+      match do_insert t ~table:ct_name ~columns:None wq with
+      | Affected n -> n
+      | _ -> 0
+    in
+    Message (Fmt.str "table %s created (%d rows)" ct_name n)
+  | Ast.Stmt_create_table { ct_name; ct_columns; ct_storage; ct_source = None } ->
+    do_create_table t ~name:ct_name ~columns:ct_columns ~storage:ct_storage
+  | Ast.Stmt_create_index { ci_name; ci_table; ci_kind; ci_columns } ->
+    (try
+       ignore
+         (Catalog.create_index t.catalog ~name:ci_name ~table:ci_table
+            ~kind:(Option.value ~default:"btree" ci_kind)
+            ~columns:ci_columns)
+     with Catalog.Catalog_error msg -> error "%s" msg);
+    Message (Fmt.str "index %s created" ci_name)
+  | Ast.Stmt_create_view { cv_name; cv_columns; cv_text } ->
+    (* validate the definition now, as DDL should *)
+    let _ =
+      try Builder.build t.builder_cfg (Parser.query_text cv_text)
+      with Builder.Semantic_error msg -> error "invalid view: %s" msg
+    in
+    (try Catalog.create_view t.catalog ~name:cv_name ~text:cv_text ?columns:cv_columns ()
+     with Catalog.Catalog_error msg -> error "%s" msg);
+    Message (Fmt.str "view %s created" cv_name)
+  | Ast.Stmt_drop_table name ->
+    (try Catalog.drop_table t.catalog name
+     with Catalog.Catalog_error msg -> error "%s" msg);
+    Message (Fmt.str "table %s dropped" name)
+  | Ast.Stmt_drop_view name ->
+    (try Catalog.drop_view t.catalog name
+     with Catalog.Catalog_error msg -> error "%s" msg);
+    Message (Fmt.str "view %s dropped" name)
+  | Ast.Stmt_drop_index { di_table; di_name } ->
+    (try Catalog.drop_index t.catalog ~table:di_table ~name:di_name
+     with Catalog.Catalog_error msg -> error "%s" msg);
+    Message (Fmt.str "index %s dropped" di_name)
+  | Ast.Stmt_analyze None ->
+    Catalog.analyze_all t.catalog;
+    Message "statistics updated"
+  | Ast.Stmt_analyze (Some name) ->
+    ignore (Table_store.analyze (find_table t name));
+    Message (Fmt.str "statistics updated for %s" name)
+  | Ast.Stmt_set (key, value) -> do_set t key value
+  | Ast.Stmt_explain (mode, Ast.Stmt_query wq) -> Message (explain t mode wq)
+  | Ast.Stmt_explain (_, inner) -> run_statement t inner
+
+(** Parses and runs one statement. *)
+let run t (text : string) : result =
+  match Parser.statement text with
+  | stmt -> run_statement t stmt
+  | exception Parser.Parse_error (msg, _) -> error "parse error: %s" msg
+  | exception Sb_hydrogen.Lexer.Lex_error (msg, _) -> error "lex error: %s" msg
+
+(** Parses and runs a [;]-separated script, returning each result. *)
+let run_script t (text : string) : result list =
+  List.map (run_statement t) (Parser.script text)
+
+(** Renders a [Rows] result as an aligned table. *)
+let render_result ?registry (r : result) : string =
+  match r with
+  | Message m -> m
+  | Affected n -> Fmt.str "%d row(s) affected" n
+  | Rows { columns; rows } ->
+    let cells =
+      columns
+      :: List.map
+           (fun row ->
+             Array.to_list (Array.map (fun v -> Value.to_string ?registry v) row))
+           rows
+    in
+    let ncols = List.length columns in
+    let widths = Array.make ncols 0 in
+    List.iter
+      (List.iteri (fun i s ->
+           if i < ncols then widths.(i) <- max widths.(i) (String.length s)))
+      cells;
+    let line fill =
+      "+"
+      ^ String.concat "+"
+          (Array.to_list (Array.map (fun w -> String.make (w + 2) fill) widths))
+      ^ "+"
+    in
+    let render_row cells_row =
+      "|"
+      ^ String.concat "|"
+          (List.mapi
+             (fun i s ->
+               Fmt.str " %s%s " s (String.make (widths.(i) - String.length s) ' '))
+             cells_row)
+      ^ "|"
+    in
+    String.concat "\n"
+      ([ line '-'; render_row columns; line '-' ]
+      @ List.map render_row (List.tl cells)
+      @ [ line '-'; Fmt.str "%d row(s)" (List.length rows) ])

@@ -1,0 +1,120 @@
+(** Corona, the Starburst query language processor: the full pipeline of
+    the paper's Figure 1 — parse → QGM (with semantic analysis) → query
+    rewrite → cost-based plan optimization → plan refinement →
+    execution — over the Core data manager, in one handle.
+
+    All of this module is re-exported by {!Starburst}, so application
+    code normally writes [Starburst.create] / [Starburst.run]. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+module Parser = Sb_hydrogen.Parser
+module Pretty = Sb_hydrogen.Pretty
+module Functions = Sb_hydrogen.Functions
+module Qgm = Sb_qgm.Qgm
+module Builder = Sb_qgm.Builder
+module Check = Sb_qgm.Check
+module Qgm_print = Sb_qgm.Print
+module Rule = Sb_rewrite.Rule
+module Engine = Sb_rewrite.Engine
+module Base_rules = Sb_rewrite.Base_rules
+module Plan = Sb_optimizer.Plan
+module Star = Sb_optimizer.Star
+module Generator = Sb_optimizer.Generator
+module Exec = Sb_qes.Exec
+
+exception Error of string
+
+(** A compiled query: "these two stages may be separated in time, since
+    the result of the compilation stage can be stored for future use"
+    (section 3).  Host variables are bound at execution time, so one
+    prepared plan serves many parameter values. *)
+type prepared = {
+  prep_text : string;
+  prep_columns : string list;
+  prep_plan : Plan.plan;
+}
+
+(** One database instance.  Fields are exposed for extensions, tests and
+    instrumentation; ordinary use goes through the functions below. *)
+type t = {
+  catalog : Catalog.t;
+  plan_cache : (string, prepared) Hashtbl.t;
+  functions : Functions.t;
+  builder_cfg : Builder.config;
+  rules : Rule.set;
+  optimizer : Generator.t;
+  exec_db : Exec.db;
+  mutable rewrite_enabled : bool;
+  mutable rewrite_strategy : Engine.strategy;
+  mutable rewrite_search : Engine.search;
+  mutable rewrite_budget : int option;
+  mutable check_qgm : bool;  (** verify QGM consistency after each rule *)
+  mutable hosts : (string * Value.t) list;  (** host-variable bindings *)
+  mutable last_counters : Exec.counters;
+  mutable last_rewrite : Engine.stats option;
+}
+
+(** Execution outcome of one statement. *)
+type result =
+  | Rows of { columns : string list; rows : Tuple.t list }
+  | Affected of int
+  | Message of string
+
+(** A fresh database with the base rule set, the base STAR array, the
+    built-in storage managers, access methods and functions installed. *)
+val create : ?pool_capacity:int -> unit -> t
+
+(** Binds a host-language variable for subsequent executions. *)
+val bind_host : t -> string -> Value.t -> unit
+
+(** Execution counters of the most recent query. *)
+val counters : t -> Exec.counters
+
+(** {1 Pipeline stages (exposed for instrumentation and extensions)} *)
+
+val build_qgm : t -> Ast.with_query -> Qgm.t
+val rewrite : t -> Qgm.t -> Engine.stats
+
+(** Plan refinement: residual CHOOSE nodes resolve to their first
+    alternative and trivial pass-throughs collapse. *)
+val refine : Plan.plan -> Plan.plan
+
+(** The full compile pipeline (without executing). *)
+val compile : ?rewrite_enabled:bool -> t -> Ast.with_query -> Plan.plan
+
+val compile_text : t -> string -> Plan.plan
+val run_plan : t -> Plan.plan -> Tuple.t list
+
+(** {1 Queries} *)
+
+(** Runs a query text, returning its rows. *)
+val query : t -> string -> Tuple.t list
+
+(** {1 Prepared statements} *)
+
+val prepare : t -> string -> prepared
+val execute_prepared : t -> prepared -> Tuple.t list
+
+(** Like {!query}, but caches the compiled plan per query text; the
+    cache is invalidated by any DDL statement. *)
+val cached_query : t -> string -> Tuple.t list
+
+val clear_plan_cache : t -> unit
+
+(** {1 Statements} *)
+
+(** Renders EXPLAIN output for a query at the given stage(s). *)
+val explain : t -> Ast.explain_mode -> Ast.with_query -> string
+
+val run_statement : t -> Ast.statement -> result
+
+(** Parses and runs one statement.
+    @raise Error on parse, semantic, planning or execution failures. *)
+val run : t -> string -> result
+
+(** Parses and runs a [;]-separated script. *)
+val run_script : t -> string -> result list
+
+(** Renders a result as an aligned text table. *)
+val render_result : ?registry:Datatype.registry -> result -> string

@@ -1,0 +1,14 @@
+(** Starburst: an extensible relational DBMS after Haas, Freytag, Lohman
+    and Pirahesh, "Extensible Query Processing in Starburst" (SIGMOD
+    1989).
+
+    {!Corona} is the query language processor (the full compile-and-
+    execute pipeline); {!Extension} is the database customizer's (DBC's)
+    interface for extending the language, the data manager, query
+    rewrite, the optimizer and the query evaluation system.  All of
+    Corona's operations are re-exported here, so [Starburst.create] and
+    [Starburst.run] are the two calls a quickstart needs. *)
+
+module Corona = Corona
+module Extension = Extension
+include Corona

@@ -1,0 +1,1 @@
+lib/extensions/bloom_join.ml: Float List Option Sb_optimizer Starburst

@@ -1,0 +1,1 @@
+lib/extensions/bloom_join.mli: Sb_optimizer Starburst

@@ -1,0 +1,1 @@
+lib/extensions/check_constraint.ml: Access_method Catalog Fmt Sb_storage Seq Starburst Table_store Tuple

@@ -1,0 +1,1 @@
+lib/extensions/check_constraint.mli: Sb_storage Starburst

@@ -1,0 +1,1 @@
+lib/extensions/majority.ml: Sb_hydrogen Seq Starburst

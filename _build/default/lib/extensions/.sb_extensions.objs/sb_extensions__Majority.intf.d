@@ -1,0 +1,1 @@
+lib/extensions/majority.mli: Starburst

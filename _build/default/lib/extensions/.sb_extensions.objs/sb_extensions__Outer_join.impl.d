@@ -1,0 +1,1 @@
+lib/extensions/outer_join.ml: Array List Option Sb_hydrogen Sb_optimizer Sb_qes Sb_qgm Sb_rewrite Sb_storage Starburst Value

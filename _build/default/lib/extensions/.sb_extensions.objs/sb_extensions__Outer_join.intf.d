@@ -1,0 +1,1 @@
+lib/extensions/outer_join.mli: Sb_optimizer Sb_qes Sb_rewrite Starburst

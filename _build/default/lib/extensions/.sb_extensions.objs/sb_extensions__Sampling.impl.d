@@ -1,0 +1,1 @@
+lib/extensions/sampling.ml: Datatype List Sb_hydrogen Sb_storage Seq Starburst Value

@@ -1,0 +1,1 @@
+lib/extensions/sampling.mli: Starburst

@@ -1,0 +1,1 @@
+lib/extensions/spatial.ml: Access_method Datatype Fmt List Option Rtree Sb_hydrogen Sb_optimizer Sb_storage Starburst String Value

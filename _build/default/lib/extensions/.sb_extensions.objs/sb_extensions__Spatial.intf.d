@@ -1,0 +1,1 @@
+lib/extensions/spatial.mli: Sb_storage Starburst

@@ -1,0 +1,1 @@
+lib/extensions/stats_fns.ml: Datatype Float Fmt List Sb_hydrogen Sb_storage Starburst Value

@@ -1,0 +1,1 @@
+lib/extensions/stats_fns.mli: Starburst

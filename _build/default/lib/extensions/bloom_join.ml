@@ -1,0 +1,65 @@
+(** Bloom-join: the distributed filtration method of [MACK86], added —
+    as the paper claims is possible — "simply by adding a new LOLEPOP"
+    plus one STAR alternative.
+
+    When the inner table lives at a different site, the base plan ships
+    the whole inner to the join site.  The Bloom alternative instead
+    ships the outer's join keys to the inner's site, reduces the inner
+    with a Bloom filter there, and ships only the (probably-)matching
+    rows; the hash join above re-verifies, so false positives cost
+    bandwidth, never correctness. *)
+
+module Plan = Sb_optimizer.Plan
+module Cost = Sb_optimizer.Cost
+module Star = Sb_optimizer.Star
+
+let bloom_alternative : Star.alternative =
+  {
+    Star.alt_name = "bloom-reduced-inner";
+    alt_rank = 2;
+    alt_cond =
+      (fun _ pl ->
+        match pl.Star.pl_outer, pl.Star.pl_inner with
+        | Some outer, Some inner ->
+          pl.Star.pl_kind = Plan.J_regular
+          && pl.Star.pl_corr = []
+          && (match pl.Star.pl_equi with [ _ ] -> true | _ -> false)
+          && outer.Plan.props.Plan.p_site <> inner.Plan.props.Plan.p_site
+        | _ -> false);
+    alt_produce =
+      (fun _ pl ->
+        let outer = Option.get pl.Star.pl_outer in
+        let inner = Option.get pl.Star.pl_inner in
+        let okey, ikey = List.hd pl.Star.pl_equi in
+        (* ship the outer's keys to the inner's site (they are small),
+           reduce the inner there, ship back only survivors *)
+        let keys =
+          Cost.mk_project [ Plan.RCol okey ] (Cost.mk_temp outer)
+        in
+        let keys_at_inner = Cost.mk_ship inner.Plan.props.Plan.p_site keys in
+        let sel =
+          Cost.join_selectivity ~outer_info:pl.Star.pl_info
+            ~inner_info:Cost.no_info ~equi:pl.Star.pl_equi ~pred:None
+            ~info_joined:pl.Star.pl_info
+          *. Float.max 1.0 outer.Plan.props.Plan.p_card
+          |> Float.min 1.0
+        in
+        let reduced =
+          Cost.mk_bloom ~subject_key:ikey ~source_key:0 ~sel inner keys_at_inner
+        in
+        let shipped = Cost.mk_ship outer.Plan.props.Plan.p_site reduced in
+        [
+          Cost.mk_join ~method_:Plan.Hash_join ~kind:Plan.J_regular
+            ~equi:pl.Star.pl_equi ~pred:pl.Star.pl_pred ~kind_pred:None
+            ~corr:[]
+            ~sel:
+              (Cost.join_selectivity ~outer_info:pl.Star.pl_info
+                 ~inner_info:Cost.no_info ~equi:pl.Star.pl_equi
+                 ~pred:pl.Star.pl_pred ~info_joined:pl.Star.pl_info)
+            outer shipped;
+        ]);
+  }
+
+(** Registers the Bloom-join alternative on the JoinRoot STAR. *)
+let install (db : Starburst.t) =
+  Starburst.Extension.register_star db "JoinRoot" [ bloom_alternative ]

@@ -1,0 +1,52 @@
+(** DBC check constraints as attachments — the other half of Core's
+    attachment architecture ("new kinds of attachments (access methods
+    and integrity constraints)", section 1 / [LIND87]).
+
+    A check constraint is an attachment with no search capability whose
+    [am_check] evaluates a predicate over the candidate tuple.  It is
+    attached programmatically (there is no DDL syntax for it, as in the
+    early Starburst prototype). *)
+
+open Sb_storage
+
+(** Attaches a named predicate constraint to [table]; every subsequent
+    INSERT and UPDATE must satisfy [pred].
+    @raise Starburst.Error when the table does not exist. *)
+let attach (db : Starburst.t) ~table ~name (pred : Tuple.t -> bool) =
+  match Catalog.find_table db.Starburst.Corona.catalog table with
+  | None -> raise (Starburst.Error (Fmt.str "no such table %s" table))
+  | Some tab ->
+    let instance =
+      {
+        Access_method.am_name = name;
+        am_kind = "check";
+        am_columns = [];
+        am_check =
+          (fun tuple ~exclude:_ ->
+            if pred tuple then Ok ()
+            else Error (Fmt.str "check constraint %s violated" name));
+        am_insert = (fun _ _ -> ());
+        am_delete = (fun _ _ -> ());
+        am_supports = (fun _ -> false);
+        am_search = (fun _ -> Seq.empty);
+        am_entry_count = (fun () -> 0);
+        am_ordered = false;
+        am_accesses = (fun () -> 0);
+        am_reset_accesses = (fun () -> ());
+      }
+    in
+    (* existing rows must already satisfy the constraint *)
+    Seq.iter
+      (fun (_, tuple) ->
+        if not (pred tuple) then
+          raise
+            (Starburst.Error
+               (Fmt.str "existing rows of %s violate check constraint %s" table
+                  name)))
+      (Table_store.scan tab);
+    Table_store.attach tab instance
+
+let detach (db : Starburst.t) ~table ~name =
+  match Catalog.find_table db.Starburst.Corona.catalog table with
+  | None -> ()
+  | Some tab -> Table_store.detach tab name

@@ -1,0 +1,13 @@
+(** DBC check constraints as attachments — integrity constraints are
+    attachments in Core's architecture (section 1 / [LIND87]).  A check
+    constraint rejects INSERTs and UPDATEs whose tuple fails its
+    predicate. *)
+
+(** Attaches a named predicate constraint; existing rows must already
+    satisfy it.
+    @raise Starburst.Error when the table does not exist or holds
+    violating rows. *)
+val attach :
+  Starburst.t -> table:string -> name:string -> (Sb_storage.Tuple.t -> bool) -> unit
+
+val detach : Starburst.t -> table:string -> name:string -> unit

@@ -1,0 +1,47 @@
+(** The [MAJORITY] set-predicate function — the paper's example of a new
+    set predicate (section 2): [x op MAJORITY (subquery)] is true when
+    the comparison holds for strictly more than half of the subquery's
+    rows.  The executor evaluates it through the same quantified-join
+    machinery as the built-in ALL and ANY. *)
+
+module Functions = Sb_hydrogen.Functions
+
+let majority_fn : Functions.set_predicate_fn =
+  {
+    Functions.spf_name = "majority";
+    spf_combine =
+      (fun truths ->
+        let total = ref 0 and yes = ref 0 and unknown = ref 0 in
+        Seq.iter
+          (fun t ->
+            incr total;
+            match t with
+            | Some true -> incr yes
+            | None -> incr unknown
+            | Some false -> ())
+          truths;
+        if !total = 0 then Some false
+        else if 2 * !yes > !total then Some true
+        else if 2 * (!yes + !unknown) > !total then None  (* could go either way *)
+        else Some false);
+  }
+
+(** [x op ATLEAST_ONE_THIRD (subquery)]: a second DBC set predicate,
+    showing the interface is not MAJORITY-specific. *)
+let at_least_one_third_fn : Functions.set_predicate_fn =
+  {
+    Functions.spf_name = "atleast_third";
+    spf_combine =
+      (fun truths ->
+        let total = ref 0 and yes = ref 0 in
+        Seq.iter
+          (fun t ->
+            incr total;
+            if t = Some true then incr yes)
+          truths;
+        if !total = 0 then Some false else Some (3 * !yes >= !total));
+  }
+
+let install (db : Starburst.t) =
+  Starburst.Extension.register_set_predicate db majority_fn;
+  Starburst.Extension.register_set_predicate db at_least_one_third_fn

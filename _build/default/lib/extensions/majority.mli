@@ -1,0 +1,5 @@
+(** DBC set-predicate functions (section 2): [x op MAJORITY (subquery)]
+    is true when the comparison holds for strictly more than half of the
+    subquery's rows; [atleast_third] likewise for one third. *)
+
+val install : Starburst.t -> unit

@@ -1,0 +1,19 @@
+(** The left outer join extension — the paper's running example
+    (sections 4–7), implemented end-to-end through the public extension
+    API: the [PF] (Preserve-ForEach) quantifier type in QGM, two
+    extension rewrite rules, a plan handler reusing the base STARs with
+    the new join kind plus a hash variant, and the QES ["left_outer"]
+    join kind. *)
+
+(** Registers the whole extension; afterwards [LEFT OUTER JOIN] (and
+    [RIGHT OUTER JOIN], normalized to left) parses, rewrites, optimizes
+    and executes. *)
+val install : Starburst.t -> unit
+
+(** The extension's pieces, exposed for tests and for DBCs composing
+    their own variants. *)
+
+val left_outer_kind : Sb_qes.Exec.kind_impl
+val push_through_pf : Sb_rewrite.Rule.t
+val reduce_to_inner : Sb_rewrite.Rule.t
+val hash_left_outer : Sb_optimizer.Star.alternative

@@ -1,0 +1,40 @@
+(** The [SAMPLE(table, n)] table function — the paper's example of a
+    DBC-defined operation on tables (section 2): takes a table and an
+    integer and produces a table of (up to) [n] of its rows.  Sampling
+    is deterministic (fixed stride), so query results are stable. *)
+
+open Sb_storage
+module Functions = Sb_hydrogen.Functions
+
+let sample_fn : Functions.table_fn =
+  {
+    Functions.tf_name = "sample";
+    tf_type =
+      (fun ~arg_tables ~arg_values ->
+        match arg_tables, arg_values with
+        | [ schema ], [ (Some Datatype.Int | None) ] -> Ok schema
+        | [ _ ], _ -> Error "second argument must be an integer"
+        | _ -> Error "expected SAMPLE(table, n)");
+    tf_eval =
+      (fun ~arg_tables ~arg_values ->
+        match arg_tables, arg_values with
+        | [ (_, rows) ], [ n ] ->
+          let n = max 0 (Value.as_int n) in
+          if n = 0 then Seq.empty
+          else begin
+            let all = List.of_seq rows in
+            let total = List.length all in
+            if total <= n then List.to_seq all
+            else begin
+              let stride = total / n in
+              List.to_seq all
+              |> Seq.mapi (fun i row -> (i, row))
+              |> Seq.filter_map (fun (i, row) ->
+                     if i mod stride = 0 && i / stride < n then Some row else None)
+            end
+          end
+        | _ -> Functions.error "SAMPLE expects (table, n)");
+  }
+
+let install (db : Starburst.t) =
+  Starburst.Extension.register_table_function db sample_fn

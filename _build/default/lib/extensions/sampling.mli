@@ -1,0 +1,5 @@
+(** The [SAMPLE(table, n)] table function (section 2's example of a
+    DBC-defined operation on tables): up to [n] rows of its input, by a
+    deterministic stride, so query results are stable. *)
+
+val install : Starburst.t -> unit

@@ -1,0 +1,11 @@
+(** The spatial extension: a [BOX] external datatype, spatial scalar
+    functions ([make_box], [overlaps], [contains], [area]), the R-tree
+    access-method attachment [GUTT84], and the optimizer probe matcher
+    that recognizes [overlaps] predicates. *)
+
+val type_name : string
+
+val install : Starburst.t -> unit
+
+(** Convenience constructor for test data. *)
+val box_value : x0:float -> y0:float -> x1:float -> y1:float -> Sb_storage.Value.t

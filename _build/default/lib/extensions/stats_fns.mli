@@ -1,0 +1,4 @@
+(** DBC aggregate functions (section 2's [StandardDeviation] example):
+    [stddev], [variance] (sample, Welford's algorithm) and [median]. *)
+
+val install : Starburst.t -> unit

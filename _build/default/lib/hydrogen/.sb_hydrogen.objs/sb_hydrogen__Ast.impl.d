@@ -1,0 +1,1 @@
+lib/hydrogen/ast.ml: Sb_storage Value

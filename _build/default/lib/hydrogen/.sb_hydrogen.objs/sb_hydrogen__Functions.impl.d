@@ -1,0 +1,1 @@
+lib/hydrogen/functions.ml: Buffer Datatype Float Fmt Hashtbl List Option Sb_storage Schema Seq String Tuple Value

@@ -1,0 +1,1 @@
+lib/hydrogen/functions.mli: Datatype Format Sb_storage Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/hydrogen/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/hydrogen/lexer.mli:

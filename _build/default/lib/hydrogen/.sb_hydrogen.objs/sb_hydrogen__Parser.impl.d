@@ -1,0 +1,1 @@
+lib/hydrogen/parser.ml: Ast Lexer List Printf Sb_storage String

@@ -1,0 +1,1 @@
+lib/hydrogen/pretty.ml: Ast Fmt Option Sb_storage

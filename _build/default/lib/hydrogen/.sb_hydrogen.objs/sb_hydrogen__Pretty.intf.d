@@ -1,0 +1,1 @@
+lib/hydrogen/pretty.mli: Ast Format

@@ -1,0 +1,168 @@
+(** Abstract syntax of Hydrogen, Starburst's SQL-derived query language.
+
+    Hydrogen generalizes SQL (section 2): views and queries with set
+    operations may appear anywhere a table may; table expressions
+    (WITH [RECURSIVE]) factor out and name subqueries, and may be cyclic
+    to express recursion; DBC-defined scalar / aggregate / set-predicate /
+    table functions extend the language without grammar changes. *)
+
+open Sb_storage
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Concat
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type order_dir = Asc | Desc
+
+(** Quantified-comparison kind: [ALL], [ANY]/[SOME], or a DBC-registered
+    set-predicate function such as [MAJORITY]. *)
+type quant_kind = Q_all | Q_any | Q_named of string
+
+type expr =
+  | Lit of Value.t
+  | Col of string option * string  (** [qualifier.]column *)
+  | Host of string  (** host-language variable [:name] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Func of string * expr list  (** scalar function (built-in or DBC) *)
+  | Agg of string * bool * expr option
+      (** aggregate: name, DISTINCT?, argument (None means COUNT of all rows) *)
+  | Case of (expr * expr) list * expr option
+  | Is_null of expr
+  | In_list of expr * expr list
+  | In_query of expr * query
+  | Exists of query
+  | Quant_cmp of expr * binop * quant_kind * query
+      (** e.g. [x > ALL (SELECT ...)], [x = MAJORITY (SELECT ...)] *)
+  | Scalar_query of query  (** subquery in scalar position *)
+  | Between of expr * expr * expr
+  | Like of expr * string
+
+and query =
+  | Select of select
+  | Set_op of set_op * bool * query * query  (** op, ALL?, lhs, rhs *)
+  | Values of expr list list
+
+and set_op = Union | Intersect | Except
+
+and select = {
+  sel_distinct : bool;
+  sel_items : sel_item list;
+  sel_from : from_item list;
+  sel_where : expr option;
+  sel_group : expr list;
+  sel_having : expr option;
+  sel_order : (expr * order_dir) list;
+  sel_limit : int option;
+}
+
+and sel_item =
+  | Star
+  | Qualified_star of string
+  | Item of expr * string option  (** expression [AS alias] *)
+
+and from_item =
+  | From_table of string * string option  (** table or view, [alias] *)
+  | From_query of query * string * string list option
+      (** derived table: subquery AS alias [(columns)] *)
+  | From_func of string * table_arg list * string option
+      (** table function, e.g. [SAMPLE(quotations, 10) AS s] *)
+  | From_join of from_item * join_type * from_item * expr
+      (** explicit join syntax; outer joins are extension operations *)
+
+and join_type = Inner | Left_outer | Right_outer | Full_outer
+
+and table_arg = Targ_table of from_item | Targ_expr of expr
+
+(** A query optionally prefixed by table-expression definitions.
+    Cyclic references among [WITH RECURSIVE] definitions express
+    recursion ("Hydrogen can be used for logic programming"). *)
+type with_query = {
+  with_recursive : bool;
+  with_defs : (string * string list option * query) list;
+  with_body : query;
+}
+
+let plain_query q = { with_recursive = false; with_defs = []; with_body = q }
+
+type insert_source = Ins_query of with_query
+
+type statement =
+  | Stmt_query of with_query
+  | Stmt_insert of {
+      ins_table : string;
+      ins_columns : string list option;
+      ins_source : insert_source;
+    }
+  | Stmt_update of {
+      upd_table : string;
+      upd_alias : string option;
+      upd_sets : (string * expr) list;
+      upd_where : expr option;
+    }
+  | Stmt_delete of {
+      del_table : string;
+      del_alias : string option;
+      del_where : expr option;
+    }
+  | Stmt_create_table of {
+      ct_name : string;
+      ct_columns : (string * string * bool * bool) list;
+          (** name, type, nullable, unique *)
+      ct_storage : string option;  (** USING <storage manager> *)
+      ct_source : with_query option;  (** CREATE TABLE ... AS <query> *)
+    }
+  | Stmt_create_index of {
+      ci_name : string;
+      ci_table : string;
+      ci_kind : string option;  (** USING <access-method kind> *)
+      ci_columns : string list;
+    }
+  | Stmt_create_view of {
+      cv_name : string;
+      cv_columns : string list option;
+      cv_text : string;  (** original text of the defining query *)
+    }
+  | Stmt_drop_table of string
+  | Stmt_drop_view of string
+  | Stmt_drop_index of { di_table : string; di_name : string }
+  | Stmt_analyze of string option
+  | Stmt_explain of explain_mode * statement
+  | Stmt_set of string * string
+
+and explain_mode =
+  | Explain_qgm
+  | Explain_rewrite
+  | Explain_plan
+  | Explain_dot  (** Graphviz rendering of the rewritten QGM *)
+  | Explain_all
+
+(* --- small helpers used across the pipeline --- *)
+
+let is_comparison = function
+  | Eq | Neq | Lt | Le | Gt | Ge -> true
+  | Add | Sub | Mul | Div | Mod | Concat | And | Or -> false
+
+let flip_comparison = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | op -> op
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Concat -> "||"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR"
+
+(** Splits an expression into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Bin (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]

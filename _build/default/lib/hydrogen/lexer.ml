@@ -1,0 +1,128 @@
+(** Hand-written lexer for Hydrogen. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | HOSTVAR of string  (** [:name] *)
+  | SYM of string  (** punctuation and operators *)
+  | EOF
+
+type lexed = { tok : token; pos : int (* byte offset, for errors *) }
+
+exception Lex_error of string * int
+
+let error msg pos = raise (Lex_error (msg, pos))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenizes [src] in full.  Comments: [-- to end of line] and
+    [/* ... */]. *)
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok pos = toks := { tok; pos } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start = !i in
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then error "unterminated comment" start
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then i := !i + 2
+        else begin incr i; skip () end
+      in
+      skip ()
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      emit (IDENT (String.sub src start (!i - start))) start
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float =
+        (!i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1])
+        || (!i < n && (src.[!i] = 'e' || src.[!i] = 'E'))
+      in
+      if is_float then begin
+        if !i < n && src.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start)))) start
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start)))) start
+    end
+    else if c = '\'' then begin
+      let start = !i in
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        if !i >= n then error "unterminated string literal" start
+        else if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2;
+            scan ()
+          end
+          else incr i
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          scan ()
+        end
+      in
+      scan ();
+      emit (STRING (Buffer.contents buf)) start
+    end
+    else if c = ':' && !i + 1 < n && is_ident_start src.[!i + 1] then begin
+      let start = !i in
+      incr i;
+      let id_start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      emit (HOSTVAR (String.sub src id_start (!i - id_start))) start
+    end
+    else begin
+      let start = !i in
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "<>" | "!=" | "||" ->
+        i := !i + 2;
+        emit (SYM (if two = "!=" then "<>" else two)) start
+      | _ ->
+        (match c with
+        | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '%' | '=' | '<' | '>'
+        | ';' ->
+          incr i;
+          emit (SYM (String.make 1 c)) start
+        | _ -> error (Printf.sprintf "unexpected character %C" c) start)
+    end
+  done;
+  emit EOF n;
+  List.rev !toks
+
+let keyword (s : string) = String.uppercase_ascii s
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT x -> string_of_int x
+  | FLOAT x -> string_of_float x
+  | STRING s -> Printf.sprintf "'%s'" s
+  | HOSTVAR s -> ":" ^ s
+  | SYM s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,24 @@
+(** Hand-written lexer for Hydrogen. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | HOSTVAR of string  (** [:name] *)
+  | SYM of string  (** punctuation and operators *)
+  | EOF
+
+type lexed = { tok : token; pos : int (** byte offset, for errors *) }
+
+exception Lex_error of string * int
+
+(** Tokenizes [src] in full.  Comments: [--] to end of line and
+    [/* ... */].  String literals quote with [''] doubling.
+    @raise Lex_error on malformed input. *)
+val tokenize : string -> lexed list
+
+(** Uppercased form, for keyword comparison. *)
+val keyword : string -> string
+
+val token_to_string : token -> string

@@ -1,0 +1,853 @@
+(** Recursive-descent parser for Hydrogen.
+
+    The grammar is deliberately small and orthogonal (section 2): any
+    table-producing construct — base table, view, derived table, table
+    function, set operation — may appear wherever a table may.  Set
+    predicates after a comparison operator accept any identifier, so that
+    DBC-registered set-predicate functions (e.g. [MAJORITY]) parse without
+    grammar changes. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+type state = {
+  src : string;
+  mutable toks : Lexer.lexed list;
+}
+
+let fail st msg =
+  let pos = match st.toks with { pos; _ } :: _ -> pos | [] -> 0 in
+  let excerpt =
+    let stop = min (String.length st.src) (pos + 20) in
+    String.sub st.src pos (stop - pos)
+  in
+  raise (Parse_error (Printf.sprintf "%s (at %S)" msg excerpt, pos))
+
+let peek st =
+  match st.toks with { tok; _ } :: _ -> tok | [] -> Lexer.EOF
+
+let peek2 st =
+  match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> Lexer.EOF
+
+let pos st = match st.toks with { pos; _ } :: _ -> pos | [] -> String.length st.src
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+(* keyword tests are case-insensitive *)
+let is_kw st kw =
+  match peek st with
+  | Lexer.IDENT s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let is_kw2 st kw =
+  match peek2 st with
+  | Lexer.IDENT s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let accept_kw st kw =
+  if is_kw st kw then begin advance st; true end else false
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then fail st (Printf.sprintf "expected %s" kw)
+
+let is_sym st s = match peek st with Lexer.SYM x -> x = s | _ -> false
+
+let accept_sym st s =
+  if is_sym st s then begin advance st; true end else false
+
+let expect_sym st s =
+  if not (accept_sym st s) then fail st (Printf.sprintf "expected %S" s)
+
+let reserved =
+  [ "SELECT"; "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "LIMIT"; "UNION";
+    "INTERSECT"; "EXCEPT"; "ON"; "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL";
+    "OUTER"; "AS"; "AND"; "OR"; "NOT"; "IN"; "EXISTS"; "BETWEEN"; "LIKE";
+    "IS"; "NULL"; "TRUE"; "FALSE"; "CASE"; "WHEN"; "THEN"; "ELSE"; "END";
+    "DISTINCT"; "ALL"; "ANY"; "SOME"; "VALUES"; "WITH"; "RECURSIVE"; "BY";
+    "INSERT"; "INTO"; "UPDATE"; "SET"; "DELETE"; "CREATE"; "DROP"; "TABLE";
+    "VIEW"; "INDEX"; "USING"; "ASC"; "DESC"; "EXPLAIN"; "ANALYZE"; "UNIQUE" ]
+
+let is_reserved s = List.mem (String.uppercase_ascii s) reserved
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s when not (is_reserved s) ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* does the upcoming input (skipping open parens) begin a query? *)
+let starts_query st =
+  let rec scan = function
+    | { Lexer.tok = Lexer.SYM "("; _ } :: rest -> scan rest
+    | { Lexer.tok = Lexer.IDENT s; _ } :: _ ->
+      let u = String.uppercase_ascii s in
+      u = "SELECT" || u = "VALUES" || u = "WITH"
+    | _ -> false
+  in
+  scan st.toks
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Bin (Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then Bin (And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then Un (Not, parse_not st) else parse_predicate st
+
+(* comparison layer: also IN / BETWEEN / LIKE / IS NULL / quantified *)
+and parse_predicate st =
+  if is_kw st "EXISTS" && is_kw2 st "" = false && (peek2 st = Lexer.SYM "(") then begin
+    expect_kw st "EXISTS";
+    expect_sym st "(";
+    let q = parse_query st in
+    expect_sym st ")";
+    Exists q
+  end
+  else begin
+    let lhs = parse_additive st in
+    parse_predicate_tail st lhs
+  end
+
+and parse_predicate_tail st lhs =
+  match peek st with
+  | Lexer.SYM ("=" | "<>" | "<" | "<=" | ">" | ">=") ->
+    let op =
+      match next st with
+      | Lexer.SYM "=" -> Eq
+      | Lexer.SYM "<>" -> Neq
+      | Lexer.SYM "<" -> Lt
+      | Lexer.SYM "<=" -> Le
+      | Lexer.SYM ">" -> Gt
+      | Lexer.SYM ">=" -> Ge
+      | _ -> assert false
+    in
+    (* quantified comparison: op (ALL | ANY | SOME | <set-pred name>) (query) *)
+    let quant =
+      match peek st, peek2 st with
+      | Lexer.IDENT name, Lexer.SYM "(" when (is_kw2 st "" || true) ->
+        let upper = String.uppercase_ascii name in
+        (match upper with
+        | "ALL" -> Some Q_all
+        | "ANY" | "SOME" -> Some Q_any
+        | _ -> None)
+      | _ -> None
+    in
+    (match quant with
+    | Some k ->
+      advance st;
+      expect_sym st "(";
+      let q = parse_query st in
+      expect_sym st ")";
+      Quant_cmp (lhs, op, k, q)
+    | None ->
+      (* DBC set predicates: op <name> (SELECT ...) with a query inside *)
+      (match peek st, peek2 st with
+      | Lexer.IDENT name, Lexer.SYM "("
+        when (not (is_reserved name))
+             && (match st.toks with
+                | _ :: _ :: { tok = Lexer.IDENT s; _ } :: _ ->
+                  String.uppercase_ascii s = "SELECT"
+                | _ -> false) ->
+        advance st;
+        expect_sym st "(";
+        let q = parse_query st in
+        expect_sym st ")";
+        Quant_cmp (lhs, op, Q_named (String.lowercase_ascii name), q)
+      | _ ->
+        let rhs = parse_additive st in
+        Bin (op, lhs, rhs)))
+  | Lexer.IDENT kw ->
+    (match String.uppercase_ascii kw with
+    | "IN" ->
+      advance st;
+      expect_sym st "(";
+      if starts_query st then begin
+        let q = parse_query st in
+        expect_sym st ")";
+        In_query (lhs, q)
+      end
+      else begin
+        let rec items acc =
+          let e = parse_expr st in
+          if accept_sym st "," then items (e :: acc) else List.rev (e :: acc)
+        in
+        let es = items [] in
+        expect_sym st ")";
+        In_list (lhs, es)
+      end
+    | "NOT" when is_kw2 st "IN" || is_kw2 st "BETWEEN" || is_kw2 st "LIKE" ->
+      advance st;
+      Un (Not, parse_predicate_tail st lhs)
+    | "BETWEEN" ->
+      advance st;
+      let lo = parse_additive st in
+      expect_kw st "AND";
+      let hi = parse_additive st in
+      Between (lhs, lo, hi)
+    | "LIKE" ->
+      advance st;
+      (match next st with
+      | Lexer.STRING pat -> Like (lhs, pat)
+      | _ -> fail st "expected string literal after LIKE")
+    | "IS" ->
+      advance st;
+      let negated = accept_kw st "NOT" in
+      expect_kw st "NULL";
+      if negated then Un (Not, Is_null lhs) else Is_null lhs
+    | _ -> lhs)
+  | _ -> lhs
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.SYM "+" ->
+      advance st;
+      loop (Bin (Add, lhs, parse_multiplicative st))
+    | Lexer.SYM "-" ->
+      advance st;
+      loop (Bin (Sub, lhs, parse_multiplicative st))
+    | Lexer.SYM "||" ->
+      advance st;
+      loop (Bin (Concat, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.SYM "*" ->
+      advance st;
+      loop (Bin (Mul, lhs, parse_unary st))
+    | Lexer.SYM "/" ->
+      advance st;
+      loop (Bin (Div, lhs, parse_unary st))
+    | Lexer.SYM "%" ->
+      advance st;
+      loop (Bin (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  if accept_sym st "-" then Un (Neg, parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT x ->
+    advance st;
+    Lit (Sb_storage.Value.Int x)
+  | Lexer.FLOAT x ->
+    advance st;
+    Lit (Sb_storage.Value.Float x)
+  | Lexer.STRING s ->
+    advance st;
+    Lit (Sb_storage.Value.String s)
+  | Lexer.HOSTVAR v ->
+    advance st;
+    Host v
+  | Lexer.SYM "(" ->
+    advance st;
+    if is_kw st "SELECT" || is_kw st "VALUES" then begin
+      let q = parse_query st in
+      expect_sym st ")";
+      Scalar_query q
+    end
+    else begin
+      let e = parse_expr st in
+      expect_sym st ")";
+      e
+    end
+  | Lexer.IDENT s ->
+    (match String.uppercase_ascii s with
+    | "NULL" ->
+      advance st;
+      Lit Sb_storage.Value.Null
+    | "TRUE" ->
+      advance st;
+      Lit (Sb_storage.Value.Bool true)
+    | "FALSE" ->
+      advance st;
+      Lit (Sb_storage.Value.Bool false)
+    | "CASE" ->
+      advance st;
+      parse_case st
+    | "NOT" | "EXISTS" -> fail st "unexpected keyword in expression"
+    | _ ->
+      let name = ident st in
+      if accept_sym st "(" then parse_call st name
+      else if accept_sym st "." then begin
+        let col = ident st in
+        Col (Some name, col)
+      end
+      else Col (None, name))
+  | _ -> fail st "expected expression"
+
+and parse_case st =
+  let rec arms acc =
+    if accept_kw st "WHEN" then begin
+      let c = parse_expr st in
+      expect_kw st "THEN";
+      let v = parse_expr st in
+      arms ((c, v) :: acc)
+    end
+    else List.rev acc
+  in
+  let arms = arms [] in
+  if arms = [] then fail st "CASE requires at least one WHEN";
+  let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+  expect_kw st "END";
+  Case (arms, els)
+
+and parse_call st name =
+  let lname = String.lowercase_ascii name in
+  if accept_sym st "*" then begin
+    expect_sym st ")";
+    (* COUNT of all rows, and friends *)
+    Agg (lname, false, None)
+  end
+  else if accept_kw st "DISTINCT" then begin
+    let e = parse_expr st in
+    expect_sym st ")";
+    Agg (lname, true, Some e)
+  end
+  else if accept_sym st ")" then Func (lname, [])
+  else begin
+    let rec args acc =
+      let e = parse_expr st in
+      if accept_sym st "," then args (e :: acc) else List.rev (e :: acc)
+    in
+    let args = args [] in
+    expect_sym st ")";
+    Func (lname, args)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_query st : query =
+  let lhs = parse_query_term st in
+  let rec loop lhs =
+    let op =
+      if is_kw st "UNION" then Some Union
+      else if is_kw st "INTERSECT" then Some Intersect
+      else if is_kw st "EXCEPT" then Some Except
+      else None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+      advance st;
+      let all = accept_kw st "ALL" in
+      let rhs = parse_query_term st in
+      loop (Set_op (op, all, lhs, rhs))
+  in
+  let q = loop lhs in
+  (* trailing ORDER BY / LIMIT over a set operation: wrap in a select *)
+  if (is_kw st "ORDER" || is_kw st "LIMIT")
+     && match q with Select _ -> false | Set_op _ | Values _ -> true
+  then begin
+    let order = parse_order_opt st in
+    let limit = parse_limit_opt st in
+    Select
+      {
+        sel_distinct = false;
+        sel_items = [ Star ];
+        sel_from = [ From_query (q, "__setop", None) ];
+        sel_where = None;
+        sel_group = [];
+        sel_having = None;
+        sel_order = order;
+        sel_limit = limit;
+      }
+  end
+  else q
+
+and parse_query_term st : query =
+  if accept_sym st "(" then begin
+    let q = parse_query st in
+    expect_sym st ")";
+    q
+  end
+  else if is_kw st "SELECT" then parse_select st
+  else if is_kw st "VALUES" then begin
+    expect_kw st "VALUES";
+    let row () =
+      expect_sym st "(";
+      let rec items acc =
+        let e = parse_expr st in
+        if accept_sym st "," then items (e :: acc) else List.rev (e :: acc)
+      in
+      let es = items [] in
+      expect_sym st ")";
+      es
+    in
+    let rec rows acc =
+      let r = row () in
+      if accept_sym st "," then rows (r :: acc) else List.rev (r :: acc)
+    in
+    Values (rows [])
+  end
+  else fail st "expected SELECT, VALUES or parenthesized query"
+
+and parse_order_opt st =
+  if accept_kw st "ORDER" then begin
+    expect_kw st "BY";
+    let rec keys acc =
+      let e = parse_expr st in
+      let dir =
+        if accept_kw st "DESC" then Desc
+        else begin
+          ignore (accept_kw st "ASC");
+          Asc
+        end
+      in
+      if accept_sym st "," then keys ((e, dir) :: acc)
+      else List.rev ((e, dir) :: acc)
+    in
+    keys []
+  end
+  else []
+
+and parse_limit_opt st =
+  if accept_kw st "LIMIT" then
+    match next st with
+    | Lexer.INT n -> Some n
+    | _ -> fail st "expected integer after LIMIT"
+  else None
+
+and parse_select st : query =
+  expect_kw st "SELECT";
+  let distinct =
+    if accept_kw st "DISTINCT" then true
+    else begin
+      ignore (accept_kw st "ALL");
+      false
+    end
+  in
+  let rec items acc =
+    let item =
+      if accept_sym st "*" then Star
+      else
+        match peek st, peek2 st with
+        | Lexer.IDENT t, Lexer.SYM "."
+          when (not (is_reserved t))
+               && (match st.toks with
+                  | _ :: _ :: { tok = Lexer.SYM "*"; _ } :: _ -> true
+                  | _ -> false) ->
+          advance st;
+          advance st;
+          advance st;
+          Qualified_star t
+        | _ ->
+          let e = parse_expr st in
+          let alias =
+            if accept_kw st "AS" then Some (ident st)
+            else
+              match peek st with
+              | Lexer.IDENT a when not (is_reserved a) ->
+                advance st;
+                Some a
+              | _ -> None
+          in
+          Item (e, alias)
+    in
+    if accept_sym st "," then items (item :: acc) else List.rev (item :: acc)
+  in
+  let items = items [] in
+  let from =
+    if accept_kw st "FROM" then begin
+      let rec froms acc =
+        let f = parse_from_item st in
+        if accept_sym st "," then froms (f :: acc) else List.rev (f :: acc)
+      in
+      froms []
+    end
+    else []
+  in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec keys acc =
+        let e = parse_expr st in
+        if accept_sym st "," then keys (e :: acc) else List.rev (e :: acc)
+      in
+      keys []
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  let order = parse_order_opt st in
+  let limit = parse_limit_opt st in
+  Select
+    {
+      sel_distinct = distinct;
+      sel_items = items;
+      sel_from = from;
+      sel_where = where;
+      sel_group = group;
+      sel_having = having;
+      sel_order = order;
+      sel_limit = limit;
+    }
+
+and parse_from_item st : from_item =
+  let lhs = parse_from_primary st in
+  let rec joins lhs =
+    let jt =
+      if is_kw st "JOIN" then Some Inner
+      else if is_kw st "INNER" && is_kw2 st "JOIN" then begin
+        advance st;
+        Some Inner
+      end
+      else if is_kw st "LEFT" then begin
+        advance st;
+        ignore (accept_kw st "OUTER");
+        Some Left_outer
+      end
+      else if is_kw st "RIGHT" then begin
+        advance st;
+        ignore (accept_kw st "OUTER");
+        Some Right_outer
+      end
+      else if is_kw st "FULL" then begin
+        advance st;
+        ignore (accept_kw st "OUTER");
+        Some Full_outer
+      end
+      else None
+    in
+    match jt with
+    | None -> lhs
+    | Some jt ->
+      expect_kw st "JOIN";
+      let rhs = parse_from_primary st in
+      expect_kw st "ON";
+      let cond = parse_expr st in
+      joins (From_join (lhs, jt, rhs, cond))
+  in
+  joins lhs
+
+and parse_from_primary st : from_item =
+  if is_sym st "(" && starts_query st then begin
+    advance st;
+    let q = parse_query st in
+    expect_sym st ")";
+    let alias =
+      if accept_kw st "AS" then ident st
+      else
+        match peek st with
+        | Lexer.IDENT a when not (is_reserved a) ->
+          advance st;
+          a
+        | _ -> fail st "derived table requires an alias"
+    in
+    let cols = parse_column_list_opt st in
+    From_query (q, alias, cols)
+  end
+  else if accept_sym st "(" then begin
+    let f = parse_from_item st in
+    expect_sym st ")";
+    f
+  end
+  else begin
+    let name = ident st in
+    if is_sym st "(" then begin
+      (* table function: name(targ, targ, ...) *)
+      advance st;
+      let parse_targ () =
+        if starts_query st then begin
+          let q =
+            if is_sym st "(" then begin
+              advance st;
+              let q = parse_query st in
+              expect_sym st ")";
+              q
+            end
+            else parse_query st
+          in
+          let alias = if accept_kw st "AS" then ident st else "__tfarg" in
+          Targ_table (From_query (q, alias, None))
+        end
+        else
+          match peek st, peek2 st with
+          | Lexer.IDENT t, (Lexer.SYM ("," | ")"))
+            when not (is_reserved t) ->
+            advance st;
+            Targ_table (From_table (t, None))
+          | _ -> Targ_expr (parse_expr st)
+      in
+      let args =
+        if accept_sym st ")" then []
+        else begin
+          let rec loop acc =
+            let a = parse_targ () in
+            if accept_sym st "," then loop (a :: acc) else List.rev (a :: acc)
+          in
+          let args = loop [] in
+          expect_sym st ")";
+          args
+        end
+      in
+      let alias =
+        if accept_kw st "AS" then Some (ident st)
+        else
+          match peek st with
+          | Lexer.IDENT a when not (is_reserved a) ->
+            advance st;
+            Some a
+          | _ -> None
+      in
+      From_func (String.lowercase_ascii name, args, alias)
+    end
+    else begin
+      let alias =
+        if accept_kw st "AS" then Some (ident st)
+        else
+          match peek st with
+          | Lexer.IDENT a when not (is_reserved a) ->
+            advance st;
+            Some a
+          | _ -> None
+      in
+      From_table (name, alias)
+    end
+  end
+
+and parse_column_list_opt st =
+  if accept_sym st "(" then begin
+    let rec cols acc =
+      let c = ident st in
+      if accept_sym st "," then cols (c :: acc) else List.rev (c :: acc)
+    in
+    let cols = cols [] in
+    expect_sym st ")";
+    Some cols
+  end
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_with_query st : with_query =
+  if accept_kw st "WITH" then begin
+    let recursive = accept_kw st "RECURSIVE" in
+    let rec defs acc =
+      let name = ident st in
+      let cols = parse_column_list_opt st in
+      expect_kw st "AS";
+      expect_sym st "(";
+      let q = parse_query st in
+      expect_sym st ")";
+      let acc = (name, cols, q) :: acc in
+      if accept_sym st "," then defs acc else List.rev acc
+    in
+    let defs = defs [] in
+    let body = parse_query st in
+    { with_recursive = recursive; with_defs = defs; with_body = body }
+  end
+  else plain_query (parse_query st)
+
+let rec parse_statement st : statement =
+  if is_kw st "EXPLAIN" then begin
+    advance st;
+    let mode =
+      if accept_kw st "QGM" then Explain_qgm
+      else if accept_kw st "REWRITE" then Explain_rewrite
+      else if accept_kw st "PLAN" then Explain_plan
+      else if accept_kw st "DOT" then Explain_dot
+      else Explain_all
+    in
+    Stmt_explain (mode, parse_statement st)
+  end
+  else if is_kw st "SELECT" || is_kw st "WITH" || is_kw st "VALUES"
+          || is_sym st "(" then Stmt_query (parse_with_query st)
+  else if accept_kw st "INSERT" then begin
+    expect_kw st "INTO";
+    let table = ident st in
+    let columns = parse_column_list_opt st in
+    let q = parse_with_query st in
+    Stmt_insert { ins_table = table; ins_columns = columns; ins_source = Ins_query q }
+  end
+  else if accept_kw st "UPDATE" then begin
+    let table = ident st in
+    let alias =
+      match peek st with
+      | Lexer.IDENT a when not (is_reserved a) ->
+        advance st;
+        Some a
+      | _ -> None
+    in
+    expect_kw st "SET";
+    let rec sets acc =
+      let col = ident st in
+      expect_sym st "=";
+      let e = parse_expr st in
+      if accept_sym st "," then sets ((col, e) :: acc)
+      else List.rev ((col, e) :: acc)
+    in
+    let sets = sets [] in
+    let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+    Stmt_update { upd_table = table; upd_alias = alias; upd_sets = sets; upd_where = where }
+  end
+  else if accept_kw st "DELETE" then begin
+    expect_kw st "FROM";
+    let table = ident st in
+    let alias =
+      match peek st with
+      | Lexer.IDENT a when not (is_reserved a) ->
+        advance st;
+        Some a
+      | _ -> None
+    in
+    let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+    Stmt_delete { del_table = table; del_alias = alias; del_where = where }
+  end
+  else if accept_kw st "CREATE" then begin
+    if accept_kw st "TABLE" then begin
+      let name = ident st in
+      if accept_kw st "AS" then begin
+        let q = parse_with_query st in
+        Stmt_create_table
+          { ct_name = name; ct_columns = []; ct_storage = None; ct_source = Some q }
+      end
+      else begin
+      expect_sym st "(";
+      let rec cols acc =
+        let cname = ident st in
+        let ctype =
+          match next st with
+          | Lexer.IDENT t -> t
+          | _ -> fail st "expected column type"
+        in
+        let nullable =
+          if accept_kw st "NOT" then begin
+            expect_kw st "NULL";
+            false
+          end
+          else true
+        in
+        let unique = accept_kw st "UNIQUE" in
+        if accept_sym st "," then cols ((cname, ctype, nullable, unique) :: acc)
+        else List.rev ((cname, ctype, nullable, unique) :: acc)
+      in
+      let cols = cols [] in
+      expect_sym st ")";
+      let storage = if accept_kw st "USING" then Some (ident st) else None in
+      Stmt_create_table
+        { ct_name = name; ct_columns = cols; ct_storage = storage; ct_source = None }
+      end
+    end
+    else if accept_kw st "INDEX" then begin
+      let name = ident st in
+      expect_kw st "ON";
+      let table = ident st in
+      expect_sym st "(";
+      let rec cols acc =
+        let c = ident st in
+        if accept_sym st "," then cols (c :: acc) else List.rev (c :: acc)
+      in
+      let cols = cols [] in
+      expect_sym st ")";
+      let kind = if accept_kw st "USING" then Some (ident st) else None in
+      Stmt_create_index { ci_name = name; ci_table = table; ci_kind = kind; ci_columns = cols }
+    end
+    else if accept_kw st "VIEW" then begin
+      let name = ident st in
+      let columns = parse_column_list_opt st in
+      expect_kw st "AS";
+      (* record the defining query's original text for the catalog *)
+      let start = pos st in
+      let _q = parse_with_query st in
+      let stop = pos st in
+      let text = String.trim (String.sub st.src start (stop - start)) in
+      Stmt_create_view { cv_name = name; cv_columns = columns; cv_text = text }
+    end
+    else fail st "expected TABLE, INDEX or VIEW after CREATE"
+  end
+  else if accept_kw st "DROP" then begin
+    if accept_kw st "TABLE" then Stmt_drop_table (ident st)
+    else if accept_kw st "VIEW" then Stmt_drop_view (ident st)
+    else if accept_kw st "INDEX" then begin
+      let name = ident st in
+      expect_kw st "ON";
+      let table = ident st in
+      Stmt_drop_index { di_table = table; di_name = name }
+    end
+    else fail st "expected TABLE, INDEX or VIEW after DROP"
+  end
+  else if accept_kw st "ANALYZE" then begin
+    match peek st with
+    | Lexer.IDENT t when not (is_reserved t) ->
+      advance st;
+      Stmt_analyze (Some t)
+    | _ -> Stmt_analyze None
+  end
+  else if accept_kw st "SET" then begin
+    let key = ident st in
+    expect_sym st "=";
+    let v =
+      match next st with
+      | Lexer.IDENT v -> v
+      | Lexer.INT n -> string_of_int n
+      | Lexer.STRING s -> s
+      | _ -> fail st "expected value after SET key ="
+    in
+    Stmt_set (String.lowercase_ascii key, String.lowercase_ascii v)
+  end
+  else fail st "expected a statement"
+
+(** Parses one statement; trailing [;] allowed. *)
+let statement (src : string) : statement =
+  let st = { src; toks = Lexer.tokenize src } in
+  let s = parse_statement st in
+  ignore (accept_sym st ";");
+  (match peek st with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing input after statement");
+  s
+
+(** Parses a [;]-separated script. *)
+let script (src : string) : statement list =
+  let st = { src; toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ ->
+      let s = parse_statement st in
+      let _ = accept_sym st ";" in
+      loop (s :: acc)
+  in
+  loop []
+
+(** Parses a query (with optional WITH prefix), for view expansion. *)
+let query_text (src : string) : with_query =
+  let st = { src; toks = Lexer.tokenize src } in
+  let q = parse_with_query st in
+  ignore (accept_sym st ";");
+  (match peek st with
+  | Lexer.EOF -> ()
+  | _ -> fail st "trailing input after query");
+  q

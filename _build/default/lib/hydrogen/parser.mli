@@ -1,0 +1,20 @@
+(** Recursive-descent parser for Hydrogen.
+
+    The grammar is small and orthogonal (section 2): any table-producing
+    construct — base table, view, derived table, table function, set
+    operation — may appear wherever a table may.  Set predicates after a
+    comparison operator accept any identifier, so DBC set-predicate
+    functions (e.g. [MAJORITY]) parse without grammar changes. *)
+
+exception Parse_error of string * int
+
+(** Parses one statement; a trailing [;] is allowed.
+    @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+val statement : string -> Ast.statement
+
+(** Parses a [;]-separated script. *)
+val script : string -> Ast.statement list
+
+(** Parses a query (with an optional WITH prefix); used for view
+    expansion and the programmatic API. *)
+val query_text : string -> Ast.with_query

@@ -1,0 +1,192 @@
+(** Pretty-printer for Hydrogen ASTs.
+
+    Printing then re-parsing yields a structurally equal AST (a property
+    the test suite checks); used by EXPLAIN and by the catalog when
+    normalizing view definitions. *)
+
+open Ast
+
+let rec pp_expr ppf (e : expr) =
+  match e with
+  | Lit v -> Fmt.string ppf (Sb_storage.Value.to_literal v)
+  | Col (None, c) -> Fmt.string ppf c
+  | Col (Some q, c) -> Fmt.pf ppf "%s.%s" q c
+  | Host v -> Fmt.pf ppf ":%s" v
+  | Bin (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Un (Neg, a) -> Fmt.pf ppf "(- %a)" pp_expr a
+  | Un (Not, a) -> Fmt.pf ppf "(NOT %a)" pp_expr a
+  | Func (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(Fmt.any ", ") pp_expr) args
+  | Agg (f, _, None) -> Fmt.pf ppf "%s(*)" f
+  | Agg (f, true, Some e) -> Fmt.pf ppf "%s(DISTINCT %a)" f pp_expr e
+  | Agg (f, false, Some e) -> Fmt.pf ppf "%s(%a)" f pp_expr e
+  | Case (arms, els) ->
+    Fmt.pf ppf "CASE%a%a END"
+      Fmt.(
+        list ~sep:nop (fun ppf (c, v) ->
+            Fmt.pf ppf " WHEN %a THEN %a" pp_expr c pp_expr v))
+      arms
+      Fmt.(option (fun ppf e -> Fmt.pf ppf " ELSE %a" pp_expr e))
+      els
+  | Is_null e -> Fmt.pf ppf "(%a IS NULL)" pp_expr e
+  | In_list (e, es) ->
+    Fmt.pf ppf "(%a IN (%a))" pp_expr e Fmt.(list ~sep:(Fmt.any ", ") pp_expr) es
+  | In_query (e, q) -> Fmt.pf ppf "(%a IN (%a))" pp_expr e pp_query q
+  | Exists q -> Fmt.pf ppf "EXISTS (%a)" pp_query q
+  | Quant_cmp (e, op, k, q) ->
+    let kname =
+      match k with Q_all -> "ALL" | Q_any -> "ANY" | Q_named n -> n
+    in
+    Fmt.pf ppf "(%a %s %s (%a))" pp_expr e (binop_name op) kname pp_query q
+  | Scalar_query q -> Fmt.pf ppf "(%a)" pp_query q
+  | Between (e, lo, hi) ->
+    Fmt.pf ppf "(%a BETWEEN %a AND %a)" pp_expr e pp_expr lo pp_expr hi
+  | Like (e, pat) -> Fmt.pf ppf "(%a LIKE '%s')" pp_expr e pat
+
+and pp_query ppf = function
+  | Select s -> pp_select ppf s
+  | Set_op (op, all, a, b) ->
+    let name =
+      match op with Union -> "UNION" | Intersect -> "INTERSECT" | Except -> "EXCEPT"
+    in
+    Fmt.pf ppf "(%a) %s%s (%a)" pp_query a name
+      (if all then " ALL" else "")
+      pp_query b
+  | Values rows ->
+    Fmt.pf ppf "VALUES %a"
+      Fmt.(
+        list ~sep:(Fmt.any ", ") (fun ppf row ->
+            Fmt.pf ppf "(%a)" Fmt.(list ~sep:(Fmt.any ", ") pp_expr) row))
+      rows
+
+and pp_select ppf (s : select) =
+  Fmt.pf ppf "SELECT %s%a"
+    (if s.sel_distinct then "DISTINCT " else "")
+    Fmt.(list ~sep:(Fmt.any ", ") pp_item)
+    s.sel_items;
+  if s.sel_from <> [] then
+    Fmt.pf ppf " FROM %a" Fmt.(list ~sep:(Fmt.any ", ") pp_from) s.sel_from;
+  Option.iter (fun w -> Fmt.pf ppf " WHERE %a" pp_expr w) s.sel_where;
+  if s.sel_group <> [] then
+    Fmt.pf ppf " GROUP BY %a" Fmt.(list ~sep:(Fmt.any ", ") pp_expr) s.sel_group;
+  Option.iter (fun h -> Fmt.pf ppf " HAVING %a" pp_expr h) s.sel_having;
+  if s.sel_order <> [] then
+    Fmt.pf ppf " ORDER BY %a"
+      Fmt.(
+        list ~sep:(Fmt.any ", ") (fun ppf (e, d) ->
+            Fmt.pf ppf "%a%s" pp_expr e (match d with Asc -> "" | Desc -> " DESC")))
+      s.sel_order;
+  Option.iter (fun n -> Fmt.pf ppf " LIMIT %d" n) s.sel_limit
+
+and pp_item ppf = function
+  | Star -> Fmt.string ppf "*"
+  | Qualified_star t -> Fmt.pf ppf "%s.*" t
+  | Item (e, None) -> pp_expr ppf e
+  | Item (e, Some a) -> Fmt.pf ppf "%a AS %s" pp_expr e a
+
+and pp_from ppf = function
+  | From_table (t, None) -> Fmt.string ppf t
+  | From_table (t, Some a) -> Fmt.pf ppf "%s %s" t a
+  | From_query (q, a, cols) ->
+    Fmt.pf ppf "(%a) AS %s%a" pp_query q a
+      Fmt.(option (fun ppf cs -> Fmt.pf ppf " (%a)" (list ~sep:(Fmt.any ", ") string) cs))
+      cols
+  | From_func (f, args, alias) ->
+    Fmt.pf ppf "%s(%a)%a" f
+      Fmt.(list ~sep:(Fmt.any ", ") pp_targ)
+      args
+      Fmt.(option (fun ppf a -> Fmt.pf ppf " AS %s" a))
+      alias
+  | From_join (l, jt, r, on) ->
+    let name =
+      match jt with
+      | Inner -> "JOIN"
+      | Left_outer -> "LEFT OUTER JOIN"
+      | Right_outer -> "RIGHT OUTER JOIN"
+      | Full_outer -> "FULL OUTER JOIN"
+    in
+    Fmt.pf ppf "%a %s %a ON %a" pp_from l name pp_from r pp_expr on
+
+and pp_targ ppf = function
+  | Targ_table f -> pp_from ppf f
+  | Targ_expr e -> pp_expr ppf e
+
+let pp_with_query ppf (wq : with_query) =
+  if wq.with_defs <> [] then begin
+    Fmt.pf ppf "WITH %s"
+      (if wq.with_recursive then "RECURSIVE " else "");
+    Fmt.(
+      list ~sep:(Fmt.any ", ") (fun ppf (name, cols, q) ->
+          Fmt.pf ppf "%s%a AS (%a)" name
+            (option (fun ppf cs -> Fmt.pf ppf " (%a)" (list ~sep:(Fmt.any ", ") string) cs))
+            cols pp_query q))
+      ppf wq.with_defs;
+    Fmt.sp ppf ()
+  end;
+  pp_query ppf wq.with_body
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let query_to_string q = Fmt.str "%a" pp_query q
+let with_query_to_string q = Fmt.str "%a" pp_with_query q
+
+let rec pp_statement ppf = function
+  | Stmt_query wq -> pp_with_query ppf wq
+  | Stmt_insert { ins_table; ins_columns; ins_source = Ins_query q } ->
+    Fmt.pf ppf "INSERT INTO %s%a %a" ins_table
+      Fmt.(option (fun ppf cs -> Fmt.pf ppf " (%a)" (list ~sep:(Fmt.any ", ") string) cs))
+      ins_columns pp_with_query q
+  | Stmt_update { upd_table; upd_alias; upd_sets; upd_where } ->
+    Fmt.pf ppf "UPDATE %s%a SET %a%a" upd_table
+      Fmt.(option (fun ppf a -> Fmt.pf ppf " %s" a))
+      upd_alias
+      Fmt.(
+        list ~sep:(Fmt.any ", ") (fun ppf (c, e) -> Fmt.pf ppf "%s = %a" c pp_expr e))
+      upd_sets
+      Fmt.(option (fun ppf w -> Fmt.pf ppf " WHERE %a" pp_expr w))
+      upd_where
+  | Stmt_delete { del_table; del_alias; del_where } ->
+    Fmt.pf ppf "DELETE FROM %s%a%a" del_table
+      Fmt.(option (fun ppf a -> Fmt.pf ppf " %s" a))
+      del_alias
+      Fmt.(option (fun ppf w -> Fmt.pf ppf " WHERE %a" pp_expr w))
+      del_where
+  | Stmt_create_table { ct_name; ct_source = Some q; _ } ->
+    Fmt.pf ppf "CREATE TABLE %s AS %a" ct_name pp_with_query q
+  | Stmt_create_table { ct_name; ct_columns; ct_storage; ct_source = None } ->
+    Fmt.pf ppf "CREATE TABLE %s (%a)%a" ct_name
+      Fmt.(
+        list ~sep:(Fmt.any ", ") (fun ppf (n, t, nullable, unique) ->
+            Fmt.pf ppf "%s %s%s%s" n t
+              (if nullable then "" else " NOT NULL")
+              (if unique then " UNIQUE" else "")))
+      ct_columns
+      Fmt.(option (fun ppf s -> Fmt.pf ppf " USING %s" s))
+      ct_storage
+  | Stmt_create_index { ci_name; ci_table; ci_kind; ci_columns } ->
+    Fmt.pf ppf "CREATE INDEX %s ON %s (%a)%a" ci_name ci_table
+      Fmt.(list ~sep:(Fmt.any ", ") string)
+      ci_columns
+      Fmt.(option (fun ppf k -> Fmt.pf ppf " USING %s" k))
+      ci_kind
+  | Stmt_create_view { cv_name; cv_columns; cv_text } ->
+    Fmt.pf ppf "CREATE VIEW %s%a AS %s" cv_name
+      Fmt.(option (fun ppf cs -> Fmt.pf ppf " (%a)" (list ~sep:(Fmt.any ", ") string) cs))
+      cv_columns cv_text
+  | Stmt_drop_table t -> Fmt.pf ppf "DROP TABLE %s" t
+  | Stmt_drop_view v -> Fmt.pf ppf "DROP VIEW %s" v
+  | Stmt_drop_index { di_table; di_name } ->
+    Fmt.pf ppf "DROP INDEX %s ON %s" di_name di_table
+  | Stmt_analyze None -> Fmt.string ppf "ANALYZE"
+  | Stmt_analyze (Some t) -> Fmt.pf ppf "ANALYZE %s" t
+  | Stmt_explain (mode, s) ->
+    let m =
+      match mode with
+      | Explain_qgm -> " QGM"
+      | Explain_rewrite -> " REWRITE"
+      | Explain_plan -> " PLAN"
+      | Explain_dot -> " DOT"
+      | Explain_all -> ""
+    in
+    Fmt.pf ppf "EXPLAIN%s %a" m pp_statement s
+  | Stmt_set (k, v) -> Fmt.pf ppf "SET %s = %s" k v
+
+let statement_to_string s = Fmt.str "%a" pp_statement s

@@ -1,0 +1,17 @@
+(** Pretty-printer for Hydrogen ASTs.
+
+    Printing then re-parsing yields a structurally equal AST (a property
+    the test suite checks). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_query : Format.formatter -> Ast.query -> unit
+val pp_select : Format.formatter -> Ast.select -> unit
+val pp_item : Format.formatter -> Ast.sel_item -> unit
+val pp_from : Format.formatter -> Ast.from_item -> unit
+val pp_with_query : Format.formatter -> Ast.with_query -> unit
+val pp_statement : Format.formatter -> Ast.statement -> unit
+
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string
+val with_query_to_string : Ast.with_query -> string
+val statement_to_string : Ast.statement -> string

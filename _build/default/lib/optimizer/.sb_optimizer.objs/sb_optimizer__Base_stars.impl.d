@@ -1,0 +1,1 @@
+lib/optimizer/base_stars.ml: Access_method Array Cost List Option Plan Sb_hydrogen Sb_storage Star

@@ -1,0 +1,1 @@
+lib/optimizer/base_stars.mli: Plan Star

@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Array Float Int List Option Plan Sb_hydrogen Sb_storage Stats Value

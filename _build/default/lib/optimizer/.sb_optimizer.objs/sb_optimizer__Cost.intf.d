@@ -1,0 +1,1 @@
+lib/optimizer/cost.mli: Plan Sb_hydrogen Sb_storage Stats

@@ -1,0 +1,1 @@
+lib/optimizer/generator.ml: Array Base_stars Catalog Cost Fmt Fun Hashtbl Int List Option Plan Sb_hydrogen Sb_qgm Sb_storage Star Stats Table_store

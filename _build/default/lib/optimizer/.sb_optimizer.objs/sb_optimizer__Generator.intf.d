@@ -1,0 +1,1 @@
+lib/optimizer/generator.mli: Catalog Cost Plan Sb_hydrogen Sb_qgm Sb_storage Star

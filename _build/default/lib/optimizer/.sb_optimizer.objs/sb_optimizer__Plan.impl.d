@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Array Buffer Fmt Format Int List Option Sb_hydrogen Sb_storage String Value

@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Format Sb_hydrogen Sb_storage Value

@@ -1,0 +1,1 @@
+lib/optimizer/star.ml: Access_method Catalog Cost Float Fmt Hashtbl Int List Plan Sb_hydrogen Sb_qgm Sb_storage Stats

@@ -1,0 +1,1 @@
+lib/optimizer/star.mli: Access_method Catalog Cost Hashtbl Plan Sb_hydrogen Sb_qgm Sb_storage Stats

@@ -1,0 +1,31 @@
+(** The base system's STAR array — "all the strategies of the R*
+    optimizer … in under 20 rules": table access (scan, single index,
+    index ANDing), the three join methods separated from join kinds, and
+    the two glue STARs (order and site). *)
+
+open Star
+
+(** Built-in probe matcher for single-column B-tree attachments:
+    equality and range probes over constants, host variables and
+    correlation parameters. *)
+val btree_matcher : probe_matcher
+
+val table_access_scan : alternative
+val table_access_index : alternative
+val table_access_index_and : alternative
+val ordered_have : alternative
+val ordered_sort : alternative
+val cosite_have : alternative
+val cosite_ship : alternative
+
+(** Which methods can implement which kinds ("this does not imply that
+    every join method can be combined with every join kind"). *)
+val method_supports_kind : Plan.join_method -> Plan.join_kind -> bool
+
+val join_nl : alternative
+val join_merge : alternative
+val join_hash : alternative
+
+(** Installs the whole base array: TableAccess, Ordered, CoSite,
+    JoinRoot. *)
+val install : ctx -> unit

@@ -1,0 +1,134 @@
+(** The cost model and per-LOLEPOP property functions.
+
+    "Each LOLEPOP changes selected properties of its operands … these
+    changes, including the appropriate cost and cardinality estimates,
+    are defined by a function for each LOLEPOP" (section 6).  The smart
+    constructors below are those property functions: each builds a plan
+    node and derives its output properties from its operands'. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+open Plan
+
+(** Cost constants, in abstract units (1.0 = one page I/O). *)
+
+val io_page : float
+val cpu_tuple : float
+val cpu_pred : float
+val hash_tuple : float
+val sort_tuple_log : float
+val ship_tuple : float
+val temp_tuple : float
+val index_probe : float
+val fetch_row : float
+
+(** Maps an output slot to the base-table statistics of the column it
+    carries, when known. *)
+type slot_info = int -> (Stats.t * int) option
+
+val no_info : slot_info
+
+(** Selectivity of a predicate over rows described by [slot_info],
+    using per-column statistics where available. *)
+val selectivity : slot_info -> rexpr -> float
+
+val conj_selectivity : slot_info -> rexpr list -> float
+
+val slot_distinct : slot_info -> int -> float option
+
+val probe_selectivity : slot_info -> key_slots:int list -> probe_spec -> float
+
+val join_selectivity :
+  outer_info:slot_info ->
+  inner_info:slot_info ->
+  equi:(int * int) list ->
+  pred:rexpr option ->
+  info_joined:slot_info ->
+  float
+
+(** {1 Property functions (smart constructors)} *)
+
+val mk_scan :
+  table:string ->
+  stats:Stats.t ->
+  site:string ->
+  quant:int ->
+  cols:int list ->
+  preds:rexpr list ->
+  info:slot_info ->
+  unit ->
+  plan
+
+val mk_idx_access :
+  table:string ->
+  index:string ->
+  stats:Stats.t ->
+  site:string ->
+  quant:int ->
+  cols:int list ->
+  probe:probe_spec ->
+  probe_sel:float ->
+  ordered_on:(int * Ast.order_dir) list ->
+  preds:rexpr list ->
+  info:slot_info ->
+  unit ->
+  plan
+
+val mk_idx_and :
+  table:string ->
+  stats:Stats.t ->
+  site:string ->
+  quant:int ->
+  cols:int list ->
+  probes:(string * probe_spec * float) list ->
+  preds:rexpr list ->
+  info:slot_info ->
+  unit ->
+  plan
+
+val mk_filter : info:slot_info -> rexpr list -> plan -> plan
+val mk_or_filter : info:slot_info -> rexpr list -> plan -> plan
+
+(** [slots] overrides the output provenance (defaults to pass-through
+    for direct column references, computed otherwise). *)
+val mk_project : ?slots:(int * int) array -> rexpr list -> plan -> plan
+
+val mk_sort : (int * Ast.order_dir) list -> plan -> plan
+val mk_temp : plan -> plan
+
+(** Identity when the plan is already at [site]. *)
+val mk_ship : string -> plan -> plan
+
+val mk_limit : int -> plan -> plan
+val mk_distinct : info:slot_info -> plan -> plan
+
+val mk_join :
+  ?bound:bool ->
+  method_:join_method ->
+  kind:join_kind ->
+  equi:(int * int) list ->
+  pred:rexpr option ->
+  kind_pred:rexpr option ->
+  corr:rexpr list ->
+  sel:float ->
+  plan ->
+  plan ->
+  plan
+
+val mk_group :
+  keys:int list ->
+  aggs:(string * bool * int option) list ->
+  sorted:bool ->
+  info:slot_info ->
+  plan ->
+  plan
+
+(** [op] must be [Union_all], [Intersect_op _] or [Except_op _]. *)
+val mk_setop : op -> plan -> plan -> plan
+
+val mk_values : rexpr list list -> width:int -> plan
+val mk_bloom : subject_key:int -> source_key:int -> sel:float -> plan -> plan -> plan
+val mk_fixpoint : distinct:bool -> plan -> plan -> plan
+val mk_rec_delta : quant:int -> width:int -> card:float -> plan
+val mk_table_fn :
+  name:string -> args:rexpr list -> quant:int -> width:int -> plan list -> plan

@@ -1,0 +1,1 @@
+lib/qes/exec.ml: Access_method Array Bytes Catalog Char Datatype Float Fmt Hashtbl List Obj Option Sb_hydrogen Sb_optimizer Sb_storage Schema Seq Storage_manager String Table_store Tuple Value

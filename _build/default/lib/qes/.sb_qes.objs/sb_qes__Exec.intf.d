@@ -1,0 +1,1 @@
+lib/qes/exec.mli: Catalog Hashtbl Sb_hydrogen Sb_optimizer Sb_storage Seq Tuple Value

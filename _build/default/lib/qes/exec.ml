@@ -1,0 +1,871 @@
+(** The Query Evaluation System (section 7).
+
+    Plans are interpreted against the database through an algebraic,
+    stream-based interface: each operator consumes and produces streams
+    of tuples, implemented by lazy evaluation so intermediate results
+    stay as small as one tuple.
+
+    Join {e methods} (nested-loop, sort-merge, hash) are control
+    structures; join {e kinds} (regular, exists, op-ALL, scalar,
+    DBC set-predicates, and extension kinds such as left-outer) are the
+    functions performed during the join — a single operator handles many
+    kinds, and new kinds register in {!register_join_kind}.
+
+    Subqueries — correlated or not — run through a single uniform
+    {e evaluate-on-demand} mechanism: an inner plan is (re)evaluated
+    only when its correlation parameters change, with a cache keyed on
+    the parameter values. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+module Functions = Sb_hydrogen.Functions
+open Sb_optimizer.Plan
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Execution context                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type counters = {
+  mutable c_scanned : int;  (** tuples read from base tables *)
+  mutable c_index_probes : int;
+  mutable c_shipped : int;
+  mutable c_sorted : int;
+  mutable c_sub_evals : int;  (** subquery (re)materializations *)
+  mutable c_sub_cache_hits : int;
+  mutable c_or_branch_evals : int;
+  mutable c_fixpoint_rounds : int;
+  mutable c_output : int;
+}
+
+let fresh_counters () =
+  {
+    c_scanned = 0;
+    c_index_probes = 0;
+    c_shipped = 0;
+    c_sorted = 0;
+    c_sub_evals = 0;
+    c_sub_cache_hits = 0;
+    c_or_branch_evals = 0;
+    c_fixpoint_rounds = 0;
+    c_output = 0;
+  }
+
+(** An extension join kind: given the outer tuple, the (filtered by
+    equi-columns, if hash/merge) inner tuples, and the kind predicate
+    over the concatenated row, produce output rows. *)
+type kind_impl =
+  outer:Tuple.t ->
+  inners:Tuple.t list ->
+  pred:(Tuple.t -> bool option) ->
+  inner_width:int ->
+  Tuple.t list
+
+type db = {
+  x_cat : Catalog.t;
+  x_fns : Functions.t;
+  x_kinds : (string, kind_impl) Hashtbl.t;  (** extension join kinds *)
+  mutable x_demand_cache : bool;
+      (** evaluate-on-demand correlation caching (on by default; the
+          bench harness turns it off to measure its effect) *)
+}
+
+let make_db ~catalog ~functions =
+  { x_cat = catalog; x_fns = functions; x_kinds = Hashtbl.create 4;
+    x_demand_cache = true }
+
+let register_join_kind db name impl = Hashtbl.replace db.x_kinds name impl
+
+(* physical-identity keyed caches for subquery / TEMP materializations *)
+type cache_entry = {
+  ce_key : Obj.t;
+  ce_table : (Value.t list, Obj.t) Hashtbl.t;
+}
+
+type ectx = {
+  db : db;
+  hosts : (string * Value.t) list;
+  counters : counters;
+  mutable caches : cache_entry list;
+  mutable deltas : Tuple.t list list;  (** fixpoint delta stack *)
+}
+
+let cache_for ectx (key : Obj.t) : (Value.t list, Obj.t) Hashtbl.t =
+  match List.find_opt (fun ce -> ce.ce_key == key) ectx.caches with
+  | Some ce -> ce.ce_table
+  | None ->
+    let ce = { ce_key = key; ce_table = Hashtbl.create 8 } in
+    ectx.caches <- ce :: ectx.caches;
+    ce.ce_table
+
+(* ------------------------------------------------------------------ *)
+(* Three-valued logic helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let registry ectx = ectx.db.x_cat.Catalog.datatypes
+
+let bool3 = function
+  | Value.Null -> None
+  | Value.Bool b -> Some b
+  | v -> error "boolean expected, got %s" (Value.to_string v)
+
+let of_bool3 = function None -> Value.Null | Some b -> Value.Bool b
+
+let and3 a b =
+  match a, b with
+  | Some false, _ | _, Some false -> Some false
+  | Some true, x | x, Some true -> x
+  | None, None -> None
+
+let or3 a b =
+  match a, b with
+  | Some true, _ | _, Some true -> Some true
+  | Some false, x | x, Some false -> x
+  | None, None -> None
+
+let not3 = Option.map not
+
+(* SQL LIKE with % and _ *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go p i =
+    if p >= np then i >= ns
+    else
+      match pattern.[p] with
+      | '%' ->
+        let rec try_from j = j <= ns && (go (p + 1) j || try_from (j + 1)) in
+        try_from i
+      | '_' -> i < ns && go (p + 1) (i + 1)
+      | c -> i < ns && s.[i] = c && go (p + 1) (i + 1)
+  in
+  go 0 0
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval ectx ~(row : Value.t array) ~(params : Value.t array) (e : rexpr) :
+    Value.t =
+  match e with
+  | RLit v -> v
+  | RCol i ->
+    if i < Array.length row then row.(i)
+    else error "slot %d out of range (width %d)" i (Array.length row)
+  | RParam i ->
+    if i < Array.length params then params.(i)
+    else error "parameter %d unbound" i
+  | RHost name -> (
+    match List.assoc_opt name ectx.hosts with
+    | Some v -> v
+    | None -> error "host variable :%s is not bound" name)
+  | RBin (op, a, b) -> eval_bin ectx ~row ~params op a b
+  | RUn (Ast.Neg, a) -> (
+    match eval ectx ~row ~params a with
+    | Value.Null -> Value.Null
+    | Value.Int x -> Value.Int (-x)
+    | Value.Float x -> Value.Float (-.x)
+    | v -> error "cannot negate %s" (Value.to_string v))
+  | RUn (Ast.Not, a) -> of_bool3 (not3 (bool3 (eval ectx ~row ~params a)))
+  | RFun (name, args) -> (
+    match Functions.find_scalar ectx.db.x_fns name with
+    | Some f -> f.Functions.sf_eval (List.map (eval ectx ~row ~params) args)
+    | None -> error "unknown function %s" name)
+  | RCase (arms, els) -> (
+    let rec go = function
+      | [] -> ( match els with Some e -> eval ectx ~row ~params e | None -> Value.Null)
+      | (c, v) :: rest ->
+        if bool3 (eval ectx ~row ~params c) = Some true then
+          eval ectx ~row ~params v
+        else go rest
+    in
+    go arms)
+  | RIs_null a -> Value.Bool (Value.is_null (eval ectx ~row ~params a))
+  | RLike (a, pattern) -> (
+    match eval ectx ~row ~params a with
+    | Value.Null -> Value.Null
+    | v -> Value.Bool (like_match ~pattern (Value.as_string v)))
+  | RSub spec -> eval_sub ectx ~row ~params spec
+  | RScalar_sub spec -> eval_scalar_sub ectx ~row ~params spec
+
+and eval_bin ectx ~row ~params op a b =
+  match op with
+  | Ast.And ->
+    of_bool3
+      (and3
+         (bool3 (eval ectx ~row ~params a))
+         (bool3 (eval ectx ~row ~params b)))
+  | Ast.Or ->
+    of_bool3
+      (or3 (bool3 (eval ectx ~row ~params a)) (bool3 (eval ectx ~row ~params b)))
+  | _ -> (
+    let va = eval ectx ~row ~params a in
+    let vb = eval ectx ~row ~params b in
+    if Value.is_null va || Value.is_null vb then Value.Null
+    else
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod -> arith op va vb
+      | Ast.Concat -> Value.String (Value.to_string va ^ Value.to_string vb)
+      | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+        let c = Value.compare ~registry:(registry ectx) va vb in
+        Value.Bool
+          (match op with
+          | Ast.Eq -> c = 0
+          | Ast.Neq -> c <> 0
+          | Ast.Lt -> c < 0
+          | Ast.Le -> c <= 0
+          | Ast.Gt -> c > 0
+          | Ast.Ge -> c >= 0
+          | _ -> assert false)
+      | Ast.And | Ast.Or -> assert false)
+
+and arith op va vb =
+  match va, vb with
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Ast.Add -> Value.Int (x + y)
+    | Ast.Sub -> Value.Int (x - y)
+    | Ast.Mul -> Value.Int (x * y)
+    | Ast.Div -> if y = 0 then Value.Null else Value.Int (x / y)
+    | Ast.Mod -> if y = 0 then Value.Null else Value.Int (x mod y)
+    | _ -> assert false)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) -> (
+    let x = Value.as_float va and y = Value.as_float vb in
+    match op with
+    | Ast.Add -> Value.Float (x +. y)
+    | Ast.Sub -> Value.Float (x -. y)
+    | Ast.Mul -> Value.Float (x *. y)
+    | Ast.Div -> if y = 0.0 then Value.Null else Value.Float (x /. y)
+    | Ast.Mod -> Value.Float (Float.rem x y)
+    | _ -> assert false)
+  | _ ->
+    error "arithmetic over %s and %s" (Value.to_string va) (Value.to_string vb)
+
+(** Evaluate-on-demand for an embedded quantified subquery: the inner
+    rows are materialized once per distinct parameter binding. *)
+and eval_sub ectx ~row ~params (spec : sub_spec) : Value.t =
+  let bound =
+    List.map (fun p -> eval ectx ~row ~params p) spec.sub_params
+  in
+  let rows = demand_rows ectx (Obj.repr spec) spec.sub_plan bound in
+  let inner_params = Array.of_list bound in
+  let truth inner =
+    bool3 (eval ectx ~row:inner ~params:inner_params spec.sub_pred)
+  in
+  let result =
+    match spec.sub_kind with
+    | Sk_exists ->
+      let rec go = function
+        | [] -> Some false
+        | r :: rest -> (
+          match truth r with
+          | Some true -> Some true
+          | Some false -> go rest
+          | None -> ( match go rest with Some true -> Some true | _ -> None))
+      in
+      go rows
+    | Sk_all ->
+      let rec go = function
+        | [] -> Some true
+        | r :: rest -> (
+          match truth r with
+          | Some false -> Some false
+          | Some true -> go rest
+          | None -> ( match go rest with Some false -> Some false | _ -> None))
+      in
+      go rows
+    | Sk_set_pred name -> (
+      match Functions.find_set_predicate ectx.db.x_fns name with
+      | Some f -> f.Functions.spf_combine (Seq.map truth (List.to_seq rows))
+      | None -> error "unknown set predicate %s" name)
+  in
+  of_bool3 result
+
+and eval_scalar_sub ectx ~row ~params (spec : scalar_sub_spec) : Value.t =
+  let bound = List.map (fun p -> eval ectx ~row ~params p) spec.ssub_params in
+  let rows = demand_rows ectx (Obj.repr spec) spec.ssub_plan bound in
+  match rows with
+  | [] -> Value.Null
+  | [ r ] -> r.(0)
+  | _ :: _ :: _ -> error "scalar subquery returned more than one row"
+
+(** The uniform demand-driven materialization with correlation caching. *)
+and demand_rows ectx (key : Obj.t) (plan : plan) (bound : Value.t list) :
+    Tuple.t list =
+  if not ectx.db.x_demand_cache then begin
+    ectx.counters.c_sub_evals <- ectx.counters.c_sub_evals + 1;
+    collect ectx ~params:(Array.of_list bound) plan
+  end
+  else
+  let table = cache_for ectx key in
+  match Hashtbl.find_opt table bound with
+  | Some rows ->
+    ectx.counters.c_sub_cache_hits <- ectx.counters.c_sub_cache_hits + 1;
+    (Obj.obj rows : Tuple.t list)
+  | None ->
+    ectx.counters.c_sub_evals <- ectx.counters.c_sub_evals + 1;
+    let rows = collect ectx ~params:(Array.of_list bound) plan in
+    Hashtbl.replace table bound (Obj.repr rows);
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs [plan] to a list (materializes the stream). *)
+and collect ectx ~params (plan : plan) : Tuple.t list =
+  List.of_seq (stream ectx ~params plan)
+
+(** Interprets [plan] as a lazy tuple sequence. *)
+and stream ectx ~params (p : plan) : Tuple.t Seq.t =
+  match p.op with
+  | Scan { sc_table; sc_cols; sc_preds } ->
+    let tab = find_table ectx sc_table in
+    Seq.filter_map
+      (fun (_, row) ->
+        ectx.counters.c_scanned <- ectx.counters.c_scanned + 1;
+        if conj ectx ~row ~params sc_preds then
+          Some (Array.of_list (List.map (fun c -> row.(c)) sc_cols))
+        else None)
+      (Table_store.scan tab)
+  | Idx_access { ix_table; ix_index; ix_probe; ix_cols; ix_preds } ->
+    let tab = find_table ectx ix_table in
+    let am =
+      match Table_store.find_attachment tab ix_index with
+      | Some am -> am
+      | None -> error "index %s on %s disappeared" ix_index ix_table
+    in
+    let v e = eval ectx ~row:[||] ~params e in
+    let probe =
+      match ix_probe with
+      | Pr_eq es -> Access_method.Key_eq (Array.of_list (List.map v es))
+      | Pr_range (lo, hi) ->
+        Access_method.Key_range
+          {
+            lo = Option.map (fun (e, incl) -> ([| v e |], incl)) lo;
+            hi = Option.map (fun (e, incl) -> ([| v e |], incl)) hi;
+          }
+      | Pr_custom (name, es) -> Access_method.Custom (name, List.map v es)
+    in
+    ectx.counters.c_index_probes <- ectx.counters.c_index_probes + 1;
+    Seq.filter_map
+      (fun rid ->
+        match Table_store.fetch tab rid with
+        | None -> None
+        | Some row ->
+          ectx.counters.c_scanned <- ectx.counters.c_scanned + 1;
+          if conj ectx ~row ~params ix_preds then
+            Some (Array.of_list (List.map (fun c -> row.(c)) ix_cols))
+          else None)
+      (am.Access_method.am_search probe)
+  | Idx_and { ia_table; ia_probes; ia_cols; ia_preds } ->
+    let tab = find_table ectx ia_table in
+    let v e = eval ectx ~row:[||] ~params e in
+    let probe_of = function
+      | Pr_eq es -> Access_method.Key_eq (Array.of_list (List.map v es))
+      | Pr_range (lo, hi) ->
+        Access_method.Key_range
+          {
+            lo = Option.map (fun (e, incl) -> ([| v e |], incl)) lo;
+            hi = Option.map (fun (e, incl) -> ([| v e |], incl)) hi;
+          }
+      | Pr_custom (name, es) -> Access_method.Custom (name, List.map v es)
+    in
+    let rid_sets =
+      List.map
+        (fun (index, probe) ->
+          let am =
+            match Table_store.find_attachment tab index with
+            | Some am -> am
+            | None -> error "index %s on %s disappeared" index ia_table
+          in
+          ectx.counters.c_index_probes <- ectx.counters.c_index_probes + 1;
+          List.of_seq (am.Access_method.am_search (probe_of probe)))
+        ia_probes
+    in
+    let intersection =
+      match List.sort (fun a b -> compare (List.length a) (List.length b)) rid_sets with
+      | [] -> []
+      | smallest :: rest ->
+        let member set rid =
+          List.exists (fun r -> Storage_manager.compare_rid r rid = 0) set
+        in
+        List.filter (fun rid -> List.for_all (fun set -> member set rid) rest) smallest
+    in
+    Seq.filter_map
+      (fun rid ->
+        match Table_store.fetch tab rid with
+        | None -> None
+        | Some row ->
+          ectx.counters.c_scanned <- ectx.counters.c_scanned + 1;
+          if conj ectx ~row ~params ia_preds then
+            Some (Array.of_list (List.map (fun c -> row.(c)) ia_cols))
+          else None)
+      (List.to_seq intersection)
+  | Filter preds ->
+    Seq.filter (fun row -> conj ectx ~row ~params preds) (input_stream ectx ~params p 0)
+  | Or_filter disjuncts ->
+    Seq.filter
+      (fun row ->
+        (* disjuncts are tried left to right; a tuple rejected by one
+           branch is handed to the next (the paper's OR operator) *)
+        let rec go = function
+          | [] -> false
+          | d :: rest ->
+            ectx.counters.c_or_branch_evals <- ectx.counters.c_or_branch_evals + 1;
+            (match bool3 (eval ectx ~row ~params d) with
+            | Some true -> true
+            | _ -> go rest)
+        in
+        go disjuncts)
+      (input_stream ectx ~params p 0)
+  | Project exprs ->
+    Seq.map
+      (fun row ->
+        Array.of_list (List.map (fun e -> eval ectx ~row ~params e) exprs))
+      (input_stream ectx ~params p 0)
+  | Sort keys ->
+    let rows = collect ectx ~params (List.nth p.inputs 0) in
+    ectx.counters.c_sorted <- ectx.counters.c_sorted + List.length rows;
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (i, dir) :: rest ->
+          let c = Value.compare ~registry:(registry ectx) a.(i) b.(i) in
+          let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+          if c <> 0 then c else go rest
+      in
+      go keys
+    in
+    List.to_seq (List.stable_sort cmp rows)
+  | Join _ -> join_stream ectx ~params p
+  | Group _ -> group_stream ectx ~params p
+  | Distinct_op ->
+    let seen = Hashtbl.create 64 in
+    Seq.filter
+      (fun row ->
+        let key = Array.to_list row in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (input_stream ectx ~params p 0)
+  | Union_all ->
+    Seq.append (input_stream ectx ~params p 0) (input_stream ectx ~params p 1)
+  | Intersect_op all -> setop_stream ectx ~params p ~all ~intersect:true
+  | Except_op all -> setop_stream ectx ~params p ~all ~intersect:false
+  | Temp ->
+    let rows =
+      demand_rows ectx (Obj.repr p) (List.nth p.inputs 0) (Array.to_list params)
+    in
+    List.to_seq rows
+  | Ship _ ->
+    Seq.map
+      (fun row ->
+        ectx.counters.c_shipped <- ectx.counters.c_shipped + 1;
+        row)
+      (input_stream ectx ~params p 0)
+  | Limit_op n ->
+    Seq.take n (input_stream ectx ~params p 0)
+  | Values_scan rows ->
+    List.to_seq rows
+    |> Seq.map (fun row ->
+           Array.of_list (List.map (fun e -> eval ectx ~row:[||] ~params e) row))
+  | Table_fn_scan { tf_name; tf_args } -> (
+    match Functions.find_table_fn ectx.db.x_fns tf_name with
+    | None -> error "unknown table function %s" tf_name
+    | Some tf ->
+      let arg_tables =
+        List.map
+          (fun child ->
+            let w = Array.length child.props.p_slots in
+            let schema =
+              Array.init w (fun i ->
+                  Schema.column (Fmt.str "c%d" i) Datatype.String)
+            in
+            (schema, stream ectx ~params child))
+          p.inputs
+      in
+      let arg_values =
+        List.map (fun e -> eval ectx ~row:[||] ~params e) tf_args
+      in
+      tf.Functions.tf_eval ~arg_tables ~arg_values)
+  | Bloom_filter { bl_subject_key; bl_source_key; bl_bits } ->
+    let bits = Bytes.make (bl_bits / 8) '\000' in
+    let set h =
+      let h = h land (bl_bits - 1) in
+      Bytes.set bits (h / 8)
+        (Char.chr (Char.code (Bytes.get bits (h / 8)) lor (1 lsl (h mod 8))))
+    in
+    let test h =
+      let h = h land (bl_bits - 1) in
+      Char.code (Bytes.get bits (h / 8)) land (1 lsl (h mod 8)) <> 0
+    in
+    let h1 v = Value.hash v and h2 v = Hashtbl.hash (Value.hash v, 0x9e3779b9) in
+    List.iter
+      (fun row ->
+        let v = row.(bl_source_key) in
+        if not (Value.is_null v) then begin
+          set (h1 v);
+          set (h2 v)
+        end)
+      (collect ectx ~params (List.nth p.inputs 1));
+    Seq.filter
+      (fun row ->
+        let v = row.(bl_subject_key) in
+        (not (Value.is_null v)) && test (h1 v) && test (h2 v))
+      (input_stream ectx ~params p 0)
+  | Fixpoint { fx_distinct } -> fixpoint_stream ectx ~params p ~distinct:fx_distinct
+  | Rec_delta _ -> (
+    match ectx.deltas with
+    | delta :: _ -> List.to_seq delta
+    | [] -> error "recursive reference outside a fixpoint")
+  | Choose_op -> input_stream ectx ~params p 0
+
+and input_stream ectx ~params p i = stream ectx ~params (List.nth p.inputs i)
+
+and conj ectx ~row ~params preds =
+  List.for_all (fun e -> bool3 (eval ectx ~row ~params e) = Some true) preds
+
+and find_table ectx name =
+  match Catalog.find_table ectx.db.x_cat name with
+  | Some tab -> tab
+  | None -> error "no such table %s" name
+
+(* --- joins --- *)
+
+and join_stream ectx ~params (p : plan) : Tuple.t Seq.t =
+  let j_method, j_kind, j_equi, j_pred, j_corr, j_bound, j_kind_pred =
+    match p.op with
+    | Join { j_method; j_kind; j_equi; j_pred; j_corr; j_bound; j_kind_pred } ->
+      (j_method, j_kind, j_equi, j_pred, j_corr, j_bound, j_kind_pred)
+    | _ -> assert false
+  in
+  let outer = List.nth p.inputs 0 and inner = List.nth p.inputs 1 in
+  let inner_width = Array.length inner.props.p_slots in
+  let combined o i = Array.append o i in
+  let pred_true row =
+    match j_pred with
+    | None -> true
+    | Some e -> bool3 (eval ectx ~row ~params e) = Some true
+  in
+  let kind_truth row =
+    match j_kind_pred with
+    | None -> Some true
+    | Some e -> bool3 (eval ectx ~row ~params e)
+  in
+  (* fetch matching inner rows for one outer tuple *)
+  let inner_rows_for =
+    match j_method with
+    | Nested_loop ->
+      fun o ->
+        (* a parameter-bound inner owns its parameter space: bind its
+           params positionally from the correlation sources; an unbound
+           inner shares the enclosing parameter space *)
+        let bound =
+          if j_bound then List.map (fun e -> eval ectx ~row:o ~params e) j_corr
+          else Array.to_list params
+        in
+        demand_rows ectx (Obj.repr p) inner bound
+    | Hash_join ->
+      let table = Hashtbl.create 256 in
+      let built = ref false in
+      fun o ->
+        if not !built then begin
+          built := true;
+          List.iter
+            (fun i ->
+              let key =
+                List.map (fun (_, islot) -> i.(islot)) j_equi
+              in
+              Hashtbl.add table key i)
+            (collect ectx ~params inner)
+        end;
+        let key = List.map (fun (oslot, _) -> o.(oslot)) j_equi in
+        if List.exists Value.is_null key then []
+        else List.rev (Hashtbl.find_all table key)
+    | Sort_merge ->
+      (* both inputs are sorted on the equi keys; group the inner by key
+         once, then look up groups (a merge with random access stands in
+         for cursor regression on duplicate outer keys) *)
+      let groups = Hashtbl.create 256 in
+      let built = ref false in
+      fun o ->
+        if not !built then begin
+          built := true;
+          List.iter
+            (fun i ->
+              let key = List.map (fun (_, islot) -> i.(islot)) j_equi in
+              Hashtbl.add groups key i)
+            (collect ectx ~params inner)
+        end;
+        let key = List.map (fun (oslot, _) -> o.(oslot)) j_equi in
+        if List.exists Value.is_null key then []
+        else List.rev (Hashtbl.find_all groups key)
+  in
+  let equi_match o i =
+    match j_method with
+    | Nested_loop ->
+      List.for_all
+        (fun (oslot, islot) ->
+          (not (Value.is_null o.(oslot)))
+          && (not (Value.is_null i.(islot)))
+          && Value.compare ~registry:(registry ectx) o.(oslot) i.(islot) = 0)
+        j_equi
+    | Hash_join | Sort_merge -> true (* established by the lookup *)
+  in
+  let outer_seq = stream ectx ~params outer in
+  let emit_for o : Tuple.t list =
+    let inners = List.filter (equi_match o) (inner_rows_for o) in
+    match j_kind with
+    | J_regular ->
+      List.filter_map
+        (fun i ->
+          let row = combined o i in
+          if pred_true row && kind_truth row = Some true then Some row else None)
+        inners
+    | J_exists ->
+      let rec go = function
+        | [] -> []
+        | i :: rest ->
+          let row = combined o i in
+          if pred_true row && kind_truth row = Some true then [ o ] else go rest
+      in
+      go inners
+    | J_all ->
+      (* SQL semantics: the outer qualifies only if the predicate is
+         true for every inner row *)
+      let ok =
+        List.for_all
+          (fun i -> kind_truth (combined o i) = Some true)
+          inners
+      in
+      if ok then [ o ] else []
+    | J_scalar -> (
+      match inners with
+      | [] -> [ Array.append o [| Value.Null |] ]
+      | [ i ] -> [ Array.append o [| i.(0) |] ]
+      | _ -> error "scalar subquery returned more than one row")
+    | J_set_pred name -> (
+      match Functions.find_set_predicate ectx.db.x_fns name with
+      | None -> error "unknown set predicate %s" name
+      | Some f ->
+        let truths =
+          Seq.map (fun i -> kind_truth (combined o i)) (List.to_seq inners)
+        in
+        if f.Functions.spf_combine truths = Some true then [ o ] else [])
+    | J_ext name -> (
+      match Hashtbl.find_opt ectx.db.x_kinds name with
+      | None -> error "join kind %s is not registered" name
+      | Some impl ->
+        impl ~outer:o ~inners
+          ~pred:(fun row -> if pred_true row then kind_truth row else Some false)
+          ~inner_width)
+  in
+  Seq.concat_map (fun o -> List.to_seq (emit_for o)) outer_seq
+
+(* --- grouping --- *)
+
+and group_stream ectx ~params (p : plan) : Tuple.t Seq.t =
+  let g_keys, g_aggs, g_sorted =
+    match p.op with
+    | Group { g_keys; g_aggs; g_sorted } -> (g_keys, g_aggs, g_sorted)
+    | _ -> assert false
+  in
+  let input = List.nth p.inputs 0 in
+  let make_aggs () =
+    List.map
+      (fun (name, distinct, slot) ->
+        match Functions.find_aggregate ectx.db.x_fns name with
+        | None -> error "unknown aggregate %s" name
+        | Some f ->
+          let inst = f.Functions.af_make () in
+          let seen = if distinct then Some (Hashtbl.create 16) else None in
+          let step (row : Tuple.t) =
+            match slot with
+            | None -> inst.Functions.agg_step Value.Null |> ignore
+            | Some s ->
+              let v = row.(s) in
+              if not (Value.is_null v) then begin
+                match seen with
+                | Some table ->
+                  if not (Hashtbl.mem table v) then begin
+                    Hashtbl.replace table v ();
+                    inst.Functions.agg_step v
+                  end
+                | None -> inst.Functions.agg_step v
+              end
+          in
+          (step, inst.Functions.agg_result))
+      g_aggs
+  in
+  let result_row key aggs =
+    Array.append (Array.of_list key)
+      (Array.of_list (List.map (fun (_, result) -> result ()) aggs))
+  in
+  if g_sorted && g_keys <> [] then
+    (* streaming aggregation over key-ordered input *)
+    Seq.of_dispenser
+      (let src = Seq.to_dispenser (stream ectx ~params input) in
+       let current = ref None in
+       let finished = ref false in
+       fun () ->
+         if !finished then None
+         else
+           let rec loop () =
+             match src () with
+             | None ->
+               finished := true;
+               (match !current with
+               | Some (key, aggs) -> Some (result_row key aggs)
+               | None -> None)
+             | Some row -> (
+               let key = List.map (fun s -> row.(s)) g_keys in
+               match !current with
+               | Some (k, aggs)
+                 when List.for_all2
+                        (fun a b -> Value.compare ~registry:(registry ectx) a b = 0)
+                        k key ->
+                 List.iter (fun (step, _) -> step row) aggs;
+                 loop ()
+               | Some (k, aggs) ->
+                 let aggs' = make_aggs () in
+                 List.iter (fun (step, _) -> step row) aggs';
+                 current := Some (key, aggs');
+                 Some (result_row k aggs)
+               | None ->
+                 let aggs = make_aggs () in
+                 List.iter (fun (step, _) -> step row) aggs;
+                 current := Some (key, aggs);
+                 loop ())
+           in
+           loop ())
+  else begin
+    (* hash aggregation *)
+    let groups : (Value.t list, _) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    Seq.iter
+      (fun row ->
+        let key = List.map (fun s -> row.(s)) g_keys in
+        let aggs =
+          match Hashtbl.find_opt groups key with
+          | Some aggs -> aggs
+          | None ->
+            let aggs = make_aggs () in
+            Hashtbl.replace groups key aggs;
+            order := key :: !order;
+            aggs
+        in
+        List.iter (fun (step, _) -> step row) aggs)
+      (stream ectx ~params input);
+    if g_keys = [] && Hashtbl.length groups = 0 then
+      (* aggregate over an empty input still yields one row *)
+      Seq.return (result_row [] (make_aggs ()))
+    else
+      List.to_seq (List.rev !order)
+      |> Seq.map (fun key -> result_row key (Hashtbl.find groups key))
+  end
+
+(* --- set operations --- *)
+
+and setop_stream ectx ~params (p : plan) ~all ~intersect : Tuple.t Seq.t =
+  let left = input_stream ectx ~params p 0 in
+  let right_counts = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      let key = Array.to_list row in
+      Hashtbl.replace right_counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt right_counts key)))
+    (collect ectx ~params (List.nth p.inputs 1));
+  let emitted = Hashtbl.create 64 in
+  Seq.filter
+    (fun row ->
+      let key = Array.to_list row in
+      let rc = Option.value ~default:0 (Hashtbl.find_opt right_counts key) in
+      if intersect then
+        if all then
+          if rc > 0 then begin
+            Hashtbl.replace right_counts key (rc - 1);
+            true
+          end
+          else false
+        else if rc > 0 && not (Hashtbl.mem emitted key) then begin
+          Hashtbl.replace emitted key ();
+          true
+        end
+        else false
+      else if all then
+        if rc > 0 then begin
+          Hashtbl.replace right_counts key (rc - 1);
+          false
+        end
+        else true
+      else if rc = 0 && not (Hashtbl.mem emitted key) then begin
+        Hashtbl.replace emitted key ();
+        true
+      end
+      else false)
+    left
+
+(* --- recursion --- *)
+
+and fixpoint_stream ectx ~params (p : plan) ~distinct : Tuple.t Seq.t =
+  ignore distinct;
+  let seed = List.nth p.inputs 0 and step = List.nth p.inputs 1 in
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let add rows =
+    List.filter
+      (fun row ->
+        let key = Array.to_list row in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          acc := row :: !acc;
+          true
+        end)
+      rows
+  in
+  let max_rounds = 100_000 in
+  let delta = ref (add (collect ectx ~params seed)) in
+  let rounds = ref 0 in
+  while !delta <> [] do
+    incr rounds;
+    if !rounds > max_rounds then error "recursion exceeded %d rounds" max_rounds;
+    ectx.counters.c_fixpoint_rounds <- ectx.counters.c_fixpoint_rounds + 1;
+    ectx.deltas <- !delta :: ectx.deltas;
+    let produced = collect ectx ~params step in
+    ectx.deltas <- List.tl ectx.deltas;
+    (* the step's demand caches are invalid across rounds because the
+       delta changed: clear caches scoped under the step *)
+    ectx.caches <- [];
+    delta := add produced
+  done;
+  List.to_seq (List.rev !acc)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs a plan to completion, returning the result rows. *)
+let run ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan) :
+    Tuple.t list =
+  let ectx = { db; hosts; counters; caches = []; deltas = [] } in
+  let rows = collect ectx ~params:[||] plan in
+  counters.c_output <- counters.c_output + List.length rows;
+  rows
+
+(** Streams a plan's results (lazy, single pass). *)
+let run_seq ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan)
+    : Tuple.t Seq.t =
+  let ectx = { db; hosts; counters; caches = []; deltas = [] } in
+  stream ectx ~params:[||] plan
+
+(** Evaluates a standalone runtime expression over one row (used by the
+    facade for UPDATE/DELETE predicates and SET expressions). *)
+let eval_row ?(hosts = []) (db : db) ~(row : Tuple.t) (e : rexpr) : Value.t =
+  let ectx = { db; hosts; counters = fresh_counters (); caches = []; deltas = [] } in
+  eval ectx ~row ~params:[||] e

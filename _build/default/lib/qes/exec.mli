@@ -1,0 +1,76 @@
+(** The Query Evaluation System (section 7).
+
+    Plans are interpreted against the database through an algebraic,
+    stream-based interface: each operator consumes and produces lazy
+    streams of tuples.  Join {e methods} are control structures; join
+    {e kinds} are the functions performed during the join — one operator
+    handles many kinds, and new kinds register here.  Subqueries run
+    through a single uniform {e evaluate-on-demand} mechanism with a
+    cache keyed on correlation values. *)
+
+open Sb_storage
+module Functions = Sb_hydrogen.Functions
+
+exception Runtime_error of string
+
+type counters = {
+  mutable c_scanned : int;  (** tuples read from base tables *)
+  mutable c_index_probes : int;
+  mutable c_shipped : int;
+  mutable c_sorted : int;
+  mutable c_sub_evals : int;  (** subquery (re)materializations *)
+  mutable c_sub_cache_hits : int;
+  mutable c_or_branch_evals : int;
+  mutable c_fixpoint_rounds : int;
+  mutable c_output : int;
+}
+
+val fresh_counters : unit -> counters
+
+(** An extension join kind: given the outer tuple, the candidate inner
+    tuples (pre-filtered by equi-columns under hash/merge), and the kind
+    predicate over the concatenated row, produce the output rows. *)
+type kind_impl =
+  outer:Tuple.t ->
+  inners:Tuple.t list ->
+  pred:(Tuple.t -> bool option) ->
+  inner_width:int ->
+  Tuple.t list
+
+type db = {
+  x_cat : Catalog.t;
+  x_fns : Functions.t;
+  x_kinds : (string, kind_impl) Hashtbl.t;
+  mutable x_demand_cache : bool;
+      (** evaluate-on-demand correlation caching (on by default; the
+          bench harness turns it off to measure its effect) *)
+}
+
+val make_db : catalog:Catalog.t -> functions:Functions.t -> db
+
+val register_join_kind : db -> string -> kind_impl -> unit
+
+(** Runs a plan to completion.  [hosts] binds host variables. *)
+val run :
+  ?hosts:(string * Value.t) list ->
+  ?counters:counters ->
+  db ->
+  Sb_optimizer.Plan.plan ->
+  Tuple.t list
+
+(** Streams a plan's results (lazy, single pass). *)
+val run_seq :
+  ?hosts:(string * Value.t) list ->
+  ?counters:counters ->
+  db ->
+  Sb_optimizer.Plan.plan ->
+  Tuple.t Seq.t
+
+(** Evaluates a standalone runtime expression over one row (used by the
+    facade for UPDATE/DELETE predicates and SET expressions). *)
+val eval_row :
+  ?hosts:(string * Value.t) list ->
+  db ->
+  row:Tuple.t ->
+  Sb_optimizer.Plan.rexpr ->
+  Value.t

@@ -1,0 +1,1 @@
+lib/qgm/builder.ml: Array Catalog Check Datatype Fmt Hashtbl Int List Option Printexc Qgm Sb_hydrogen Sb_storage Schema String Table_store Value

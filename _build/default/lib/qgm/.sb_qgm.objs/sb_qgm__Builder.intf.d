@@ -1,0 +1,1 @@
+lib/qgm/builder.mli: Catalog Qgm Sb_hydrogen Sb_storage

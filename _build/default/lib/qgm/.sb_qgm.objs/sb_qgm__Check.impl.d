@@ -1,0 +1,1 @@
+lib/qgm/check.ml: Fmt Hashtbl List Qgm String

@@ -1,0 +1,1 @@
+lib/qgm/check.mli: Qgm

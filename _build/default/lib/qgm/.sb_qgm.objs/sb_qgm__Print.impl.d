@@ -1,0 +1,1 @@
+lib/qgm/print.ml: Buffer Fmt Format List Option Qgm Sb_hydrogen Sb_storage String

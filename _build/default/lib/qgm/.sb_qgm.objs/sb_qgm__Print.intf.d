@@ -1,0 +1,1 @@
+lib/qgm/print.mli: Format Qgm

@@ -1,0 +1,1 @@
+lib/qgm/qgm.ml: Datatype Fmt Hashtbl Int List Option Sb_hydrogen Sb_storage Value

@@ -1,0 +1,1 @@
+lib/qgm/qgm.mli: Datatype Format Hashtbl Sb_hydrogen Sb_storage Value

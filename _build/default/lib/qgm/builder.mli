@@ -1,0 +1,39 @@
+(** Translation of Hydrogen ASTs into QGM, with name resolution and
+    semantic analysis ("semantic analysis of the query is also done
+    during parsing, so the QGM produced is guaranteed to be valid").
+
+    Subqueries become quantifiers: IN/EXISTS/ANY produce existential [E]
+    quantifiers, ALL and NOT IN produce universal [A] quantifiers,
+    scalar subqueries produce [S] quantifiers, DBC set predicates
+    produce [SP] quantifiers — all consumed in predicates through
+    {!Qgm.constructor:Quantified} nodes.  Views and table expressions
+    are resolved here; cyclic table-expression references (recursion)
+    become cyclic range edges; FROM items are visible left to right, so
+    derived tables may be correlated with earlier siblings. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+module Functions = Sb_hydrogen.Functions
+
+exception Semantic_error of string
+
+type config = {
+  catalog : Catalog.t;
+  functions : Functions.t;
+  mutable enabled_ops : string list;
+      (** extension table operations a DBC has enabled, e.g.
+          ["left_outer_join"]; the corresponding syntax is rejected
+          until then *)
+}
+
+val make_config : catalog:Catalog.t -> functions:Functions.t -> config
+
+val op_enabled : config -> string -> bool
+
+(** Builds a consistent QGM whose top box is the query's result.
+    @raise Semantic_error on unresolvable names, type errors, arity
+    mismatches, unsupported constructs, and cyclic views. *)
+val build : config -> Ast.with_query -> Qgm.t
+
+(** Parses then builds. *)
+val build_text : config -> string -> Qgm.t

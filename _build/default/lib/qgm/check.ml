@@ -1,0 +1,122 @@
+(** QGM consistency checking.
+
+    The paper's rule-system contract is that "every rule changes a
+    consistent QGM representation into another consistent QGM
+    representation"; the rewrite engine checks this after each rule
+    application (in debug mode) and at budget exhaustion. *)
+
+open Qgm
+
+type violation = string
+
+(** Returns all consistency violations of [g] (empty list = consistent). *)
+let check (g : t) : violation list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  (if not (Hashtbl.mem g.boxes g.top) then err "top box %d missing" g.top);
+  let boxes = try reachable_boxes g with _ -> [] in
+  let check_col_ref ~ctx b qid i =
+    match Hashtbl.find_opt g.quants qid with
+    | None -> err "box %d %s: reference to missing quantifier %d" b.b_id ctx qid
+    | Some q ->
+      (match Hashtbl.find_opt g.boxes q.q_input with
+      | None -> err "quant %s: missing input box %d" q.q_label q.q_input
+      | Some input ->
+        if i < 0 || i >= arity input then
+          err "box %d %s: %s.c%d out of range (arity %d)" b.b_id ctx q.q_label i
+            (arity input))
+  in
+  let check_expr ~ctx ~allow_agg b e =
+    ignore
+      (fold_expr
+         (fun () e ->
+           match e with
+           | Col (q, i) -> check_col_ref ~ctx b q i
+           | Quantified (qid, _) ->
+             (match Hashtbl.find_opt g.quants qid with
+             | None -> err "box %d %s: Quantified over missing quant %d" b.b_id ctx qid
+             | Some q ->
+               (match q.q_type with
+               | E | A | SP _ -> ()
+               | F | S | Ext _ ->
+                 err "box %d %s: Quantified over %s quantifier %s" b.b_id ctx
+                   (quant_type_name q.q_type) q.q_label))
+           | Agg _ when not allow_agg ->
+             err "box %d %s: aggregate outside GROUP BY head" b.b_id ctx
+           | _ -> ())
+         () e)
+  in
+  List.iter
+    (fun b ->
+      (* quantifier bookkeeping *)
+      List.iter
+        (fun q ->
+          if q.q_parent <> b.b_id then
+            err "quant %s: parent %d but listed in box %d" q.q_label q.q_parent
+              b.b_id;
+          (match Hashtbl.find_opt g.quants q.q_id with
+          | Some q' when q' == q -> ()
+          | _ -> err "quant %s: not indexed" q.q_label);
+          if not (Hashtbl.mem g.boxes q.q_input) then
+            err "quant %s: input box %d missing" q.q_label q.q_input)
+        b.b_quants;
+      (* kind-specific shape *)
+      (match b.b_kind with
+      | Base_table _ ->
+        if b.b_quants <> [] then err "base table box %d has a body" b.b_id;
+        if b.b_preds <> [] then err "base table box %d has predicates" b.b_id
+      | Select | Ext_op _ -> ()
+      | Group_by keys ->
+        (match setformers b with
+        | [ _ ] -> ()
+        | l -> err "GROUP BY box %d has %d setformers (expected 1)" b.b_id (List.length l));
+        List.iter (fun k -> check_expr ~ctx:"group key" ~allow_agg:false b k) keys
+      | Set_op _ ->
+        let n = List.length (setformers b) in
+        if n <> 2 then err "set-op box %d has %d inputs (expected 2)" b.b_id n;
+        (match setformers b with
+        | [ a; c ] ->
+          let aa = arity (box g a.q_input) and ca = arity (box g c.q_input) in
+          if aa <> ca then
+            err "set-op box %d: input arities %d vs %d" b.b_id aa ca
+        | _ -> ())
+      | Values_box rows ->
+        List.iter
+          (fun row ->
+            if List.length row <> arity b then
+              err "VALUES box %d: row arity %d vs head %d" b.b_id
+                (List.length row) (arity b);
+            List.iter (fun e -> check_expr ~ctx:"values" ~allow_agg:false b e) row)
+          rows
+      | Table_fn (_, args) ->
+        List.iter (fun e -> check_expr ~ctx:"table-fn arg" ~allow_agg:false b e) args
+      | Choose ->
+        if List.length b.b_quants < 2 then
+          err "CHOOSE box %d has fewer than 2 alternatives" b.b_id);
+      (* head *)
+      let allow_agg = match b.b_kind with Group_by _ -> true | _ -> false in
+      List.iter
+        (fun hc ->
+          match hc.hc_expr, b.b_kind with
+          | None, Base_table _ -> ()
+          | None, Values_box _ | None, Table_fn _ | None, Set_op _ | None, Choose -> ()
+          | None, (Select | Group_by _ | Ext_op _) ->
+            err "box %d: head column %s lacks an expression" b.b_id hc.hc_name
+          | Some e, _ -> check_expr ~ctx:(Fmt.str "head %s" hc.hc_name) ~allow_agg b e)
+        b.b_head;
+      (* predicates *)
+      List.iter
+        (fun p -> check_expr ~ctx:"pred" ~allow_agg:false b p.p_expr)
+        b.b_preds;
+      List.iter
+        (fun (e, _) -> check_expr ~ctx:"order" ~allow_agg:false b e)
+        b.b_order)
+    boxes;
+  List.rev !errs
+
+let is_consistent g = check g = []
+
+let assert_consistent g =
+  match check g with
+  | [] -> ()
+  | errs -> error "inconsistent QGM: %s" (String.concat "; " errs)

@@ -1,0 +1,20 @@
+(** QGM consistency checking.
+
+    The rule-system contract is that "every rule changes a consistent
+    QGM representation into another consistent QGM representation"; the
+    rewrite engine can verify this after each rule application, and the
+    builder asserts it on every freshly built graph. *)
+
+type violation = string
+
+(** All consistency violations of the graph (empty = consistent):
+    dangling quantifier/box references, out-of-range column indices,
+    aggregates outside GROUP BY heads, [Quantified] over setformers,
+    kind-specific shape violations (set-op arity, base tables with
+    bodies, …). *)
+val check : Qgm.t -> violation list
+
+val is_consistent : Qgm.t -> bool
+
+(** @raise Qgm.Qgm_error listing the violations. *)
+val assert_consistent : Qgm.t -> unit

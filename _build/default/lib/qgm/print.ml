@@ -1,0 +1,123 @@
+(** Textual and Graphviz rendering of QGM graphs (EXPLAIN QGM). *)
+
+open Qgm
+
+let rec pp_expr g ppf (e : expr) =
+  match e with
+  | Lit v -> Fmt.string ppf (Sb_storage.Value.to_literal v)
+  | Col (qid, i) ->
+    let q = try Some (quant g qid) with _ -> None in
+    (match q with
+    | Some q -> Fmt.pf ppf "%s.c%d" q.q_label i
+    | None -> Fmt.pf ppf "?%d.c%d" qid i)
+  | Host v -> Fmt.pf ppf ":%s" v
+  | Bin (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" (pp_expr g) a (Sb_hydrogen.Ast.binop_name op)
+      (pp_expr g) b
+  | Un (Sb_hydrogen.Ast.Neg, a) -> Fmt.pf ppf "(- %a)" (pp_expr g) a
+  | Un (Sb_hydrogen.Ast.Not, a) -> Fmt.pf ppf "(NOT %a)" (pp_expr g) a
+  | Fun (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(Fmt.any ", ") (pp_expr g)) args
+  | Agg (f, _, None) -> Fmt.pf ppf "%s(*)" f
+  | Agg (f, d, Some a) ->
+    Fmt.pf ppf "%s(%s%a)" f (if d then "DISTINCT " else "") (pp_expr g) a
+  | Case (arms, els) ->
+    Fmt.pf ppf "CASE%a%a END"
+      Fmt.(
+        list ~sep:nop (fun ppf (c, v) ->
+            Fmt.pf ppf " WHEN %a THEN %a" (pp_expr g) c (pp_expr g) v))
+      arms
+      Fmt.(option (fun ppf e -> Fmt.pf ppf " ELSE %a" (pp_expr g) e))
+      els
+  | Is_null a -> Fmt.pf ppf "(%a IS NULL)" (pp_expr g) a
+  | Like (a, p) -> Fmt.pf ppf "(%a LIKE '%s')" (pp_expr g) a p
+  | Quantified (qid, a) ->
+    let q = try Some (quant g qid) with _ -> None in
+    (match q with
+    | Some q ->
+      Fmt.pf ppf "%s<%s>(%a)" (quant_type_name q.q_type) q.q_label (pp_expr g) a
+    | None -> Fmt.pf ppf "?<%d>(%a)" qid (pp_expr g) a)
+
+let kind_name = function
+  | Base_table t -> Fmt.str "TABLE %s" t
+  | Select -> "SELECT"
+  | Group_by _ -> "GROUP BY"
+  | Set_op (Sb_hydrogen.Ast.Union, all) -> if all then "UNION ALL" else "UNION"
+  | Set_op (Sb_hydrogen.Ast.Intersect, all) ->
+    if all then "INTERSECT ALL" else "INTERSECT"
+  | Set_op (Sb_hydrogen.Ast.Except, all) -> if all then "EXCEPT ALL" else "EXCEPT"
+  | Values_box _ -> "VALUES"
+  | Table_fn (f, _) -> Fmt.str "TABLE FN %s" f
+  | Choose -> "CHOOSE"
+  | Ext_op name -> Fmt.str "EXT %s" (String.uppercase_ascii name)
+
+let pp_box g ppf (b : box) =
+  Fmt.pf ppf "Box %d [%s] %s%s%s@." b.b_id b.b_label (kind_name b.b_kind)
+    (if b.b_distinct then " DISTINCT" else "")
+    (if b.b_id = g.top then " (top)" else "");
+  if b.b_head <> [] then begin
+    let pp_hc ppf hc =
+      match hc.hc_expr with
+      | Some e -> Fmt.pf ppf "%s=%a" hc.hc_name (pp_expr g) e
+      | None -> Fmt.string ppf hc.hc_name
+    in
+    Fmt.pf ppf "  head: %a@." Fmt.(list ~sep:(Fmt.any ", ") pp_hc) b.b_head
+  end;
+  (match b.b_kind with
+  | Group_by keys when keys <> [] ->
+    Fmt.pf ppf "  group: %a@." Fmt.(list ~sep:(Fmt.any ", ") (pp_expr g)) keys
+  | _ -> ());
+  List.iter
+    (fun q ->
+      let input = try (box g q.q_input).b_label with _ -> "?" in
+      Fmt.pf ppf "  quant %s:%s over Box %d [%s]@." q.q_label
+        (quant_type_name q.q_type) q.q_input input)
+    b.b_quants;
+  List.iter (fun p -> Fmt.pf ppf "  pred: %a@." (pp_expr g) p.p_expr) b.b_preds;
+  if b.b_order <> [] then
+    Fmt.pf ppf "  order: %a@."
+      Fmt.(
+        list ~sep:(Fmt.any ", ") (fun ppf (e, d) ->
+            Fmt.pf ppf "%a%s" (pp_expr g) e
+              (match d with Sb_hydrogen.Ast.Asc -> "" | Sb_hydrogen.Ast.Desc -> " DESC")))
+      b.b_order;
+  Option.iter (fun n -> Fmt.pf ppf "  limit: %d@." n) b.b_limit
+
+let pp ppf g =
+  List.iter (fun b -> pp_box g ppf b) (reachable_boxes g)
+
+let to_string g =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_geometry ppf ~max_indent:9_998 ~margin:10_000;
+  pp ppf g;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(** Graphviz dot rendering: boxes as record nodes, range edges dotted. *)
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph qgm {\n  node [shape=record fontsize=10];\n";
+  List.iter
+    (fun b ->
+      let head =
+        String.concat ", " (List.map (fun hc -> hc.hc_name) b.b_head)
+      in
+      let preds =
+        String.concat "\\n"
+          (List.map (fun p -> Fmt.str "%a" (pp_expr g) p.p_expr) b.b_preds)
+      in
+      let style =
+        match b.b_kind with Base_table _ -> " style=dashed" | _ -> ""
+      in
+      Buffer.add_string buf
+        (Fmt.str "  b%d [label=\"{%s %s|%s|%s}\"%s];\n" b.b_id (kind_name b.b_kind)
+           b.b_label head preds style);
+      List.iter
+        (fun q ->
+          Buffer.add_string buf
+            (Fmt.str "  b%d -> b%d [style=dotted label=\"%s:%s\"];\n" b.b_id
+               q.q_input q.q_label (quant_type_name q.q_type)))
+        b.b_quants)
+    (reachable_boxes g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

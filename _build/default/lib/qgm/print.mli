@@ -1,0 +1,16 @@
+(** Textual and Graphviz rendering of QGM graphs (EXPLAIN QGM). *)
+
+val pp_expr : Qgm.t -> Format.formatter -> Qgm.expr -> unit
+
+val kind_name : Qgm.kind -> string
+
+val pp_box : Qgm.t -> Format.formatter -> Qgm.box -> unit
+
+(** All reachable boxes, top first. *)
+val pp : Format.formatter -> Qgm.t -> unit
+
+val to_string : Qgm.t -> string
+
+(** Graphviz dot: boxes as record nodes, range edges dotted, stored
+    tables dashed (the paper's Figure 2 conventions). *)
+val to_dot : Qgm.t -> string

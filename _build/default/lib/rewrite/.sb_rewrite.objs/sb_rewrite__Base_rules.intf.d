@@ -1,0 +1,1 @@
+lib/rewrite/base_rules.mli: Rule Sb_storage

@@ -1,0 +1,1 @@
+lib/rewrite/engine.ml: Hashtbl Int List Logs Option Queue Random Rule Sb_qgm String

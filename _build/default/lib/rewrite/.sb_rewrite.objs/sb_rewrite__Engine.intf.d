@@ -1,0 +1,1 @@
+lib/rewrite/engine.mli: Rule Sb_qgm

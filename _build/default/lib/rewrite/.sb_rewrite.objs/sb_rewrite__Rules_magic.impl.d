@@ -1,0 +1,1 @@
+lib/rewrite/rules_magic.ml: Array Hashtbl List Rule Rules_util Sb_hydrogen Sb_qgm

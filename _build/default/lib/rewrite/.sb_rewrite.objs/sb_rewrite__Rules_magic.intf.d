@@ -1,0 +1,1 @@
+lib/rewrite/rules_magic.mli: Rule

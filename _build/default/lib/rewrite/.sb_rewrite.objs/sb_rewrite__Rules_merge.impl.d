@@ -1,0 +1,1 @@
+lib/rewrite/rules_merge.ml: Array Fun List Rule Rules_util Sb_qgm

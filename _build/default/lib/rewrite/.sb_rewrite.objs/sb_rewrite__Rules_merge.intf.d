@@ -1,0 +1,1 @@
+lib/rewrite/rules_merge.mli: Rule

@@ -1,0 +1,1 @@
+lib/rewrite/rules_predicate.ml: Array List Option Rule Rules_util Sb_hydrogen Sb_qgm Sb_storage

@@ -1,0 +1,1 @@
+lib/rewrite/rules_projection.ml: List Rule Rules_util Sb_qgm

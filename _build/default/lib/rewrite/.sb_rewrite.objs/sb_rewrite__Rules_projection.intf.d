@@ -1,0 +1,1 @@
+lib/rewrite/rules_projection.mli: Rule

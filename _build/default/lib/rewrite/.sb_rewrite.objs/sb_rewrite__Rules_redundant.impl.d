@@ -1,0 +1,1 @@
+lib/rewrite/rules_redundant.ml: List Rule Rules_util Sb_hydrogen Sb_qgm

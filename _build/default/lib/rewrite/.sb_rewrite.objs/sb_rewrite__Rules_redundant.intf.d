@@ -1,0 +1,1 @@
+lib/rewrite/rules_redundant.mli: Rule Sb_storage

@@ -1,0 +1,1 @@
+lib/rewrite/rules_subquery.ml: List Rule Rules_util Sb_hydrogen Sb_qgm Sb_storage Value

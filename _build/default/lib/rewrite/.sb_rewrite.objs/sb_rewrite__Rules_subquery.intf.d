@@ -1,0 +1,1 @@
+lib/rewrite/rules_subquery.mli: Rule Sb_storage

@@ -1,0 +1,1 @@
+lib/rewrite/rules_util.ml: Array Catalog Hashtbl List Option Sb_hydrogen Sb_qgm Sb_storage Schema Table_store

@@ -1,0 +1,1 @@
+lib/rewrite/rules_util.mli: Sb_qgm Sb_storage

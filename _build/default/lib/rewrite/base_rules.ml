@@ -1,0 +1,16 @@
+(** The base system's rewrite-rule repertoire, grouped into the classes
+    section 5 describes: operation merging (including view merging),
+    predicate migration, projection push-down, subquery-to-join
+    conversion, redundant-join elimination, and the magic rule for
+    recursion.  A DBC adds rules to these classes — or new classes — via
+    {!Rule.add}. *)
+
+let default_set ~catalog : Rule.set =
+  let set = Rule.empty_set () in
+  Rule.add_all set Rules_merge.rules;
+  Rule.add_all set Rules_predicate.rules;
+  Rule.add_all set Rules_projection.rules;
+  Rule.add_all set (Rules_subquery.rules ~catalog);
+  Rule.add_all set (Rules_redundant.rules ~catalog);
+  Rule.add_all set Rules_magic.rules;
+  set

@@ -1,0 +1,5 @@
+(** The base system's rewrite-rule repertoire, grouped into the classes
+    section 5 describes.  A DBC adds rules to these classes — or new
+    classes — via {!Rule.add}. *)
+
+val default_set : catalog:Sb_storage.Catalog.t -> Rule.set

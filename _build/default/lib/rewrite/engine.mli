@@ -1,0 +1,46 @@
+(** The rule engine (section 5): forward chaining over IF-THEN rules,
+    with pluggable control strategies, a firing budget that always stops
+    in a consistent QGM state, and a search facility that browses QGM
+    providing each rule's context. *)
+
+module Qgm = Sb_qgm.Qgm
+module Check = Sb_qgm.Check
+
+(** Control strategies: the order rules are tried at each box. *)
+type strategy =
+  | Sequential  (** registration order *)
+  | Priority  (** higher-priority rules first *)
+  | Statistical of { weights : (string * float) list; seed : int }
+      (** random order drawn from a per-rule weight distribution,
+          deterministic per seed *)
+
+(** Search strategies over the box graph: depth-first (top down) or
+    breadth-first. *)
+type search = Depth_first | Breadth_first
+
+type stats = {
+  mutable rules_fired : int;
+  mutable rules_examined : int;
+  mutable passes : int;
+  mutable budget_exhausted : bool;
+  mutable firings : (string * int) list;  (** per-rule firing counts *)
+}
+
+val fresh_stats : unit -> stats
+
+(** Boxes in the given search order (cycles visited once). *)
+val boxes_in_order : Qgm.t -> search -> Qgm.box list
+
+(** Runs [rules] to fixpoint or until [budget] firings.  When the budget
+    runs out, processing stops at a consistent QGM state (the engine
+    never interrupts an action).  [check_each] re-verifies QGM
+    consistency after every firing.  Unreachable boxes are garbage-
+    collected before returning. *)
+val run :
+  ?strategy:strategy ->
+  ?search:search ->
+  ?budget:int ->
+  ?check_each:bool ->
+  rules:Rule.t list ->
+  Qgm.t ->
+  stats

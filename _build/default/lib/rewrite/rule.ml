@@ -1,0 +1,46 @@
+(** Rewrite rules (section 5).
+
+    A rule is a condition and an action — in the paper both are C
+    functions; here both are OCaml closures over a {!context}.  The rule
+    writer's contract is that the action "completes a transformation":
+    it turns a consistent QGM into another consistent QGM (the engine
+    can verify this after every firing).
+
+    Rules are grouped into {e rule classes} "to limit the number of
+    rules that have to be examined, to allow modularization ... and to
+    give the DBC more explicit control over the execution sequence". *)
+
+module Qgm = Sb_qgm.Qgm
+
+type context = {
+  graph : Qgm.t;
+  box : Qgm.box;  (** the box the search facility is currently visiting *)
+}
+
+type t = {
+  rule_name : string;
+  rule_class : string;
+  rule_priority : int;  (** higher fires first under the Priority strategy *)
+  condition : context -> bool;
+  action : context -> unit;
+}
+
+let make ?(priority = 0) ~name ~rule_class ~condition ~action () =
+  { rule_name = name; rule_class; rule_priority = priority; condition; action }
+
+(** A rule set with class-based filtering. *)
+type set = { mutable rules : t list }
+
+let empty_set () = { rules = [] }
+
+let add set rule = set.rules <- set.rules @ [ rule ]
+
+let add_all set rules = List.iter (add set) rules
+
+let classes set =
+  List.map (fun r -> r.rule_class) set.rules |> List.sort_uniq String.compare
+
+let in_classes set names =
+  List.filter (fun r -> List.mem r.rule_class names) set.rules
+
+let all set = set.rules

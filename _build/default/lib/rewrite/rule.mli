@@ -1,0 +1,50 @@
+(** Rewrite rules (section 5).
+
+    A rule is a condition and an action — in the paper both are C
+    functions; here both are OCaml closures over a {!context}.  The rule
+    writer's contract is that the action "completes a transformation":
+    it turns a consistent QGM into another consistent QGM (the engine
+    can verify this after every firing).
+
+    Rules are grouped into {e rule classes} "to limit the number of
+    rules that have to be examined, to allow modularization ... and to
+    give the DBC more explicit control over the execution sequence". *)
+
+module Qgm = Sb_qgm.Qgm
+
+type context = {
+  graph : Qgm.t;
+  box : Qgm.box;  (** the box the search facility is currently visiting *)
+}
+
+type t = {
+  rule_name : string;
+  rule_class : string;
+  rule_priority : int;  (** higher fires first under the Priority strategy *)
+  condition : context -> bool;
+  action : context -> unit;
+}
+
+val make :
+  ?priority:int ->
+  name:string ->
+  rule_class:string ->
+  condition:(context -> bool) ->
+  action:(context -> unit) ->
+  unit ->
+  t
+
+(** A mutable rule set with class-based filtering. *)
+type set = { mutable rules : t list }
+
+val empty_set : unit -> set
+val add : set -> t -> unit
+val add_all : set -> t list -> unit
+
+(** Distinct class names, sorted. *)
+val classes : set -> string list
+
+(** The rules belonging to the named classes, in registration order. *)
+val in_classes : set -> string list -> t list
+
+val all : set -> t list

@@ -1,0 +1,115 @@
+(** A magic-sets-style rule for recursive queries [BANC86].
+
+    The general magic-sets transformation specializes a recursion to the
+    query's bindings.  We implement its most common and most profitable
+    special case: a selection on a column that every recursive arm
+    propagates unchanged (e.g. [src] in a transitive closure
+    [paths(src,dst)]) is pushed into the recursion's {e seed} (base
+    arm), so the fixpoint only ever derives relevant tuples — the
+    "sideways information passing" effect for a bound first argument. *)
+
+module Qgm = Sb_qgm.Qgm
+open Rules_util
+
+type candidate = {
+  mg_pred : Qgm.pred;
+  mg_base_arms : Qgm.quant list;  (** non-recursive arms of the union *)
+  mg_quant : Qgm.quant;  (** quantifier over the recursive table *)
+}
+
+let reaches g src dst =
+  let seen = Hashtbl.create 8 in
+  let rec go id =
+    id = dst
+    || (not (Hashtbl.mem seen id))
+       && begin
+         Hashtbl.replace seen id ();
+         List.exists (fun q -> go q.Qgm.q_input) (Qgm.box g id).Qgm.b_quants
+       end
+  in
+  go src
+
+let movable (p : Qgm.pred) =
+  (not (Qgm.contains_quantified p.Qgm.p_expr)) && not (Qgm.contains_agg p.Qgm.p_expr)
+
+let candidate g (b : Qgm.box) : candidate option =
+  if b.Qgm.b_kind <> Qgm.Select || Qgm.is_recursive g b.Qgm.b_id then None
+  else
+    List.find_map
+      (fun (p : Qgm.pred) ->
+        if Qgm.pred_marked p "magic_pushed" || not (movable p) then None
+        else
+          match Qgm.quant_refs p.Qgm.p_expr with
+          | [ qid ] -> (
+            let q = Qgm.quant g qid in
+            if q.Qgm.q_type <> Qgm.F then None
+            else
+              let pbox = Qgm.box g q.Qgm.q_input in
+              (* the recursion placeholder: identity select on the cycle *)
+              if not (Qgm.is_recursive g pbox.Qgm.b_id) then None
+              else
+                match pbox.Qgm.b_quants with
+                | [ uq ] -> (
+                  let ubox = Qgm.box g uq.Qgm.q_input in
+                  match ubox.Qgm.b_kind with
+                  | Qgm.Set_op (Sb_hydrogen.Ast.Union, _) ->
+                    let arms = Qgm.setformers ubox in
+                    let base_arms, rec_arms =
+                      List.partition
+                        (fun a -> not (reaches g a.Qgm.q_input pbox.Qgm.b_id))
+                        arms
+                    in
+                    if base_arms = [] || rec_arms = [] then None
+                    else
+                      let cols = List.map snd (Qgm.col_refs p.Qgm.p_expr) in
+                      (* every referenced column must be propagated
+                         unchanged by every recursive arm *)
+                      let propagated =
+                        List.for_all
+                          (fun arm ->
+                            let r = Qgm.box g arm.Qgm.q_input in
+                            r.Qgm.b_kind = Qgm.Select
+                            && List.for_all
+                                 (fun i ->
+                                   match (Qgm.head_col r i).Qgm.hc_expr with
+                                   | Some (Qgm.Col (rq, j)) ->
+                                     j = i
+                                     && (Qgm.quant g rq).Qgm.q_input
+                                        = pbox.Qgm.b_id
+                                   | _ -> false)
+                                 cols)
+                          rec_arms
+                      in
+                      if propagated then
+                        Some { mg_pred = p; mg_base_arms = base_arms; mg_quant = q }
+                      else None
+                  | _ -> None)
+                | _ -> None)
+          | _ -> None)
+      b.Qgm.b_preds
+
+let magic_selection_pushdown : Rule.t =
+  Rule.make ~priority:25 ~name:"magic_selection_pushdown" ~rule_class:"magic"
+    ~condition:(fun ctx -> candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      let g = ctx.Rule.graph in
+      match candidate g ctx.Rule.box with
+      | Some cd ->
+        Qgm.mark_pred cd.mg_pred "magic_pushed";
+        List.iter
+          (fun arm ->
+            let s = interpose_select g arm in
+            let head = Array.of_list s.Qgm.b_head in
+            let e =
+              Qgm.subst_cols
+                (fun qid i ->
+                  if qid = cd.mg_quant.Qgm.q_id then head.(i).Qgm.hc_expr
+                  else None)
+                cd.mg_pred.Qgm.p_expr
+            in
+            s.Qgm.b_preds <- [ Qgm.pred e ])
+          cd.mg_base_arms
+      | None -> ())
+    ()
+
+let rules = [ magic_selection_pushdown ]

@@ -1,0 +1,6 @@
+(** A magic-sets-style rule for recursive queries [BANC86], in its most
+    common special case: a selection on a column every recursive arm
+    propagates unchanged is pushed into the recursion's seed. *)
+
+val magic_selection_pushdown : Rule.t
+val rules : Rule.t list

@@ -1,0 +1,109 @@
+(** Operation-merging rules (section 5's Rule 2 and the view-merging
+    class): two SELECT operations merge as long as there is no conflict
+    in the way they handle duplicates, "creating the union of the
+    predicates and iterators of the original operations to allow more
+    scope for optimization". *)
+
+module Qgm = Sb_qgm.Qgm
+open Rules_util
+
+(** Can the lower box [l], ranged over by [q] from [b], be merged into
+    [b]? *)
+let mergeable g (b : Qgm.box) (q : Qgm.quant) =
+  let l = Qgm.box g q.Qgm.q_input in
+  q.Qgm.q_type = Qgm.F
+  && b.Qgm.b_kind = Qgm.Select
+  && (not (Qgm.is_recursive g b.Qgm.b_id))
+  && plain_setformers b
+  && is_plain_select g l
+  && l.Qgm.b_id <> g.Qgm.top
+  && l.Qgm.b_order = []
+  && has_single_user g l.Qgm.b_id
+  && List.for_all (fun hc -> hc.Qgm.hc_expr <> None) l.Qgm.b_head
+  (* Rule 2's duplicate condition: merging may not lose a required
+     duplicate elimination.  OP2 (the lower box) eliminating duplicates
+     is only harmless if the upper box eliminates them too. *)
+  && ((not l.Qgm.b_distinct) || b.Qgm.b_distinct)
+  (* scalar/universal quantifiers over l elsewhere would change meaning *)
+  && quantified_uses g q.Qgm.q_id = 0
+
+let find_merge_candidate g (b : Qgm.box) =
+  List.find_opt
+    (fun q -> q.Qgm.q_parent = b.Qgm.b_id && mergeable g b q)
+    b.Qgm.b_quants
+
+(** Merges the box under [q] into [b]: the lower box's quantifiers move
+    up, references through [q] are inlined, and the predicate sets are
+    unioned. *)
+let merge_action g (b : Qgm.box) (q : Qgm.quant) =
+  let l = Qgm.box g q.Qgm.q_input in
+  (* adopt l's quantifiers *)
+  List.iter
+    (fun lq ->
+      lq.Qgm.q_parent <- b.Qgm.b_id;
+      b.Qgm.b_quants <- b.Qgm.b_quants @ [ lq ])
+    l.Qgm.b_quants;
+  l.Qgm.b_quants <- [];
+  (* inline references through q everywhere (including correlated ones
+     from nested subquery boxes) *)
+  let head = Array.of_list l.Qgm.b_head in
+  subst_everywhere g (fun qid i ->
+      if qid = q.Qgm.q_id then head.(i).Qgm.hc_expr else None);
+  (* union the predicates *)
+  b.Qgm.b_preds <- b.Qgm.b_preds @ l.Qgm.b_preds;
+  l.Qgm.b_preds <- [];
+  Qgm.remove_quant g q;
+  Qgm.delete_box g l.Qgm.b_id
+
+let merge_select : Rule.t =
+  Rule.make ~priority:50 ~name:"merge_select" ~rule_class:"merge"
+    ~condition:(fun ctx -> find_merge_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      match find_merge_candidate ctx.Rule.graph ctx.Rule.box with
+      | Some q -> merge_action ctx.Rule.graph ctx.Rule.box q
+      | None -> ())
+    ()
+
+(** A SELECT box that is a pure identity (head is a 1:1 pass-through of
+    a single F quantifier, no predicates, no distinct/order/limit) is
+    bypassed: its users range directly over its input.  This cleans up
+    boxes left behind by view expansion and WITH placeholders. *)
+let bypass_candidate g (b : Qgm.box) =
+  (* visiting box b: find a quantifier (of b) whose input is an identity box *)
+  List.find_opt
+    (fun q ->
+      let l = Qgm.box g q.Qgm.q_input in
+      l.Qgm.b_kind = Qgm.Select
+      && (not (Qgm.is_recursive g l.Qgm.b_id))
+      && l.Qgm.b_id <> g.Qgm.top
+      && l.Qgm.b_preds = []
+      && (not l.Qgm.b_distinct)
+      && l.Qgm.b_order = []
+      && l.Qgm.b_limit = None
+      && (match l.Qgm.b_quants with
+         | [ inner ] ->
+           inner.Qgm.q_type = Qgm.F
+           && List.length l.Qgm.b_head
+              = Qgm.arity (Qgm.box g inner.Qgm.q_input)
+           && List.for_all2
+                (fun i hc -> hc.Qgm.hc_expr = Some (Qgm.Col (inner.Qgm.q_id, i)))
+                (List.init (List.length l.Qgm.b_head) Fun.id)
+                l.Qgm.b_head
+         | _ -> false))
+    b.Qgm.b_quants
+
+let bypass_identity : Rule.t =
+  Rule.make ~priority:60 ~name:"bypass_identity" ~rule_class:"merge"
+    ~condition:(fun ctx -> bypass_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      let g = ctx.Rule.graph in
+      match bypass_candidate g ctx.Rule.box with
+      | Some q ->
+        let l = Qgm.box g q.Qgm.q_input in
+        (match l.Qgm.b_quants with
+        | [ inner ] -> q.Qgm.q_input <- inner.Qgm.q_input
+        | _ -> ())
+      | None -> ())
+    ()
+
+let rules = [ merge_select; bypass_identity ]

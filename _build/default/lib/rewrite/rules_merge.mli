@@ -1,0 +1,11 @@
+(** Operation-merging rules (section 5's Rule 2 and the view-merging
+    class): two SELECT operations merge when duplicates are handled
+    compatibly, unioning their predicates and iterators. *)
+
+val merge_select : Rule.t
+
+(** Bypasses identity pass-through SELECT boxes (left behind by view
+    expansion and WITH). *)
+val bypass_identity : Rule.t
+
+val rules : Rule.t list

@@ -1,0 +1,255 @@
+(** Predicate-migration rules: push-down ("from" rules give a predicate
+    away, "to" rules receive it), replication across equality classes,
+    and push-down through GROUP BY and set operations.  "Predicates may
+    be pushed down into lower level operations to minimize the amount of
+    data retrieved" (section 5). *)
+
+module Qgm = Sb_qgm.Qgm
+module Ast = Sb_hydrogen.Ast
+open Rules_util
+
+(** A predicate is movable if it contains no subquery consumption, no
+    aggregates and references exactly one quantifier. *)
+let movable_pred (p : Qgm.pred) =
+  (not (Qgm.contains_quantified p.Qgm.p_expr))
+  && not (Qgm.contains_agg p.Qgm.p_expr)
+
+(* --- push down into a SELECT box --- *)
+
+(** The "from" side: box [b] may give away predicate [p]; the "to" side:
+    the box under [q] may receive it.  Both sides' conditions combined. *)
+let pushdown_candidate g (b : Qgm.box) =
+  match b.Qgm.b_kind with
+  | Qgm.Select | Qgm.Group_by _ ->
+    List.find_map
+      (fun p ->
+        if not (movable_pred p) then None
+        else
+          match Qgm.quant_refs p.Qgm.p_expr with
+          | [ qid ] ->
+            let q = Qgm.quant g qid in
+            if q.Qgm.q_parent <> b.Qgm.b_id || q.Qgm.q_type <> Qgm.F then None
+            else
+              let l = Qgm.box g q.Qgm.q_input in
+              if
+                is_plain_select g l
+                && l.Qgm.b_id <> g.Qgm.top
+                && has_single_user g l.Qgm.b_id
+                && List.for_all (fun hc -> hc.Qgm.hc_expr <> None) l.Qgm.b_head
+              then
+                Option.map (fun e -> (p, q, l, e)) (inline_through g q p.Qgm.p_expr)
+              else None
+          | _ -> None)
+      b.Qgm.b_preds
+  | _ -> None
+
+let push_into_select : Rule.t =
+  Rule.make ~priority:40 ~name:"push_into_select" ~rule_class:"predicate"
+    ~condition:(fun ctx -> pushdown_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      match pushdown_candidate ctx.Rule.graph ctx.Rule.box with
+      | Some (p, _, l, e) ->
+        remove_pred ctx.Rule.box p;
+        if not (pred_exists l e) then
+          l.Qgm.b_preds <- l.Qgm.b_preds @ [ Qgm.pred e ]
+      | None -> ())
+    ()
+
+(* --- push down through a GROUP BY box --- *)
+
+(** A predicate referencing only pass-through group keys filters whole
+    groups, so it may move below the grouping. *)
+let through_group_candidate g (b : Qgm.box) =
+  match b.Qgm.b_kind with
+  | Qgm.Select ->
+    List.find_map
+      (fun p ->
+        if not (movable_pred p) then None
+        else
+          match Qgm.quant_refs p.Qgm.p_expr with
+          | [ qid ] ->
+            let q = Qgm.quant g qid in
+            let l = Qgm.box g q.Qgm.q_input in
+            (match l.Qgm.b_kind with
+            | Qgm.Group_by keys
+              when q.Qgm.q_type = Qgm.F
+                   && has_single_user g l.Qgm.b_id
+                   && not (Qgm.is_recursive g l.Qgm.b_id) ->
+              (* every column referenced must be a group key pass-through *)
+              let refs = Qgm.col_refs p.Qgm.p_expr in
+              let ok =
+                List.for_all
+                  (fun (_, i) ->
+                    match (Qgm.head_col l i).Qgm.hc_expr with
+                    | Some (Qgm.Col _ as e) -> List.mem e keys
+                    | _ -> false)
+                  refs
+              in
+              if ok then
+                Option.map (fun e -> (p, l, e)) (inline_through g q p.Qgm.p_expr)
+              else None
+            | _ -> None)
+          | _ -> None)
+      b.Qgm.b_preds
+  | _ -> None
+
+let push_through_group_by : Rule.t =
+  Rule.make ~priority:40 ~name:"push_through_group_by" ~rule_class:"predicate"
+    ~condition:(fun ctx ->
+      through_group_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      match through_group_candidate ctx.Rule.graph ctx.Rule.box with
+      | Some (p, l, e) ->
+        remove_pred ctx.Rule.box p;
+        if not (pred_exists l e) then
+          l.Qgm.b_preds <- l.Qgm.b_preds @ [ Qgm.pred e ]
+        (* a GROUP BY box's own predicates filter its input before
+           grouping; the push_into_select rule can move them further *)
+      | None -> ())
+    ()
+
+(* --- push down through a set operation (replicating the predicate) --- *)
+
+let through_setop_candidate g (b : Qgm.box) =
+  match b.Qgm.b_kind with
+  | Qgm.Select | Qgm.Group_by _ ->
+    List.find_map
+      (fun p ->
+        if (not (movable_pred p)) || Qgm.pred_marked p "pushed_setop" then None
+        else
+          match Qgm.quant_refs p.Qgm.p_expr with
+          | [ qid ] ->
+            let q = Qgm.quant g qid in
+            let l = Qgm.box g q.Qgm.q_input in
+            (match l.Qgm.b_kind with
+            | Qgm.Set_op _
+              when q.Qgm.q_type = Qgm.F
+                   && has_single_user g l.Qgm.b_id
+                   && not (Qgm.is_recursive g l.Qgm.b_id) ->
+              Some (p, q, l)
+            | _ -> None)
+          | _ -> None)
+      b.Qgm.b_preds
+  | _ -> None
+
+let push_through_set_op : Rule.t =
+  Rule.make ~priority:35 ~name:"push_through_set_op" ~rule_class:"predicate"
+    ~condition:(fun ctx ->
+      through_setop_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      let g = ctx.Rule.graph in
+      match through_setop_candidate g ctx.Rule.box with
+      | Some (p, q, l) ->
+        (* the original is kept (marked) so it is not re-derived; the
+           replicas below do the real filtering *)
+        Qgm.mark_pred p "pushed_setop";
+        (* σ(A ∪ B) = σA ∪ σB, likewise for ∩ and −; interpose a SELECT
+           above each arm to hold the replica *)
+        List.iter
+          (fun arm ->
+            let s = interpose_select g arm in
+            let head = Array.of_list s.Qgm.b_head in
+            let e =
+              Qgm.subst_cols
+                (fun qid i ->
+                  if qid = q.Qgm.q_id then head.(i).Qgm.hc_expr else None)
+                p.Qgm.p_expr
+            in
+            s.Qgm.b_preds <- [ Qgm.pred e ])
+          (Qgm.setformers l)
+      | None -> ())
+    ()
+
+(* --- predicate replication across equality classes --- *)
+
+(** From [q1.x = q2.y] and [q1.x op constant], derive [q2.y op constant]
+    ("predicates may also be replicated, and replicas migrated to
+    multiple operations to reduce execution cost").
+
+    A replica that has already been pushed below its quantifier must not
+    be derived again, or replication and push-down would ping-pong. *)
+let derived_already_pushed g (e : Qgm.expr) =
+  match Qgm.quant_refs e with
+  | [ qid ] -> (
+    let q = Qgm.quant g qid in
+    let l = Qgm.box g q.Qgm.q_input in
+    match inline_through g q e with
+    | Some e' -> pred_exists l e'
+    | None -> false)
+  | _ -> false
+
+let replicate_candidate g (b : Qgm.box) =
+  match b.Qgm.b_kind with
+  | Qgm.Select ->
+    let eqs =
+      List.filter_map
+        (fun p ->
+          match p.Qgm.p_expr with
+          | Qgm.Bin (Ast.Eq, (Qgm.Col _ as a), (Qgm.Col _ as c)) when a <> c ->
+            Some (a, c)
+          | _ -> None)
+        b.Qgm.b_preds
+    in
+    let restrictions =
+      List.filter_map
+        (fun p ->
+          match p.Qgm.p_expr with
+          | Qgm.Bin (op, (Qgm.Col _ as a), (Qgm.Lit _ as v))
+            when Ast.is_comparison op ->
+            Some (a, op, v)
+          | Qgm.Bin (op, (Qgm.Lit _ as v), (Qgm.Col _ as a))
+            when Ast.is_comparison op ->
+            Some (a, Ast.flip_comparison op, v)
+          | _ -> None)
+        b.Qgm.b_preds
+    in
+    List.concat_map
+      (fun (a, c) ->
+        List.concat_map
+          (fun (col, op, v) ->
+            let derived =
+              if col = a then [ Qgm.Bin (op, c, v) ]
+              else if col = c then [ Qgm.Bin (op, a, v) ]
+              else []
+            in
+            List.filter
+              (fun e ->
+                (not (pred_exists b e)) && not (derived_already_pushed g e))
+              derived)
+          restrictions)
+      eqs
+    |> (function [] -> None | e :: _ -> Some e)
+  | _ -> None
+
+let replicate_restriction : Rule.t =
+  Rule.make ~priority:45 ~name:"replicate_restriction" ~rule_class:"predicate"
+    ~condition:(fun ctx -> replicate_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      match replicate_candidate ctx.Rule.graph ctx.Rule.box with
+      | Some e -> ctx.Rule.box.Qgm.b_preds <- ctx.Rule.box.Qgm.b_preds @ [ Qgm.pred e ]
+      | None -> ())
+    ()
+
+(* --- constant simplification: drop TRUE conjuncts --- *)
+
+let drop_true : Rule.t =
+  Rule.make ~priority:70 ~name:"drop_true_predicate" ~rule_class:"predicate"
+    ~condition:(fun ctx ->
+      List.exists
+        (fun p -> p.Qgm.p_expr = Qgm.Lit (Sb_storage.Value.Bool true))
+        ctx.Rule.box.Qgm.b_preds)
+    ~action:(fun ctx ->
+      ctx.Rule.box.Qgm.b_preds <-
+        List.filter
+          (fun p -> p.Qgm.p_expr <> Qgm.Lit (Sb_storage.Value.Bool true))
+          ctx.Rule.box.Qgm.b_preds)
+    ()
+
+let rules =
+  [
+    push_into_select;
+    push_through_group_by;
+    push_through_set_op;
+    replicate_restriction;
+    drop_true;
+  ]

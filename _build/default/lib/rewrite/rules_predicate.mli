@@ -1,0 +1,10 @@
+(** Predicate-migration rules: push-down into SELECT boxes, push-through
+    GROUP BY and set operations (replicating into the arms), restriction
+    replication across equality classes, and trivial-conjunct removal. *)
+
+val push_into_select : Rule.t
+val push_through_group_by : Rule.t
+val push_through_set_op : Rule.t
+val replicate_restriction : Rule.t
+val drop_true : Rule.t
+val rules : Rule.t list

@@ -1,0 +1,65 @@
+(** Projection push-down: "rules for projection push-down avoid the
+    retrieval of unused columns of tables or views", and interact with
+    predicate migration — once a predicate moves down, columns it alone
+    referenced become unused above (section 5). *)
+
+module Qgm = Sb_qgm.Qgm
+open Rules_util
+
+(** Parent-box kinds whose quantifier column references can be safely
+    renumbered when the input box's head shrinks. *)
+let shrinkable_parent (b : Qgm.box) =
+  match b.Qgm.b_kind with
+  | Qgm.Select | Qgm.Group_by _ | Qgm.Ext_op _ -> true
+  | Qgm.Base_table _ | Qgm.Set_op _ | Qgm.Values_box _ | Qgm.Table_fn _
+  | Qgm.Choose ->
+    false
+
+(** Finds head columns of the box under one of [b]'s quantifiers that no
+    expression anywhere references. *)
+let prune_candidate g (b : Qgm.box) =
+  List.find_map
+    (fun q ->
+      if q.Qgm.q_parent <> b.Qgm.b_id || not (shrinkable_parent b) then None
+      else
+        let l = Qgm.box g q.Qgm.q_input in
+        match l.Qgm.b_kind with
+        | (Qgm.Select | Qgm.Group_by _)
+          when has_single_user g l.Qgm.b_id
+               && (not (Qgm.is_recursive g l.Qgm.b_id))
+               && l.Qgm.b_id <> g.Qgm.top
+               && (not l.Qgm.b_distinct) (* pruning would change cardinality *)
+               && Qgm.arity l > 1 ->
+          let unused =
+            List.filteri
+              (fun i _ -> not (col_used_anywhere g q.Qgm.q_id i))
+              (List.mapi (fun i _ -> i) l.Qgm.b_head)
+          in
+          (* keep at least one column *)
+          let unused =
+            if List.length unused >= Qgm.arity l then List.tl unused else unused
+          in
+          if unused = [] then None else Some (q, l, unused)
+        | _ -> None)
+    b.Qgm.b_quants
+
+let prune_projection : Rule.t =
+  Rule.make ~priority:30 ~name:"prune_projection" ~rule_class:"projection"
+    ~condition:(fun ctx -> prune_candidate ctx.Rule.graph ctx.Rule.box <> None)
+    ~action:(fun ctx ->
+      let g = ctx.Rule.graph in
+      match prune_candidate g ctx.Rule.box with
+      | Some (q, l, unused) ->
+        (* drop the head columns *)
+        l.Qgm.b_head <-
+          List.filteri (fun i _ -> not (List.mem i unused)) l.Qgm.b_head;
+        (* renumber references through q: old index -> new index *)
+        let remap i =
+          i - List.length (List.filter (fun u -> u < i) unused)
+        in
+        subst_everywhere g (fun qid i ->
+            if qid = q.Qgm.q_id then Some (Qgm.Col (qid, remap i)) else None)
+      | None -> ())
+    ()
+
+let rules = [ prune_projection ]

@@ -1,0 +1,5 @@
+(** Projection push-down: drops head columns of single-user boxes that
+    no expression references, renumbering references graph-wide. *)
+
+val prune_projection : Rule.t
+val rules : Rule.t list

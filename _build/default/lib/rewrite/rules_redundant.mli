@@ -1,0 +1,6 @@
+(** Redundant-join elimination [OTT82]: two iterators over the same
+    table joined on a declared-UNIQUE NOT NULL column denote the same
+    row, so one access is removed. *)
+
+val eliminate_redundant_join : catalog:Sb_storage.Catalog.t -> Rule.t
+val rules : catalog:Sb_storage.Catalog.t -> Rule.t list

@@ -1,0 +1,184 @@
+(** Subquery-to-join conversion — the paper's Rule 1:
+
+    {v
+    IF OP1.type=Select AND Q2.type='E' AND
+       (at each evaluation of the existential predicate at most one
+        tuple of T2 satisfies the predicate)
+    THEN Q2.type = 'F';  /*convert to join*/
+    v}
+
+    The "at most one tuple" premise is established from declared UNIQUE
+    columns.  When it cannot be established, a more general rule (after
+    [KIM82, GANS87]) still converts — by forcing duplicate elimination
+    on the subquery — but since that is not always cheaper, it emits a
+    CHOOSE box linking both alternatives for the cost-based optimizer to
+    decide (section 5's "we have therefore added a new operation,
+    CHOOSE, to QGM to link together the alternatives"). *)
+
+module Qgm = Sb_qgm.Qgm
+module Ast = Sb_hydrogen.Ast
+open Rules_util
+open Sb_storage
+
+type candidate = {
+  cd_pred : Qgm.pred;
+  cd_quant : Qgm.quant;  (** the E quantifier *)
+  cd_sub : Qgm.box;  (** the subquery box *)
+  cd_inner : Qgm.expr;  (** predicate under the Quantified node *)
+  cd_unique : bool;  (** at most one match guaranteed *)
+}
+
+(** Matches a whole-conjunct existential membership predicate
+    [Quantified(qE, x = qE.c0)] on a SELECT box. *)
+let candidate ~catalog g (b : Qgm.box) : candidate option =
+  if b.Qgm.b_kind <> Qgm.Select then None
+  else
+    List.find_map
+      (fun (p : Qgm.pred) ->
+        match p.Qgm.p_expr with
+        | Qgm.Quantified (qid, inner) -> (
+          let q = Qgm.quant g qid in
+          if q.Qgm.q_type <> Qgm.E || q.Qgm.q_parent <> b.Qgm.b_id then None
+          else
+            let sub = Qgm.box g q.Qgm.q_input in
+            if
+              (not (has_single_user g sub.Qgm.b_id))
+              || Qgm.is_recursive g sub.Qgm.b_id
+              || quantified_uses g qid <> 1
+            then None
+            else
+              (* inner must be an equality binding the subquery's output *)
+              match inner with
+              | Qgm.Bin (Ast.Eq, a, Qgm.Col (qid', 0))
+                when qid' = qid && not (List.mem qid (Qgm.quant_refs a)) ->
+                let unique =
+                  Qgm.arity sub > 0
+                  && (sub.Qgm.b_distinct && Qgm.arity sub = 1
+                     ||
+                     match (Qgm.head_col sub 0).Qgm.hc_expr with
+                     | Some (Qgm.Col (sq, j)) ->
+                       derives_unique g (Qgm.quant g sq) j ~catalog
+                     | _ -> false)
+                in
+                (* the uniqueness argument above only applies to a
+                   1-column head bound by the equality *)
+                let unique = unique && Qgm.arity sub = 1 in
+                Some
+                  { cd_pred = p; cd_quant = q; cd_sub = sub; cd_inner = inner;
+                    cd_unique = unique }
+              | _ -> None)
+        | _ -> None)
+      b.Qgm.b_preds
+
+let convert (cd : candidate) =
+  cd.cd_quant.Qgm.q_type <- Qgm.F;
+  cd.cd_pred.Qgm.p_expr <- cd.cd_inner
+
+(** Rule 1 proper: conversion when at most one match is guaranteed. *)
+let subquery_to_join ~catalog : Rule.t =
+  Rule.make ~priority:55 ~name:"subquery_to_join" ~rule_class:"subquery"
+    ~condition:(fun ctx ->
+      match candidate ~catalog ctx.Rule.graph ctx.Rule.box with
+      | Some cd -> cd.cd_unique
+      | None -> false)
+    ~action:(fun ctx ->
+      match candidate ~catalog ctx.Rule.graph ctx.Rule.box with
+      | Some cd when cd.cd_unique -> convert cd
+      | Some _ | None -> ())
+    ()
+
+(** Is [b] already an alternative of a CHOOSE box?  Prevents the general
+    rule from expanding its own output forever. *)
+let under_choose g (b : Qgm.box) =
+  List.exists
+    (fun q -> (Qgm.box g q.Qgm.q_parent).Qgm.b_kind = Qgm.Choose)
+    (Qgm.users_of_box g b.Qgm.b_id)
+
+(** General conversion via CHOOSE: alternative 1 keeps the subquery,
+    alternative 2 converts to a join over the de-duplicated subquery. *)
+let subquery_to_join_choose ~catalog : Rule.t =
+  Rule.make ~priority:20 ~name:"subquery_to_join_choose" ~rule_class:"subquery"
+    ~condition:(fun ctx ->
+      let g = ctx.Rule.graph and b = ctx.Rule.box in
+      (not (under_choose g b))
+      && b.Qgm.b_order = []
+      && b.Qgm.b_limit = None
+      &&
+      match candidate ~catalog g b with
+      | Some cd -> not cd.cd_unique
+      | None -> false)
+    ~action:(fun ctx ->
+      let g = ctx.Rule.graph and b = ctx.Rule.box in
+      match candidate ~catalog g b with
+      | Some cd when not cd.cd_unique ->
+        (* copy the subtree, convert the copy, link both with CHOOSE *)
+        let copy_id = Qgm.copy_subgraph g b.Qgm.b_id in
+        let copy = Qgm.box g copy_id in
+        (match candidate ~catalog g copy with
+        | Some cd' ->
+          cd'.cd_sub.Qgm.b_distinct <- true;
+          convert cd'
+        | None -> Qgm.error "choose: conversion candidate lost in copy");
+        let choose = Qgm.new_box g ~label:"CHOOSE" Qgm.Choose in
+        choose.Qgm.b_head <-
+          List.map
+            (fun hc -> { hc with Qgm.hc_expr = None })
+            b.Qgm.b_head;
+        (* all users of b now range over the CHOOSE box *)
+        List.iter
+          (fun (u : Qgm.quant) -> u.Qgm.q_input <- choose.Qgm.b_id)
+          (Qgm.users_of_box g b.Qgm.b_id);
+        if g.Qgm.top = b.Qgm.b_id then g.Qgm.top <- choose.Qgm.b_id;
+        ignore (Qgm.new_quant g ~label:"alt1" ~parent:choose.Qgm.b_id ~input:b.Qgm.b_id Qgm.F);
+        ignore (Qgm.new_quant g ~label:"alt2" ~parent:choose.Qgm.b_id ~input:copy_id Qgm.F)
+      | Some _ | None -> ())
+    ()
+
+(** EXISTS with a constant-true inner predicate over an uncorrelated
+    subquery that itself has predicates benefits from nothing here; it
+    is executed as an exists-join.  But [Quantified(E, true)] where the
+    subquery is empty-headed pass-through can at least drop duplicates
+    work: mark the subquery box as permitting duplicate elimination. *)
+let exists_distinct : Rule.t =
+  Rule.make ~priority:10 ~name:"exists_subquery_distinct" ~rule_class:"subquery"
+    ~condition:(fun ctx ->
+      let g = ctx.Rule.graph and b = ctx.Rule.box in
+      b.Qgm.b_kind = Qgm.Select
+      && List.exists
+           (fun (p : Qgm.pred) ->
+             match p.Qgm.p_expr with
+             | Qgm.Quantified (qid, Qgm.Lit (Value.Bool true)) -> (
+               let q = Qgm.quant g qid in
+               q.Qgm.q_type = Qgm.E
+               &&
+               let sub = Qgm.box g q.Qgm.q_input in
+               (not sub.Qgm.b_distinct)
+               && sub.Qgm.b_kind = Qgm.Select
+               && Qgm.arity sub > 1
+               && has_single_user g sub.Qgm.b_id)
+             | _ -> false)
+           b.Qgm.b_preds)
+    ~action:(fun ctx ->
+      let g = ctx.Rule.graph and b = ctx.Rule.box in
+      List.iter
+        (fun (p : Qgm.pred) ->
+          match p.Qgm.p_expr with
+          | Qgm.Quantified (qid, Qgm.Lit (Value.Bool true)) ->
+            let q = Qgm.quant g qid in
+            if q.Qgm.q_type = Qgm.E then begin
+              let sub = Qgm.box g q.Qgm.q_input in
+              if
+                sub.Qgm.b_kind = Qgm.Select
+                && Qgm.arity sub > 1
+                && has_single_user g sub.Qgm.b_id
+              then begin
+                (* existence only needs one column *)
+                sub.Qgm.b_head <- [ List.hd sub.Qgm.b_head ]
+              end
+            end
+          | _ -> ())
+        b.Qgm.b_preds)
+    ()
+
+let rules ~catalog =
+  [ subquery_to_join ~catalog; subquery_to_join_choose ~catalog; exists_distinct ]

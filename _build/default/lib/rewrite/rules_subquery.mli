@@ -1,0 +1,8 @@
+(** Subquery-to-join conversion — the paper's Rule 1 (fires when the
+    declared-UNIQUE key guarantees at most one match), its
+    CHOOSE-emitting general form, and EXISTS head narrowing. *)
+
+val subquery_to_join : catalog:Sb_storage.Catalog.t -> Rule.t
+val subquery_to_join_choose : catalog:Sb_storage.Catalog.t -> Rule.t
+val exists_distinct : Rule.t
+val rules : catalog:Sb_storage.Catalog.t -> Rule.t list

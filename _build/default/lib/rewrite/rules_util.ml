@@ -1,0 +1,175 @@
+(** Shared helpers for writing rewrite rules ("a rich set of primitives
+    for manipulating query graphs"). *)
+
+module Qgm = Sb_qgm.Qgm
+module Ast = Sb_hydrogen.Ast
+open Sb_storage
+
+(** The single quantifier ranging over box [id], if exactly one. *)
+let single_user g id =
+  match Qgm.users_of_box g id with [ q ] -> Some q | _ -> None
+
+let has_single_user g id = single_user g id <> None
+
+(** All setformers of [b] are plain F (no extension setformer such as
+    PF) — the conservative condition base rules use so they cannot
+    misfire on extension operations. *)
+let plain_setformers (b : Qgm.box) =
+  List.for_all
+    (fun q ->
+      match q.Qgm.q_type with
+      | Qgm.F | Qgm.E | Qgm.A | Qgm.S | Qgm.SP _ -> true
+      | Qgm.Ext _ -> false)
+    b.Qgm.b_quants
+
+(** A box whose body may both give away and absorb predicates. *)
+let is_plain_select g (b : Qgm.box) =
+  b.Qgm.b_kind = Qgm.Select
+  && b.Qgm.b_limit = None
+  && (not (Qgm.is_recursive g b.Qgm.b_id))
+  && plain_setformers b
+
+(** Rewrites [e], replacing references through quantifier [q] by the
+    head expressions of the box [q] ranges over.  Returns [None] when a
+    referenced head column has no expression (base tables etc.). *)
+let inline_through g (q : Qgm.quant) (e : Qgm.expr) : Qgm.expr option =
+  let l = Qgm.box g q.Qgm.q_input in
+  let exception No_expr in
+  try
+    Some
+      (Qgm.subst_cols
+         (fun qid i ->
+           if qid = q.Qgm.q_id then
+             match (Qgm.head_col l i).Qgm.hc_expr with
+             | Some he -> Some he
+             | None -> raise No_expr
+           else None)
+         e)
+  with No_expr -> None
+
+(** Replaces every reference to [old_q] column [i] across the whole
+    graph using [subst], covering correlated references from nested
+    boxes. *)
+let subst_everywhere g (subst : Qgm.quant_id -> int -> Qgm.expr option) =
+  let rewrite e = Qgm.subst_cols subst e in
+  Hashtbl.iter
+    (fun _ (b : Qgm.box) ->
+      b.Qgm.b_head <-
+        List.map
+          (fun hc -> { hc with Qgm.hc_expr = Option.map rewrite hc.Qgm.hc_expr })
+          b.Qgm.b_head;
+      List.iter (fun p -> p.Qgm.p_expr <- rewrite p.Qgm.p_expr) b.Qgm.b_preds;
+      b.Qgm.b_order <- List.map (fun (e, d) -> (rewrite e, d)) b.Qgm.b_order;
+      b.Qgm.b_kind <-
+        (match b.Qgm.b_kind with
+        | Qgm.Group_by keys -> Qgm.Group_by (List.map rewrite keys)
+        | Qgm.Values_box rows -> Qgm.Values_box (List.map (List.map rewrite) rows)
+        | Qgm.Table_fn (n, args) -> Qgm.Table_fn (n, List.map rewrite args)
+        | k -> k))
+    g.Qgm.boxes
+
+(** Does any expression anywhere reference column [i] of quantifier
+    [qid]? *)
+let col_used_anywhere g qid i =
+  let used = ref false in
+  let check e =
+    List.iter (fun (q, j) -> if q = qid && j = i then used := true) (Qgm.col_refs e)
+  in
+  Hashtbl.iter
+    (fun _ (b : Qgm.box) ->
+      List.iter
+        (fun hc -> Option.iter check hc.Qgm.hc_expr)
+        b.Qgm.b_head;
+      List.iter (fun p -> check p.Qgm.p_expr) b.Qgm.b_preds;
+      List.iter (fun (e, _) -> check e) b.Qgm.b_order;
+      match b.Qgm.b_kind with
+      | Qgm.Group_by keys -> List.iter check keys
+      | Qgm.Values_box rows -> List.iter (List.iter check) rows
+      | Qgm.Table_fn (_, args) -> List.iter check args
+      | _ -> ())
+    g.Qgm.boxes;
+  !used
+
+(** Is quantifier [qid] referenced by any [Quantified] node other than
+    possibly [except]? *)
+let quantified_uses g qid =
+  let count = ref 0 in
+  let check e =
+    ignore
+      (Qgm.fold_expr
+         (fun () e ->
+           match e with Qgm.Quantified (q, _) when q = qid -> incr count | _ -> ())
+         () e)
+  in
+  Hashtbl.iter
+    (fun _ (b : Qgm.box) ->
+      List.iter (fun hc -> Option.iter check hc.Qgm.hc_expr) b.Qgm.b_head;
+      List.iter (fun p -> check p.Qgm.p_expr) b.Qgm.b_preds;
+      List.iter (fun (e, _) -> check e) b.Qgm.b_order)
+    g.Qgm.boxes;
+  !count
+
+(** Is head column [i] of the box under quantifier [q] derived from a
+    declared-UNIQUE base-table column (at most one row per value)?
+    Follows simple pass-through heads one level at a time. *)
+let rec derives_unique g (q : Qgm.quant) i ~catalog =
+  let b = Qgm.box g q.Qgm.q_input in
+  match b.Qgm.b_kind with
+  | Qgm.Base_table name -> (
+    match Catalog.find_table catalog name with
+    | Some tab ->
+      i < Array.length tab.Table_store.schema
+      && tab.Table_store.schema.(i).Schema.col_unique
+    | None -> false)
+  | Qgm.Select -> (
+    (* sound only when the box cannot multiply rows of the source *)
+    match Qgm.setformers b with
+    | [ inner ] -> (
+      match (Qgm.head_col b i).Qgm.hc_expr with
+      | Some (Qgm.Col (qid, j)) when qid = inner.Qgm.q_id ->
+        derives_unique g inner j ~catalog
+      | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+(** Is base column [i] under quantifier [q] declared NOT NULL? *)
+let derives_not_null g (q : Qgm.quant) i ~catalog =
+  let b = Qgm.box g q.Qgm.q_input in
+  match b.Qgm.b_kind with
+  | Qgm.Base_table name -> (
+    match Catalog.find_table catalog name with
+    | Some tab ->
+      i < Array.length tab.Table_store.schema
+      && not tab.Table_store.schema.(i).Schema.col_nullable
+    | None -> false)
+  | _ -> false
+
+(** Removes predicate [p] (physical identity) from [b]. *)
+let remove_pred (b : Qgm.box) (p : Qgm.pred) =
+  b.Qgm.b_preds <- List.filter (fun x -> x != p) b.Qgm.b_preds
+
+let pred_exists (b : Qgm.box) (e : Qgm.expr) =
+  List.exists (fun p -> Qgm.equal_expr p.Qgm.p_expr e) b.Qgm.b_preds
+
+(** Interposes a fresh SELECT box between quantifier [q] and its input,
+    with an identity head; returns the new box.  Used to give a
+    predicate a place to live below an operation that cannot hold it
+    (set operations, outer joins). *)
+let interpose_select g (q : Qgm.quant) : Qgm.box =
+  let input = Qgm.box g q.Qgm.q_input in
+  let s = Qgm.new_box g ~label:(input.Qgm.b_label ^ "'") Qgm.Select in
+  let nq =
+    Qgm.new_quant g ~label:(q.Qgm.q_label ^ "'") ~parent:s.Qgm.b_id
+      ~input:input.Qgm.b_id Qgm.F
+  in
+  s.Qgm.b_head <-
+    List.mapi
+      (fun i hc ->
+        {
+          Qgm.hc_name = hc.Qgm.hc_name;
+          hc_type = hc.Qgm.hc_type;
+          hc_expr = Some (Qgm.Col (nq.Qgm.q_id, i));
+        })
+      input.Qgm.b_head;
+  q.Qgm.q_input <- s.Qgm.b_id;
+  s

@@ -1,0 +1,1 @@
+lib/storage/access_method.ml: Array Btree Datatype Fmt Hashtbl List Option Rtree Schema Seq Storage_manager String Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/access_method.mli: Datatype Format Schema Seq Storage_manager Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Int List Seq Storage_manager Value

@@ -1,0 +1,1 @@
+lib/storage/btree.mli: Datatype Seq Storage_manager Value

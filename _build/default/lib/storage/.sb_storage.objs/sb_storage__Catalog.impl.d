@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Access_method Array Buffer_pool Datatype Fixed_file Fmt Hashtbl Heap_file List Schema Storage_manager String Table_store

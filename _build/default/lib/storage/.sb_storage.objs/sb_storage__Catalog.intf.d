@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Access_method Buffer_pool Datatype Hashtbl Schema Storage_manager Table_store

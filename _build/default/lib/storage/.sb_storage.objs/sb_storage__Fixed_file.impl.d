@@ -1,0 +1,1 @@
+lib/storage/fixed_file.ml: Buffer_pool List Page Row_codec Schema Seq Storage_manager String

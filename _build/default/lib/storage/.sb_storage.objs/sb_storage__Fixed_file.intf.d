@@ -1,0 +1,1 @@
+lib/storage/fixed_file.mli: Buffer_pool Schema Storage_manager

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Buffer_pool List Option Page Row_codec Schema Seq Storage_manager String

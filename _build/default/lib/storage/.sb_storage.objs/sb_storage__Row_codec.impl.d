@@ -1,0 +1,1 @@
+lib/storage/row_codec.ml: Array Buffer Bytes Char Datatype Fmt Int64 Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/row_codec.mli: Schema Tuple

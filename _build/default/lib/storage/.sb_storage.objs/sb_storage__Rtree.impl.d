@@ -1,0 +1,1 @@
+lib/storage/rtree.ml: Array Fmt List Storage_manager String

@@ -1,0 +1,1 @@
+lib/storage/rtree.mli: Format Storage_manager

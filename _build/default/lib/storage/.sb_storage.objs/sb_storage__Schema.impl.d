@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Datatype Fmt List Option String Value

@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Array Fmt List Schema Seq Tuple Value

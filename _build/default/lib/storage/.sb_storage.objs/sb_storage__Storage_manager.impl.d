@@ -1,0 +1,1 @@
+lib/storage/storage_manager.ml: Buffer_pool Fmt Hashtbl Int List Schema Seq String Tuple

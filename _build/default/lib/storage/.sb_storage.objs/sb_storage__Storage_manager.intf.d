@@ -1,0 +1,1 @@
+lib/storage/storage_manager.mli: Buffer_pool Format Schema Seq Tuple

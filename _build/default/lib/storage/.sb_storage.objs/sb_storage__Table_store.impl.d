@@ -1,0 +1,1 @@
+lib/storage/table_store.ml: Access_method Datatype Fmt List Schema Seq Stats Storage_manager Tuple

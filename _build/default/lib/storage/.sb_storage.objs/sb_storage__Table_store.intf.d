@@ -1,0 +1,1 @@
+lib/storage/table_store.mli: Access_method Datatype Schema Seq Stats Storage_manager Tuple

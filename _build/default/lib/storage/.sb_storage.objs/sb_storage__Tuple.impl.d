@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Fmt Int List Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Datatype Float Fmt Hashtbl Int Option String

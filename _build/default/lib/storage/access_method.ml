@@ -1,0 +1,216 @@
+(** Access-method attachments.
+
+    Core's attachment architecture [LIND87]: indexes (and integrity
+    constraints) attach to a table and are maintained on every insert,
+    delete and update.  New attachment {e kinds} register here; the
+    optimizer asks an attachment which {!probe}s it supports and charges
+    its estimated cost. *)
+
+type rid = Storage_manager.rid
+
+(** What an index lookup asks for.  [Custom] probes carry an
+    extension-defined operator name and arguments — e.g. the spatial
+    extension's ["overlaps"] probe with a box payload. *)
+type probe =
+  | Full_scan
+  | Key_eq of Value.t array
+  | Key_range of {
+      lo : (Value.t array * bool) option;  (** bound, inclusive? *)
+      hi : (Value.t array * bool) option;
+    }
+  | Custom of string * Value.t list
+
+let pp_probe ppf = function
+  | Full_scan -> Fmt.string ppf "full"
+  | Key_eq k -> Fmt.pf ppf "eq %a" Fmt.(array ~sep:comma Value.pp) k
+  | Key_range _ -> Fmt.string ppf "range"
+  | Custom (op, args) ->
+    Fmt.pf ppf "%s(%a)" op Fmt.(list ~sep:comma Value.pp) args
+
+(** One attachment instance on one table.  Attachments cover both
+    access methods and integrity constraints [LIND87]: a constraint is
+    an attachment whose [am_check] can reject a tuple before it is
+    stored. *)
+type instance = {
+  am_name : string;  (** e.g. the index name *)
+  am_kind : string;  (** e.g. "btree" *)
+  am_columns : int list;  (** key column positions in the table schema *)
+  am_check : Tuple.t -> exclude:rid option -> (unit, string) result;
+      (** consulted before insert/update; [exclude] is the rid being
+          replaced on update *)
+  am_insert : Tuple.t -> rid -> unit;
+  am_delete : Tuple.t -> rid -> unit;
+  am_supports : probe -> bool;
+  am_search : probe -> rid Seq.t;
+  am_entry_count : unit -> int;
+  am_ordered : bool;
+      (** does [am_search] yield rids in key order? (B-trees do; the
+          optimizer derives an order property from it) *)
+  am_accesses : unit -> int;  (** node touches since last reset *)
+  am_reset_accesses : unit -> unit;
+}
+
+(** An attachment kind a DBC registers (e.g. "btree", "rtree"). *)
+type kind = {
+  kind_name : string;
+  kind_create :
+    name:string ->
+    schema:Schema.t ->
+    columns:int list ->
+    registry:Datatype.registry ->
+    instance;
+}
+
+type registry = (string, kind) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 4
+
+let register (reg : registry) (k : kind) =
+  if Hashtbl.mem reg k.kind_name then
+    invalid_arg ("Access_method.register: duplicate kind " ^ k.kind_name);
+  Hashtbl.add reg k.kind_name k
+
+let find (reg : registry) name = Hashtbl.find_opt reg name
+
+(* ------------------------------------------------------------------ *)
+(* Built-in kind: B-tree                                               *)
+(* ------------------------------------------------------------------ *)
+
+let btree_kind : kind =
+  let kind_create ~name ~schema ~columns ~registry =
+    ignore schema;
+    let tree = Btree.create ~registry () in
+    let key_of tuple = Array.of_list (List.map (fun i -> tuple.(i)) columns) in
+    let search = function
+      | Full_scan -> Seq.map snd (Btree.range tree ())
+      | Key_eq k -> List.to_seq (List.rev (Btree.find tree k))
+      | Key_range { lo; hi } -> Seq.map snd (Btree.range tree ?lo ?hi ())
+      | Custom _ -> Seq.empty
+    in
+    {
+      am_name = name;
+      am_kind = "btree";
+      am_columns = columns;
+      am_check = (fun _ ~exclude:_ -> Ok ());
+      am_insert = (fun tuple rid -> Btree.insert tree (key_of tuple) rid);
+      am_delete = (fun tuple rid -> ignore (Btree.delete tree (key_of tuple) rid));
+      am_supports =
+        (function
+        | Full_scan | Key_eq _ | Key_range _ -> true
+        | Custom _ -> false);
+      am_search = search;
+      am_entry_count = (fun () -> Btree.entry_count tree);
+      am_ordered = true;
+      am_accesses = (fun () -> Btree.accesses tree);
+      am_reset_accesses = (fun () -> Btree.reset_accesses tree);
+    }
+  in
+  { kind_name = "btree"; kind_create }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in kind: UNIQUE integrity constraint                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A uniqueness constraint as an attachment: a B-tree over the key
+    columns whose [am_check] rejects tuples whose (non-null) key is
+    already present on another record. *)
+let unique_constraint_kind : kind =
+  let kind_create ~name ~schema ~columns ~registry =
+    ignore schema;
+    let tree = Btree.create ~registry () in
+    let key_of tuple = Array.of_list (List.map (fun i -> tuple.(i)) columns) in
+    {
+      am_name = name;
+      am_kind = "unique";
+      am_columns = columns;
+      am_check =
+        (fun tuple ~exclude ->
+          let key = key_of tuple in
+          if Array.exists Value.is_null key then Ok () (* nulls never conflict *)
+          else
+            let clash =
+              List.exists
+                (fun rid ->
+                  match exclude with
+                  | Some ex -> Storage_manager.compare_rid rid ex <> 0
+                  | None -> true)
+                (Btree.find tree key)
+            in
+            if clash then
+              Error
+                (Fmt.str "unique constraint %s violated by key (%s)" name
+                   (String.concat ", "
+                      (List.map Value.to_string (Array.to_list key))))
+            else Ok ())
+      ;
+      am_insert = (fun tuple rid -> Btree.insert tree (key_of tuple) rid);
+      am_delete = (fun tuple rid -> ignore (Btree.delete tree (key_of tuple) rid));
+      am_supports = (fun _ -> false);
+      am_search = (fun _ -> Seq.empty);
+      am_entry_count = (fun () -> Btree.entry_count tree);
+      am_ordered = false;
+      am_accesses = (fun () -> Btree.accesses tree);
+      am_reset_accesses = (fun () -> Btree.reset_accesses tree);
+    }
+  in
+  { kind_name = "unique"; kind_create }
+
+(* ------------------------------------------------------------------ *)
+(* Built-in kind: R-tree (spatial)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** R-tree attachment over a single column of external type ["BOX"]
+    (payload "x0,y0,x1,y1").  Supports the custom ["overlaps"] probe. *)
+let rtree_kind : kind =
+  let kind_create ~name ~schema ~columns ~registry =
+    ignore schema;
+    ignore registry;
+    let col =
+      match columns with
+      | [ c ] -> c
+      | _ -> invalid_arg "rtree attachment: exactly one key column required"
+    in
+    let tree = Rtree.create () in
+    let rect_of tuple =
+      match tuple.(col) with
+      | Value.Ext (_, payload) -> Rtree.rect_of_payload payload
+      | Value.String payload -> Rtree.rect_of_payload payload
+      | _ -> None
+    in
+    let search = function
+      | Custom ("overlaps", [ arg ]) ->
+        let payload =
+          match arg with
+          | Value.Ext (_, p) | Value.String p -> Some p
+          | _ -> None
+        in
+        (match Option.bind payload Rtree.rect_of_payload with
+        | Some q -> List.to_seq (Rtree.search tree q)
+        | None -> Seq.empty)
+      | Full_scan | Key_eq _ | Key_range _ | Custom _ -> Seq.empty
+    in
+    {
+      am_name = name;
+      am_kind = "rtree";
+      am_columns = columns;
+      am_check = (fun _ ~exclude:_ -> Ok ());
+      am_insert =
+        (fun tuple rid ->
+          match rect_of tuple with
+          | Some r -> Rtree.insert tree r rid
+          | None -> ());
+      am_delete =
+        (fun tuple rid ->
+          match rect_of tuple with
+          | Some r -> ignore (Rtree.delete tree r rid)
+          | None -> ());
+      am_supports =
+        (function Custom ("overlaps", [ _ ]) -> true | _ -> false);
+      am_search = search;
+      am_entry_count = (fun () -> Rtree.entry_count tree);
+      am_ordered = false;
+      am_accesses = (fun () -> Rtree.accesses tree);
+      am_reset_accesses = (fun () -> Rtree.reset_accesses tree);
+    }
+  in
+  { kind_name = "rtree"; kind_create }

@@ -1,0 +1,78 @@
+(** Access-method attachments.
+
+    Core's attachment architecture [LIND87]: indexes attach to a table
+    and are maintained on every insert, delete and update.  New
+    attachment {e kinds} register here; the optimizer asks an attachment
+    which {!probe}s it supports. *)
+
+type rid = Storage_manager.rid
+
+(** What an index lookup asks for.  [Custom] probes carry an
+    extension-defined operator name and arguments — e.g. the spatial
+    extension's ["overlaps"] probe. *)
+type probe =
+  | Full_scan
+  | Key_eq of Value.t array
+  | Key_range of {
+      lo : (Value.t array * bool) option;  (** bound, inclusive? *)
+      hi : (Value.t array * bool) option;
+    }
+  | Custom of string * Value.t list
+
+val pp_probe : Format.formatter -> probe -> unit
+
+(** One attachment instance on one table.  Attachments cover both
+    access methods and integrity constraints [LIND87]: a constraint is
+    an attachment whose [am_check] can reject a tuple before it is
+    stored. *)
+type instance = {
+  am_name : string;
+  am_kind : string;
+  am_columns : int list;  (** key column positions in the table schema *)
+  am_check : Tuple.t -> exclude:rid option -> (unit, string) result;
+      (** consulted before insert/update; [exclude] is the rid being
+          replaced on update *)
+  am_insert : Tuple.t -> rid -> unit;
+  am_delete : Tuple.t -> rid -> unit;
+  am_supports : probe -> bool;
+  am_search : probe -> rid Seq.t;
+  am_entry_count : unit -> int;
+  am_ordered : bool;
+      (** does [am_search] yield rids in key order? (the optimizer
+          derives an order property from it) *)
+  am_accesses : unit -> int;
+  am_reset_accesses : unit -> unit;
+}
+
+(** An attachment kind a DBC registers (e.g. "btree", "rtree"). *)
+type kind = {
+  kind_name : string;
+  kind_create :
+    name:string ->
+    schema:Schema.t ->
+    columns:int list ->
+    registry:Datatype.registry ->
+    instance;
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+(** @raise Invalid_argument on duplicate kind names. *)
+val register : registry -> kind -> unit
+
+val find : registry -> string -> kind option
+
+(** Built-in B-tree kind (composite keys, equality and range probes,
+    ordered output). *)
+val btree_kind : kind
+
+(** R-tree kind over a single [BOX]-typed column, answering the custom
+    ["overlaps"] probe.  Registered by the spatial extension. *)
+val rtree_kind : kind
+
+(** Uniqueness integrity constraint as an attachment: rejects tuples
+    whose (non-null) key already exists on another record.  The catalog
+    auto-attaches one per declared UNIQUE column. *)
+val unique_constraint_kind : kind

@@ -1,0 +1,253 @@
+(** B+-tree over composite value keys, mapping each key to the record ids
+    of matching tuples (duplicates allowed).  Leaves are chained for range
+    scans.  Deletion is lazy at the structural level: emptied keys are
+    removed from their leaf but underfull nodes are not rebalanced — the
+    standard trade-off for index workloads dominated by inserts/scans. *)
+
+type key = Value.t array
+
+type rid = Storage_manager.rid
+
+type leaf = {
+  mutable lkeys : key array;
+  mutable lvals : rid list array;
+  mutable lnext : leaf option;
+}
+
+type node = Leaf of leaf | Internal of internal
+
+and internal = {
+  (* children.(i) holds keys < ikeys.(i); children.(n) holds the rest *)
+  mutable ikeys : key array;
+  mutable children : node array;
+}
+
+type t = {
+  order : int;  (** max keys per node *)
+  cmp : key -> key -> int;
+  mutable root : node;
+  mutable entries : int;  (** total rids stored *)
+  mutable node_accesses : int;  (** accounting for the cost model *)
+}
+
+let compare_keys ?registry (a : key) (b : key) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i >= n then Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare ?registry a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let create ?registry ?(order = 32) () =
+  {
+    order;
+    cmp = compare_keys ?registry;
+    root = Leaf { lkeys = [||]; lvals = [||]; lnext = None };
+    entries = 0;
+    node_accesses = 0;
+  }
+
+let entry_count t = t.entries
+
+let reset_accesses t = t.node_accesses <- 0
+let accesses t = t.node_accesses
+
+(* index of first key >= k, or length if none *)
+let lower_bound cmp (keys : key array) k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+type split = (key * node) option
+
+let rec insert_node t node key rid : split =
+  t.node_accesses <- t.node_accesses + 1;
+  match node with
+  | Leaf l ->
+    let i = lower_bound t.cmp l.lkeys key in
+    if i < Array.length l.lkeys && t.cmp l.lkeys.(i) key = 0 then begin
+      l.lvals.(i) <- rid :: l.lvals.(i);
+      None
+    end
+    else begin
+      l.lkeys <- array_insert l.lkeys i key;
+      l.lvals <- array_insert l.lvals i [ rid ];
+      if Array.length l.lkeys <= t.order then None
+      else begin
+        let mid = Array.length l.lkeys / 2 in
+        let right =
+          {
+            lkeys = Array.sub l.lkeys mid (Array.length l.lkeys - mid);
+            lvals = Array.sub l.lvals mid (Array.length l.lvals - mid);
+            lnext = l.lnext;
+          }
+        in
+        l.lkeys <- Array.sub l.lkeys 0 mid;
+        l.lvals <- Array.sub l.lvals 0 mid;
+        l.lnext <- Some right;
+        Some (right.lkeys.(0), Leaf right)
+      end
+    end
+  | Internal node ->
+    let i = lower_bound t.cmp node.ikeys key in
+    let i = if i < Array.length node.ikeys && t.cmp node.ikeys.(i) key = 0 then i + 1 else i in
+    (match insert_node t node.children.(i) key rid with
+    | None -> None
+    | Some (sep, right) ->
+      node.ikeys <- array_insert node.ikeys i sep;
+      node.children <- array_insert node.children (i + 1) right;
+      if Array.length node.ikeys <= t.order then None
+      else begin
+        let mid = Array.length node.ikeys / 2 in
+        let sep_up = node.ikeys.(mid) in
+        let right_node =
+          {
+            ikeys = Array.sub node.ikeys (mid + 1) (Array.length node.ikeys - mid - 1);
+            children =
+              Array.sub node.children (mid + 1) (Array.length node.children - mid - 1);
+          }
+        in
+        node.ikeys <- Array.sub node.ikeys 0 mid;
+        node.children <- Array.sub node.children 0 (mid + 1);
+        Some (sep_up, Internal right_node)
+      end)
+
+let insert t key rid =
+  (match insert_node t t.root key rid with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Internal { ikeys = [| sep |]; children = [| t.root; right |] });
+  t.entries <- t.entries + 1
+
+let rec find_leaf t node key =
+  t.node_accesses <- t.node_accesses + 1;
+  match node with
+  | Leaf l -> l
+  | Internal n ->
+    let i = lower_bound t.cmp n.ikeys key in
+    let i = if i < Array.length n.ikeys && t.cmp n.ikeys.(i) key = 0 then i + 1 else i in
+    find_leaf t n.children.(i) key
+
+(** Removes one occurrence of [rid] under [key]. *)
+let delete t key rid =
+  let l = find_leaf t t.root key in
+  let i = lower_bound t.cmp l.lkeys key in
+  if i < Array.length l.lkeys && t.cmp l.lkeys.(i) key = 0 then begin
+    let before = List.length l.lvals.(i) in
+    let vals = ref [] and removed = ref false in
+    List.iter
+      (fun r ->
+        if (not !removed) && Storage_manager.compare_rid r rid = 0 then removed := true
+        else vals := r :: !vals)
+      l.lvals.(i);
+    if !removed then begin
+      t.entries <- t.entries - 1;
+      if before = 1 then begin
+        l.lkeys <- array_remove l.lkeys i;
+        l.lvals <- array_remove l.lvals i
+      end
+      else l.lvals.(i) <- List.rev !vals
+    end;
+    !removed
+  end
+  else false
+
+let find t key =
+  let l = find_leaf t t.root key in
+  let i = lower_bound t.cmp l.lkeys key in
+  if i < Array.length l.lkeys && t.cmp l.lkeys.(i) key = 0 then l.lvals.(i) else []
+
+(** Range scan.  Bounds are [(key, inclusive)]; [None] means unbounded.
+    Yields [(key, rid)] in key order. *)
+let range t ?lo ?hi () : (key * rid) Seq.t =
+  let start_leaf, start_idx =
+    match lo with
+    | None ->
+      let rec leftmost node =
+        t.node_accesses <- t.node_accesses + 1;
+        match node with
+        | Leaf l -> l
+        | Internal n -> leftmost n.children.(0)
+      in
+      (leftmost t.root, 0)
+    | Some (k, incl) ->
+      let l = find_leaf t t.root k in
+      let i = lower_bound t.cmp l.lkeys k in
+      let i =
+        if (not incl) && i < Array.length l.lkeys && t.cmp l.lkeys.(i) k = 0 then i + 1
+        else i
+      in
+      (l, i)
+  in
+  let below_hi key =
+    match hi with
+    | None -> true
+    | Some (k, incl) ->
+      let c = t.cmp key k in
+      if incl then c <= 0 else c < 0
+  in
+  let rec from_leaf (l : leaf) i () =
+    if i >= Array.length l.lkeys then
+      match l.lnext with
+      | None -> Seq.Nil
+      | Some next ->
+        t.node_accesses <- t.node_accesses + 1;
+        from_leaf next 0 ()
+    else if not (below_hi l.lkeys.(i)) then Seq.Nil
+    else
+      let key = l.lkeys.(i) in
+      let rids = List.rev l.lvals.(i) in
+      Seq.append
+        (Seq.map (fun r -> (key, r)) (List.to_seq rids))
+        (from_leaf l (i + 1))
+        ()
+  in
+  from_leaf start_leaf start_idx
+
+(** Structural invariants, used by the test suite. *)
+let check t =
+  let rec depth node =
+    match node with
+    | Leaf _ -> 0
+    | Internal n -> 1 + depth n.children.(0)
+  in
+  let d = depth t.root in
+  let ok = ref true in
+  let rec walk node level lo hi =
+    (match node with
+    | Leaf l ->
+      if level <> d then ok := false;
+      Array.iteri
+        (fun i k ->
+          (match lo with Some b when t.cmp k b < 0 -> ok := false | _ -> ());
+          (match hi with Some b when t.cmp k b >= 0 -> ok := false | _ -> ());
+          if i > 0 && t.cmp l.lkeys.(i - 1) k >= 0 then ok := false)
+        l.lkeys
+    | Internal n ->
+      if Array.length n.children <> Array.length n.ikeys + 1 then ok := false;
+      Array.iteri
+        (fun i k ->
+          if i > 0 && t.cmp n.ikeys.(i - 1) k >= 0 then ok := false)
+        n.ikeys;
+      Array.iteri
+        (fun i child ->
+          let lo' = if i = 0 then lo else Some n.ikeys.(i - 1) in
+          let hi' = if i = Array.length n.ikeys then hi else Some n.ikeys.(i) in
+          walk child (level + 1) lo' hi')
+        n.children);
+  in
+  walk t.root 0 None None;
+  !ok

@@ -1,0 +1,39 @@
+(** B+-tree over composite value keys, mapping each key to the record
+    ids of matching tuples (duplicates allowed).  Leaves are chained for
+    range scans; deletion is lazy at the structural level (emptied keys
+    leave their nodes unrebalanced). *)
+
+type key = Value.t array
+type rid = Storage_manager.rid
+type t
+
+val compare_keys : ?registry:Datatype.registry -> key -> key -> int
+
+(** [order] is the maximum keys per node (default 32); [registry]
+    resolves external-type key comparisons. *)
+val create : ?registry:Datatype.registry -> ?order:int -> unit -> t
+
+(** Total rids stored. *)
+val entry_count : t -> int
+
+(** Node touches since the last {!reset_accesses} (cost accounting). *)
+val accesses : t -> int
+
+val reset_accesses : t -> unit
+
+val insert : t -> key -> rid -> unit
+
+(** Removes one occurrence of [rid] under [key]; [false] if absent. *)
+val delete : t -> key -> rid -> bool
+
+(** All rids under [key] (most recently inserted first). *)
+val find : t -> key -> rid list
+
+(** Range scan in key order.  Bounds are [(key, inclusive)];
+    omitted bounds are open. *)
+val range :
+  t -> ?lo:key * bool -> ?hi:key * bool -> unit -> (key * rid) Seq.t
+
+(** Structural invariants (sortedness, separator bounds, uniform leaf
+    depth); used by the property tests. *)
+val check : t -> bool

@@ -1,0 +1,151 @@
+(** Buffer manager.
+
+    Core's buffer manager mediates all page access.  Here the "disk" is an
+    in-memory store of pages per file; what matters for reproducing the
+    paper's cost behaviour is the {e accounting}: a page access that misses
+    the (bounded, LRU) cache counts as a physical read, and evicting a
+    dirty page counts as a physical write.  The optimizer's cost model and
+    the experiment harness read these counters. *)
+
+type file_id = int
+
+type stats = {
+  mutable logical_reads : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+  mutable evictions : int;
+}
+
+type frame = {
+  page : Page.t;
+  f_file : file_id;
+  mutable pins : int;
+  mutable last_used : int;
+}
+
+type file = {
+  mutable pages : Page.t array;  (** the backing "disk" *)
+  mutable npages : int;
+  page_size : int;
+}
+
+type t = {
+  capacity : int;
+  files : (file_id, file) Hashtbl.t;
+  cache : (file_id * int, frame) Hashtbl.t;
+  mutable next_file : file_id;
+  mutable tick : int;
+  stats : stats;
+}
+
+let create ?(capacity = 256) () =
+  {
+    capacity;
+    files = Hashtbl.create 16;
+    cache = Hashtbl.create (2 * capacity);
+    next_file = 0;
+    tick = 0;
+    stats = { logical_reads = 0; physical_reads = 0; physical_writes = 0; evictions = 0 };
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.logical_reads <- 0;
+  t.stats.physical_reads <- 0;
+  t.stats.physical_writes <- 0;
+  t.stats.evictions <- 0
+
+let create_file ?(page_size = Page.default_size) t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  Hashtbl.replace t.files id { pages = [||]; npages = 0; page_size };
+  id
+
+let drop_file t id =
+  Hashtbl.remove t.files id;
+  Hashtbl.iter
+    (fun key frame -> if frame.f_file = id then Hashtbl.remove t.cache key)
+    (Hashtbl.copy t.cache)
+
+let get_file t id =
+  match Hashtbl.find_opt t.files id with
+  | Some f -> f
+  | None -> invalid_arg (Fmt.str "Buffer_pool: unknown file %d" id)
+
+let page_count t id = (get_file t id).npages
+
+(* Evict the least-recently-used unpinned frame, if the pool is over
+   capacity.  Dirty pages are "written back" (they already live in the
+   file array; we just count the write and clear the flag). *)
+let maybe_evict t =
+  while Hashtbl.length t.cache > t.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key frame ->
+        if frame.pins = 0 then
+          match !victim with
+          | Some (_, best) when best.last_used <= frame.last_used -> ()
+          | _ -> victim := Some (key, frame))
+      t.cache;
+    match !victim with
+    | None -> raise Exit (* everything pinned: give up silently *)
+    | Some (key, frame) ->
+      if frame.page.Page.dirty then begin
+        t.stats.physical_writes <- t.stats.physical_writes + 1;
+        frame.page.Page.dirty <- false
+      end;
+      t.stats.evictions <- t.stats.evictions + 1;
+      Hashtbl.remove t.cache key
+  done
+
+let maybe_evict t = try maybe_evict t with Exit -> ()
+
+let pin t file_id page_no =
+  t.tick <- t.tick + 1;
+  t.stats.logical_reads <- t.stats.logical_reads + 1;
+  match Hashtbl.find_opt t.cache (file_id, page_no) with
+  | Some frame ->
+    frame.pins <- frame.pins + 1;
+    frame.last_used <- t.tick;
+    frame.page
+  | None ->
+    let f = get_file t file_id in
+    if page_no < 0 || page_no >= f.npages then
+      invalid_arg (Fmt.str "Buffer_pool.pin: page %d/%d out of range" file_id page_no);
+    t.stats.physical_reads <- t.stats.physical_reads + 1;
+    let frame =
+      { page = f.pages.(page_no); f_file = file_id; pins = 1; last_used = t.tick }
+    in
+    Hashtbl.replace t.cache (file_id, page_no) frame;
+    maybe_evict t;
+    frame.page
+
+let unpin t file_id page_no =
+  match Hashtbl.find_opt t.cache (file_id, page_no) with
+  | Some frame when frame.pins > 0 -> frame.pins <- frame.pins - 1
+  | _ -> ()
+
+let with_page t file_id page_no f =
+  let page = pin t file_id page_no in
+  Fun.protect ~finally:(fun () -> unpin t file_id page_no) (fun () -> f page)
+
+(** Appends a fresh page to [file_id] and returns its page number. *)
+let alloc_page t file_id =
+  let f = get_file t file_id in
+  let page_no = f.npages in
+  let page = Page.create ~size:f.page_size page_no in
+  if f.npages >= Array.length f.pages then begin
+    let cap = max 8 (2 * Array.length f.pages) in
+    let pages =
+      Array.init cap (fun i -> if i < f.npages then f.pages.(i) else page)
+    in
+    f.pages <- pages
+  end;
+  f.pages.(page_no) <- page;
+  f.npages <- f.npages + 1;
+  t.tick <- t.tick + 1;
+  let frame = { page; f_file = file_id; pins = 0; last_used = t.tick } in
+  Hashtbl.replace t.cache (file_id, page_no) frame;
+  maybe_evict t;
+  page_no

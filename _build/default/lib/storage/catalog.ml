@@ -1,0 +1,145 @@
+(** The catalog: tables, views, attachments, and the extension
+    registries of one database instance.
+
+    Views are stored as their Hydrogen text plus optional column renames;
+    the language processor (which owns the parser) expands them.  Keeping
+    the definition textual here keeps Core independent of Corona, matching
+    the paper's layering. *)
+
+type view_def = {
+  view_name : string;
+  view_text : string;  (** the defining query, Hydrogen text *)
+  view_columns : string list option;  (** optional column renames *)
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  datatypes : Datatype.registry;
+  storage_managers : Storage_manager.registry;
+  access_methods : Access_method.registry;
+  tables : (string, Table_store.t) Hashtbl.t;
+  views : (string, view_def) Hashtbl.t;
+  mutable site_of : string -> string;
+      (** simulated-distribution hook: site where a table lives *)
+}
+
+let norm = String.lowercase_ascii
+
+let create ?(pool_capacity = 256) () =
+  let t =
+    {
+      pool = Buffer_pool.create ~capacity:pool_capacity ();
+      datatypes = Datatype.create_registry ();
+      storage_managers = Storage_manager.create_registry ();
+      access_methods = Access_method.create_registry ();
+      tables = Hashtbl.create 16;
+      views = Hashtbl.create 16;
+      site_of = (fun _ -> "local");
+    }
+  in
+  Storage_manager.register t.storage_managers Heap_file.factory;
+  Storage_manager.register t.storage_managers Fixed_file.factory;
+  Access_method.register t.access_methods Access_method.btree_kind;
+  Access_method.register t.access_methods Access_method.unique_constraint_kind;
+  t
+
+let find_table t name = Hashtbl.find_opt t.tables (norm name)
+let find_view t name = Hashtbl.find_opt t.views (norm name)
+
+let table_exists t name = Hashtbl.mem t.tables (norm name)
+let view_exists t name = Hashtbl.mem t.views (norm name)
+
+let table_names t =
+  Hashtbl.fold (fun _ tab acc -> tab.Table_store.name :: acc) t.tables []
+  |> List.sort String.compare
+
+let view_names t =
+  Hashtbl.fold (fun _ v acc -> v.view_name :: acc) t.views []
+  |> List.sort String.compare
+
+exception Catalog_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Catalog_error s)) fmt
+
+(** Creates a table.  [storage] names a registered storage manager
+    (default ["heap"]). *)
+let create_table t ?(storage = "heap") ~name ~(schema : Schema.t) () =
+  if table_exists t name || view_exists t name then
+    error "table or view %s already exists" name;
+  let factory =
+    match Storage_manager.find t.storage_managers storage with
+    | Some f -> f
+    | None -> error "unknown storage manager %s" storage
+  in
+  if not (factory.Storage_manager.supports schema) then
+    error "storage manager %s cannot store schema of %s" storage name;
+  let instance = factory.Storage_manager.create ~pool:t.pool ~schema in
+  let table =
+    Table_store.create ~name ~schema ~storage:instance ~storage_kind:storage
+      ~registry:t.datatypes
+  in
+  (* declared UNIQUE columns are enforced by constraint attachments —
+     constraints are attachments in Core's architecture [LIND87] *)
+  Array.iteri
+    (fun i col ->
+      if col.Schema.col_unique then begin
+        let am =
+          Access_method.unique_constraint_kind.Access_method.kind_create
+            ~name:(Fmt.str "%s_%s_unique" name col.Schema.col_name)
+            ~schema ~columns:[ i ] ~registry:t.datatypes
+        in
+        Table_store.attach table am
+      end)
+    schema;
+  Hashtbl.replace t.tables (norm name) table;
+  table
+
+let drop_table t name =
+  match find_table t name with
+  | None -> error "no such table %s" name
+  | Some _ -> Hashtbl.remove t.tables (norm name)
+
+let create_view t ~name ~text ?columns () =
+  if table_exists t name || view_exists t name then
+    error "table or view %s already exists" name;
+  Hashtbl.replace t.views (norm name)
+    { view_name = name; view_text = text; view_columns = columns }
+
+let drop_view t name =
+  if not (view_exists t name) then error "no such view %s" name;
+  Hashtbl.remove t.views (norm name)
+
+(** Creates an index (attachment) of a registered [kind] on [table]. *)
+let create_index t ~name ~table ~kind ~columns =
+  let tab =
+    match find_table t table with
+    | Some tab -> tab
+    | None -> error "no such table %s" table
+  in
+  let k =
+    match Access_method.find t.access_methods kind with
+    | Some k -> k
+    | None -> error "unknown access method kind %s" kind
+  in
+  let positions =
+    List.map
+      (fun col ->
+        match Schema.find_index tab.Table_store.schema col with
+        | Some i -> i
+        | None -> error "no column %s in %s" col table)
+      columns
+  in
+  let am =
+    k.Access_method.kind_create ~name ~schema:tab.Table_store.schema
+      ~columns:positions ~registry:t.datatypes
+  in
+  Table_store.attach tab am;
+  am
+
+let drop_index t ~table ~name =
+  match find_table t table with
+  | None -> error "no such table %s" table
+  | Some tab -> Table_store.detach tab name
+
+let analyze_all t =
+  Hashtbl.iter (fun _ tab -> ignore (Table_store.analyze tab)) t.tables

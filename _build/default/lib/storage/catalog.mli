@@ -1,0 +1,64 @@
+(** The catalog: tables, views, attachments, and the extension
+    registries of one database instance.
+
+    Views are stored as their Hydrogen text plus optional column
+    renames; the language processor (which owns the parser) expands
+    them, keeping Core independent of Corona as in the paper's
+    layering. *)
+
+type view_def = {
+  view_name : string;
+  view_text : string;  (** the defining query, Hydrogen text *)
+  view_columns : string list option;  (** optional column renames *)
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  datatypes : Datatype.registry;
+  storage_managers : Storage_manager.registry;
+  access_methods : Access_method.registry;
+  tables : (string, Table_store.t) Hashtbl.t;
+  views : (string, view_def) Hashtbl.t;
+  mutable site_of : string -> string;
+      (** simulated-distribution hook: the site a table lives at
+          (default: every table is ["local"]) *)
+}
+
+exception Catalog_error of string
+
+(** A fresh database instance with the built-in storage managers (heap,
+    fixed) and access-method kinds (btree) registered. *)
+val create : ?pool_capacity:int -> unit -> t
+
+val find_table : t -> string -> Table_store.t option
+val find_view : t -> string -> view_def option
+val table_exists : t -> string -> bool
+val view_exists : t -> string -> bool
+val table_names : t -> string list
+val view_names : t -> string list
+
+(** [storage] names a registered storage manager (default ["heap"]).
+    @raise Catalog_error on duplicates or unknown/unsupported managers. *)
+val create_table :
+  t -> ?storage:string -> name:string -> schema:Schema.t -> unit -> Table_store.t
+
+val drop_table : t -> string -> unit
+
+val create_view :
+  t -> name:string -> text:string -> ?columns:string list -> unit -> unit
+
+val drop_view : t -> string -> unit
+
+(** Creates an index (attachment) of a registered [kind] on [table] and
+    back-fills it. *)
+val create_index :
+  t ->
+  name:string ->
+  table:string ->
+  kind:string ->
+  columns:string list ->
+  Access_method.instance
+
+val drop_index : t -> table:string -> name:string -> unit
+
+val analyze_all : t -> unit

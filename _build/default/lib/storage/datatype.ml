@@ -1,0 +1,61 @@
+(** Column datatypes, including externally-defined (user) types.
+
+    The paper (end of section 2, and [WILM88]) lets a database customizer
+    (DBC) define "almost any type" for columns.  An external type is known
+    to the rest of the system only through the operations registered here:
+    how to validate/normalize a literal, how to compare two payloads, and
+    how to print them.  Payloads are stored as strings so that the storage
+    layer needs no knowledge of the type. *)
+
+type t =
+  | Int
+  | Float
+  | Bool
+  | String
+  | Ext of string  (** externally-defined type, identified by name *)
+
+let equal a b =
+  match a, b with
+  | Int, Int | Float, Float | Bool, Bool | String, String -> true
+  | Ext n1, Ext n2 -> String.equal n1 n2
+  | (Int | Float | Bool | String | Ext _), _ -> false
+
+let to_string = function
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | Bool -> "BOOL"
+  | String -> "STRING"
+  | Ext name -> name
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(** Operations a DBC must supply for an external type. *)
+type ext_ops = {
+  ext_name : string;
+  ext_parse : string -> (string, string) result;
+      (** validate / normalize a literal; [Error msg] rejects it *)
+  ext_compare : string -> string -> int;  (** total order on payloads *)
+  ext_print : string -> string;  (** display form of a payload *)
+}
+
+(** A registry of external types.  One registry belongs to each database
+    instance (see {!Catalog}), so tests and independent databases do not
+    interfere. *)
+type registry = (string, ext_ops) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 8
+
+let register (reg : registry) (ops : ext_ops) =
+  if Hashtbl.mem reg ops.ext_name then
+    invalid_arg ("Datatype.register: duplicate external type " ^ ops.ext_name);
+  Hashtbl.add reg ops.ext_name ops
+
+let find (reg : registry) name = Hashtbl.find_opt reg name
+
+let of_string (reg : registry) s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" -> Some Int
+  | "FLOAT" | "REAL" | "DOUBLE" -> Some Float
+  | "BOOL" | "BOOLEAN" -> Some Bool
+  | "STRING" | "VARCHAR" | "CHAR" | "TEXT" -> Some String
+  | _ -> if Hashtbl.mem reg s then Some (Ext s) else None

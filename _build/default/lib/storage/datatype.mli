@@ -1,0 +1,42 @@
+(** Column datatypes, including externally-defined (user) types.
+
+    The paper (end of section 2, and [WILM88]) lets a database
+    customizer define "almost any type" for columns.  An external type
+    is known to the rest of the system only through the operations
+    registered here; payloads are stored as strings so that the storage
+    layer needs no knowledge of the type. *)
+
+type t =
+  | Int
+  | Float
+  | Bool
+  | String
+  | Ext of string  (** externally-defined type, identified by name *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Operations a DBC must supply for an external type. *)
+type ext_ops = {
+  ext_name : string;
+  ext_parse : string -> (string, string) result;
+      (** validate / normalize a literal; [Error msg] rejects it *)
+  ext_compare : string -> string -> int;  (** total order on payloads *)
+  ext_print : string -> string;  (** display form of a payload *)
+}
+
+(** A registry of external types; one belongs to each database instance
+    (see {!Catalog.t}), so independent databases do not interfere. *)
+type registry
+
+val create_registry : unit -> registry
+
+(** @raise Invalid_argument on duplicate type names. *)
+val register : registry -> ext_ops -> unit
+
+val find : registry -> string -> ext_ops option
+
+(** Parses a type name (case-insensitive for built-ins; external types
+    match their registered name exactly). *)
+val of_string : registry -> string -> t option

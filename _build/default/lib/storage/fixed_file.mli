@@ -1,0 +1,10 @@
+(** A storage manager for fixed-length records only (the paper's example
+    of a Core storage-manager extension): records packed densely into
+    cells whose position follows from the slot number, so fetch is O(1)
+    arithmetic. *)
+
+(** @raise Invalid_argument on schemas with variable-length columns. *)
+val make : pool:Buffer_pool.t -> schema:Schema.t -> Storage_manager.instance
+
+(** Registered as ["fixed"]; supports INT/FLOAT/BOOL schemas. *)
+val factory : Storage_manager.factory

@@ -1,0 +1,7 @@
+(** The default storage manager: a heap of slotted pages holding
+    variable-length records, accessed through the buffer pool. *)
+
+val make : pool:Buffer_pool.t -> schema:Schema.t -> Storage_manager.instance
+
+(** Registered as ["heap"]; supports every schema. *)
+val factory : Storage_manager.factory

@@ -1,0 +1,169 @@
+(** Serialization of tuples to byte records and back.
+
+    Records stored in pages are byte strings; storage managers need not
+    know anything about values.  Two codecs are provided:
+
+    - the {e variable-length} codec, a tagged encoding handling any value;
+    - the {e fixed-length} codec, used by the fixed-length storage-manager
+      extension (section 1 of the paper: "a new storage manager which
+      handles fixed-length records only -- but extremely efficiently").
+      It supports INT / FLOAT / BOOL columns and nulls via a bitmap, and
+      yields records of a width computable from the schema alone. *)
+
+let buf_add_int64 buf (x : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical x (i * 8)) land 0xff))
+  done
+
+let get_int64 (s : string) off =
+  let r = ref 0L in
+  for i = 7 downto 0 do
+    r := Int64.logor (Int64.shift_left !r 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !r
+
+let buf_add_varint buf (x : int) =
+  (* LEB128-ish, for non-negative lengths *)
+  let rec go x =
+    if x < 0x80 then Buffer.add_char buf (Char.chr x)
+    else (
+      Buffer.add_char buf (Char.chr (0x80 lor (x land 0x7f)));
+      go (x lsr 7))
+  in
+  go x
+
+let get_varint (s : string) off =
+  let rec go off shift acc =
+    let b = Char.code s.[off] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then (acc, off + 1) else go (off + 1) (shift + 7) acc
+  in
+  go off 0 0
+
+(* --- variable-length codec --- *)
+
+let encode (t : Tuple.t) : string =
+  let buf = Buffer.create 64 in
+  buf_add_varint buf (Array.length t);
+  Array.iter
+    (fun v ->
+      match (v : Value.t) with
+      | Null -> Buffer.add_char buf '\000'
+      | Int x ->
+        Buffer.add_char buf '\001';
+        buf_add_int64 buf (Int64.of_int x)
+      | Float x ->
+        Buffer.add_char buf '\002';
+        buf_add_int64 buf (Int64.bits_of_float x)
+      | Bool b -> Buffer.add_char buf (if b then '\004' else '\003')
+      | String s ->
+        Buffer.add_char buf '\005';
+        buf_add_varint buf (String.length s);
+        Buffer.add_string buf s
+      | Ext (n, p) ->
+        Buffer.add_char buf '\006';
+        buf_add_varint buf (String.length n);
+        Buffer.add_string buf n;
+        buf_add_varint buf (String.length p);
+        Buffer.add_string buf p)
+    t;
+  Buffer.contents buf
+
+let decode (s : string) : Tuple.t =
+  let n, off = get_varint s 0 in
+  let off = ref off in
+  let read_string () =
+    let len, o = get_varint s !off in
+    off := o;
+    let str = String.sub s !off len in
+    off := !off + len;
+    str
+  in
+  Array.init n (fun _ ->
+      let tag = s.[!off] in
+      incr off;
+      match tag with
+      | '\000' -> Value.Null
+      | '\001' ->
+        let x = get_int64 s !off in
+        off := !off + 8;
+        Value.Int (Int64.to_int x)
+      | '\002' ->
+        let x = get_int64 s !off in
+        off := !off + 8;
+        Value.Float (Int64.float_of_bits x)
+      | '\003' -> Value.Bool false
+      | '\004' -> Value.Bool true
+      | '\005' -> Value.String (read_string ())
+      | '\006' ->
+        let n = read_string () in
+        let p = read_string () in
+        Value.Ext (n, p)
+      | c -> failwith (Fmt.str "Row_codec.decode: bad tag %C" c))
+
+(* --- fixed-length codec --- *)
+
+(** Width in bytes of a fixed-length record for [schema], or [None] if the
+    schema contains variable-length columns. *)
+let fixed_width (schema : Schema.t) : int option =
+  let bitmap = (Array.length schema + 7) / 8 in
+  let rec loop i acc =
+    if i >= Array.length schema then Some acc
+    else
+      match schema.(i).Schema.col_type with
+      | Datatype.Int | Datatype.Float -> loop (i + 1) (acc + 8)
+      | Datatype.Bool -> loop (i + 1) (acc + 1)
+      | Datatype.String | Datatype.Ext _ -> None
+  in
+  loop 0 bitmap
+
+let encode_fixed ~(schema : Schema.t) (t : Tuple.t) : string =
+  let n = Array.length schema in
+  let bitmap_len = (n + 7) / 8 in
+  let buf = Buffer.create 32 in
+  let bitmap = Bytes.make bitmap_len '\000' in
+  Array.iteri
+    (fun i v ->
+      if Value.is_null v then
+        Bytes.set bitmap (i / 8)
+          (Char.chr (Char.code (Bytes.get bitmap (i / 8)) lor (1 lsl (i mod 8)))))
+    t;
+  Buffer.add_bytes buf bitmap;
+  Array.iteri
+    (fun i c ->
+      let v = t.(i) in
+      match c.Schema.col_type with
+      | Datatype.Int ->
+        buf_add_int64 buf (if Value.is_null v then 0L else Int64.of_int (Value.as_int v))
+      | Datatype.Float ->
+        buf_add_int64 buf
+          (if Value.is_null v then 0L else Int64.bits_of_float (Value.as_float v))
+      | Datatype.Bool ->
+        Buffer.add_char buf
+          (if (not (Value.is_null v)) && Value.as_bool v then '\001' else '\000')
+      | Datatype.String | Datatype.Ext _ ->
+        invalid_arg "Row_codec.encode_fixed: variable-length column")
+    schema;
+  Buffer.contents buf
+
+let decode_fixed ~(schema : Schema.t) (s : string) : Tuple.t =
+  let n = Array.length schema in
+  let bitmap_len = (n + 7) / 8 in
+  let off = ref bitmap_len in
+  Array.init n (fun i ->
+      let null = Char.code s.[i / 8] land (1 lsl (i mod 8)) <> 0 in
+      match schema.(i).Schema.col_type with
+      | Datatype.Int ->
+        let x = get_int64 s !off in
+        off := !off + 8;
+        if null then Value.Null else Value.Int (Int64.to_int x)
+      | Datatype.Float ->
+        let x = get_int64 s !off in
+        off := !off + 8;
+        if null then Value.Null else Value.Float (Int64.float_of_bits x)
+      | Datatype.Bool ->
+        let c = s.[!off] in
+        incr off;
+        if null then Value.Null else Value.Bool (c = '\001')
+      | Datatype.String | Datatype.Ext _ ->
+        invalid_arg "Row_codec.decode_fixed: variable-length column")

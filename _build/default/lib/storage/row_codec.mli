@@ -1,0 +1,20 @@
+(** Serialization of tuples to byte records and back.
+
+    Two codecs: the {e variable-length} codec (a tagged encoding
+    handling any value) and the {e fixed-length} codec used by the
+    fixed-length storage manager (INT / FLOAT / BOOL columns plus a null
+    bitmap, with a width computable from the schema alone). *)
+
+(** Variable-length encoding of any tuple. *)
+val encode : Tuple.t -> string
+
+val decode : string -> Tuple.t
+
+(** Width in bytes of a fixed-length record for [schema], or [None] if
+    the schema contains variable-length columns. *)
+val fixed_width : Schema.t -> int option
+
+(** @raise Invalid_argument on variable-length columns. *)
+val encode_fixed : schema:Schema.t -> Tuple.t -> string
+
+val decode_fixed : schema:Schema.t -> string -> Tuple.t

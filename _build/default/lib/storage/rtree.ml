@@ -1,0 +1,225 @@
+(** R-tree [GUTT84] over 2-D rectangles — the paper's example of a new
+    access-method attachment that "Corona must recognize when ... useful
+    for a query".  Guttman's linear-cost split is used. *)
+
+type rect = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+let rect ~x0 ~y0 ~x1 ~y1 =
+  { x0 = min x0 x1; y0 = min y0 y1; x1 = max x0 x1; y1 = max y0 y1 }
+
+let overlaps a b = a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+let contains a b = a.x0 <= b.x0 && a.y0 <= b.y0 && a.x1 >= b.x1 && a.y1 >= b.y1
+
+let union a b =
+  { x0 = min a.x0 b.x0; y0 = min a.y0 b.y0; x1 = max a.x1 b.x1; y1 = max a.y1 b.y1 }
+
+let area r = (r.x1 -. r.x0) *. (r.y1 -. r.y0)
+
+let enlargement r extra = area (union r extra) -. area r
+
+let pp_rect ppf r = Fmt.pf ppf "[%g,%g;%g,%g]" r.x0 r.y0 r.x1 r.y1
+
+(** Parses the canonical payload form "x0,y0,x1,y1" of the [box] external
+    datatype; shared with the spatial extension. *)
+let rect_of_payload s =
+  match String.split_on_char ',' s |> List.map float_of_string_opt with
+  | [ Some x0; Some y0; Some x1; Some y1 ] -> Some (rect ~x0 ~y0 ~x1 ~y1)
+  | _ | (exception _) -> None
+
+let payload_of_rect r = Fmt.str "%g,%g,%g,%g" r.x0 r.y0 r.x1 r.y1
+
+type rid = Storage_manager.rid
+
+type entry = { mbr : rect; child : child }
+and child = Node of node | Record of rid
+and node = { mutable entries : entry list; leaf : bool }
+
+type t = {
+  max_entries : int;
+  mutable root : node;
+  mutable count : int;
+  mutable node_accesses : int;
+}
+
+let create ?(max_entries = 8) () =
+  {
+    max_entries;
+    root = { entries = []; leaf = true };
+    count = 0;
+    node_accesses = 0;
+  }
+
+let entry_count t = t.count
+let accesses t = t.node_accesses
+let reset_accesses t = t.node_accesses <- 0
+
+let node_mbr node =
+  match node.entries with
+  | [] -> { x0 = 0.; y0 = 0.; x1 = 0.; y1 = 0. }
+  | e :: rest -> List.fold_left (fun acc e -> union acc e.mbr) e.mbr rest
+
+(* Guttman linear split: pick the two seeds with greatest normalized
+   separation, then assign remaining entries to the group whose MBR grows
+   least. *)
+let linear_split t (entries : entry list) =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let best_pair = ref (0, 1) and best_sep = ref neg_infinity in
+  let dim lo hi =
+    let lo_max = ref neg_infinity and hi_min = ref infinity in
+    let lo_i = ref 0 and hi_i = ref 0 in
+    let span_lo = ref infinity and span_hi = ref neg_infinity in
+    Array.iteri
+      (fun i e ->
+        let l = lo e.mbr and h = hi e.mbr in
+        if l > !lo_max then begin lo_max := l; lo_i := i end;
+        if h < !hi_min then begin hi_min := h; hi_i := i end;
+        span_lo := min !span_lo l;
+        span_hi := max !span_hi h)
+      arr;
+    let width = max (!span_hi -. !span_lo) 1e-9 in
+    let sep = (!lo_max -. !hi_min) /. width in
+    if sep > !best_sep && !lo_i <> !hi_i then begin
+      best_sep := sep;
+      best_pair := (!lo_i, !hi_i)
+    end
+  in
+  dim (fun r -> r.x0) (fun r -> r.x1);
+  dim (fun r -> r.y0) (fun r -> r.y1);
+  let i, j = !best_pair in
+  let g1 = ref [ arr.(i) ] and g2 = ref [ arr.(j) ] in
+  let m1 = ref arr.(i).mbr and m2 = ref arr.(j).mbr in
+  let min_fill = max 1 (t.max_entries / 3) in
+  Array.iteri
+    (fun k e ->
+      if k <> i && k <> j then begin
+        let remaining = n - k in
+        if List.length !g1 + remaining <= min_fill then begin
+          g1 := e :: !g1;
+          m1 := union !m1 e.mbr
+        end
+        else if List.length !g2 + remaining <= min_fill then begin
+          g2 := e :: !g2;
+          m2 := union !m2 e.mbr
+        end
+        else begin
+          let d1 = enlargement !m1 e.mbr and d2 = enlargement !m2 e.mbr in
+          if d1 < d2 || (d1 = d2 && area !m1 <= area !m2) then begin
+            g1 := e :: !g1;
+            m1 := union !m1 e.mbr
+          end
+          else begin
+            g2 := e :: !g2;
+            m2 := union !m2 e.mbr
+          end
+        end
+      end)
+    arr;
+  (!g1, !g2)
+
+(* insert into [node]; on overflow returns the two halves' entries *)
+let rec insert_node t node (e : entry) : (entry * entry) option =
+  t.node_accesses <- t.node_accesses + 1;
+  if node.leaf then begin
+    node.entries <- e :: node.entries;
+    if List.length node.entries <= t.max_entries then None
+    else
+      let g1, g2 = linear_split t node.entries in
+      let right = { entries = g2; leaf = true } in
+      node.entries <- g1;
+      Some
+        ( { mbr = node_mbr node; child = Node node },
+          { mbr = node_mbr right; child = Node right } )
+  end
+  else begin
+    (* choose subtree needing least enlargement *)
+    let best = ref None in
+    List.iter
+      (fun sub ->
+        let enl = enlargement sub.mbr e.mbr in
+        match !best with
+        | Some (b_enl, b_area, _) when (enl, area sub.mbr) >= (b_enl, b_area) -> ()
+        | _ -> best := Some (enl, area sub.mbr, sub))
+      node.entries;
+    match !best with
+    | None ->
+      node.entries <- [ e ];
+      None
+    | Some (_, _, chosen) ->
+      let chosen_node =
+        match chosen.child with
+        | Node n -> n
+        | Record _ -> assert false
+      in
+      (match insert_node t chosen_node e with
+      | None ->
+        node.entries <-
+          List.map
+            (fun s -> if s == chosen then { s with mbr = union s.mbr e.mbr } else s)
+            node.entries;
+        None
+      | Some (left, right) ->
+        node.entries <-
+          left :: right :: List.filter (fun s -> s != chosen) node.entries;
+        if List.length node.entries <= t.max_entries then None
+        else
+          let g1, g2 = linear_split t node.entries in
+          let right_node = { entries = g2; leaf = false } in
+          node.entries <- g1;
+          Some
+            ( { mbr = node_mbr node; child = Node node },
+              { mbr = node_mbr right_node; child = Node right_node } ))
+  end
+
+let insert t (r : rect) (rid : rid) =
+  (match insert_node t t.root { mbr = r; child = Record rid } with
+  | None -> ()
+  | Some (left, right) ->
+    t.root <- { entries = [ left; right ]; leaf = false });
+  t.count <- t.count + 1
+
+(** All rids whose rectangle overlaps [query]. *)
+let search t (query : rect) : rid list =
+  let acc = ref [] in
+  let rec walk node =
+    t.node_accesses <- t.node_accesses + 1;
+    List.iter
+      (fun e ->
+        if overlaps e.mbr query then
+          match e.child with
+          | Record rid -> acc := rid :: !acc
+          | Node n -> walk n)
+      node.entries
+  in
+  walk t.root;
+  !acc
+
+(** Removes one entry with exactly rectangle [r] and id [rid].  Underfull
+    nodes are not condensed (lazy deletion, as in {!Btree}). *)
+let delete t (r : rect) (rid : rid) =
+  let removed = ref false in
+  let rec walk node =
+    if node.leaf then
+      node.entries <-
+        List.filter
+          (fun e ->
+            match e.child with
+            | Record rr
+              when (not !removed)
+                   && Storage_manager.compare_rid rr rid = 0
+                   && e.mbr = r ->
+              removed := true;
+              false
+            | Record _ | Node _ -> true)
+          node.entries
+    else
+      List.iter
+        (fun e ->
+          if (not !removed) && contains e.mbr r then
+            match e.child with Node n -> walk n | Record _ -> ())
+        node.entries
+  in
+  walk t.root;
+  if !removed then t.count <- t.count - 1;
+  !removed

@@ -1,0 +1,34 @@
+(** R-tree [GUTT84] over 2-D rectangles — the paper's example of a new
+    access-method attachment.  Guttman's linear-cost split. *)
+
+type rect = { x0 : float; y0 : float; x1 : float; y1 : float }
+
+(** Normalizing constructor (corners may be given in any order). *)
+val rect : x0:float -> y0:float -> x1:float -> y1:float -> rect
+
+val overlaps : rect -> rect -> bool
+val contains : rect -> rect -> bool
+val union : rect -> rect -> rect
+val area : rect -> float
+val pp_rect : Format.formatter -> rect -> unit
+
+(** Canonical payload form ["x0,y0,x1,y1"] of the [BOX] external
+    datatype; shared with the spatial extension. *)
+val rect_of_payload : string -> rect option
+
+val payload_of_rect : rect -> string
+
+type rid = Storage_manager.rid
+type t
+
+val create : ?max_entries:int -> unit -> t
+val entry_count : t -> int
+val accesses : t -> int
+val reset_accesses : t -> unit
+val insert : t -> rect -> rid -> unit
+
+(** All rids whose rectangle overlaps the query window. *)
+val search : t -> rect -> rid list
+
+(** Removes one entry with exactly this rectangle and id. *)
+val delete : t -> rect -> rid -> bool

@@ -1,0 +1,68 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+  col_nullable : bool;
+  col_unique : bool;  (** declared key: at most one row per value *)
+}
+
+type t = column array
+
+let column ?(nullable = true) ?(unique = false) name ty =
+  { col_name = name; col_type = ty; col_nullable = nullable; col_unique = unique }
+
+let arity (s : t) = Array.length s
+
+let names (s : t) = Array.to_list s |> List.map (fun c -> c.col_name)
+
+(** Index of column [name] (case-insensitive, as in SQL). *)
+let find_index (s : t) name =
+  let lname = String.lowercase_ascii name in
+  let rec loop i =
+    if i >= Array.length s then None
+    else if String.lowercase_ascii s.(i).col_name = lname then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let find_column (s : t) name =
+  Option.map (fun i -> s.(i)) (find_index s name)
+
+let pp_column ppf c =
+  Fmt.pf ppf "%s %a%s" c.col_name Datatype.pp c.col_type
+    (if c.col_nullable then "" else " NOT NULL")
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:comma pp_column) s
+
+(** Checks that [tuple] matches the schema: arity, types of non-null
+    values, and nullability.  Returns an error message on mismatch. *)
+let validate ~schema (tuple : Value.t array) =
+  if Array.length tuple <> Array.length schema then
+    Error
+      (Fmt.str "arity mismatch: expected %d columns, got %d"
+         (Array.length schema) (Array.length tuple))
+  else
+    let rec loop i =
+      if i >= Array.length schema then Ok ()
+      else
+        let c = schema.(i) and v = tuple.(i) in
+        match Value.type_of v with
+        | None ->
+          if c.col_nullable then loop (i + 1)
+          else Error (Fmt.str "column %s is NOT NULL" c.col_name)
+        | Some ty ->
+          (* ints widen to float columns *)
+          let ok =
+            Datatype.equal ty c.col_type
+            || (Datatype.equal c.col_type Datatype.Float
+               && Datatype.equal ty Datatype.Int)
+          in
+          if ok then loop (i + 1)
+          else
+            Error
+              (Fmt.str "column %s expects %a, got %a" c.col_name Datatype.pp
+                 c.col_type Datatype.pp ty)
+    in
+    loop 0

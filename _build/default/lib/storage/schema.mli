@@ -1,0 +1,28 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = {
+  col_name : string;
+  col_type : Datatype.t;
+  col_nullable : bool;
+  col_unique : bool;  (** declared key: at most one row per value *)
+}
+
+type t = column array
+
+(** [column name ty] defaults to nullable and non-unique. *)
+val column : ?nullable:bool -> ?unique:bool -> string -> Datatype.t -> column
+
+val arity : t -> int
+val names : t -> string list
+
+(** Index of column [name] (case-insensitive, as in SQL). *)
+val find_index : t -> string -> int option
+
+val find_column : t -> string -> column option
+
+val pp_column : Format.formatter -> column -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Checks arity, types of non-null values (ints widen to FLOAT
+    columns), and nullability. *)
+val validate : schema:t -> Value.t array -> (unit, string) result

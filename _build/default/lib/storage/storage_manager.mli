@@ -1,0 +1,45 @@
+(** Pluggable storage managers.
+
+    Core's data management extension architecture [LIND87] lets a DBC
+    add new storage methods for tables.  A storage manager owns one
+    table's bytes; the rest of the system addresses records only through
+    record ids and the operations below.  Managers register a {!factory}
+    by name; [CREATE TABLE ... USING <name>] selects one. *)
+
+(** Record identifier: stable address of a record within its table. *)
+type rid = { rid_page : int; rid_slot : int }
+
+val compare_rid : rid -> rid -> int
+val pp_rid : Format.formatter -> rid -> unit
+
+(** One storage-manager instance holds one table's records. *)
+type instance = {
+  sm_kind : string;
+  insert : Tuple.t -> rid;
+  delete : rid -> bool;
+  update : rid -> Tuple.t -> bool;
+      (** [false] when the record could not be updated in place (the
+          caller deletes and reinserts) or does not exist *)
+  fetch : rid -> Tuple.t option;
+  scan : unit -> (rid * Tuple.t) Seq.t;
+  tuple_count : unit -> int;
+  page_count : unit -> int;
+  truncate : unit -> unit;
+}
+
+type factory = {
+  factory_name : string;
+  supports : Schema.t -> bool;
+      (** can this manager store tables of the given schema? *)
+  create : pool:Buffer_pool.t -> schema:Schema.t -> instance;
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+(** @raise Invalid_argument on duplicate factory names. *)
+val register : registry -> factory -> unit
+
+val find : registry -> string -> factory option
+val names : registry -> string list

@@ -1,0 +1,52 @@
+(** A stored table: schema + storage-manager instance + attachments.
+
+    All mutations go through here so that attachments stay consistent
+    with the base records — the contract Corona relies on when it picks
+    an access path. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  storage : Storage_manager.instance;
+  storage_kind : string;
+  mutable attachments : Access_method.instance list;
+  mutable stats : Stats.t;
+  registry : Datatype.registry;
+}
+
+val create :
+  name:string ->
+  schema:Schema.t ->
+  storage:Storage_manager.instance ->
+  storage_kind:string ->
+  registry:Datatype.registry ->
+  t
+
+exception Constraint_violation of string
+
+(** @raise Invalid_argument on schema violations.
+    @raise Constraint_violation when an attachment's check rejects the
+    tuple (e.g. a UNIQUE constraint). *)
+val insert : t -> Tuple.t -> Storage_manager.rid
+
+val delete : t -> Storage_manager.rid -> bool
+
+(** Updates in place when possible, else deletes and reinserts;
+    attachments are maintained either way. *)
+val update : t -> Storage_manager.rid -> Tuple.t -> bool
+
+val fetch : t -> Storage_manager.rid -> Tuple.t option
+val scan : t -> (Storage_manager.rid * Tuple.t) Seq.t
+val tuple_count : t -> int
+val page_count : t -> int
+val truncate : t -> unit
+
+(** Attaches an access method and back-fills it from existing records.
+    @raise Invalid_argument on duplicate attachment names. *)
+val attach : t -> Access_method.instance -> unit
+
+val detach : t -> string -> unit
+val find_attachment : t -> string -> Access_method.instance option
+
+(** Recomputes and stores the table's statistics from a full scan. *)
+val analyze : t -> Stats.t

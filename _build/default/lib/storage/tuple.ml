@@ -1,0 +1,49 @@
+(** Tuples are immutable-by-convention arrays of values. *)
+
+type t = Value.t array
+
+let arity (t : t) = Array.length t
+
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let project (t : t) (indices : int list) : t =
+  Array.of_list (List.map (fun i -> t.(i)) indices)
+
+(** Lexicographic comparison on the given column indices; [descs.(k)]
+    reverses the k-th key. *)
+let compare_on ?registry ~keys ?descs (a : t) (b : t) =
+  let rec loop k = function
+    | [] -> 0
+    | i :: rest ->
+      let c = Value.compare ?registry a.(i) b.(i) in
+      let c =
+        match descs with
+        | Some d when d.(k) -> -c
+        | _ -> c
+      in
+      if c <> 0 then c else loop (k + 1) rest
+  in
+  loop 0 keys
+
+let compare ?registry (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i =
+    if i >= n then Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare ?registry a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal ?registry a b = compare ?registry a b = 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:comma Value.pp) t
+
+let to_string (t : t) = Fmt.str "%a" pp t

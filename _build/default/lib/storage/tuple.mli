@@ -1,0 +1,24 @@
+(** Tuples are immutable-by-convention arrays of values. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val concat : t -> t -> t
+
+(** Projects the given column positions, in order. *)
+val project : t -> int list -> t
+
+(** Lexicographic comparison on the column indices in [keys];
+    [descs.(k)] reverses the k-th key. *)
+val compare_on :
+  ?registry:Datatype.registry -> keys:int list -> ?descs:bool array -> t -> t -> int
+
+(** Full lexicographic comparison (shorter tuples first on ties). *)
+val compare : ?registry:Datatype.registry -> t -> t -> int
+
+val equal : ?registry:Datatype.registry -> t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float List Printf Sb_hydrogen Sb_optimizer Sb_qgm Sb_rewrite Sb_storage Starburst String Test_util Value

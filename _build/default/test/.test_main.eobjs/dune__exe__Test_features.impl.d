@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Hashtbl List Page Printf Sb_extensions Sb_optimizer Sb_qes Sb_rewrite Sb_storage Starburst String Test_util Value

@@ -1,0 +1,1 @@
+test/test_hydrogen.ml: Alcotest Ast Functions Lexer List Parser Pretty Result Sb_hydrogen Sb_storage Test_util

@@ -1,0 +1,1 @@
+test/test_integration2.ml: Alcotest List Sb_hydrogen Sb_qes Sb_qgm Starburst String Test_util

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array List Printf Sb_optimizer Sb_qgm Sb_storage Starburst String Test_util Value

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Char Hashtbl List Printf QCheck2 QCheck_alcotest Random Sb_hydrogen Sb_optimizer Sb_storage Starburst String Test_util Tuple Value

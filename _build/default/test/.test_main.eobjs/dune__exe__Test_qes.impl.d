@@ -1,0 +1,1 @@
+test/test_qes.ml: Alcotest Printf Sb_qes Starburst Test_util

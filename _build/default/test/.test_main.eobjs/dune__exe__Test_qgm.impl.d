@@ -1,0 +1,1 @@
+test/test_qgm.ml: Alcotest Catalog Datatype Hashtbl List Sb_hydrogen Sb_qgm Sb_storage Schema String Test_util

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Catalog Datatype List Sb_hydrogen Sb_qgm Sb_rewrite Sb_storage Schema Test_util

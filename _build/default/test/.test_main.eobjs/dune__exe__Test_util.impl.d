@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Sb_extensions Sb_hydrogen Sb_optimizer Sb_qes Sb_qgm Sb_storage Starburst String Tuple Value

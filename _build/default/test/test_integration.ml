@@ -1,0 +1,362 @@
+(** End-to-end golden tests: Hydrogen text in, rows out, through the full
+    parse → QGM → rewrite → optimize → execute pipeline.  These double
+    as the QES semantics suite (three-valued logic, join kinds,
+    aggregation, set operations, recursion, subquery mechanisms). *)
+
+open Test_util
+
+let t () = sample_db ()
+
+let test_basic_select () =
+  let db = t () in
+  check_bag "projection"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 3 ]; row [ i 4 ]; row [ i 1 ] ]
+    (q db "SELECT partno FROM quotations");
+  check_bag "filter"
+    [ row [ i 4; f 99.0 ] ]
+    (q db "SELECT partno, price FROM quotations WHERE price > 50");
+  check_bag "expressions"
+    [ row [ f 1050.0 ] ]
+    (q db "SELECT price * order_qty FROM quotations WHERE partno = 1 AND supplier = 'acme'");
+  check_rows "order by"
+    [ row [ f 7.25 ]; row [ f 10.5 ]; row [ f 11.0 ]; row [ f 20.0 ]; row [ f 99.0 ] ]
+    (q db "SELECT price FROM quotations ORDER BY price");
+  check_rows "order desc limit"
+    [ row [ f 99.0 ]; row [ f 20.0 ] ]
+    (q db "SELECT price FROM quotations ORDER BY price DESC LIMIT 2");
+  check_bag "distinct"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 3 ]; row [ i 4 ] ]
+    (q db "SELECT DISTINCT partno FROM quotations")
+
+let test_joins () =
+  let db = t () in
+  check_bag "equi join"
+    [ row [ i 1; s "CPU" ]; row [ i 1; s "CPU" ]; row [ i 2; s "CPU" ];
+      row [ i 3; s "DISK" ]; row [ i 4; s "CPU" ] ]
+    (q db "SELECT q.partno, i.type FROM quotations q, inventory i WHERE q.partno = i.partno");
+  check_bag "theta join"
+    [ row [ i 4 ] ]
+    (q db
+       "SELECT q.partno FROM quotations q, inventory i WHERE q.partno = \
+        i.partno AND q.order_qty > i.onhand_qty AND q.price > 20");
+  (* three-way join *)
+  check_bag "three-way"
+    [ row [ s "eng"; s "west" ] ]
+    (q db
+       "SELECT d.dname, d.region FROM dept d, emp e, emp e2 WHERE d.id = \
+        e.dept AND d.id = e2.dept AND e.salary > 110 AND e2.salary < 100");
+  (* explicit JOIN syntax *)
+  check_bag "inner join syntax"
+    [ row [ s "eng" ]; row [ s "eng" ]; row [ s "eng" ]; row [ s "sales" ]; row [ s "legal" ] ]
+    (q db "SELECT d.dname FROM dept d JOIN emp e ON d.id = e.dept")
+
+let test_subqueries () =
+  let db = t () in
+  check_bag "IN correlated (paper query)"
+    [ row [ i 1; f 10.5; i 100 ]; row [ i 4; f 99.0; i 2 ]; row [ i 1; f 11.0; i 30 ] ]
+    (q db
+       "SELECT partno, price, order_qty FROM quotations Q1 WHERE Q1.partno IN \
+        (SELECT partno FROM inventory Q3 WHERE Q3.onhand_qty < Q1.order_qty \
+        AND Q3.type = 'CPU')");
+  check_bag "NOT IN"
+    [ row [ i 4 ] ]
+    (q db
+       "SELECT partno FROM inventory WHERE partno NOT IN (SELECT partno FROM \
+        quotations WHERE price < 50)");
+  check_bag "EXISTS"
+    [ row [ s "eng" ]; row [ s "sales" ]; row [ s "legal" ] ]
+    (q db "SELECT dname FROM dept d WHERE EXISTS (SELECT * FROM emp e WHERE e.dept = d.id)");
+  check_bag "NOT EXISTS"
+    [ row [ s "empty" ] ]
+    (q db "SELECT dname FROM dept d WHERE NOT EXISTS (SELECT * FROM emp e WHERE e.dept = d.id)");
+  check_bag "ALL"
+    [ row [ i 4 ] ]
+    (q db "SELECT partno FROM quotations WHERE price >= ALL (SELECT price FROM quotations)");
+  check_bag "ALL over empty is true"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 3 ]; row [ i 4 ] ]
+    (q db
+       "SELECT partno FROM inventory WHERE onhand_qty > ALL (SELECT price \
+        FROM quotations WHERE partno = 99)");
+  check_bag "ANY"
+    [ row [ i 2 ] ]
+    (q db
+       "SELECT partno FROM inventory WHERE onhand_qty > ANY (SELECT order_qty \
+        FROM quotations WHERE order_qty > 40)");
+  check_bag "scalar subquery"
+    [ row [ i 4; f 99.0 ] ]
+    (q db "SELECT partno, price FROM quotations WHERE price = (SELECT max(price) FROM quotations)");
+  check_bag "scalar subquery in select list"
+    [ row [ i 2; i 500 ] ]
+    (q db
+       "SELECT partno, (SELECT onhand_qty FROM inventory i WHERE i.partno = \
+        q.partno) FROM quotations q WHERE partno = 2");
+  (* uncorrelated scalar subquery returning no rows -> NULL *)
+  check_bag "empty scalar is null"
+    []
+    (q db "SELECT partno FROM quotations WHERE price = (SELECT price FROM quotations WHERE partno = 99)")
+
+let test_or_with_subquery () =
+  let db = t () in
+  (* the paper's section-7 OR example *)
+  check_bag "OR with scalar subquery"
+    [ row [ i 3 ]; row [ i 4 ] ]
+    (q db
+       "SELECT partno FROM quotations q WHERE q.price > 50 OR q.partno = \
+        (SELECT partno FROM inventory WHERE onhand_qty = 10)");
+  check_bag "OR with IN subquery"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 4 ] ]
+    (q db
+       "SELECT partno FROM quotations q WHERE q.order_qty < 3 OR q.partno IN \
+        (SELECT partno FROM inventory WHERE onhand_qty >= 10 AND onhand_qty \
+        <= 500 AND type = 'CPU') AND q.order_qty < 50")
+
+let test_three_valued_logic () =
+  let db = t () in
+  ignore (Starburst.run db "CREATE TABLE n3 (a INT, b INT)");
+  ignore (Starburst.run db "INSERT INTO n3 VALUES (1, 10), (2, NULL), (NULL, 30)");
+  check_bag "null comparison filtered" [ row [ i 1 ] ]
+    (q db "SELECT a FROM n3 WHERE b < 20");
+  check_bag "IS NULL" [ row [ i 2 ] ] (q db "SELECT a FROM n3 WHERE b IS NULL");
+  check_bag "IS NOT NULL" [ row [ i 1 ]; row [ nul ] ]
+    (q db "SELECT a FROM n3 WHERE b IS NOT NULL");
+  (* x NOT IN (set containing NULL) is never true *)
+  ignore (Starburst.run db "CREATE TABLE vals (v INT)");
+  ignore (Starburst.run db "INSERT INTO vals VALUES (10), (NULL)");
+  check_bag "NOT IN with null set" []
+    (q db "SELECT a FROM n3 WHERE b NOT IN (SELECT v FROM vals)");
+  (* arithmetic with NULL propagates *)
+  check_bag "null arith" [ row [ nul ] ] (q db "SELECT b + 1 FROM n3 WHERE a = 2");
+  (* CASE *)
+  check_bag "case over null"
+    [ row [ s "small" ]; row [ s "other" ]; row [ s "big" ] ]
+    (q db
+       "SELECT CASE WHEN b < 20 THEN 'small' WHEN b >= 20 THEN 'big' ELSE \
+        'other' END FROM n3")
+
+let test_aggregation () =
+  let db = t () in
+  check_bag "global aggregates"
+    [ row [ i 5; f 147.75; f 29.55; f 7.25; f 99.0 ] ]
+    (q db "SELECT count(*), sum(price), avg(price), min(price), max(price) FROM quotations");
+  check_bag "group by"
+    [ row [ s "acme"; i 2 ]; row [ s "globex"; i 2 ]; row [ s "initech"; i 1 ] ]
+    (q db "SELECT supplier, count(*) FROM quotations GROUP BY supplier");
+  check_bag "having"
+    [ row [ s "acme" ]; row [ s "globex" ] ]
+    (q db "SELECT supplier FROM quotations GROUP BY supplier HAVING count(*) > 1");
+  check_bag "count distinct"
+    [ row [ i 4 ] ]
+    (q db "SELECT count(DISTINCT partno) FROM quotations");
+  check_bag "count on empty input"
+    [ row [ i 0 ] ]
+    (q db "SELECT count(*) FROM quotations WHERE partno = 99");
+  (* aggregates skip nulls *)
+  ignore (Starburst.run db "CREATE TABLE agg3 (v INT)");
+  ignore (Starburst.run db "INSERT INTO agg3 VALUES (1), (NULL), (3)");
+  check_bag "nulls skipped"
+    [ row [ i 2; i 4; f 2.0 ] ]
+    (q db "SELECT count(v), sum(v), avg(v) FROM agg3");
+  (* group expression *)
+  check_bag "group by expression"
+    [ row [ i 0; i 2 ]; row [ i 1; i 3 ] ]
+    (q db "SELECT partno % 2, count(*) FROM quotations GROUP BY partno % 2");
+  (* group keys with order *)
+  check_rows "grouped ordered"
+    [ row [ s "acme"; f 30.5 ]; row [ s "globex"; f 18.25 ]; row [ s "initech"; f 99.0 ] ]
+    (q db "SELECT supplier, sum(price) FROM quotations GROUP BY supplier ORDER BY supplier")
+
+let test_set_operations () =
+  let db = t () in
+  check_bag "union distinct"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 3 ]; row [ i 4 ] ]
+    (q db "(SELECT partno FROM quotations) UNION (SELECT partno FROM inventory)");
+  check_bag "union all count"
+    [ row [ i 9 ] ]
+    (q db
+       "SELECT count(*) FROM ((SELECT partno FROM quotations) UNION ALL \
+        (SELECT partno FROM inventory)) u");
+  check_bag "intersect"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 3 ]; row [ i 4 ] ]
+    (q db "(SELECT partno FROM quotations) INTERSECT (SELECT partno FROM inventory)");
+  check_bag "except"
+    [ row [ i 2 ]; row [ i 4 ] ]
+    (q db
+       "(SELECT partno FROM inventory) EXCEPT (SELECT partno FROM quotations \
+        WHERE order_qty > 20)");
+  (* ALL variants keep duplicates *)
+  check_bag "except all"
+    [ row [ i 1 ] ]
+    (q db
+       "(SELECT partno FROM quotations WHERE partno = 1) EXCEPT ALL (SELECT \
+        partno FROM inventory WHERE partno = 1)");
+  check_bag "intersect all"
+    [ row [ i 1 ] ]
+    (q db
+       "(SELECT partno FROM quotations WHERE partno = 1) INTERSECT ALL \
+        (SELECT partno FROM inventory)")
+
+let test_views_and_with () =
+  let db = t () in
+  ignore (Starburst.run db "CREATE VIEW cpus AS SELECT partno, onhand_qty FROM inventory WHERE type = 'CPU'");
+  check_bag "view" [ row [ i 1 ]; row [ i 2 ]; row [ i 4 ] ] (q db "SELECT partno FROM cpus");
+  check_bag "view joined"
+    [ row [ i 1; f 10.5 ]; row [ i 1; f 11.0 ] ]
+    (q db "SELECT c.partno, q.price FROM cpus c, quotations q WHERE c.partno = q.partno AND c.onhand_qty = 20");
+  (* aggregation view joined to a table: beyond SQL'89 *)
+  ignore
+    (Starburst.run db
+       "CREATE VIEW totals AS SELECT supplier, count(*) AS n FROM quotations GROUP BY supplier");
+  check_bag "aggregating view join"
+    [ row [ s "acme"; i 2 ]; row [ s "globex"; i 2 ] ]
+    (q db "SELECT t.supplier, t.n FROM totals t WHERE t.n > 1");
+  check_bag "with"
+    [ row [ i 4 ] ]
+    (q db
+       "WITH expensive AS (SELECT partno FROM quotations WHERE price > 50) \
+        SELECT partno FROM expensive");
+  check_bag "with used twice"
+    [ row [ i 1 ] ]
+    (q db
+       "WITH pts (p) AS (SELECT partno FROM quotations WHERE order_qty >= 30) \
+        SELECT count(*) FROM pts a, pts b WHERE a.p = b.p AND a.p = 3")
+
+let test_recursion () =
+  let db = t () in
+  check_bag "transitive closure"
+    [ row [ i 2 ]; row [ i 3 ]; row [ i 4 ] ]
+    (q db
+       "WITH RECURSIVE paths (src, dst) AS (SELECT src, dst FROM edges UNION \
+        SELECT p.src, e.dst FROM paths p, edges e WHERE p.dst = e.src) SELECT \
+        dst FROM paths WHERE src = 1");
+  (* a cyclic graph must terminate thanks to distinct semantics *)
+  ignore (Starburst.run db "INSERT INTO edges VALUES (4, 1)");
+  check_bag "cyclic closure"
+    [ row [ i 1 ]; row [ i 2 ]; row [ i 3 ]; row [ i 4 ] ]
+    (q db
+       "WITH RECURSIVE paths (src, dst) AS (SELECT src, dst FROM edges UNION \
+        SELECT p.src, e.dst FROM paths p, edges e WHERE p.dst = e.src) SELECT \
+        dst FROM paths WHERE src = 1")
+
+let test_values_and_functions () =
+  let db = t () in
+  check_bag "values" [ row [ i 1; s "x" ]; row [ i 2; s "y" ] ]
+    (q db "VALUES (1, 'x'), (2, 'y')");
+  check_bag "values in from" [ row [ i 3 ] ]
+    (q db "SELECT a + b FROM (VALUES (1, 2)) v (a, b)");
+  check_bag "scalar functions"
+    [ row [ s "ACME"; i 4 ] ]
+    (q db "SELECT upper(supplier), length(supplier) FROM quotations WHERE partno = 2");
+  check_bag "like"
+    [ row [ s "acme" ]; row [ s "acme" ] ]
+    (q db "SELECT supplier FROM quotations WHERE supplier LIKE 'a%e'");
+  check_bag "like underscore"
+    [ row [ s "acme" ]; row [ s "acme" ] ]
+    (q db "SELECT supplier FROM quotations WHERE supplier LIKE '_cm_'");
+  check_bag "between"
+    [ row [ i 3 ] ]
+    (q db "SELECT partno FROM quotations WHERE price BETWEEN 5 AND 10");
+  check_bag "in list"
+    [ row [ i 2 ]; row [ i 3 ] ]
+    (q db "SELECT partno FROM quotations WHERE partno IN (2, 3)")
+
+let test_dml () =
+  let db = t () in
+  (match Starburst.run db "INSERT INTO emp (eid, dept) VALUES (99, 2)" with
+  | Starburst.Affected 1 -> ()
+  | _ -> Alcotest.fail "insert");
+  check_bag "defaulted column is null" [ row [ nul ] ]
+    (q db "SELECT salary FROM emp WHERE eid = 99");
+  (match Starburst.run db "UPDATE emp SET salary = 77.0 WHERE eid = 99" with
+  | Starburst.Affected 1 -> ()
+  | _ -> Alcotest.fail "update");
+  check_bag "updated" [ row [ f 77.0 ] ] (q db "SELECT salary FROM emp WHERE eid = 99");
+  (match Starburst.run db "DELETE FROM emp WHERE eid = 99" with
+  | Starburst.Affected 1 -> ()
+  | _ -> Alcotest.fail "delete");
+  check_bag "deleted" [] (q db "SELECT salary FROM emp WHERE eid = 99");
+  (* insert from query *)
+  (match Starburst.run db "INSERT INTO emp SELECT eid + 100, dept, salary * 2 FROM emp WHERE dept = 1" with
+  | Starburst.Affected 3 -> ()
+  | _ -> Alcotest.fail "insert-select");
+  check_bag "insert select" [ row [ i 3 ] ]
+    (q db "SELECT count(*) FROM emp WHERE eid > 100");
+  (* NOT NULL violation *)
+  expect_error db "INSERT INTO inventory VALUES (NULL, 1, 'CPU')"
+
+let test_host_variables () =
+  let db = t () in
+  Starburst.bind_host db "lim" (i 15);
+  check_bag "host var"
+    [ row [ i 1 ]; row [ i 1 ]; row [ i 3 ] ]
+    (q db "SELECT partno FROM quotations WHERE price < :lim");
+  expect_error db "SELECT partno FROM quotations WHERE price < :unbound"
+
+let test_rewrite_preserves_results () =
+  (* the core soundness check: rewrite on and off agree *)
+  let queries =
+    [
+      "SELECT partno, price FROM quotations Q1 WHERE Q1.partno IN (SELECT \
+       partno FROM inventory Q3 WHERE Q3.onhand_qty < Q1.order_qty)";
+      "SELECT q.partno FROM quotations q, inventory i WHERE q.partno = \
+       i.partno AND q.partno = 1";
+      "SELECT a.onhand_qty FROM inventory a, inventory b WHERE a.partno = \
+       b.partno AND b.type = 'CPU'";
+      "SELECT t, total FROM (SELECT type AS t, sum(onhand_qty) AS total FROM \
+       inventory GROUP BY type) v WHERE t = 'CPU'";
+      "SELECT * FROM ((SELECT partno FROM quotations) UNION ALL (SELECT \
+       partno FROM inventory)) u WHERE partno > 2";
+      "WITH RECURSIVE paths (src, dst) AS (SELECT src, dst FROM edges UNION \
+       SELECT p.src, e.dst FROM paths p, edges e WHERE p.dst = e.src) SELECT \
+       * FROM paths WHERE src = 1";
+      "SELECT partno FROM inventory WHERE partno IN (SELECT partno FROM \
+       quotations)";
+      "SELECT dname FROM dept d WHERE NOT EXISTS (SELECT * FROM emp e WHERE \
+       e.dept = d.id AND e.salary > 100)";
+    ]
+  in
+  List.iter
+    (fun text ->
+      let db1 = t () and db2 = t () in
+      ignore (Starburst.run db2 "SET rewrite = off");
+      let r1 = q db1 text and r2 = q db2 text in
+      if not (same_bag r1 r2) then Alcotest.failf "rewrite changed results for: %s" text)
+    queries
+
+let test_explain_runs () =
+  let db = t () in
+  (match Starburst.run db ("EXPLAIN " ^ "SELECT partno FROM quotations WHERE partno = 1") with
+  | Starburst.Message m ->
+    Alcotest.(check bool) "has sections" true
+      (String.length m > 50)
+  | _ -> Alcotest.fail "explain should return a message")
+
+let test_errors () =
+  let db = t () in
+  expect_error db "SELECT FROM quotations";
+  expect_error db "SELECT nosuch FROM quotations";
+  expect_error db "INSERT INTO quotations VALUES (1)";
+  expect_error db "CREATE TABLE quotations (a INT)";
+  expect_error db "DROP TABLE nosuch";
+  expect_error db "SET nosuch = on";
+  (* scalar subquery returning several rows fails at runtime *)
+  expect_error db "SELECT partno FROM inventory WHERE onhand_qty = (SELECT order_qty FROM quotations)"
+
+let suite =
+  ( "integration",
+    [
+      case "basic select" test_basic_select;
+      case "joins" test_joins;
+      case "subqueries" test_subqueries;
+      case "OR with subqueries" test_or_with_subquery;
+      case "three-valued logic" test_three_valued_logic;
+      case "aggregation" test_aggregation;
+      case "set operations" test_set_operations;
+      case "views and WITH" test_views_and_with;
+      case "recursion" test_recursion;
+      case "values and functions" test_values_and_functions;
+      case "DML" test_dml;
+      case "host variables" test_host_variables;
+      case "rewrite preserves results" test_rewrite_preserves_results;
+      case "explain" test_explain_runs;
+      case "errors" test_errors;
+    ] )

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "starburst"
+    [
+      Test_storage.suite;
+      Test_hydrogen.suite;
+      Test_qgm.suite;
+      Test_rewrite.suite;
+      Test_optimizer.suite;
+      Test_qes.suite;
+      Test_integration.suite;
+      Test_integration2.suite;
+      Test_extensions.suite;
+      Test_features.suite;
+      Test_props.suite;
+    ]

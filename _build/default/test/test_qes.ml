@@ -1,0 +1,129 @@
+(** QES-level tests: execution counters, the evaluate-on-demand
+    correlation cache, the OR operator's branch accounting, join kinds,
+    and the fixpoint driver. *)
+
+open Test_util
+module Exec = Sb_qes.Exec
+
+let test_counters_scan () =
+  let db = sample_db () in
+  ignore (q db "SELECT partno FROM quotations");
+  let c = Starburst.counters db in
+  Alcotest.(check int) "scanned all rows" 5 c.Exec.c_scanned;
+  Alcotest.(check int) "output" 5 c.Exec.c_output
+
+let test_evaluate_on_demand_cache () =
+  let db = sample_db () in
+  (* a correlated subquery whose correlation value repeats: partno = 1
+     appears twice in quotations, so one evaluation must be a cache hit *)
+  ignore (Starburst.run db "SET rewrite = off");
+  ignore
+    (q db
+       "SELECT partno FROM quotations q WHERE EXISTS (SELECT * FROM inventory \
+        i WHERE i.partno = q.partno)");
+  let c = Starburst.counters db in
+  Alcotest.(check bool) "cache hits occurred" true (c.Exec.c_sub_cache_hits >= 1);
+  Alcotest.(check bool) "fewer evals than outer rows" true (c.Exec.c_sub_evals < 5)
+
+let test_or_operator_counters () =
+  let db = sample_db () in
+  ignore
+    (q db
+       "SELECT partno FROM quotations q WHERE q.price > 50 OR q.partno = \
+        (SELECT partno FROM inventory WHERE onhand_qty = 10)");
+  let c = Starburst.counters db in
+  (* 5 outer tuples, first branch tried for each; second branch only for
+     the tuples the first rejects *)
+  Alcotest.(check bool) "branch evals bounded" true
+    (c.Exec.c_or_branch_evals >= 5 && c.Exec.c_or_branch_evals <= 10)
+
+let test_fixpoint_rounds () =
+  let db = sample_db () in
+  ignore
+    (q db
+       "WITH RECURSIVE paths (src, dst) AS (SELECT src, dst FROM edges UNION \
+        SELECT p.src, e.dst FROM paths p, edges e WHERE p.dst = e.src) SELECT \
+        * FROM paths");
+  let c = Starburst.counters db in
+  (* chain of length 3 plus one isolated edge: closure converges in 3–4 rounds *)
+  Alcotest.(check bool) "rounds" true (c.Exec.c_fixpoint_rounds >= 2 && c.Exec.c_fixpoint_rounds <= 5)
+
+let test_index_probe_counter () =
+  let db = sample_db () in
+  ignore (Starburst.run db "CREATE INDEX inv_part ON inventory (partno)");
+  ignore (Starburst.run db "ANALYZE");
+  ignore (q db "SELECT onhand_qty FROM inventory WHERE partno = 2");
+  let c = Starburst.counters db in
+  if c.Exec.c_index_probes > 0 then
+    Alcotest.(check bool) "probe cheaper than scan" true (c.Exec.c_scanned <= 2)
+
+let test_set_predicate_kind () =
+  let db = sample_db ~extensions:true () in
+  (* MAJORITY over emp depts [1;1;2;1;3] *)
+  check_bag "majority" [ row [ i 1 ] ]
+    (q db "SELECT id FROM dept d WHERE d.id = MAJORITY (SELECT dept FROM emp)");
+  check_bag "atleast_third" [ row [ i 1 ] ]
+    (q db "SELECT id FROM dept d WHERE d.id = atleast_third (SELECT dept FROM emp)")
+
+let test_left_outer_kind () =
+  let db = sample_db ~extensions:true () in
+  check_bag "left outer"
+    [ row [ s "eng"; f 100.0 ]; row [ s "eng"; f 120.0 ]; row [ s "eng"; f 95.0 ];
+      row [ s "sales"; f 90.0 ]; row [ s "legal"; f 150.0 ]; row [ s "empty"; nul ] ]
+    (q db "SELECT d.dname, e.salary FROM dept d LEFT OUTER JOIN emp e ON d.id = e.dept");
+  (* ON predicates never filter preserved rows *)
+  check_bag "on pred keeps preserved"
+    [ row [ s "eng"; f 120.0 ]; row [ s "sales"; nul ]; row [ s "legal"; f 150.0 ];
+      row [ s "empty"; nul ] ]
+    (q db
+       "SELECT d.dname, e.salary FROM dept d LEFT OUTER JOIN emp e ON d.id = \
+        e.dept AND e.salary > 100");
+  (* WHERE predicates on the preserved side do filter *)
+  check_bag "where filters"
+    [ row [ s "eng" ]; row [ s "legal" ] ]
+    (q db
+       "SELECT DISTINCT d.dname FROM dept d LEFT OUTER JOIN emp e ON d.id = \
+        e.dept WHERE d.region = 'west'")
+
+let test_temp_rescan () =
+  let db = sample_db () in
+  (* an uncorrelated NL-join inner is TEMP'ed: the inner must be
+     evaluated once, not once per outer row *)
+  ignore (Starburst.run db "SET rewrite = off");
+  ignore
+    (q db
+       "SELECT q.partno FROM quotations q WHERE q.order_qty > ALL (SELECT \
+        order_qty FROM quotations WHERE supplier = 'initech')");
+  let c = Starburst.counters db in
+  (* one materialization for the TEMP, one for the join's demand cache;
+     crucially NOT one per outer tuple *)
+  Alcotest.(check bool) "inner evaluated once" true (c.Exec.c_sub_evals <= 2);
+  Alcotest.(check bool) "subsequent outers hit the cache" true
+    (c.Exec.c_sub_cache_hits >= 3)
+
+let test_like_matching () =
+  let db = sample_db () in
+  let like pat = Printf.sprintf "SELECT count(*) FROM quotations WHERE supplier LIKE '%s'" pat in
+  check_bag "percent both" [ row [ i 2 ] ] (q db (like "%cm%"));
+  check_bag "anchor" [ row [ i 0 ] ] (q db (like "cme"));
+  check_bag "underscore" [ row [ i 2 ] ] (q db (like "_lobe_"));
+  check_bag "all" [ row [ i 5 ] ] (q db (like "%"))
+
+let test_division_by_zero_is_null () =
+  let db = sample_db () in
+  check_bag "div0" [ row [ nul ] ] (q db "SELECT 1 / (partno - partno) FROM quotations WHERE partno = 2 AND supplier = 'acme'")
+
+let suite =
+  ( "qes",
+    [
+      case "scan counters" test_counters_scan;
+      case "evaluate-on-demand cache" test_evaluate_on_demand_cache;
+      case "OR operator branch accounting" test_or_operator_counters;
+      case "fixpoint rounds" test_fixpoint_rounds;
+      case "index probe counter" test_index_probe_counter;
+      case "set-predicate join kind" test_set_predicate_kind;
+      case "left-outer join kind" test_left_outer_kind;
+      case "uncorrelated inner evaluated once" test_temp_rescan;
+      case "LIKE matching" test_like_matching;
+      case "division by zero yields NULL" test_division_by_zero_is_null;
+    ] )

@@ -1,0 +1,469 @@
+(** Unit and property tests for the Core storage substrate: values,
+    codecs, pages, buffer pool, storage managers, B-tree, R-tree,
+    attachments and statistics. *)
+
+open Sb_storage
+open Test_util
+
+(* ------------------------------------------------------------------ *)
+(* Values and datatypes                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int/float numeric" true (Value.compare (i 2) (f 2.0) = 0);
+  Alcotest.(check bool) "null lowest" true (Value.compare nul (i (-1000)) < 0);
+  Alcotest.(check bool) "string order" true (Value.compare (s "a") (s "b") < 0);
+  Alcotest.(check bool) "bool order" true (Value.compare (b false) (b true) < 0);
+  Alcotest.(check bool) "equal hash" true (Value.hash (i 3) = Value.hash (f 3.0))
+
+let test_value_ext_registry () =
+  let reg = Datatype.create_registry () in
+  Datatype.register reg
+    {
+      Datatype.ext_name = "MOD7";
+      ext_parse = (fun s -> Ok s);
+      ext_compare =
+        (fun a b -> compare (int_of_string a mod 7) (int_of_string b mod 7));
+      ext_print = (fun p -> "m" ^ p);
+    };
+  let a = Value.Ext ("MOD7", "8") and c = Value.Ext ("MOD7", "1") in
+  Alcotest.(check bool) "registry compare" true (Value.compare ~registry:reg a c = 0);
+  Alcotest.(check bool) "without registry" false (Value.compare a c = 0);
+  Alcotest.(check string) "print" "m8" (Value.to_string ~registry:reg a)
+
+let test_schema_validate () =
+  let schema =
+    [| Schema.column ~nullable:false "a" Datatype.Int;
+       Schema.column "b" Datatype.String |]
+  in
+  Alcotest.(check bool) "ok" true (Schema.validate ~schema (row [ i 1; s "x" ]) = Ok ());
+  Alcotest.(check bool) "null ok" true (Schema.validate ~schema (row [ i 1; nul ]) = Ok ());
+  Alcotest.(check bool) "not null" true
+    (Result.is_error (Schema.validate ~schema (row [ nul; s "x" ])));
+  Alcotest.(check bool) "type" true
+    (Result.is_error (Schema.validate ~schema (row [ s "no"; s "x" ])));
+  Alcotest.(check bool) "arity" true
+    (Result.is_error (Schema.validate ~schema (row [ i 1 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Row codec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun x -> Value.Int x) int;
+        map (fun x -> Value.Float (float_of_int x /. 7.0)) int;
+        map (fun x -> Value.Bool x) bool;
+        map (fun x -> Value.String x) (string_size (0 -- 40));
+        map2 (fun a p -> Value.Ext (a, p)) (string_size (1 -- 5)) (string_size (0 -- 10));
+      ])
+
+let tuple_gen = QCheck2.Gen.(map Array.of_list (list_size (0 -- 12) value_gen))
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"row codec round-trip" ~count:500 tuple_gen (fun t ->
+      Tuple.compare (Row_codec.decode (Row_codec.encode t)) t = 0)
+
+let fixed_schema =
+  [| Schema.column "a" Datatype.Int;
+     Schema.column "b" Datatype.Float;
+     Schema.column "c" Datatype.Bool |]
+
+let fixed_tuple_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, bv, c) ->
+        [|
+          (match a with Some x -> Value.Int x | None -> Value.Null);
+          (match bv with Some x -> Value.Float (float_of_int x) | None -> Value.Null);
+          (match c with Some x -> Value.Bool x | None -> Value.Null);
+        |])
+      (triple (opt int) (opt int) (opt bool)))
+
+let prop_fixed_codec =
+  QCheck2.Test.make ~name:"fixed codec round-trip" ~count:300 fixed_tuple_gen
+    (fun t ->
+      Tuple.compare
+        (Row_codec.decode_fixed ~schema:fixed_schema
+           (Row_codec.encode_fixed ~schema:fixed_schema t))
+        t
+      = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pages                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_basic () =
+  let p = Page.create 0 in
+  let s1 = Page.insert p "hello" in
+  let s2 = Page.insert p "world!" in
+  Alcotest.(check (option string)) "get1" (Some "hello") (Page.get p s1);
+  Alcotest.(check (option string)) "get2" (Some "world!") (Page.get p s2);
+  Page.delete p s1;
+  Alcotest.(check (option string)) "deleted" None (Page.get p s1);
+  Alcotest.(check (option string)) "survivor" (Some "world!") (Page.get p s2);
+  Alcotest.(check int) "live count" 1 (Page.live_count p);
+  (* update in place *)
+  Alcotest.(check bool) "shrink update" true (Page.update p s2 "tiny");
+  Alcotest.(check (option string)) "updated" (Some "tiny") (Page.get p s2)
+
+let test_page_compact () =
+  let p = Page.create ~size:256 0 in
+  let slots = ref [] in
+  (try
+     while true do
+       slots := Page.insert p (String.make 20 'x') :: !slots
+     done
+   with Failure _ -> ());
+  let n = List.length !slots in
+  Alcotest.(check bool) "filled some" true (n > 3);
+  (* free every other slot, compact, and re-insert *)
+  List.iteri (fun k slot -> if k mod 2 = 0 then Page.delete p slot) !slots;
+  Page.compact p;
+  let slot = Page.insert p (String.make 20 'y') in
+  Alcotest.(check (option string)) "post-compact insert" (Some (String.make 20 'y'))
+    (Page.get p slot);
+  (* survivors intact *)
+  List.iteri
+    (fun k slot ->
+      if k mod 2 = 1 then
+        Alcotest.(check (option string)) "survivor" (Some (String.make 20 'x'))
+          (Page.get p slot))
+    !slots
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_buffer_pool_eviction () =
+  let pool = Buffer_pool.create ~capacity:4 () in
+  let file = Buffer_pool.create_file pool in
+  for _ = 1 to 10 do
+    ignore (Buffer_pool.alloc_page pool file)
+  done;
+  (* write a distinct record into each page *)
+  for p = 0 to 9 do
+    Buffer_pool.with_page pool file p (fun page ->
+        ignore (Page.insert page (string_of_int p)))
+  done;
+  Buffer_pool.reset_stats pool;
+  (* all data survives eviction *)
+  for p = 0 to 9 do
+    Buffer_pool.with_page pool file p (fun page ->
+        Alcotest.(check (option string))
+          (Printf.sprintf "page %d" p)
+          (Some (string_of_int p)) (Page.get page 0))
+  done;
+  let stats = Buffer_pool.stats pool in
+  Alcotest.(check bool) "physical reads happened" true (stats.Buffer_pool.physical_reads > 0);
+  Alcotest.(check int) "logical reads" 10 stats.Buffer_pool.logical_reads
+
+(* ------------------------------------------------------------------ *)
+(* Storage managers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let exercise_storage_manager make_instance =
+  let sm : Storage_manager.instance = make_instance () in
+  let rids =
+    List.init 500 (fun k ->
+        sm.Storage_manager.insert (row [ i k; f (float_of_int (k * 2)); b (k mod 2 = 0) ]))
+  in
+  Alcotest.(check int) "count" 500 (sm.Storage_manager.tuple_count ());
+  (* fetch *)
+  List.iteri
+    (fun k rid ->
+      match sm.Storage_manager.fetch rid with
+      | Some t -> Alcotest.check value_testable "fetch col0" (i k) t.(0)
+      | None -> Alcotest.failf "missing rid %d" k)
+    rids;
+  (* delete every third *)
+  List.iteri
+    (fun k rid -> if k mod 3 = 0 then ignore (sm.Storage_manager.delete rid))
+    rids;
+  Alcotest.(check int) "after delete" (500 - 167) (sm.Storage_manager.tuple_count ());
+  (* update survivors *)
+  List.iteri
+    (fun k rid ->
+      if k mod 3 = 1 then
+        ignore (sm.Storage_manager.update rid (row [ i (-k); f 0.0; b false ])))
+    rids;
+  (* scan agrees *)
+  let scanned = List.of_seq (sm.Storage_manager.scan ()) in
+  Alcotest.(check int) "scan count" (500 - 167) (List.length scanned);
+  List.iter
+    (fun (rid, t) ->
+      match sm.Storage_manager.fetch rid with
+      | Some t' -> Alcotest.check tuple_testable "scan=fetch" t t'
+      | None -> Alcotest.fail "scan returned dead rid")
+    scanned;
+  (* double delete is false *)
+  Alcotest.(check bool) "double delete" false
+    (sm.Storage_manager.delete (List.nth rids 0));
+  sm.Storage_manager.truncate ();
+  Alcotest.(check int) "truncated" 0 (sm.Storage_manager.tuple_count ());
+  Alcotest.(check int) "truncated scan" 0
+    (List.length (List.of_seq (sm.Storage_manager.scan ())))
+
+let sm_schema =
+  [| Schema.column "a" Datatype.Int;
+     Schema.column "b" Datatype.Float;
+     Schema.column "c" Datatype.Bool |]
+
+let test_heap_manager () =
+  exercise_storage_manager (fun () ->
+      let pool = Buffer_pool.create () in
+      Heap_file.factory.Storage_manager.create ~pool ~schema:sm_schema)
+
+let test_fixed_manager () =
+  exercise_storage_manager (fun () ->
+      let pool = Buffer_pool.create () in
+      Fixed_file.factory.Storage_manager.create ~pool ~schema:sm_schema)
+
+let test_fixed_rejects_varlen () =
+  let schema = [| Schema.column "a" Datatype.String |] in
+  Alcotest.(check bool) "supports" false
+    (Fixed_file.factory.Storage_manager.supports schema)
+
+(* variable-length records spanning growth *)
+let test_heap_varlen () =
+  let pool = Buffer_pool.create () in
+  let schema = [| Schema.column "a" Datatype.String |] in
+  let sm = Heap_file.factory.Storage_manager.create ~pool ~schema in
+  let rids =
+    List.init 100 (fun k -> sm.Storage_manager.insert (row [ s (String.make (k * 7) 'z') ]))
+  in
+  List.iteri
+    (fun k rid ->
+      match sm.Storage_manager.fetch rid with
+      | Some t -> Alcotest.(check int) "length" (k * 7) (String.length (Value.as_string t.(0)))
+      | None -> Alcotest.fail "missing")
+    rids;
+  (* grow a record beyond its page: the manager may refuse, in which
+     case the caller (Table_store) deletes and reinserts *)
+  let rid = List.nth rids 1 in
+  let big_row = row [ s (String.make 3000 'w') ] in
+  let rid =
+    if sm.Storage_manager.update rid big_row then rid
+    else begin
+      ignore (sm.Storage_manager.delete rid);
+      sm.Storage_manager.insert big_row
+    end
+  in
+  (match sm.Storage_manager.fetch rid with
+  | Some t -> Alcotest.(check int) "grown" 3000 (String.length (Value.as_string t.(0)))
+  | None -> Alcotest.fail "grown record missing")
+
+(* ------------------------------------------------------------------ *)
+(* B-tree vs model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rid_of k = { Storage_manager.rid_page = k; rid_slot = k * 7 }
+
+let btree_ops_gen =
+  QCheck2.Gen.(
+    list_size (10 -- 400)
+      (oneof
+         [
+           map (fun k -> `Insert (k mod 50)) small_nat;
+           map (fun k -> `Delete (k mod 50)) small_nat;
+         ]))
+
+let prop_btree_model =
+  QCheck2.Test.make ~name:"b-tree matches sorted model" ~count:120 btree_ops_gen
+    (fun ops ->
+      let t = Btree.create ~order:4 () in
+      let model : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+      let serial = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Insert k ->
+            incr serial;
+            Btree.insert t [| Value.Int k |] (rid_of !serial);
+            Hashtbl.replace model k
+              (!serial :: Option.value ~default:[] (Hashtbl.find_opt model k))
+          | `Delete k -> (
+            match Hashtbl.find_opt model k with
+            | Some (v :: rest) ->
+              let ok = Btree.delete t [| Value.Int k |] (rid_of v) in
+              if not ok then raise Exit;
+              if rest = [] then Hashtbl.remove model k
+              else Hashtbl.replace model k rest
+            | _ ->
+              if Btree.delete t [| Value.Int k |] (rid_of 999999) then raise Exit))
+        ops;
+      (* structural invariants *)
+      if not (Btree.check t) then raise Exit;
+      (* full range scan = sorted model *)
+      let scanned =
+        List.of_seq (Btree.range t ())
+        |> List.map (fun (k, rid) -> (Value.as_int k.(0), rid.Storage_manager.rid_page))
+      in
+      let expected =
+        Hashtbl.fold (fun k vs acc -> List.map (fun v -> (k, v)) vs @ acc) model []
+        |> List.sort compare
+      in
+      List.sort compare scanned = expected
+      (* point lookups agree *)
+      && Hashtbl.fold
+           (fun k vs acc ->
+             acc
+             && List.sort compare
+                  (List.map (fun r -> r.Storage_manager.rid_page) (Btree.find t [| Value.Int k |]))
+                = List.sort compare vs)
+           model true)
+
+let test_btree_range () =
+  let t = Btree.create ~order:4 () in
+  for k = 0 to 99 do
+    Btree.insert t [| Value.Int k |] (rid_of k)
+  done;
+  let range ?lo ?hi () =
+    List.of_seq (Btree.range t ?lo ?hi ()) |> List.map (fun (k, _) -> Value.as_int k.(0))
+  in
+  Alcotest.(check (list int)) "closed range" [ 10; 11; 12 ]
+    (range ~lo:([| Value.Int 10 |], true) ~hi:([| Value.Int 12 |], true) ());
+  Alcotest.(check (list int)) "open range" [ 11 ]
+    (range ~lo:([| Value.Int 10 |], false) ~hi:([| Value.Int 12 |], false) ());
+  Alcotest.(check int) "unbounded" 100 (List.length (range ()));
+  Alcotest.(check (list int)) "hi only" [ 0; 1; 2 ]
+    (range ~hi:([| Value.Int 2 |], true) ());
+  Alcotest.(check (list int)) "lo only" [ 97; 98; 99 ]
+    (range ~lo:([| Value.Int 97 |], true) ())
+
+(* ------------------------------------------------------------------ *)
+(* R-tree vs model                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rect_gen =
+  QCheck2.Gen.(
+    map
+      (fun (x, y, w, h) ->
+        Rtree.rect
+          ~x0:(float_of_int (x mod 100))
+          ~y0:(float_of_int (y mod 100))
+          ~x1:(float_of_int ((x mod 100) + 1 + (w mod 20)))
+          ~y1:(float_of_int ((y mod 100) + 1 + (h mod 20))))
+      (quad small_nat small_nat small_nat small_nat))
+
+let prop_rtree_model =
+  QCheck2.Test.make ~name:"r-tree matches linear scan" ~count:60
+    QCheck2.Gen.(pair (list_size (1 -- 200) rect_gen) (list_size (1 -- 10) rect_gen))
+    (fun (rects, queries) ->
+      let t = Rtree.create ~max_entries:4 () in
+      List.iteri (fun k r -> Rtree.insert t r (rid_of k)) rects;
+      List.for_all
+        (fun query ->
+          let found =
+            List.sort compare
+              (List.map (fun r -> r.Storage_manager.rid_page) (Rtree.search t query))
+          in
+          let expected =
+            List.mapi (fun k r -> (k, r)) rects
+            |> List.filter (fun (_, r) -> Rtree.overlaps r query)
+            |> List.map fst |> List.sort compare
+          in
+          found = expected)
+        queries)
+
+let test_rtree_delete () =
+  let t = Rtree.create ~max_entries:4 () in
+  let r1 = Rtree.rect ~x0:0. ~y0:0. ~x1:1. ~y1:1. in
+  let r2 = Rtree.rect ~x0:5. ~y0:5. ~x1:6. ~y1:6. in
+  Rtree.insert t r1 (rid_of 1);
+  Rtree.insert t r2 (rid_of 2);
+  Alcotest.(check bool) "delete hit" true (Rtree.delete t r1 (rid_of 1));
+  Alcotest.(check bool) "delete miss" false (Rtree.delete t r1 (rid_of 1));
+  Alcotest.(check int) "one left" 1 (Rtree.entry_count t);
+  Alcotest.(check int) "search survivor" 1
+    (List.length (Rtree.search t (Rtree.rect ~x0:0. ~y0:0. ~x1:10. ~y1:10.)))
+
+(* ------------------------------------------------------------------ *)
+(* Table store + attachments                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_attachment_maintenance () =
+  let cat = Catalog.create () in
+  let schema =
+    [| Schema.column "k" Datatype.Int; Schema.column "v" Datatype.String |]
+  in
+  let tab = Catalog.create_table cat ~name:"t" ~schema () in
+  let am = Catalog.create_index cat ~name:"t_k" ~table:"t" ~kind:"btree" ~columns:[ "k" ] in
+  let rids = List.init 100 (fun k -> Table_store.insert tab (row [ i (k mod 10); s "x" ])) in
+  Alcotest.(check int) "entries" 100 (am.Access_method.am_entry_count ());
+  (* search by key *)
+  let hits = List.of_seq (am.Access_method.am_search (Access_method.Key_eq [| i 3 |])) in
+  Alcotest.(check int) "key 3 hits" 10 (List.length hits);
+  (* delete maintains the index *)
+  List.iteri (fun k rid -> if k mod 10 = 3 then ignore (Table_store.delete tab rid)) rids;
+  Alcotest.(check int) "after delete" 0
+    (List.length (List.of_seq (am.Access_method.am_search (Access_method.Key_eq [| i 3 |]))));
+  (* update maintains the index *)
+  let rid0 = List.nth rids 0 in
+  ignore (Table_store.update tab rid0 (row [ i 777; s "y" ]));
+  Alcotest.(check int) "moved key" 1
+    (List.length (List.of_seq (am.Access_method.am_search (Access_method.Key_eq [| i 777 |]))));
+  (* backfill on attach *)
+  let am2 = Catalog.create_index cat ~name:"t_k2" ~table:"t" ~kind:"btree" ~columns:[ "k" ] in
+  Alcotest.(check int) "backfilled" (Table_store.tuple_count tab)
+    (am2.Access_method.am_entry_count ())
+
+let test_catalog_errors () =
+  let cat = Catalog.create () in
+  let schema = [| Schema.column "a" Datatype.Int |] in
+  ignore (Catalog.create_table cat ~name:"t" ~schema ());
+  Alcotest.check_raises "duplicate table" (Catalog.Catalog_error "table or view t already exists")
+    (fun () -> ignore (Catalog.create_table cat ~name:"t" ~schema ()));
+  Alcotest.check_raises "unknown sm" (Catalog.Catalog_error "unknown storage manager nope")
+    (fun () -> ignore (Catalog.create_table cat ~name:"u" ~storage:"nope" ~schema ()));
+  Alcotest.check_raises "unknown col" (Catalog.Catalog_error "no column zz in t")
+    (fun () -> ignore (Catalog.create_index cat ~name:"x" ~table:"t" ~kind:"btree" ~columns:[ "zz" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let schema = [| Schema.column "a" Datatype.Int; Schema.column "b" Datatype.String |] in
+  let rows =
+    List.init 100 (fun k -> row [ i (k mod 10); (if k mod 4 = 0 then nul else s "x") ])
+  in
+  let st = Stats.analyze ~schema ~pages:3 (List.to_seq rows) in
+  Alcotest.(check int) "cardinality" 100 st.Stats.ts_cardinality;
+  Alcotest.(check int) "distinct a" 10 st.Stats.ts_columns.(0).Stats.cs_distinct;
+  Alcotest.(check int) "nulls b" 25 st.Stats.ts_columns.(1).Stats.cs_nulls;
+  Alcotest.(check (option value_testable)) "min" (Some (i 0)) st.Stats.ts_columns.(0).Stats.cs_min;
+  Alcotest.(check (option value_testable)) "max" (Some (i 9)) st.Stats.ts_columns.(0).Stats.cs_max;
+  let sel = Stats.eq_selectivity st 0 (i 3) in
+  Alcotest.(check bool) "eq sel" true (Float.abs (sel -. 0.1) < 0.001);
+  let lt5 = Stats.range_selectivity st 0 ~op:`Lt (i 5) in
+  Alcotest.(check bool) "range sel" true (lt5 > 0.3 && lt5 < 0.7)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  ( "storage",
+    [
+      case "value compare" test_value_compare;
+      case "external datatype registry" test_value_ext_registry;
+      case "schema validation" test_schema_validate;
+      qcheck prop_codec_roundtrip;
+      qcheck prop_fixed_codec;
+      case "page basic" test_page_basic;
+      case "page compact" test_page_compact;
+      case "buffer pool eviction" test_buffer_pool_eviction;
+      case "heap storage manager" test_heap_manager;
+      case "fixed storage manager" test_fixed_manager;
+      case "fixed rejects varlen" test_fixed_rejects_varlen;
+      case "heap variable-length" test_heap_varlen;
+      qcheck prop_btree_model;
+      case "btree range" test_btree_range;
+      qcheck prop_rtree_model;
+      case "rtree delete" test_rtree_delete;
+      case "attachment maintenance" test_attachment_maintenance;
+      case "catalog errors" test_catalog_errors;
+      case "statistics" test_stats;
+    ] )
