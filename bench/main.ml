@@ -83,11 +83,47 @@ let micro () =
          | Some [ est ] -> Printf.printf "  %-24s %12.0f ns/run\n" name est
          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
 
+(* ------------------------------------------------------------------ *)
+(* Stage-level trace export (--trace-json FILE)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs the standard pipeline query with tracing enabled and writes the
+    span buffer as JSON, so BENCH_*.json runs carry stage-level timings
+    (parse, build, rewrite with per-rule firings, optimize with STAR
+    expansion counts, refine, execute). *)
+let trace_json path =
+  let db = Bench_util.parts_db ~n_parts:300 ~fanout:3 () in
+  let tracer = Sb_obs.Trace.create () in
+  Starburst.set_tracer db tracer;
+  let text =
+    "SELECT q.partno, q.price FROM quotations q WHERE q.partno IN (SELECT \
+     partno FROM inventory WHERE type = 'CPU') AND q.price < 50"
+  in
+  ignore (Starburst.query db text);
+  match open_out path with
+  | oc ->
+    output_string oc (Sb_obs.Trace.to_json tracer);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %d spans to %s\n"
+      (List.length (Sb_obs.Trace.spans tracer))
+      path
+  | exception Sys_error msg ->
+    Printf.eprintf "error: cannot write trace file: %s\n" msg;
+    exit 1
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl |> List.map String.lowercase_ascii in
+  let rec split_flags acc = function
+    | [] -> (List.rev acc, None)
+    | "--trace-json" :: path :: rest -> (List.rev acc @ rest, Some path)
+    | a :: rest -> split_flags (a :: acc) rest
+  in
+  let args, trace_path = split_flags [] (Array.to_list Sys.argv |> List.tl) in
+  let args = List.map String.lowercase_ascii args in
   let wanted name = args = [] || List.mem name args in
   print_endline "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
   List.iter
     (fun (name, _descr, f) -> if wanted name then f ())
     experiments;
-  if args = [] || List.mem "micro" args then micro ()
+  if args = [] || List.mem "micro" args then micro ();
+  Option.iter trace_json trace_path

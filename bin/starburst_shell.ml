@@ -7,7 +7,12 @@
     v}
 
     All bundled extensions (outer join, spatial, sampling, MAJORITY,
-    statistics aggregates) are installed unless [--bare] is given. *)
+    statistics aggregates) are installed unless [--bare] is given.
+
+    Meta-commands: [\stats] (execution counters and per-rule rewrite
+    firings of the last query), [\metrics] (Prometheus-style dump),
+    [\trace] (span tree of the current tracer; enable with
+    [SET trace = on]), [\q]. *)
 
 let install_extensions db =
   Sb_extensions.Outer_join.install db;
@@ -20,6 +25,45 @@ let print_result db r =
   print_endline
     (Starburst.render_result
        ~registry:db.Starburst.Corona.catalog.Sb_storage.Catalog.datatypes r)
+
+(* --- meta-commands --- *)
+
+let print_stats db =
+  let c = Starburst.counters db in
+  let open Sb_qes.Exec in
+  Printf.printf "execution counters (last query):\n";
+  Printf.printf "  scanned=%d index_probes=%d shipped=%d sorted=%d output=%d\n"
+    c.c_scanned c.c_index_probes c.c_shipped c.c_sorted c.c_output;
+  Printf.printf
+    "  sub_evals=%d sub_cache_hits=%d or_branch_evals=%d fixpoint_rounds=%d\n"
+    c.c_sub_evals c.c_sub_cache_hits c.c_or_branch_evals c.c_fixpoint_rounds;
+  match Starburst.last_rewrite db with
+  | None -> print_endline "rewrite: (no rewritten query yet)"
+  | Some stats ->
+    let module Engine = Sb_rewrite.Engine in
+    Printf.printf "rewrite: %d fired / %d examined in %d passes%s\n"
+      stats.Engine.rules_fired stats.Engine.rules_examined stats.Engine.passes
+      (if stats.Engine.budget_exhausted then " (budget exhausted)" else "");
+    Printf.printf "  %-32s %7s %9s\n" "rule" "fires" "attempts";
+    List.iter
+      (fun (name, fires, attempts) ->
+        if fires > 0 then
+          Printf.printf "  %-32s %7d %9d\n" name fires attempts)
+      (Engine.per_rule stats)
+
+let meta_command db line =
+  match String.split_on_char ' ' (String.trim line) with
+  | "\\stats" :: _ -> print_stats db
+  | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
+  | "\\trace" :: rest ->
+    let tr = Starburst.tracer db in
+    if not (Sb_obs.Trace.enabled tr) then
+      print_endline "tracing is off; enable with SET trace = on"
+    else if rest = [ "json" ] then print_endline (Sb_obs.Trace.to_json tr)
+    else if rest = [ "clear" ] then Sb_obs.Trace.clear tr
+    else print_string (Sb_obs.Trace.to_tree tr)
+  | cmd :: _ -> Printf.printf "unknown meta-command %s\n" cmd
+  | [] -> ()
 
 let run_one db text =
   match Starburst.run db text with
@@ -37,13 +81,17 @@ let run_script db text =
     (Sb_hydrogen.Parser.script text)
 
 let repl db =
-  print_endline "Starburst shell — end statements with ';', \\q to quit.";
+  print_endline
+    "Starburst shell — end statements with ';', \\stats \\metrics \\trace, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");
     match read_line () with
     | exception End_of_file -> ()
     | "\\q" | "\\quit" -> ()
+    | line when Buffer.length buf = 0 && String.length line > 0 && line.[0] = '\\' ->
+      meta_command db line;
+      loop ()
     | line ->
       Buffer.add_string buf line;
       Buffer.add_char buf '\n';

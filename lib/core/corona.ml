@@ -27,6 +27,8 @@ module Plan = Sb_optimizer.Plan
 module Star = Sb_optimizer.Star
 module Generator = Sb_optimizer.Generator
 module Exec = Sb_qes.Exec
+module Trace = Sb_obs.Trace
+module Metrics = Sb_obs.Metrics
 
 exception Error of string
 
@@ -58,6 +60,8 @@ type t = {
   mutable hosts : (string * Value.t) list;  (** host-variable bindings *)
   mutable last_counters : Exec.counters;
   mutable last_rewrite : Engine.stats option;
+  metrics : Metrics.t;
+  mutable tracer : Trace.t;  (** {!Trace.noop} unless tracing is on *)
 }
 
 type result =
@@ -85,27 +89,94 @@ let create ?(pool_capacity = 256) () : t =
     hosts = [];
     last_counters = Exec.fresh_counters ();
     last_rewrite = None;
+    metrics = Metrics.create ();
+    tracer = Trace.noop;
   }
 
 let bind_host t name value =
   t.hosts <- (name, value) :: List.remove_assoc name t.hosts
 
 let counters t = t.last_counters
+let last_rewrite t = t.last_rewrite
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tracer t = t.tracer
+let metrics t = t.metrics
+
+(** Installs [tr] on the pipeline: Corona's stage spans, the rewrite
+    engine's per-firing spans, and the optimizer's STAR expansion spans
+    all record into it. *)
+let set_tracer t (tr : Trace.t) =
+  t.tracer <- tr;
+  t.optimizer.Generator.sctx.Star.tracer <- tr
+
+(** Wraps one pipeline stage: a [stage.<name>] span plus a latency
+    observation in the [sb_stage_duration_ns] histogram.  Free when
+    tracing is disabled. *)
+let stage t name f =
+  if not (Trace.enabled t.tracer) then f ()
+  else begin
+    let t0 = Trace.now_ns () in
+    let v = Trace.with_span t.tracer ("stage." ^ name) f in
+    Metrics.observe_ns
+      (Metrics.histogram ~label:("stage", name) t.metrics "sb_stage_duration_ns")
+      (Int64.sub (Trace.now_ns ()) t0);
+    v
+  end
+
+(* one output path for execution counters: fold each run's Exec.counters
+   into the metrics registry (satellite: c_* and the per-operator
+   metrics share the dump) *)
+let record_exec_counters t (c : Exec.counters) =
+  let add name v =
+    if v > 0 then Metrics.incr ~by:v (Metrics.counter t.metrics name)
+  in
+  add "sb_exec_scanned_total" c.Exec.c_scanned;
+  add "sb_exec_index_probes_total" c.Exec.c_index_probes;
+  add "sb_exec_shipped_total" c.Exec.c_shipped;
+  add "sb_exec_sorted_total" c.Exec.c_sorted;
+  add "sb_exec_sub_evals_total" c.Exec.c_sub_evals;
+  add "sb_exec_sub_cache_hits_total" c.Exec.c_sub_cache_hits;
+  add "sb_exec_or_branch_evals_total" c.Exec.c_or_branch_evals;
+  add "sb_exec_fixpoint_rounds_total" c.Exec.c_fixpoint_rounds;
+  add "sb_exec_output_total" c.Exec.c_output
+
+let record_rewrite_stats t (stats : Engine.stats) =
+  if Trace.enabled t.tracer then
+    List.iter
+      (fun (rule, n) ->
+        Metrics.incr ~by:n
+          (Metrics.counter ~label:("rule", rule) t.metrics
+             "sb_rewrite_rule_fires_total"))
+      stats.Engine.firings
+
+(** The Prometheus-style text dump of the database's metrics registry:
+    stage latencies, per-rule firings, and execution counters. *)
+let metrics_dump t = Metrics.dump t.metrics
 
 (* ------------------------------------------------------------------ *)
 (* The compilation pipeline                                            *)
 (* ------------------------------------------------------------------ *)
 
-let build_qgm t (wq : Ast.with_query) : Qgm.t = Builder.build t.builder_cfg wq
+let build_qgm t (wq : Ast.with_query) : Qgm.t =
+  stage t "build" (fun () -> Builder.build t.builder_cfg wq)
 
 let rewrite t (g : Qgm.t) : Engine.stats =
   let stats =
-    Engine.run ~strategy:t.rewrite_strategy ~search:t.rewrite_search
-      ?budget:t.rewrite_budget ~check_each:t.check_qgm
-      ~rules:(Rule.all t.rules) g
+    stage t "rewrite" (fun () ->
+        Engine.run ~strategy:t.rewrite_strategy ~search:t.rewrite_search
+          ?budget:t.rewrite_budget ~check_each:t.check_qgm ~tracer:t.tracer
+          ~rules:(Rule.all t.rules) g)
   in
   t.last_rewrite <- Some stats;
+  record_rewrite_stats t stats;
   stats
+
+let parse t (text : string) : Ast.with_query =
+  stage t "parse" (fun () -> Parser.query_text text)
 
 (** Plan refinement (Figure 1's final compile phase): cleanups between
     the optimizer's output and the executable plan —
@@ -148,13 +219,17 @@ let rec refine (p : Plan.plan) : Plan.plan =
     { p with Plan.op = Plan.Project composed; inputs }
   | _ -> p
 
+let optimize t (g : Qgm.t) : Plan.plan =
+  stage t "optimize" (fun () -> Generator.optimize t.optimizer g)
+
+let refine_plan t (p : Plan.plan) : Plan.plan = stage t "refine" (fun () -> refine p)
+
 let compile ?(rewrite_enabled = true) t (wq : Ast.with_query) : Plan.plan =
   let g = build_qgm t wq in
   if rewrite_enabled && t.rewrite_enabled then ignore (rewrite t g);
-  refine (Generator.optimize t.optimizer g)
+  refine_plan t (optimize t g)
 
-let compile_text t (text : string) : Plan.plan =
-  compile t (Parser.query_text text)
+let compile_text t (text : string) : Plan.plan = compile t (parse t text)
 
 (* ------------------------------------------------------------------ *)
 (* Query execution                                                     *)
@@ -163,7 +238,11 @@ let compile_text t (text : string) : Plan.plan =
 let run_plan t (plan : Plan.plan) : Tuple.t list =
   let counters = Exec.fresh_counters () in
   t.last_counters <- counters;
-  Exec.run ~hosts:t.hosts ~counters t.exec_db plan
+  let rows =
+    stage t "execute" (fun () -> Exec.run ~hosts:t.hosts ~counters t.exec_db plan)
+  in
+  record_exec_counters t counters;
+  rows
 
 let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
   let g = build_qgm t wq in
@@ -171,12 +250,11 @@ let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
   let columns =
     List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head
   in
-  let plan = refine (Generator.optimize t.optimizer g) in
+  let plan = refine_plan t (optimize t g) in
   (columns, run_plan t plan)
 
 (** Runs a query text, returning its rows. *)
-let query t (text : string) : Tuple.t list =
-  snd (query_ast t (Parser.query_text text))
+let query t (text : string) : Tuple.t list = snd (query_ast t (parse t text))
 
 (* ------------------------------------------------------------------ *)
 (* Prepared statements                                                 *)
@@ -184,11 +262,11 @@ let query t (text : string) : Tuple.t list =
 
 (** Compiles [text] once; see {!execute_prepared}. *)
 let prepare t (text : string) : prepared =
-  let wq = Parser.query_text text in
+  let wq = parse t text in
   let g = build_qgm t wq in
   if t.rewrite_enabled then ignore (rewrite t g);
   let columns = List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head in
-  let plan = refine (Generator.optimize t.optimizer g) in
+  let plan = refine_plan t (optimize t g) in
   { prep_text = text; prep_columns = columns; prep_plan = plan }
 
 (** Executes a prepared query under the current host-variable bindings. *)
@@ -385,6 +463,11 @@ let on_off = function
 let do_set t key value : result =
   (match key with
   | "rewrite" -> t.rewrite_enabled <- on_off value
+  | "trace" ->
+    set_tracer t
+      (if on_off value then
+         if Trace.enabled t.tracer then t.tracer else Trace.create ()
+       else Trace.noop)
   | "bushy" -> t.optimizer.Generator.allow_bushy <- on_off value
   | "cartesian" -> t.optimizer.Generator.allow_cartesian <- on_off value
   | "check_qgm" -> t.check_qgm <- on_off value
@@ -413,14 +496,85 @@ let do_set t key value : result =
 (* EXPLAIN                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(** Renders a plan with the optimizer's estimates next to the actual
+    per-operator rows and inclusive time measured by
+    {!Exec.run_analyzed}.  An operator the execution never pulled from
+    (e.g. behind an empty outer) shows as [never executed]. *)
+let pp_analyzed_plan buf (lookup : Plan.plan -> Exec.op_stats option) plan =
+  let rec render indent (p : Plan.plan) =
+    let detail = Plan.op_detail p.Plan.op in
+    let actual =
+      match lookup p with
+      | Some st ->
+        Fmt.str "rows=%d time=%s" st.Exec.os_rows
+          (Trace.dur_string st.Exec.os_ns)
+      | None -> "never executed"
+    in
+    Buffer.add_string buf
+      (Fmt.str "%s%s%s  {est_rows=%.0f cost=%.2f | actual %s}\n"
+         (String.make (indent * 2) ' ')
+         (Plan.op_name p.Plan.op)
+         (if detail = "" then "" else " " ^ detail)
+         p.Plan.props.Plan.p_card p.Plan.props.Plan.p_cost actual);
+    List.iter (render (indent + 1)) p.Plan.inputs
+  in
+  render 0 plan
+
+(** EXPLAIN ANALYZE: compiles with per-stage wall-clock timings, runs
+    the plan with per-operator accounting, and prints the LOLEPOP tree
+    with estimated vs. actual rows and time. *)
+let explain_analyze t (wq : Ast.with_query) : string =
+  let time f =
+    let t0 = Trace.now_ns () in
+    let v = f () in
+    (v, Int64.sub (Trace.now_ns ()) t0)
+  in
+  let g, build_ns = time (fun () -> build_qgm t wq) in
+  let rewrite_stats, rewrite_ns =
+    if t.rewrite_enabled then
+      let stats, ns = time (fun () -> rewrite t g) in
+      (Some stats, ns)
+    else (None, 0L)
+  in
+  let raw_plan, optimize_ns = time (fun () -> optimize t g) in
+  let plan, refine_ns = time (fun () -> refine raw_plan) in
+  let counters = Exec.fresh_counters () in
+  t.last_counters <- counters;
+  let (rows, lookup), execute_ns =
+    time (fun () -> Exec.run_analyzed ~hosts:t.hosts ~counters t.exec_db plan)
+  in
+  record_exec_counters t counters;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "== STAGE TIMINGS ==\n";
+  let stage_line name ns extra =
+    Buffer.add_string buf
+      (Fmt.str "  %-10s %10s%s\n" name (Trace.dur_string ns) extra)
+  in
+  stage_line "build" build_ns "";
+  (match rewrite_stats with
+  | Some stats ->
+    stage_line "rewrite" rewrite_ns
+      (Fmt.str "  (%d rules fired in %d passes)" stats.Engine.rules_fired
+         stats.Engine.passes)
+  | None -> stage_line "rewrite" 0L "  (disabled)");
+  stage_line "optimize" optimize_ns "";
+  stage_line "refine" refine_ns "";
+  stage_line "execute" execute_ns "";
+  Buffer.add_string buf "== PLAN (estimated vs. actual) ==\n";
+  pp_analyzed_plan buf lookup plan;
+  Buffer.add_string buf (Fmt.str "%d row(s)\n" (List.length rows));
+  Buffer.contents buf
+
 let explain t mode (wq : Ast.with_query) : string =
+  if mode = Ast.Explain_analyze then explain_analyze t wq
+  else begin
   let buf = Buffer.create 512 in
   let g = build_qgm t wq in
   (match mode with
   | Ast.Explain_qgm | Ast.Explain_all ->
     Buffer.add_string buf "== QGM ==\n";
     Buffer.add_string buf (Qgm_print.to_string g)
-  | Ast.Explain_rewrite | Ast.Explain_plan | Ast.Explain_dot -> ());
+  | _ -> ());
   if t.rewrite_enabled then begin
     let stats = rewrite t g in
     match mode with
@@ -428,21 +582,22 @@ let explain t mode (wq : Ast.with_query) : string =
       Buffer.add_string buf
         (Fmt.str "== QGM after rewrite (%d rules fired) ==\n" stats.Engine.rules_fired);
       Buffer.add_string buf (Qgm_print.to_string g)
-    | Ast.Explain_qgm | Ast.Explain_plan | Ast.Explain_dot -> ()
+    | _ -> ()
   end;
   (match mode with
   | Ast.Explain_dot ->
     (* Graphviz rendering of the (rewritten) QGM, drawn with the
        paper's Figure 2 conventions *)
     Buffer.add_string buf (Qgm_print.to_dot g)
-  | Ast.Explain_qgm | Ast.Explain_rewrite | Ast.Explain_plan | Ast.Explain_all -> ());
+  | _ -> ());
   (match mode with
   | Ast.Explain_plan | Ast.Explain_all ->
     let plan = refine (Generator.optimize t.optimizer g) in
     Buffer.add_string buf "== PLAN ==\n";
     Buffer.add_string buf (Plan.to_string plan)
-  | Ast.Explain_qgm | Ast.Explain_rewrite | Ast.Explain_dot -> ());
+  | _ -> ());
   Buffer.contents buf
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Statement dispatch                                                  *)
@@ -527,7 +682,7 @@ let rec run_statement t (stmt : Ast.statement) : result =
 
 (** Parses and runs one statement. *)
 let run t (text : string) : result =
-  match Parser.statement text with
+  match stage t "parse" (fun () -> Parser.statement text) with
   | stmt -> run_statement t stmt
   | exception Parser.Parse_error (msg, _) -> error "parse error: %s" msg
   | exception Sb_hydrogen.Lexer.Lex_error (msg, _) -> error "lex error: %s" msg

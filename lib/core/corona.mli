@@ -22,6 +22,8 @@ module Plan = Sb_optimizer.Plan
 module Star = Sb_optimizer.Star
 module Generator = Sb_optimizer.Generator
 module Exec = Sb_qes.Exec
+module Trace = Sb_obs.Trace
+module Metrics = Sb_obs.Metrics
 
 exception Error of string
 
@@ -53,6 +55,8 @@ type t = {
   mutable hosts : (string * Value.t) list;  (** host-variable bindings *)
   mutable last_counters : Exec.counters;
   mutable last_rewrite : Engine.stats option;
+  metrics : Metrics.t;
+  mutable tracer : Trace.t;  (** {!Trace.noop} unless tracing is on *)
 }
 
 (** Execution outcome of one statement. *)
@@ -71,14 +75,45 @@ val bind_host : t -> string -> Value.t -> unit
 (** Execution counters of the most recent query. *)
 val counters : t -> Exec.counters
 
+(** Rewrite statistics of the most recent rewritten query. *)
+val last_rewrite : t -> Engine.stats option
+
+(** {1 Observability}
+
+    The pipeline is instrumented with {!Sb_obs} spans and metrics:
+    each stage (parse, build, rewrite, optimize, refine, execute) is a
+    span and a latency-histogram observation, the rewrite engine records
+    one span per rule firing, and the optimizer one per STAR expansion.
+    The default tracer is {!Trace.noop}, which costs one branch per
+    stage; install a real one with {!set_tracer} or [SET trace = on]. *)
+
+val tracer : t -> Trace.t
+
+(** Installs a tracer on every pipeline layer (Corona stages, rewrite
+    engine, STAR evaluator). *)
+val set_tracer : t -> Trace.t -> unit
+
+(** The database's metrics registry (stage latencies, per-rule firings,
+    execution counters). *)
+val metrics : t -> Metrics.t
+
+(** Prometheus-style text dump of {!metrics}. *)
+val metrics_dump : t -> string
+
 (** {1 Pipeline stages (exposed for instrumentation and extensions)} *)
 
+val parse : t -> string -> Ast.with_query
 val build_qgm : t -> Ast.with_query -> Qgm.t
 val rewrite : t -> Qgm.t -> Engine.stats
 
 (** Plan refinement: residual CHOOSE nodes resolve to their first
     alternative and trivial pass-throughs collapse. *)
 val refine : Plan.plan -> Plan.plan
+
+(** {!Generator.optimize} / {!refine} wrapped in their stage spans. *)
+val optimize : t -> Qgm.t -> Plan.plan
+
+val refine_plan : t -> Plan.plan -> Plan.plan
 
 (** The full compile pipeline (without executing). *)
 val compile : ?rewrite_enabled:bool -> t -> Ast.with_query -> Plan.plan
@@ -104,8 +139,14 @@ val clear_plan_cache : t -> unit
 
 (** {1 Statements} *)
 
-(** Renders EXPLAIN output for a query at the given stage(s). *)
+(** Renders EXPLAIN output for a query at the given stage(s).
+    [Explain_analyze] additionally executes the plan and prints
+    per-operator estimated vs. actual rows and inclusive time, plus
+    per-stage wall-clock timings. *)
 val explain : t -> Ast.explain_mode -> Ast.with_query -> string
+
+(** The [EXPLAIN ANALYZE] renderer (also reachable via {!explain}). *)
+val explain_analyze : t -> Ast.with_query -> string
 
 val run_statement : t -> Ast.statement -> result
 

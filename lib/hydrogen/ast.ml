@@ -140,6 +140,9 @@ and explain_mode =
   | Explain_plan
   | Explain_dot  (** Graphviz rendering of the rewritten QGM *)
   | Explain_all
+  | Explain_analyze
+      (** execute the statement and report per-operator estimated
+          vs. actual rows alongside per-stage timings *)
 
 (* --- small helpers used across the pipeline --- *)
 

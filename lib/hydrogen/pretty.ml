@@ -185,6 +185,7 @@ let rec pp_statement ppf = function
       | Explain_plan -> " PLAN"
       | Explain_dot -> " DOT"
       | Explain_all -> ""
+      | Explain_analyze -> " ANALYZE"
     in
     Fmt.pf ppf "EXPLAIN%s %a" m pp_statement s
   | Stmt_set (k, v) -> Fmt.pf ppf "SET %s = %s" k v

@@ -1,0 +1,170 @@
+(** The metrics registry: named counters and log-scale latency
+    histograms with a Prometheus-style text dump.
+
+    Counters and histograms are created on demand ({!counter} /
+    {!histogram} get-or-create by name) so independent subsystems —
+    the rewrite engine, the plan optimizer, the query evaluation
+    system — share one registry and one output path.  Metric names
+    follow Prometheus conventions ([a-z_] with a unit suffix);
+    an optional label renders as [name{label="value"}]. *)
+
+type counter = { c_name : string; c_label : (string * string) option; mutable c_value : int }
+
+(** Log-scale histogram: bucket [i] counts observations in
+    [(base^i-1, base^i]] with a fixed bucket count; the last bucket is
+    +Inf.  Base 2 over nanoseconds spans 1ns .. ~1.2s in 31 buckets. *)
+type histogram = {
+  h_name : string;
+  h_label : (string * string) option;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type t = {
+  mutable counters : counter list;
+  mutable histograms : histogram list;
+  n_buckets : int;
+}
+
+let create ?(n_buckets = 32) () =
+  if n_buckets < 2 then invalid_arg "Metrics.create: need at least 2 buckets";
+  { counters = []; histograms = []; n_buckets }
+
+let same_key name label (n, l) = String.equal name n && label = l
+
+let counter ?label t name : counter =
+  match
+    List.find_opt (fun c -> same_key name label (c.c_name, c.c_label)) t.counters
+  with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_label = label; c_value = 0 } in
+    t.counters <- c :: t.counters;
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let histogram ?label t name : histogram =
+  match
+    List.find_opt
+      (fun h -> same_key name label (h.h_name, h.h_label))
+      t.histograms
+  with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_label = label;
+        h_buckets = Array.make t.n_buckets 0;
+        h_count = 0;
+        h_sum = 0.0;
+      }
+    in
+    t.histograms <- h :: t.histograms;
+    h
+
+(** Bucket index for [v]: log2-scaled, clamped to the bucket range.
+    Bucket [i] has upper bound [2^i] (the last bucket is +Inf). *)
+let bucket_index h (v : float) =
+  if v <= 1.0 then 0
+  else
+    let i = int_of_float (ceil (Float.log2 v)) in
+    min i (Array.length h.h_buckets - 1)
+
+let observe h v =
+  let i = bucket_index h v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+(** Observes a span duration in nanoseconds. *)
+let observe_ns h (ns : int64) = observe h (Int64.to_float ns)
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+(** Counts in bucket order, paired with each bucket's inclusive upper
+    bound (the last is [infinity]). *)
+let histogram_buckets h =
+  Array.to_list
+    (Array.mapi
+       (fun i n ->
+         let ub =
+           if i = Array.length h.h_buckets - 1 then infinity
+           else Float.pow 2.0 (float_of_int i)
+         in
+         (ub, n))
+       h.h_buckets)
+
+let clear t =
+  List.iter (fun c -> c.c_value <- 0) t.counters;
+  List.iter
+    (fun h ->
+      Array.fill h.h_buckets 0 (Array.length h.h_buckets) 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0)
+    t.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text dump                                          *)
+(* ------------------------------------------------------------------ *)
+
+let render_label = function
+  | None -> ""
+  | Some (k, v) -> Printf.sprintf "{%s=\"%s\"}" k v
+
+let render_label_with extra = function
+  | None -> Printf.sprintf "{%s}" extra
+  | Some (k, v) -> Printf.sprintf "{%s=\"%s\",%s}" k v extra
+
+let float_bound ub =
+  if ub = infinity then "+Inf"
+  else if Float.is_integer ub && Float.abs ub < 1e15 then
+    Printf.sprintf "%.0f" ub
+  else Printf.sprintf "%g" ub
+
+(** Prometheus text exposition: counters as [# TYPE name counter]
+    samples, histograms as cumulative [_bucket{le=...}] series plus
+    [_sum] and [_count]. *)
+let dump t =
+  let buf = Buffer.create 1024 in
+  let by_name proj xs =
+    List.sort (fun a b -> compare (proj a) (proj b)) xs
+  in
+  let seen_type = Hashtbl.create 8 in
+  let type_line name kind =
+    if not (Hashtbl.mem seen_type name) then begin
+      Hashtbl.replace seen_type name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun c ->
+      type_line c.c_name "counter";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" c.c_name (render_label c.c_label) c.c_value))
+    (by_name (fun c -> (c.c_name, c.c_label)) t.counters);
+  List.iter
+    (fun h ->
+      type_line h.h_name "histogram";
+      let cumulative = ref 0 in
+      List.iter
+        (fun (ub, n) ->
+          cumulative := !cumulative + n;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+               (render_label_with
+                  (Printf.sprintf "le=\"%s\"" (float_bound ub))
+                  h.h_label)
+               !cumulative))
+        (histogram_buckets h);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %g\n" h.h_name (render_label h.h_label) h.h_sum);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" h.h_name (render_label h.h_label)
+           h.h_count))
+    (by_name (fun h -> (h.h_name, h.h_label)) t.histograms);
+  Buffer.contents buf

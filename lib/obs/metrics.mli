@@ -1,0 +1,43 @@
+(** The metrics registry: named counters and log-scale latency
+    histograms with a Prometheus-style text dump.
+
+    Counters and histograms are created on demand (get-or-create by
+    name and optional label), so independent subsystems share one
+    registry and one output path. *)
+
+type counter
+type histogram
+type t
+
+val create : ?n_buckets:int -> unit -> t
+
+(** Get-or-create a counter.  [label] renders as
+    [name{key="value"}]. *)
+val counter : ?label:string * string -> t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** Get-or-create a log-scale (base 2) histogram. *)
+val histogram : ?label:string * string -> t -> string -> histogram
+
+(** Records one observation ([observe_ns] for span durations). *)
+val observe : histogram -> float -> unit
+
+val observe_ns : histogram -> int64 -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** Counts per bucket, paired with each bucket's inclusive upper bound
+    (the last is [infinity]). *)
+val histogram_buckets : histogram -> (float * int) list
+
+(** Bucket index an observation falls into (exposed for tests). *)
+val bucket_index : histogram -> float -> int
+
+(** Resets all values; registered metrics remain. *)
+val clear : t -> unit
+
+(** Prometheus text exposition: counters as plain samples, histograms
+    as cumulative [_bucket{le=...}] series plus [_sum]/[_count]. *)
+val dump : t -> string

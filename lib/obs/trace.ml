@@ -1,0 +1,211 @@
+(** Span-based pipeline tracing.
+
+    A span covers one timed region of the pipeline — a compile stage, a
+    rewrite-rule firing, a STAR expansion — with a name, key/value
+    attributes, monotonic start/duration, and a parent link giving the
+    nesting.  Finished spans land in a bounded ring buffer, exportable
+    as JSON (one object per span) or as an indented text tree.
+
+    The disabled tracer is a no-op: {!with_span} costs one branch and
+    calls the thunk directly, so instrumented code pays nothing when
+    tracing is off (the default). *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** -1 for roots *)
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_ns : int64;  (** monotonic clock *)
+  sp_dur_ns : int64;
+}
+
+(* one open (unfinished) span on the stack *)
+type open_span = {
+  os_id : int;
+  os_parent : int;
+  os_name : string;
+  mutable os_attrs : (string * string) list;
+  os_start_ns : int64;
+}
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  ring : span option array;  (** ring buffer of finished spans *)
+  mutable next_slot : int;
+  mutable finished : int;  (** total spans ever finished *)
+  mutable next_id : int;
+  mutable stack : open_span list;  (** innermost open span first *)
+}
+
+let noop =
+  {
+    enabled = false;
+    capacity = 0;
+    ring = [||];
+    next_slot = 0;
+    finished = 0;
+    next_id = 0;
+    stack = [];
+  }
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    enabled = true;
+    capacity;
+    ring = Array.make capacity None;
+    next_slot = 0;
+    finished = 0;
+    next_id = 0;
+    stack = [];
+  }
+
+let enabled t = t.enabled
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let push_finished t sp =
+  t.ring.(t.next_slot) <- Some sp;
+  t.next_slot <- (t.next_slot + 1) mod t.capacity;
+  t.finished <- t.finished + 1
+
+let with_span t name ?(attrs = []) f =
+  if not t.enabled then f ()
+  else begin
+    let parent = match t.stack with [] -> -1 | os :: _ -> os.os_id in
+    let os =
+      {
+        os_id = t.next_id;
+        os_parent = parent;
+        os_name = name;
+        os_attrs = attrs;
+        os_start_ns = now_ns ();
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.stack <- os :: t.stack;
+    let finish () =
+      (* pop through any spans left open by an exception below us *)
+      let rec pop = function
+        | [] -> []
+        | o :: rest ->
+          push_finished t
+            {
+              sp_id = o.os_id;
+              sp_parent = o.os_parent;
+              sp_name = o.os_name;
+              sp_attrs = List.rev o.os_attrs;
+              sp_start_ns = o.os_start_ns;
+              sp_dur_ns = Int64.sub (now_ns ()) o.os_start_ns;
+            };
+          if o == os then rest else pop rest
+      in
+      t.stack <- pop t.stack
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let add_attr t key value =
+  if t.enabled then
+    match t.stack with
+    | [] -> ()
+    | os :: _ -> os.os_attrs <- (key, value) :: os.os_attrs
+
+let clear t =
+  if t.enabled then begin
+    Array.fill t.ring 0 t.capacity None;
+    t.next_slot <- 0;
+    t.finished <- 0;
+    t.next_id <- 0;
+    t.stack <- []
+  end
+
+let dropped t = max 0 (t.finished - t.capacity)
+
+(** Finished spans, oldest first (at most [capacity] retained). *)
+let spans t =
+  if not t.enabled then []
+  else begin
+    let acc = ref [] in
+    for i = 0 to t.capacity - 1 do
+      let slot = (t.next_slot + i) mod t.capacity in
+      match t.ring.(slot) with
+      | Some sp -> acc := sp :: !acc
+      | None -> ()
+    done;
+    List.sort (fun a b -> Int.compare a.sp_id b.sp_id) (List.rev !acc)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_to_json sp =
+  let attrs =
+    sp.sp_attrs
+    |> List.map (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"parent\":%d,\"name\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"attrs\":{%s}}"
+    sp.sp_id sp.sp_parent (json_escape sp.sp_name) sp.sp_start_ns sp.sp_dur_ns
+    attrs
+
+(** All retained spans as a JSON array (oldest first). *)
+let to_json t =
+  "[" ^ String.concat ",\n " (List.map span_to_json (spans t)) ^ "]"
+
+let pp_dur ppf ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Format.fprintf ppf "%.0fns" f
+  else if f < 1e6 then Format.fprintf ppf "%.1fus" (f /. 1e3)
+  else if f < 1e9 then Format.fprintf ppf "%.2fms" (f /. 1e6)
+  else Format.fprintf ppf "%.3fs" (f /. 1e9)
+
+let dur_string ns = Format.asprintf "%a" pp_dur ns
+
+(** Indented text rendering of the span forest, in start order. *)
+let to_tree t =
+  let all = spans t in
+  let buf = Buffer.create 512 in
+  let children id =
+    List.filter (fun sp -> sp.sp_parent = id) all
+  in
+  let rec render depth sp =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf sp.sp_name;
+    Buffer.add_string buf (Printf.sprintf "  [%s]" (dur_string sp.sp_dur_ns));
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf " %s=%s" k v))
+      sp.sp_attrs;
+    Buffer.add_char buf '\n';
+    List.iter (render (depth + 1)) (children sp.sp_id)
+  in
+  let retained = List.map (fun sp -> sp.sp_id) all in
+  let is_root sp =
+    sp.sp_parent = -1 || not (List.mem sp.sp_parent retained)
+  in
+  List.iter (fun sp -> if is_root sp then render 0 sp) all;
+  Buffer.contents buf

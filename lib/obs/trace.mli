@@ -1,0 +1,61 @@
+(** Span-based pipeline tracing.
+
+    A span covers one timed region of the pipeline — a compile stage, a
+    rewrite-rule firing, a STAR expansion — with a name, key/value
+    attributes, monotonic start/duration, and a parent link giving the
+    nesting.  Finished spans land in a bounded ring buffer, exportable
+    as JSON or as an indented text tree.
+
+    The disabled tracer ({!noop}, the default everywhere) is free:
+    {!with_span} costs one branch and calls the thunk directly. *)
+
+type span = {
+  sp_id : int;  (** creation order; unique per tracer *)
+  sp_parent : int;  (** parent span id, [-1] for roots *)
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start_ns : int64;  (** monotonic clock *)
+  sp_dur_ns : int64;
+}
+
+type t
+
+(** The disabled tracer: every operation is a no-op. *)
+val noop : t
+
+(** An enabled tracer retaining the last [capacity] finished spans
+    (default 4096). *)
+val create : ?capacity:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Current monotonic time (exposed for tests and ad-hoc timing). *)
+val now_ns : unit -> int64
+
+(** [with_span t name f] times [f ()] as a span nested under the
+    innermost open span.  The span is recorded even if [f] raises. *)
+val with_span : t -> string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
+
+(** Attaches an attribute to the innermost open span (no-op when none
+    is open or the tracer is disabled). *)
+val add_attr : t -> string -> string -> unit
+
+(** Finished spans, oldest first (at most [capacity] retained). *)
+val spans : t -> span list
+
+(** Spans evicted from the ring so far. *)
+val dropped : t -> int
+
+val clear : t -> unit
+
+(** {1 Export} *)
+
+(** All retained spans as a JSON array of objects
+    [{id, parent, name, start_ns, dur_ns, attrs}]. *)
+val to_json : t -> string
+
+(** Indented text rendering of the span forest. *)
+val to_tree : t -> string
+
+(** Human-friendly duration ("1.2us", "3.45ms", ...). *)
+val dur_string : int64 -> string

@@ -1097,7 +1097,30 @@ and compile_recursive t ~g ~env (b : Qgm.box) : plan =
 (** Optimizes the whole QGM; the resulting plan computes the top box's
     head columns. *)
 let optimize t (g : Qgm.t) : plan =
-  let plan, params = compile_box t ~g g.Qgm.top in
-  if Array.length params > 0 then
-    unsupported "top-level query has unbound correlation parameters";
-  plan
+  let compile () =
+    let plan, params = compile_box t ~g g.Qgm.top in
+    if Array.length params > 0 then
+      unsupported "top-level query has unbound correlation parameters";
+    plan
+  in
+  let tracer = t.sctx.Star.tracer in
+  if not (Sb_obs.Trace.enabled tracer) then compile ()
+  else begin
+    let inv0 = t.sctx.Star.invocations in
+    let gen0 = t.sctx.Star.plans_generated in
+    let pru0 = t.sctx.Star.plans_pruned in
+    let sub0 = t.enum_subsets and pair0 = t.enum_pairs in
+    Sb_obs.Trace.with_span tracer "optimize.generate" (fun () ->
+        let plan = compile () in
+        Sb_obs.Trace.add_attr tracer "star_expansions"
+          (string_of_int (t.sctx.Star.invocations - inv0));
+        Sb_obs.Trace.add_attr tracer "plans_generated"
+          (string_of_int (t.sctx.Star.plans_generated - gen0));
+        Sb_obs.Trace.add_attr tracer "plans_pruned"
+          (string_of_int (t.sctx.Star.plans_pruned - pru0));
+        Sb_obs.Trace.add_attr tracer "enum_subsets"
+          (string_of_int (t.enum_subsets - sub0));
+        Sb_obs.Trace.add_attr tracer "enum_pairs"
+          (string_of_int (t.enum_pairs - pair0));
+        plan)
+  end

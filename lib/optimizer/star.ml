@@ -80,6 +80,8 @@ type ctx = {
   site_of : string -> string;
   mutable invocations : int;  (** STAR invocations (bench accounting) *)
   mutable plans_generated : int;  (** plans produced before pruning *)
+  mutable plans_pruned : int;  (** plans discarded by the strategy *)
+  mutable tracer : Sb_obs.Trace.t;  (** spans per expansion when enabled *)
 }
 
 and star = { star_name : string; mutable alternatives : alternative list }
@@ -120,20 +122,35 @@ let find_star ctx name =
 let invoke ctx name payload : Plan.plan list =
   let star = find_star ctx name in
   ctx.invocations <- ctx.invocations + 1;
-  let applicable =
-    List.filter
-      (fun a -> a.alt_rank <= ctx.strategy.st_max_rank && a.alt_cond ctx payload)
-      star.alternatives
+  let expand () =
+    let applicable =
+      List.filter
+        (fun a -> a.alt_rank <= ctx.strategy.st_max_rank && a.alt_cond ctx payload)
+        star.alternatives
+    in
+    let plans =
+      List.concat_map
+        (fun a -> a.alt_produce ctx payload)
+        (ctx.strategy.st_order applicable)
+    in
+    ctx.plans_generated <- ctx.plans_generated + List.length plans;
+    if plans = [] then
+      error "STAR %s produced no plan (quant %d)" name payload.pl_quant;
+    let kept = ctx.strategy.st_prune plans in
+    ctx.plans_pruned <- ctx.plans_pruned + (List.length plans - List.length kept);
+    (plans, kept)
   in
-  let plans =
-    List.concat_map
-      (fun a -> a.alt_produce ctx payload)
-      (ctx.strategy.st_order applicable)
-  in
-  ctx.plans_generated <- ctx.plans_generated + List.length plans;
-  if plans = [] then
-    error "STAR %s produced no plan (quant %d)" name payload.pl_quant;
-  ctx.strategy.st_prune plans
+  if not (Sb_obs.Trace.enabled ctx.tracer) then snd (expand ())
+  else
+    Sb_obs.Trace.with_span ctx.tracer "star.expand"
+      ~attrs:[ ("star", name) ]
+      (fun () ->
+        let plans, kept = expand () in
+        Sb_obs.Trace.add_attr ctx.tracer "generated"
+          (string_of_int (List.length plans));
+        Sb_obs.Trace.add_attr ctx.tracer "pruned"
+          (string_of_int (List.length plans - List.length kept));
+        kept)
 
 (** Registers a STAR; merging alternatives if the name exists. *)
 let register ctx (name : string) (alts : alternative list) =
@@ -208,4 +225,6 @@ let create ?(strategy = default_strategy) ~catalog ~site_of () : ctx =
     site_of;
     invocations = 0;
     plans_generated = 0;
+    plans_pruned = 0;
+    tracer = Sb_obs.Trace.noop;
   }

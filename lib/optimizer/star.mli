@@ -74,6 +74,8 @@ type ctx = {
   site_of : string -> string;
   mutable invocations : int;  (** STAR invocations (bench accounting) *)
   mutable plans_generated : int;  (** plans produced before pruning *)
+  mutable plans_pruned : int;  (** plans discarded by the strategy *)
+  mutable tracer : Sb_obs.Trace.t;  (** spans per expansion when enabled *)
 }
 
 and star = { star_name : string; mutable alternatives : alternative list }

@@ -85,13 +85,31 @@ type cache_entry = {
   ce_table : (Value.t list, Obj.t) Hashtbl.t;
 }
 
+(** Per-operator runtime accounting for EXPLAIN ANALYZE: rows produced
+    (across all re-evaluations, e.g. of a join's inner) and inclusive
+    elapsed time. *)
+type op_stats = { mutable os_rows : int; mutable os_ns : int64 }
+
+(* op_stats per plan node, keyed by physical identity; allocated on
+   demand so subplans embedded in expressions are covered too *)
+type analysis = (Sb_optimizer.Plan.plan * op_stats) list ref
+
 type ectx = {
   db : db;
   hosts : (string * Value.t) list;
   counters : counters;
   mutable caches : cache_entry list;
   mutable deltas : Tuple.t list list;  (** fixpoint delta stack *)
+  instr : analysis option;  (** per-operator accounting when analyzing *)
 }
+
+let stats_for (tbl : analysis) p =
+  match List.find_opt (fun (q, _) -> q == p) !tbl with
+  | Some (_, st) -> st
+  | None ->
+    let st = { os_rows = 0; os_ns = 0L } in
+    tbl := (p, st) :: !tbl;
+    st
 
 let cache_for ectx (key : Obj.t) : (Value.t list, Obj.t) Hashtbl.t =
   match List.find_opt (fun ce -> ce.ce_key == key) ectx.caches with
@@ -318,8 +336,30 @@ and demand_rows ectx (key : Obj.t) (plan : plan) (bound : Value.t list) :
 and collect ectx ~params (plan : plan) : Tuple.t list =
   List.of_seq (stream ectx ~params plan)
 
-(** Interprets [plan] as a lazy tuple sequence. *)
+(** Interprets [plan] as a lazy tuple sequence; when analyzing, every
+    operator's stream is wrapped to count rows and accumulate inclusive
+    elapsed time. *)
 and stream ectx ~params (p : plan) : Tuple.t Seq.t =
+  match ectx.instr with
+  | None -> op_stream ectx ~params p
+  | Some tbl ->
+    let st = stats_for tbl p in
+    let t0 = Sb_obs.Trace.now_ns () in
+    let s = op_stream ectx ~params p in
+    st.os_ns <- Int64.add st.os_ns (Int64.sub (Sb_obs.Trace.now_ns ()) t0);
+    let rec timed s () =
+      let t0 = Sb_obs.Trace.now_ns () in
+      let node = s () in
+      st.os_ns <- Int64.add st.os_ns (Int64.sub (Sb_obs.Trace.now_ns ()) t0);
+      match node with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (x, rest) ->
+        st.os_rows <- st.os_rows + 1;
+        Seq.Cons (x, timed rest)
+    in
+    timed s
+
+and op_stream ectx ~params (p : plan) : Tuple.t Seq.t =
   match p.op with
   | Scan { sc_table; sc_cols; sc_preds } ->
     let tab = find_table ectx sc_table in
@@ -853,7 +893,7 @@ and fixpoint_stream ectx ~params (p : plan) ~distinct : Tuple.t Seq.t =
 (** Runs a plan to completion, returning the result rows. *)
 let run ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan) :
     Tuple.t list =
-  let ectx = { db; hosts; counters; caches = []; deltas = [] } in
+  let ectx = { db; hosts; counters; caches = []; deltas = []; instr = None } in
   let rows = collect ectx ~params:[||] plan in
   counters.c_output <- counters.c_output + List.length rows;
   rows
@@ -861,11 +901,27 @@ let run ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan) :
 (** Streams a plan's results (lazy, single pass). *)
 let run_seq ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan)
     : Tuple.t Seq.t =
-  let ectx = { db; hosts; counters; caches = []; deltas = [] } in
+  let ectx = { db; hosts; counters; caches = []; deltas = []; instr = None } in
   stream ectx ~params:[||] plan
+
+(** Like {!run}, but with per-operator accounting: also returns a lookup
+    from plan node (by physical identity, including subplans embedded in
+    expressions) to its rows-produced and inclusive elapsed time. *)
+let run_analyzed ?(hosts = []) ?(counters = fresh_counters ()) (db : db)
+    (plan : plan) : Tuple.t list * (plan -> op_stats option) =
+  let tbl : analysis = ref [] in
+  let ectx =
+    { db; hosts; counters; caches = []; deltas = []; instr = Some tbl }
+  in
+  let rows = collect ectx ~params:[||] plan in
+  counters.c_output <- counters.c_output + List.length rows;
+  (rows, fun p -> Option.map snd (List.find_opt (fun (q, _) -> q == p) !tbl))
 
 (** Evaluates a standalone runtime expression over one row (used by the
     facade for UPDATE/DELETE predicates and SET expressions). *)
 let eval_row ?(hosts = []) (db : db) ~(row : Tuple.t) (e : rexpr) : Value.t =
-  let ectx = { db; hosts; counters = fresh_counters (); caches = []; deltas = [] } in
+  let ectx =
+    { db; hosts; counters = fresh_counters (); caches = []; deltas = [];
+      instr = None }
+  in
   eval ectx ~row ~params:[||] e

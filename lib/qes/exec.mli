@@ -58,6 +58,21 @@ val run :
   Sb_optimizer.Plan.plan ->
   Tuple.t list
 
+(** Per-operator runtime accounting for EXPLAIN ANALYZE: rows produced
+    (across all re-evaluations, e.g. of a join's inner) and inclusive
+    elapsed time. *)
+type op_stats = { mutable os_rows : int; mutable os_ns : int64 }
+
+(** Like {!run}, but with per-operator accounting: also returns a lookup
+    from plan node (by physical identity, including subplans embedded in
+    expressions) to its statistics. *)
+val run_analyzed :
+  ?hosts:(string * Value.t) list ->
+  ?counters:counters ->
+  db ->
+  Sb_optimizer.Plan.plan ->
+  Tuple.t list * (Sb_optimizer.Plan.plan -> op_stats option)
+
 (** Streams a plan's results (lazy, single pass). *)
 val run_seq :
   ?hosts:(string * Value.t) list ->

@@ -28,6 +28,7 @@ type stats = {
   mutable passes : int;
   mutable budget_exhausted : bool;
   mutable firings : (string * int) list;  (** per-rule firing counts *)
+  mutable attempts : (string * int) list;  (** per-rule condition tests *)
 }
 
 let fresh_stats () =
@@ -37,11 +38,37 @@ let fresh_stats () =
     passes = 0;
     budget_exhausted = false;
     firings = [];
+    attempts = [];
   }
 
+let bump assoc name =
+  let count = try List.assoc name !assoc with Not_found -> 0 in
+  assoc := (name, count + 1) :: List.remove_assoc name !assoc
+
 let record_firing stats name =
-  let count = try List.assoc name stats.firings with Not_found -> 0 in
-  stats.firings <- (name, count + 1) :: List.remove_assoc name stats.firings
+  let l = ref stats.firings in
+  bump l name;
+  stats.firings <- !l
+
+let record_attempt stats name =
+  let l = ref stats.attempts in
+  bump l name;
+  stats.attempts <- !l
+
+(** Per-rule [(name, fires, attempts)] rows, most-fired first. *)
+let per_rule stats =
+  let names =
+    List.sort_uniq String.compare
+      (List.map fst stats.firings @ List.map fst stats.attempts)
+  in
+  List.map
+    (fun name ->
+      ( name,
+        Option.value ~default:0 (List.assoc_opt name stats.firings),
+        Option.value ~default:0 (List.assoc_opt name stats.attempts) ))
+    names
+  |> List.sort (fun (an, af, _) (bn, bf, _) ->
+         match Int.compare bf af with 0 -> String.compare an bn | c -> c)
 
 exception Budget_exhausted
 
@@ -114,7 +141,8 @@ let order_rules strategy (rng : Random.State.t option) (rules : Rule.t list) =
 
     Returns engine statistics. *)
 let run ?(strategy = Sequential) ?(search = Depth_first) ?budget
-    ?(check_each = false) ~(rules : Rule.t list) (g : Qgm.t) : stats =
+    ?(check_each = false) ?(tracer = Sb_obs.Trace.noop) ~(rules : Rule.t list)
+    (g : Qgm.t) : stats =
   let stats = fresh_stats () in
   let rng =
     match strategy with
@@ -127,7 +155,22 @@ let run ?(strategy = Sequential) ?(search = Depth_first) ?budget
       stats.budget_exhausted <- true;
       raise Budget_exhausted
     | _ -> ());
-    rule.Rule.action ctx;
+    if Sb_obs.Trace.enabled tracer then
+      Sb_obs.Trace.with_span tracer "rewrite.fire"
+        ~attrs:
+          [
+            ("rule", rule.Rule.rule_name);
+            ( "budget_remaining",
+              match budget with
+              | Some b -> string_of_int (b - stats.rules_fired)
+              | None -> "inf" );
+            ("boxes_before", string_of_int (Hashtbl.length g.Qgm.boxes));
+          ]
+        (fun () ->
+          rule.Rule.action ctx;
+          Sb_obs.Trace.add_attr tracer "boxes_after"
+            (string_of_int (Hashtbl.length g.Qgm.boxes)))
+    else rule.Rule.action ctx;
     stats.rules_fired <- stats.rules_fired + 1;
     record_firing stats rule.Rule.rule_name;
     Logs.debug (fun m -> m "rewrite: fired %s on box %d" rule.Rule.rule_name ctx.Rule.box.Qgm.b_id);
@@ -155,6 +198,7 @@ let run ?(strategy = Sequential) ?(search = Depth_first) ?budget
              List.iter
                (fun rule ->
                  stats.rules_examined <- stats.rules_examined + 1;
+                 record_attempt stats rule.Rule.rule_name;
                  if
                    Hashtbl.mem g.Qgm.boxes b.Qgm.b_id
                    && rule.Rule.condition ctx

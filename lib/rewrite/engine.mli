@@ -24,9 +24,13 @@ type stats = {
   mutable passes : int;
   mutable budget_exhausted : bool;
   mutable firings : (string * int) list;  (** per-rule firing counts *)
+  mutable attempts : (string * int) list;  (** per-rule condition tests *)
 }
 
 val fresh_stats : unit -> stats
+
+(** Per-rule [(name, fires, attempts)] rows, most-fired first. *)
+val per_rule : stats -> (string * int * int) list
 
 (** Boxes in the given search order (cycles visited once). *)
 val boxes_in_order : Qgm.t -> search -> Qgm.box list
@@ -34,13 +38,16 @@ val boxes_in_order : Qgm.t -> search -> Qgm.box list
 (** Runs [rules] to fixpoint or until [budget] firings.  When the budget
     runs out, processing stops at a consistent QGM state (the engine
     never interrupts an action).  [check_each] re-verifies QGM
-    consistency after every firing.  Unreachable boxes are garbage-
-    collected before returning. *)
+    consistency after every firing.  [tracer] records one span per rule
+    firing (rule name, budget remaining, QGM box count before/after);
+    the default no-op tracer costs nothing.  Unreachable boxes are
+    garbage-collected before returning. *)
 val run :
   ?strategy:strategy ->
   ?search:search ->
   ?budget:int ->
   ?check_each:bool ->
+  ?tracer:Sb_obs.Trace.t ->
   rules:Rule.t list ->
   Qgm.t ->
   stats

@@ -12,4 +12,5 @@ let () =
       Test_extensions.suite;
       Test_features.suite;
       Test_props.suite;
+      Test_obs.suite;
     ]
