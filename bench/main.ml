@@ -84,6 +84,55 @@ let micro () =
          | _ -> Printf.printf "  %-24s (no estimate)\n" name)
 
 (* ------------------------------------------------------------------ *)
+(* Verification sweep (--verify)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs a corpus of representative queries with paranoid mode on:
+    every rule firing is audited for QGM consistency, the optimizer's
+    plan is validated against the catalog, and the rewritten compilation
+    is differentially executed against the un-rewritten one.  Exits
+    non-zero on the first unsoundness, so CI can gate on it. *)
+let verify () =
+  Bench_util.header
+    "Verification sweep: rule audit + plan check + differential execution";
+  let db = Bench_util.parts_db ~n_parts:300 ~fanout:3 () in
+  db.Starburst.Corona.paranoid <- true;
+  let corpus =
+    [
+      "SELECT q.partno, q.price FROM quotations q WHERE q.partno IN (SELECT \
+       partno FROM inventory WHERE type = 'CPU') AND q.price < 50";
+      "SELECT partno FROM inventory WHERE type = 'CPU' OR onhand_qty > 80";
+      "SELECT i.type, count(*), min(q.price) FROM quotations q, inventory i \
+       WHERE q.partno = i.partno GROUP BY i.type";
+      "SELECT partno FROM quotations WHERE price > (SELECT min(price) FROM \
+       quotations) ORDER BY partno";
+      "SELECT DISTINCT supplier FROM quotations WHERE order_qty > 10";
+      "SELECT partno FROM inventory UNION SELECT partno FROM quotations";
+      "SELECT q.supplier FROM quotations q WHERE EXISTS (SELECT partno FROM \
+       inventory i WHERE i.partno = q.partno AND i.onhand_qty < q.order_qty)";
+    ]
+  in
+  let abbrev s = if String.length s <= 70 then s else String.sub s 0 67 ^ "..." in
+  let failures = ref 0 in
+  List.iter
+    (fun text ->
+      match Starburst.query db text with
+      | rows -> Printf.printf "  ok       %-70s (%d rows)\n" (abbrev text) (List.length rows)
+      | exception Sb_verify.Rule_audit.Unsound msg ->
+        incr failures;
+        Printf.printf "  UNSOUND  %-70s\n           %s\n" (abbrev text) msg
+      | exception Sb_verify.Plan_check.Invalid_plan msg ->
+        incr failures;
+        Printf.printf "  INVALID  %-70s\n           %s\n" (abbrev text) msg)
+    corpus;
+  db.Starburst.Corona.paranoid <- false;
+  if !failures > 0 then begin
+    Printf.printf "%d verification failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "all %d queries verified\n" (List.length corpus)
+
+(* ------------------------------------------------------------------ *)
 (* Stage-level trace export (--trace-json FILE)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -113,17 +162,24 @@ let trace_json path =
     exit 1
 
 let () =
-  let rec split_flags acc = function
-    | [] -> (List.rev acc, None)
-    | "--trace-json" :: path :: rest -> (List.rev acc @ rest, Some path)
-    | a :: rest -> split_flags (a :: acc) rest
+  let rec split_flags acc trace verify_only = function
+    | [] -> (List.rev acc, trace, verify_only)
+    | "--trace-json" :: path :: rest -> split_flags acc (Some path) verify_only rest
+    | "--verify" :: rest -> split_flags acc trace true rest
+    | a :: rest -> split_flags (a :: acc) trace verify_only rest
   in
-  let args, trace_path = split_flags [] (Array.to_list Sys.argv |> List.tl) in
+  let args, trace_path, verify_only =
+    split_flags [] None false (Array.to_list Sys.argv |> List.tl)
+  in
   let args = List.map String.lowercase_ascii args in
   let wanted name = args = [] || List.mem name args in
   print_endline "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
-  List.iter
-    (fun (name, _descr, f) -> if wanted name then f ())
-    experiments;
-  if args = [] || List.mem "micro" args then micro ();
+  if verify_only && args = [] then verify ()
+  else begin
+    List.iter
+      (fun (name, _descr, f) -> if wanted name then f ())
+      experiments;
+    if args = [] || List.mem "micro" args then micro ();
+    if verify_only then verify ()
+  end;
   Option.iter trace_json trace_path

@@ -12,7 +12,8 @@
     Meta-commands: [\stats] (execution counters and per-rule rewrite
     firings of the last query), [\metrics] (Prometheus-style dump),
     [\trace] (span tree of the current tracer; enable with
-    [SET trace = on]), [\q]. *)
+    [SET trace = on]), [\check [query]] (catalog lints, or the full
+    verification report of a query — same as [EXPLAIN VERIFY]), [\q]. *)
 
 let install_extensions db =
   Sb_extensions.Outer_join.install db;
@@ -51,9 +52,38 @@ let print_stats db =
           Printf.printf "  %-32s %7d %9d\n" name fires attempts)
       (Engine.per_rule stats)
 
+(* \check            — lint the catalog
+   \check SELECT ...  — full verification report for the query *)
+let print_check db rest =
+  let module Lint = Sb_verify.Lint in
+  match String.trim (String.concat " " rest) with
+  | "" -> (
+    match Lint.lint_catalog db.Starburst.Corona.catalog with
+    | [] -> print_endline "catalog: no lint findings"
+    | diags -> List.iter (fun d -> print_endline (Lint.diag_to_string d)) diags)
+  | text -> (
+    let text =
+      match String.rindex_opt text ';' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    match Sb_hydrogen.Parser.query_text text with
+    | wq -> (
+      try print_string (Starburst.Corona.explain_verify db wq) with
+      | Starburst.Error msg -> Printf.printf "error: %s\n" msg
+      | Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
+      | Sb_optimizer.Generator.Unsupported msg ->
+        Printf.printf "unsupported: %s\n" msg
+      | Sb_qes.Exec.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg)
+    | exception Sb_hydrogen.Parser.Parse_error (msg, _) ->
+      Printf.printf "parse error: %s\n" msg
+    | exception Sb_hydrogen.Lexer.Lex_error (msg, _) ->
+      Printf.printf "lex error: %s\n" msg)
+
 let meta_command db line =
   match String.split_on_char ' ' (String.trim line) with
   | "\\stats" :: _ -> print_stats db
+  | "\\check" :: rest -> print_check db rest
   | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
   | "\\trace" :: rest ->
     let tr = Starburst.tracer db in
@@ -82,7 +112,7 @@ let run_script db text =
 
 let repl db =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\metrics \\trace, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\metrics \\trace \\check, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");

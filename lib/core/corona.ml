@@ -29,6 +29,9 @@ module Generator = Sb_optimizer.Generator
 module Exec = Sb_qes.Exec
 module Trace = Sb_obs.Trace
 module Metrics = Sb_obs.Metrics
+module Plan_check = Sb_verify.Plan_check
+module Rule_audit = Sb_verify.Rule_audit
+module Lint = Sb_verify.Lint
 
 exception Error of string
 
@@ -57,6 +60,10 @@ type t = {
   mutable rewrite_search : Engine.search;
   mutable rewrite_budget : int option;
   mutable check_qgm : bool;  (** verify QGM consistency after each rule *)
+  mutable paranoid : bool;
+      (** sanitizer mode ([STARBURST_PARANOID=1] / [SET paranoid = on]):
+          per-firing rule audits, plan validation after optimization,
+          and differential execution of rewritten queries *)
   mutable hosts : (string * Value.t) list;  (** host-variable bindings *)
   mutable last_counters : Exec.counters;
   mutable last_rewrite : Engine.stats option;
@@ -86,6 +93,7 @@ let create ?(pool_capacity = 256) () : t =
     rewrite_search = Engine.Depth_first;
     rewrite_budget = None;
     check_qgm = false;
+    paranoid = Rule_audit.paranoid_env ();
     hosts = [];
     last_counters = Exec.fresh_counters ();
     last_rewrite = None;
@@ -165,11 +173,16 @@ let build_qgm t (wq : Ast.with_query) : Qgm.t =
   stage t "build" (fun () -> Builder.build t.builder_cfg wq)
 
 let rewrite t (g : Qgm.t) : Engine.stats =
+  (* paranoid mode wraps every rule in the soundness audit (consistency
+     asserted before and after each firing, attributed by rule name) *)
+  let rules = Rule.all t.rules in
+  let rules = if t.paranoid then Rule_audit.instrument rules else rules in
   let stats =
     stage t "rewrite" (fun () ->
         Engine.run ~strategy:t.rewrite_strategy ~search:t.rewrite_search
-          ?budget:t.rewrite_budget ~check_each:t.check_qgm ~tracer:t.tracer
-          ~rules:(Rule.all t.rules) g)
+          ?budget:t.rewrite_budget
+          ~check_each:(t.check_qgm || t.paranoid)
+          ~tracer:t.tracer ~rules g)
   in
   t.last_rewrite <- Some stats;
   record_rewrite_stats t stats;
@@ -220,7 +233,10 @@ let rec refine (p : Plan.plan) : Plan.plan =
   | _ -> p
 
 let optimize t (g : Qgm.t) : Plan.plan =
-  stage t "optimize" (fun () -> Generator.optimize t.optimizer g)
+  let plan = stage t "optimize" (fun () -> Generator.optimize t.optimizer g) in
+  (* paranoid: validate the optimizer's claims before refinement runs *)
+  if t.paranoid then Plan_check.assert_valid ~catalog:t.catalog plan;
+  plan
 
 let refine_plan t (p : Plan.plan) : Plan.plan = stage t "refine" (fun () -> refine p)
 
@@ -244,14 +260,41 @@ let run_plan t (plan : Plan.plan) : Tuple.t list =
   record_exec_counters t counters;
   rows
 
+(* A query's results are deterministic unless some box keeps LIMIT rows
+   of an unordered stream — the one case the differential oracle must
+   skip (both sides are "right" with different rows). *)
+let deterministic_results (g : Qgm.t) : bool =
+  List.for_all
+    (fun (b : Qgm.box) -> b.Qgm.b_limit = None || b.Qgm.b_order <> [])
+    (Qgm.reachable_boxes g)
+
 let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
   let g = build_qgm t wq in
+  (* paranoid: execute the un-rewritten compilation first; the rewritten
+     one must return the same rows.  The baseline is rebuilt from the
+     AST (the engine garbage-collects unreachable copies). *)
+  let baseline =
+    if t.paranoid && t.rewrite_enabled && deterministic_results g then begin
+      let g0 = build_qgm t wq in
+      (* executed without counter/metrics recording: the oracle run must
+         not be observable as a second query *)
+      Some (Exec.run ~hosts:t.hosts t.exec_db (refine_plan t (optimize t g0)))
+    end
+    else None
+  in
   if t.rewrite_enabled then ignore (rewrite t g);
   let columns =
     List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head
   in
   let plan = refine_plan t (optimize t g) in
-  (columns, run_plan t plan)
+  let rows = run_plan t plan in
+  Option.iter
+    (fun before ->
+      Rule_audit.assert_equivalent ~registry:t.catalog.Catalog.datatypes
+        ~ordered:((Qgm.top_box g).Qgm.b_order <> [])
+        ~what:"rewrite" before rows)
+    baseline;
+  (columns, rows)
 
 (** Runs a query text, returning its rows. *)
 let query t (text : string) : Tuple.t list = snd (query_ast t (parse t text))
@@ -471,6 +514,7 @@ let do_set t key value : result =
   | "bushy" -> t.optimizer.Generator.allow_bushy <- on_off value
   | "cartesian" -> t.optimizer.Generator.allow_cartesian <- on_off value
   | "check_qgm" -> t.check_qgm <- on_off value
+  | "paranoid" -> t.paranoid <- on_off value
   | "rewrite_budget" ->
     t.rewrite_budget <-
       (match int_of_string_opt value with
@@ -565,8 +609,79 @@ let explain_analyze t (wq : Ast.with_query) : string =
   Buffer.add_string buf (Fmt.str "%d row(s)\n" (List.length rows));
   Buffer.contents buf
 
+(** EXPLAIN VERIFY (and the shell's [\check]): one report from the whole
+    {!Sb_verify} suite — QGM consistency before and after rewriting
+    (with every firing audited), lints, plan validation against the
+    catalog, and differential execution of the un-rewritten vs.
+    rewritten compilation. *)
+let explain_verify t (wq : Ast.with_query) : string =
+  let buf = Buffer.create 512 in
+  let add fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let report name = function
+    | [] -> add "%-26s ok" name
+    | msgs ->
+      add "%-26s %d violation(s)" name (List.length msgs);
+      List.iter (fun m -> add "    %s" m) msgs
+  in
+  add "== VERIFY ==";
+  let g = build_qgm t wq in
+  report "qgm (built)" (Check.check g);
+  (match Lint.lint_qgm g @ Lint.lint_catalog t.catalog with
+  | [] -> add "%-26s none" "lint"
+  | diags ->
+    add "%-26s %d diagnostic(s)" "lint" (List.length diags);
+    List.iter (fun d -> add "    %s" (Lint.diag_to_string d)) diags);
+  (* baseline: the un-rewritten compilation, executed (when its result
+     is deterministic) as the differential oracle *)
+  let baseline =
+    if t.rewrite_enabled && deterministic_results g then
+      Some
+        (Exec.run ~hosts:t.hosts t.exec_db
+           (refine_plan t
+              (stage t "optimize" (fun () ->
+                   Generator.optimize t.optimizer (build_qgm t wq)))))
+    else None
+  in
+  (if t.rewrite_enabled then begin
+     let audited = Rule_audit.instrument (Rule.all t.rules) in
+     match
+       stage t "rewrite" (fun () ->
+           Engine.run ~strategy:t.rewrite_strategy ~search:t.rewrite_search
+             ?budget:t.rewrite_budget ~check_each:true ~tracer:t.tracer
+             ~rules:audited g)
+     with
+     | stats ->
+       add "%-26s ok (%d firing(s) audited)" "rule audit" stats.Engine.rules_fired
+     | exception Rule_audit.Unsound msg -> add "%-26s UNSOUND: %s" "rule audit" msg
+   end
+   else add "%-26s skipped (rewrite disabled)" "rule audit");
+  report "qgm (rewritten)" (Check.check g);
+  let plan = stage t "optimize" (fun () -> Generator.optimize t.optimizer g) in
+  report "plan (optimized)"
+    (List.map Plan_check.violation_to_string
+       (Plan_check.check ~catalog:t.catalog plan));
+  let refined = refine_plan t plan in
+  report "plan (refined)"
+    (List.map Plan_check.violation_to_string
+       (Plan_check.check ~catalog:t.catalog refined));
+  (match baseline with
+  | None ->
+    add "%-26s skipped (%s)" "differential"
+      (if t.rewrite_enabled then "LIMIT without ORDER BY" else "rewrite disabled")
+  | Some before -> (
+    let after = run_plan t refined in
+    match
+      Rule_audit.compare_results ~registry:t.catalog.Catalog.datatypes
+        ~ordered:((Qgm.top_box g).Qgm.b_order <> [])
+        before after
+    with
+    | Ok () -> add "%-26s ok (%d row(s))" "differential" (List.length after)
+    | Error msg -> add "%-26s DIVERGED: %s" "differential" msg));
+  Buffer.contents buf
+
 let explain t mode (wq : Ast.with_query) : string =
   if mode = Ast.Explain_analyze then explain_analyze t wq
+  else if mode = Ast.Explain_verify then explain_verify t wq
   else begin
   let buf = Buffer.create 512 in
   let g = build_qgm t wq in

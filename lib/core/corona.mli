@@ -24,6 +24,9 @@ module Generator = Sb_optimizer.Generator
 module Exec = Sb_qes.Exec
 module Trace = Sb_obs.Trace
 module Metrics = Sb_obs.Metrics
+module Plan_check = Sb_verify.Plan_check
+module Rule_audit = Sb_verify.Rule_audit
+module Lint = Sb_verify.Lint
 
 exception Error of string
 
@@ -52,6 +55,11 @@ type t = {
   mutable rewrite_search : Engine.search;
   mutable rewrite_budget : int option;
   mutable check_qgm : bool;  (** verify QGM consistency after each rule *)
+  mutable paranoid : bool;
+      (** sanitizer mode ([STARBURST_PARANOID=1] / [SET paranoid = on]):
+          per-firing rule audits ({!Rule_audit.instrument}), plan
+          validation after optimization ({!Plan_check.assert_valid}),
+          and differential execution of rewritten queries *)
   mutable hosts : (string * Value.t) list;  (** host-variable bindings *)
   mutable last_counters : Exec.counters;
   mutable last_rewrite : Engine.stats option;
@@ -147,6 +155,13 @@ val explain : t -> Ast.explain_mode -> Ast.with_query -> string
 
 (** The [EXPLAIN ANALYZE] renderer (also reachable via {!explain}). *)
 val explain_analyze : t -> Ast.with_query -> string
+
+(** The [EXPLAIN VERIFY] renderer (also reachable via {!explain} and the
+    shell's [\check]): QGM consistency before/after rewrite with every
+    firing audited, lints, plan validation against the catalog, and
+    differential execution of the un-rewritten vs. rewritten
+    compilation. *)
+val explain_verify : t -> Ast.with_query -> string
 
 val run_statement : t -> Ast.statement -> result
 

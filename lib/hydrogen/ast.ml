@@ -143,6 +143,9 @@ and explain_mode =
   | Explain_analyze
       (** execute the statement and report per-operator estimated
           vs. actual rows alongside per-stage timings *)
+  | Explain_verify
+      (** run the static verifier: QGM consistency before/after rewrite,
+          lints, plan validation, and differential execution *)
 
 (* --- small helpers used across the pipeline --- *)
 

@@ -13,17 +13,55 @@ type violation = string
 let check (g : t) : violation list =
   let errs = ref [] in
   let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  (* every message names the offending box: "box <id> (<kind>): ..." *)
+  let berr b fmt =
+    Fmt.kstr (fun s -> err "box %d (%s): %s" b.b_id (Print.kind_name b.b_kind) s) fmt
+  in
   (if not (Hashtbl.mem g.boxes g.top) then err "top box %d missing" g.top);
   let boxes = try reachable_boxes g with _ -> [] in
+  (* Boxes reachable from [b] through range edges (cycle-safe), so we
+     can tell whether a referenced quantifier belongs to this box or to
+     an ancestor (a correlated reference) — anything else is a qualifier
+     edge into an unrelated part of the graph. *)
+  let descendants b0 =
+    let seen = Hashtbl.create 8 in
+    let rec go id =
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.replace seen id ();
+        match Hashtbl.find_opt g.boxes id with
+        | None -> ()
+        | Some b -> List.iter (fun q -> go q.q_input) b.b_quants
+      end
+    in
+    go b0;
+    seen
+  in
+  let ancestors = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      Hashtbl.iter
+        (fun d () ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt ancestors d) in
+          Hashtbl.replace ancestors d (a.b_id :: prev))
+        (descendants a.b_id))
+    boxes;
+  let in_scope b qid =
+    match Hashtbl.find_opt g.quants qid with
+    | None -> true (* the dangling case is reported separately *)
+    | Some q ->
+      q.q_parent = b.b_id
+      || List.mem q.q_parent
+           (Option.value ~default:[] (Hashtbl.find_opt ancestors b.b_id))
+  in
   let check_col_ref ~ctx b qid i =
     match Hashtbl.find_opt g.quants qid with
-    | None -> err "box %d %s: reference to missing quantifier %d" b.b_id ctx qid
+    | None -> berr b "%s: reference to missing quantifier %d" ctx qid
     | Some q ->
       (match Hashtbl.find_opt g.boxes q.q_input with
-      | None -> err "quant %s: missing input box %d" q.q_label q.q_input
+      | None -> berr b "quant %s: missing input box %d" q.q_label q.q_input
       | Some input ->
         if i < 0 || i >= arity input then
-          err "box %d %s: %s.c%d out of range (arity %d)" b.b_id ctx q.q_label i
+          berr b "%s: %s.c%d out of range (arity %d)" ctx q.q_label i
             (arity input))
   in
   let check_expr ~ctx ~allow_agg b e =
@@ -34,17 +72,29 @@ let check (g : t) : violation list =
            | Col (q, i) -> check_col_ref ~ctx b q i
            | Quantified (qid, _) ->
              (match Hashtbl.find_opt g.quants qid with
-             | None -> err "box %d %s: Quantified over missing quant %d" b.b_id ctx qid
+             | None -> berr b "%s: Quantified over missing quant %d" ctx qid
              | Some q ->
                (match q.q_type with
                | E | A | SP _ -> ()
                | F | S | Ext _ ->
-                 err "box %d %s: Quantified over %s quantifier %s" b.b_id ctx
+                 berr b "%s: Quantified over %s quantifier %s" ctx
                    (quant_type_name q.q_type) q.q_label))
            | Agg _ when not allow_agg ->
-             err "box %d %s: aggregate outside GROUP BY head" b.b_id ctx
+             berr b "%s: aggregate outside GROUP BY head" ctx
            | _ -> ())
-         () e)
+         () e);
+    (* qualifier edges must stay within scope: the box itself or an
+       ancestor (correlation); a reference to a quantifier of an
+       unrelated box is a structural error even though the column index
+       may resolve *)
+    List.iter
+      (fun qid ->
+        if not (in_scope b qid) then
+          let q = Hashtbl.find_opt g.quants qid in
+          berr b "%s: reference to quantifier %s of unrelated box %d" ctx
+            (match q with Some q -> q.q_label | None -> string_of_int qid)
+            (match q with Some q -> q.q_parent | None -> -1))
+      (quant_refs e)
   in
   List.iter
     (fun b ->
@@ -52,47 +102,78 @@ let check (g : t) : violation list =
       List.iter
         (fun q ->
           if q.q_parent <> b.b_id then
-            err "quant %s: parent %d but listed in box %d" q.q_label q.q_parent
-              b.b_id;
+            berr b "quant %s: parent %d but listed here" q.q_label q.q_parent;
           (match Hashtbl.find_opt g.quants q.q_id with
           | Some q' when q' == q -> ()
-          | _ -> err "quant %s: not indexed" q.q_label);
+          | _ -> berr b "quant %s: not indexed" q.q_label);
           if not (Hashtbl.mem g.boxes q.q_input) then
-            err "quant %s: input box %d missing" q.q_label q.q_input)
+            berr b "quant %s: input box %d missing" q.q_label q.q_input)
         b.b_quants;
+      (* duplicate quantifier ids within one body *)
+      let rec dup_ids seen = function
+        | [] -> ()
+        | q :: rest ->
+          if List.mem q.q_id seen then
+            berr b "duplicate quantifier id %d (%s)" q.q_id q.q_label;
+          dup_ids (q.q_id :: seen) rest
+      in
+      dup_ids [] b.b_quants;
+      (* setformer boxes must produce columns *)
+      (match b.b_kind with
+      | Base_table _ | Values_box _ | Table_fn _ -> ()
+      | Select | Group_by _ | Set_op _ | Choose | Ext_op _ ->
+        (* a zero-column head is only meaningful when every consumer
+           merely counts rows, i.e. the box feeds GROUP BY boxes
+           (a bare COUNT needs no columns); anywhere else — including the
+           query output — it is a structural error *)
+        let bad_setformer_use =
+          List.exists
+            (fun q ->
+              match q.q_type with
+              | E | A | S | SP _ -> false
+              | F | Ext _ ->
+                (match Hashtbl.find_opt g.boxes q.q_parent with
+                | Some parent ->
+                  (match parent.b_kind with Group_by _ -> false | _ -> true)
+                | None -> false))
+            (users_of_box g b.b_id)
+        in
+        if b.b_head = [] && (bad_setformer_use || b.b_id = g.top) then
+          berr b "empty head in a setformer box");
       (* kind-specific shape *)
       (match b.b_kind with
       | Base_table _ ->
-        if b.b_quants <> [] then err "base table box %d has a body" b.b_id;
-        if b.b_preds <> [] then err "base table box %d has predicates" b.b_id
+        if b.b_quants <> [] then berr b "base table has a body";
+        if b.b_preds <> [] then berr b "base table has predicates"
       | Select | Ext_op _ -> ()
       | Group_by keys ->
         (match setformers b with
         | [ _ ] -> ()
-        | l -> err "GROUP BY box %d has %d setformers (expected 1)" b.b_id (List.length l));
+        | l -> berr b "GROUP BY has %d setformers (expected 1)" (List.length l));
         List.iter (fun k -> check_expr ~ctx:"group key" ~allow_agg:false b k) keys
       | Set_op _ ->
         let n = List.length (setformers b) in
-        if n <> 2 then err "set-op box %d has %d inputs (expected 2)" b.b_id n;
+        if n <> 2 then berr b "set-op has %d inputs (expected 2)" n;
         (match setformers b with
         | [ a; c ] ->
-          let aa = arity (box g a.q_input) and ca = arity (box g c.q_input) in
-          if aa <> ca then
-            err "set-op box %d: input arities %d vs %d" b.b_id aa ca
+          (match Hashtbl.find_opt g.boxes a.q_input, Hashtbl.find_opt g.boxes c.q_input with
+          | Some ab, Some cb ->
+            let aa = arity ab and ca = arity cb in
+            if aa <> ca then berr b "set-op input arities %d vs %d" aa ca
+          | _ -> () (* the missing input is reported above *))
         | _ -> ())
       | Values_box rows ->
         List.iter
           (fun row ->
             if List.length row <> arity b then
-              err "VALUES box %d: row arity %d vs head %d" b.b_id
-                (List.length row) (arity b);
+              berr b "VALUES row arity %d vs head %d" (List.length row) (arity b);
             List.iter (fun e -> check_expr ~ctx:"values" ~allow_agg:false b e) row)
           rows
       | Table_fn (_, args) ->
         List.iter (fun e -> check_expr ~ctx:"table-fn arg" ~allow_agg:false b e) args
       | Choose ->
         if List.length b.b_quants < 2 then
-          err "CHOOSE box %d has fewer than 2 alternatives" b.b_id);
+          berr b "CHOOSE has fewer than 2 alternatives");
       (* head *)
       let allow_agg = match b.b_kind with Group_by _ -> true | _ -> false in
       List.iter
@@ -101,7 +182,7 @@ let check (g : t) : violation list =
           | None, Base_table _ -> ()
           | None, Values_box _ | None, Table_fn _ | None, Set_op _ | None, Choose -> ()
           | None, (Select | Group_by _ | Ext_op _) ->
-            err "box %d: head column %s lacks an expression" b.b_id hc.hc_name
+            berr b "head column %s lacks an expression" hc.hc_name
           | Some e, _ -> check_expr ~ctx:(Fmt.str "head %s" hc.hc_name) ~allow_agg b e)
         b.b_head;
       (* predicates *)

@@ -110,8 +110,8 @@ let to_dot g =
         match b.b_kind with Base_table _ -> " style=dashed" | _ -> ""
       in
       Buffer.add_string buf
-        (Fmt.str "  b%d [label=\"{%s %s|%s|%s}\"%s];\n" b.b_id (kind_name b.b_kind)
-           b.b_label head preds style);
+        (Fmt.str "  b%d [label=\"{%d: %s %s|%s|%s}\"%s];\n" b.b_id b.b_id
+           (kind_name b.b_kind) b.b_label head preds style);
       List.iter
         (fun q ->
           Buffer.add_string buf

@@ -1,0 +1,172 @@
+(** Catalog / statement linter.
+
+    Unlike {!Check} (hard consistency) and {!Plan_check} (plan
+    validity), lints flag things that are {e legal but suspicious}:
+    dead quantifiers, predicates that constant-fold to FALSE, shadowed
+    output columns, statistics the optimizer will silently fall back
+    from.  Diagnostics carry a severity and a QGM box (or table)
+    location so the shell's [\check] can render them actionably. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+open Sb_qgm
+
+type severity = Info | Warning
+
+type location = Box of Qgm.box_id | Table of string
+
+type diag = {
+  d_severity : severity;
+  d_loc : location;
+  d_code : string;
+  d_msg : string;
+}
+
+let severity_name = function Info -> "info" | Warning -> "warning"
+
+let diag_to_string d =
+  Fmt.str "%s[%s] %s: %s"
+    (severity_name d.d_severity)
+    d.d_code
+    (match d.d_loc with
+    | Box id -> Fmt.str "box %d" id
+    | Table t -> Fmt.str "table %s" t)
+    d.d_msg
+
+(* Constant truth value of an expression, if decidable without a row.
+   Deliberately shallow: literals, comparisons of literals, and
+   AND/OR/NOT over those — the lint should never guess. *)
+let rec const_truth (e : Qgm.expr) : bool option =
+  let const_value = function Qgm.Lit v -> Some v | _ -> None in
+  match e with
+  | Qgm.Lit (Value.Bool b) -> Some b
+  | Qgm.Lit Value.Null -> Some false (* NULL is not TRUE as a predicate *)
+  | Qgm.Bin (Ast.And, a, b) ->
+    (match const_truth a, const_truth b with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, Some true -> Some true
+    | _ -> None)
+  | Qgm.Bin (Ast.Or, a, b) ->
+    (match const_truth a, const_truth b with
+    | Some true, _ | _, Some true -> Some true
+    | Some false, Some false -> Some false
+    | _ -> None)
+  | Qgm.Un (Ast.Not, a) -> Option.map not (const_truth a)
+  | Qgm.Bin (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b)
+    -> (
+    match const_value a, const_value b with
+    | Some va, Some vb when not (Value.is_null va || Value.is_null vb) ->
+      let c = Value.compare va vb in
+      Some
+        (match op with
+        | Ast.Eq -> c = 0
+        | Ast.Neq -> c <> 0
+        | Ast.Lt -> c < 0
+        | Ast.Le -> c <= 0
+        | Ast.Gt -> c > 0
+        | Ast.Ge -> c >= 0
+        | _ -> assert false)
+    | _ -> None)
+  | _ -> None
+
+let lint_qgm (g : Qgm.t) : diag list =
+  let diags = ref [] in
+  let add d_severity d_loc d_code fmt =
+    Fmt.kstr (fun d_msg -> diags := { d_severity; d_loc; d_code; d_msg } :: !diags) fmt
+  in
+  let boxes = Qgm.reachable_boxes g in
+  (* quantifier ids referenced anywhere in the graph (heads, preds,
+     group keys, order, values) — correlation makes this global *)
+  let all_refs = Hashtbl.create 32 in
+  let note e = List.iter (fun q -> Hashtbl.replace all_refs q ()) (Qgm.quant_refs e) in
+  List.iter
+    (fun (b : Qgm.box) ->
+      List.iter (fun hc -> Option.iter note hc.Qgm.hc_expr) b.b_head;
+      List.iter (fun (p : Qgm.pred) -> note p.p_expr) b.b_preds;
+      List.iter (fun (e, _) -> note e) b.b_order;
+      match b.b_kind with
+      | Qgm.Group_by keys -> List.iter note keys
+      | Qgm.Values_box rows -> List.iter (List.iter note) rows
+      | Qgm.Table_fn (_, args) -> List.iter note args
+      | _ -> ())
+    boxes;
+  List.iter
+    (fun (b : Qgm.box) ->
+      (* dead setformers: a SELECT-box iterator no expression ever
+         reads multiplies rows (or is a leftover of a rewrite) *)
+      (match b.b_kind with
+      | Qgm.Select ->
+        List.iter
+          (fun (q : Qgm.quant) ->
+            match q.q_type with
+            | Qgm.F | Qgm.Ext _ ->
+              if
+                (not (Hashtbl.mem all_refs q.q_id))
+                && List.length (Qgm.setformers b) > 1
+              then
+                add Warning (Box b.b_id) "unused-quant"
+                  "setformer %s is never referenced (pure row multiplier)"
+                  q.q_label
+            | Qgm.E | Qgm.A | Qgm.S | Qgm.SP _ -> ())
+          b.b_quants
+      | _ -> ());
+      (* constant predicates *)
+      List.iter
+        (fun (p : Qgm.pred) ->
+          match const_truth p.p_expr with
+          | Some false ->
+            add Warning (Box b.b_id) "always-false"
+              "predicate is always false: the box produces no rows"
+          | Some true ->
+            add Info (Box b.b_id) "always-true" "predicate is always true"
+          | None -> ())
+        b.b_preds;
+      (* shadowed output columns *)
+      let rec dup seen = function
+        | [] -> ()
+        | (hc : Qgm.head_col) :: rest ->
+          let n = String.lowercase_ascii hc.hc_name in
+          if List.mem n seen then
+            add Warning (Box b.b_id) "shadowed-column"
+              "output column %s shadows an earlier column of the same name"
+              hc.hc_name;
+          dup (n :: seen) rest
+      in
+      dup [] b.b_head;
+      (* degenerate CHOOSE *)
+      (match b.b_kind with
+      | Qgm.Choose when List.length b.b_quants = 1 ->
+        add Info (Box b.b_id) "single-choose"
+          "CHOOSE with a single alternative (refinement will collapse it)"
+      | _ -> ());
+      (* LIMIT without ORDER BY: result is implementation-defined *)
+      match b.b_limit, b.b_order with
+      | Some n, [] ->
+        add Info (Box b.b_id) "unordered-limit"
+          "LIMIT %d without ORDER BY picks implementation-defined rows" n
+      | _ -> ())
+    boxes;
+  List.rev !diags
+
+let lint_catalog (cat : Catalog.t) : diag list =
+  let diags = ref [] in
+  let add d_severity d_loc d_code fmt =
+    Fmt.kstr (fun d_msg -> diags := { d_severity; d_loc; d_code; d_msg } :: !diags) fmt
+  in
+  List.iter
+    (fun name ->
+      match Catalog.find_table cat name with
+      | None -> ()
+      | Some tab ->
+        let rows = Table_store.tuple_count tab in
+        let card = tab.Table_store.stats.Stats.ts_cardinality in
+        if rows > 0 && card = 0 then
+          add Info (Table name) "no-stats"
+            "%d row(s) but no statistics: the optimizer uses default selectivities"
+            rows
+        else if rows > 0 && abs (rows - card) * 2 > rows then
+          add Info (Table name) "stale-stats"
+            "statistics say %d row(s) but the table has %d: re-run ANALYZE" card
+            rows)
+    (List.sort compare (Catalog.table_names cat));
+  List.rev !diags

@@ -1,0 +1,32 @@
+(** Catalog / statement linter: legal-but-suspicious constructs as
+    structured diagnostics with severity and QGM box locations. *)
+
+open Sb_storage
+
+type severity = Info | Warning
+
+type location = Box of Sb_qgm.Qgm.box_id | Table of string
+
+type diag = {
+  d_severity : severity;
+  d_loc : location;
+  d_code : string;
+      (** ["unused-quant"], ["always-false"], ["always-true"],
+          ["shadowed-column"], ["single-choose"], ["unordered-limit"],
+          ["no-stats"], ["stale-stats"] *)
+  d_msg : string;
+}
+
+val severity_name : severity -> string
+val diag_to_string : diag -> string
+
+(** Constant truth value of an expression, if decidable without a row
+    (shallow fold over literals, comparisons, AND/OR/NOT). *)
+val const_truth : Sb_qgm.Qgm.expr -> bool option
+
+(** Statement lints: unused setformers, constant predicates, shadowed
+    output columns, single-alternative CHOOSE, LIMIT without ORDER BY. *)
+val lint_qgm : Sb_qgm.Qgm.t -> diag list
+
+(** Catalog lints: populated tables with missing or stale statistics. *)
+val lint_catalog : Catalog.t -> diag list

@@ -1,0 +1,441 @@
+(** Structural validation of optimizer plans.
+
+    The paper's plan properties (relational / operational / estimated)
+    are maintained by per-LOLEPOP property functions ({!Sb_optimizer.Cost}).
+    This checker mechanically re-verifies the claims a finished plan
+    makes — every slot reference resolves, operational properties
+    (orders, sites) claimed by a node are actually established by its
+    inputs (i.e. the glue STARs were inserted), and cost/cardinality
+    estimates are finite and non-negative — so an optimizer or
+    refinement bug surfaces as a structured violation instead of a
+    wrong answer. *)
+
+open Sb_storage
+open Sb_optimizer.Plan
+
+type violation = {
+  v_path : string;  (** operator path from the root, e.g. "SORT>JOIN[MERGE,regular]>SCAN(parts)" *)
+  v_code : string;  (** stable machine-matchable code, e.g. "merge-order" *)
+  v_msg : string;
+}
+
+let violation_to_string v = Fmt.str "%s: [%s] %s" v.v_path v.v_code v.v_msg
+
+exception Invalid_plan of string
+
+(** Does [have] establish the required [want] as a prefix?  (Same
+    criterion as the glue STARs' {!Sb_optimizer.Star.order_satisfies}.) *)
+let order_satisfies ~(have : (int * Ast.order_dir) list) ~want =
+  let rec go have want =
+    match have, want with
+    | _, [] -> true
+    | [], _ :: _ -> false
+    | h :: hs, w :: ws -> h = w && go hs ws
+  in
+  go have want
+
+let pp_order keys =
+  String.concat ","
+    (List.map
+       (fun (i, d) ->
+         Fmt.str "$%d%s" i (match d with Ast.Asc -> "" | Ast.Desc -> " DESC"))
+       keys)
+
+(* Expected input count per operator; [None] = variable. *)
+let expected_inputs = function
+  | Scan _ | Idx_access _ | Idx_and _ | Values_scan _ | Rec_delta _ -> Some 0
+  | Filter _ | Or_filter _ | Project _ | Sort _ | Group _ | Distinct_op | Temp
+  | Ship _ | Limit_op _ ->
+    Some 1
+  | Join _ | Union_all | Intersect_op _ | Except_op _ | Bloom_filter _
+  | Fixpoint _ ->
+    Some 2
+  | Table_fn_scan _ | Choose_op -> None
+
+let check ?catalog (root : plan) : violation list =
+  let errs = ref [] in
+  let err ~path ~code fmt =
+    Fmt.kstr (fun s -> errs := { v_path = path; v_code = code; v_msg = s } :: !errs) fmt
+  in
+  (* Checks a runtime expression in the current slot/parameter space:
+     [w] slots, [nparams] correlation parameters.  Subplans open their
+     own spaces ([RSub]'s plan is bound to its [sub_params], a bound
+     join's inner to its [j_corr]), which is exactly how the QES binds
+     them at run time. *)
+  let rec check_rexpr ~path ~ctx ~w ~nparams (e : rexpr) : unit =
+    let recur = check_rexpr ~path ~ctx ~w ~nparams in
+    match e with
+    | RLit _ | RHost _ -> ()
+    | RCol i ->
+      if i < 0 || i >= w then
+        err ~path ~code:"slot-ref" "%s: $%d out of range (input width %d)" ctx i w
+    | RParam i ->
+      if i < 0 || i >= nparams then
+        err ~path ~code:"param" "%s: ?%d out of range (%d parameter(s) bound)"
+          ctx i nparams
+    | RBin (_, a, b) ->
+      recur a;
+      recur b
+    | RUn (_, a) | RIs_null a | RLike (a, _) -> recur a
+    | RFun (_, args) -> List.iter recur args
+    | RCase (arms, els) ->
+      List.iter
+        (fun (c, v) ->
+          recur c;
+          recur v)
+        arms;
+      Option.iter recur els
+    | RSub s ->
+      List.iter recur s.sub_params;
+      let spath = path ^ ">[sub]" in
+      walk ~path:spath ~nparams:(List.length s.sub_params) ~in_fix:false s.sub_plan;
+      (* the per-inner-row predicate sees the inner's slots and the
+         subquery's own parameters *)
+      check_rexpr ~path:spath ~ctx:"subquery predicate" ~w:(width s.sub_plan)
+        ~nparams:(List.length s.sub_params) s.sub_pred
+    | RScalar_sub s ->
+      List.iter recur s.ssub_params;
+      let spath = path ^ ">[scalar-sub]" in
+      if width s.ssub_plan < 1 then
+        err ~path:spath ~code:"scalar-width"
+          "scalar subquery plan produces no columns";
+      walk ~path:spath ~nparams:(List.length s.ssub_params) ~in_fix:false
+        s.ssub_plan
+  and check_probe ~path ~ctx ~nparams = function
+    | Pr_eq es ->
+      List.iter (check_rexpr ~path ~ctx ~w:0 ~nparams) es
+      (* w = 0: probe expressions are constants over params/hosts, never
+         over the (not-yet-fetched) row *)
+    | Pr_range (lo, hi) ->
+      Option.iter (fun (e, _) -> check_rexpr ~path ~ctx ~w:0 ~nparams e) lo;
+      Option.iter (fun (e, _) -> check_rexpr ~path ~ctx ~w:0 ~nparams e) hi
+    | Pr_custom (_, es) -> List.iter (check_rexpr ~path ~ctx ~w:0 ~nparams) es
+  and check_base_access ~path ~nparams ~table ~cols ~preds ~what =
+    List.iter
+      (fun c ->
+        if c < 0 then err ~path ~code:"column" "%s: negative base column %d" what c)
+      cols;
+    match Option.bind catalog (fun cat -> Catalog.find_table cat table) with
+    | None ->
+      (match catalog with
+      | Some cat when not (Catalog.table_exists cat table) ->
+        err ~path ~code:"table" "%s reads unknown table %s" what table
+      | _ -> ())
+    | Some tab ->
+      let arity = Array.length tab.Table_store.schema in
+      List.iter
+        (fun c ->
+          if c >= arity then
+            err ~path ~code:"column" "%s: base column %d out of range (%s has %d)"
+              what c table arity)
+        cols;
+      List.iter
+        (check_rexpr ~path ~ctx:(what ^ " predicate") ~w:arity ~nparams)
+        preds
+  and walk ~path ~nparams ~in_fix (p : plan) : unit =
+    let w = width p in
+    let pr = p.props in
+    (* estimated properties: finite, non-negative *)
+    if not (Float.is_finite pr.p_cost) || pr.p_cost < 0.0 then
+      err ~path ~code:"cost" "cost %f is not finite and non-negative" pr.p_cost;
+    if not (Float.is_finite pr.p_card) || pr.p_card < 0.0 then
+      err ~path ~code:"card" "cardinality %f is not finite and non-negative"
+        pr.p_card;
+    (* claimed output order refers to real output slots *)
+    List.iter
+      (fun (s, _) ->
+        if s < 0 || s >= w then
+          err ~path ~code:"order-slot" "claimed order slot $%d out of range (width %d)"
+            s w)
+      pr.p_order;
+    (* input count *)
+    let n_inputs = List.length p.inputs in
+    (match expected_inputs p.op with
+    | Some n when n <> n_inputs ->
+      err ~path ~code:"inputs" "%s has %d input(s), expected %d" (op_name p.op)
+        n_inputs n
+    | _ -> ());
+    let input_ok n = n_inputs = n in
+    let iw i = width (List.nth p.inputs i) in
+    let in0 () = List.nth p.inputs 0 in
+    let preserves_width ~what =
+      if input_ok 1 && w <> iw 0 then
+        err ~path ~code:"width" "%s claims width %d but its input has %d" what w
+          (iw 0)
+    in
+    let order_established ~what =
+      if input_ok 1 && not (order_satisfies ~have:(in0 ()).props.p_order ~want:pr.p_order)
+      then
+        err ~path ~code:"order-claim"
+          "%s claims order [%s] its input does not establish (input order [%s])"
+          what (pp_order pr.p_order)
+          (pp_order (in0 ()).props.p_order)
+    in
+    let site_preserved ~what =
+      if input_ok 1 && pr.p_site <> (in0 ()).props.p_site then
+        err ~path ~code:"site" "%s claims site %s but its input is at %s" what
+          pr.p_site (in0 ()).props.p_site
+    in
+    (match p.op with
+    | Scan { sc_table; sc_cols; sc_preds } ->
+      if w <> List.length sc_cols then
+        err ~path ~code:"width" "SCAN keeps %d column(s) but claims width %d"
+          (List.length sc_cols) w;
+      check_base_access ~path ~nparams ~table:sc_table ~cols:sc_cols
+        ~preds:sc_preds ~what:"SCAN"
+    | Idx_access { ix_table; ix_index; ix_probe; ix_cols; ix_preds } ->
+      if w <> List.length ix_cols then
+        err ~path ~code:"width" "IXSCAN keeps %d column(s) but claims width %d"
+          (List.length ix_cols) w;
+      check_probe ~path ~ctx:"index probe" ~nparams ix_probe;
+      check_base_access ~path ~nparams ~table:ix_table ~cols:ix_cols
+        ~preds:ix_preds ~what:"IXSCAN";
+      (match Option.bind catalog (fun cat -> Catalog.find_table cat ix_table) with
+      | Some tab when Table_store.find_attachment tab ix_index = None ->
+        err ~path ~code:"index" "no index %s on %s" ix_index ix_table
+      | _ -> ())
+    | Idx_and { ia_table; ia_probes; ia_cols; ia_preds } ->
+      if w <> List.length ia_cols then
+        err ~path ~code:"width" "IXAND keeps %d column(s) but claims width %d"
+          (List.length ia_cols) w;
+      List.iter
+        (fun (_, probe) -> check_probe ~path ~ctx:"index probe" ~nparams probe)
+        ia_probes;
+      check_base_access ~path ~nparams ~table:ia_table ~cols:ia_cols
+        ~preds:ia_preds ~what:"IXAND"
+    | Filter preds ->
+      preserves_width ~what:"FILTER";
+      order_established ~what:"FILTER";
+      site_preserved ~what:"FILTER";
+      if input_ok 1 then
+        List.iter
+          (check_rexpr ~path ~ctx:"filter predicate" ~w:(iw 0) ~nparams)
+          preds
+    | Or_filter disjuncts ->
+      preserves_width ~what:"OR";
+      order_established ~what:"OR";
+      site_preserved ~what:"OR";
+      if input_ok 1 then
+        List.iter
+          (check_rexpr ~path ~ctx:"OR disjunct" ~w:(iw 0) ~nparams)
+          disjuncts
+    | Project exprs ->
+      if w <> List.length exprs then
+        err ~path ~code:"width" "PROJECT emits %d expression(s) but claims width %d"
+          (List.length exprs) w;
+      site_preserved ~what:"PROJECT";
+      if input_ok 1 then
+        List.iter
+          (check_rexpr ~path ~ctx:"projection" ~w:(iw 0) ~nparams)
+          exprs
+    | Sort keys ->
+      preserves_width ~what:"SORT";
+      site_preserved ~what:"SORT";
+      List.iter
+        (fun (s, _) ->
+          if s < 0 || s >= w then
+            err ~path ~code:"slot-ref" "sort key $%d out of range (width %d)" s w)
+        keys;
+      (* the whole point of SORT is establishing its keys *)
+      if not (order_satisfies ~have:pr.p_order ~want:keys) then
+        err ~path ~code:"order-claim"
+          "SORT on [%s] does not claim the order it establishes (claims [%s])"
+          (pp_order keys) (pp_order pr.p_order)
+    | Join j ->
+      if input_ok 2 then begin
+        let outer = List.nth p.inputs 0 and inner = List.nth p.inputs 1 in
+        let wo = width outer and wi = width inner in
+        let expected_w =
+          match j.j_kind with
+          | J_regular | J_ext _ -> wo + wi
+          | J_exists | J_all | J_set_pred _ -> wo
+          | J_scalar -> wo + 1
+        in
+        if w <> expected_w then
+          err ~path ~code:"width"
+            "JOIN kind %s over widths %d+%d claims width %d (expected %d)"
+            (join_kind_name j.j_kind) wo wi w expected_w;
+        List.iter
+          (fun (o, i) ->
+            if o < 0 || o >= wo then
+              err ~path ~code:"equi-slot" "equi outer slot $%d out of range (width %d)"
+                o wo;
+            if i < 0 || i >= wi then
+              err ~path ~code:"equi-slot" "equi inner slot $%d out of range (width %d)"
+                i wi)
+          j.j_equi;
+        Option.iter
+          (check_rexpr ~path ~ctx:"join predicate" ~w:(wo + wi) ~nparams)
+          j.j_pred;
+        Option.iter
+          (check_rexpr ~path ~ctx:"join kind predicate" ~w:(wo + wi) ~nparams)
+          j.j_kind_pred;
+        List.iter
+          (check_rexpr ~path ~ctx:"correlation source" ~w:wo ~nparams)
+          j.j_corr;
+        (* operational: a merge join's claimed order is only real if the
+           glue STARs actually sorted both inputs on the equi keys *)
+        (match j.j_method with
+        | Sort_merge ->
+          let okeys = List.map (fun (o, _) -> (o, Ast.Asc)) j.j_equi in
+          let ikeys = List.map (fun (_, i) -> (i, Ast.Asc)) j.j_equi in
+          if not (order_satisfies ~have:outer.props.p_order ~want:okeys) then
+            err ~path ~code:"merge-order"
+              "merge join requires outer ordered on [%s] but it has [%s]"
+              (pp_order okeys)
+              (pp_order outer.props.p_order);
+          if not (order_satisfies ~have:inner.props.p_order ~want:ikeys) then
+            err ~path ~code:"merge-order"
+              "merge join requires inner ordered on [%s] but it has [%s]"
+              (pp_order ikeys)
+              (pp_order inner.props.p_order)
+        | Nested_loop ->
+          if not (order_satisfies ~have:outer.props.p_order ~want:pr.p_order) then
+            err ~path ~code:"order-claim"
+              "NL join claims order [%s] its outer does not establish"
+              (pp_order pr.p_order)
+        | Hash_join ->
+          if pr.p_order <> [] then
+            err ~path ~code:"order-claim" "hash join claims order [%s]"
+              (pp_order pr.p_order));
+        (* sites: the glue CoSite STAR must have co-located the inputs *)
+        if outer.props.p_site <> inner.props.p_site then
+          err ~path ~code:"site" "join inputs at different sites (%s vs %s)"
+            outer.props.p_site inner.props.p_site;
+        if pr.p_site <> outer.props.p_site then
+          err ~path ~code:"site" "join claims site %s but its outer is at %s"
+            pr.p_site outer.props.p_site
+      end
+    | Group { g_keys; g_aggs; g_sorted } ->
+      if input_ok 1 then begin
+        let wi0 = iw 0 in
+        List.iter
+          (fun k ->
+            if k < 0 || k >= wi0 then
+              err ~path ~code:"slot-ref" "group key $%d out of range (width %d)" k
+                wi0)
+          g_keys;
+        List.iter
+          (fun (_, _, arg) ->
+            Option.iter
+              (fun a ->
+                if a < 0 || a >= wi0 then
+                  err ~path ~code:"slot-ref"
+                    "aggregate argument $%d out of range (width %d)" a wi0)
+              arg)
+          g_aggs;
+        if w <> List.length g_keys + List.length g_aggs then
+          err ~path ~code:"width"
+            "GROUP emits %d key(s) + %d aggregate(s) but claims width %d"
+            (List.length g_keys) (List.length g_aggs) w;
+        if g_sorted && g_keys <> [] then begin
+          let want = List.map (fun k -> (k, Ast.Asc)) g_keys in
+          if not (order_satisfies ~have:(in0 ()).props.p_order ~want) then
+            err ~path ~code:"merge-order"
+              "streamed GROUP requires input ordered on [%s] but it has [%s]"
+              (pp_order want)
+              (pp_order (in0 ()).props.p_order)
+        end
+      end
+    | Distinct_op ->
+      preserves_width ~what:"DISTINCT";
+      order_established ~what:"DISTINCT";
+      site_preserved ~what:"DISTINCT"
+    | Union_all | Intersect_op _ | Except_op _ ->
+      if input_ok 2 && iw 0 <> iw 1 then
+        err ~path ~code:"setop-width" "%s inputs have widths %d vs %d"
+          (op_name p.op) (iw 0) (iw 1);
+      if input_ok 2 && w <> iw 0 then
+        err ~path ~code:"width" "%s claims width %d but its inputs have %d"
+          (op_name p.op) w (iw 0)
+    | Temp ->
+      preserves_width ~what:"TEMP";
+      order_established ~what:"TEMP";
+      site_preserved ~what:"TEMP"
+    | Ship site ->
+      preserves_width ~what:"SHIP";
+      if pr.p_site <> site then
+        err ~path ~code:"site" "SHIP to %s claims site %s" site pr.p_site
+    | Limit_op n ->
+      preserves_width ~what:"LIMIT";
+      order_established ~what:"LIMIT";
+      site_preserved ~what:"LIMIT";
+      if n < 0 then err ~path ~code:"limit" "negative LIMIT %d" n
+    | Values_scan rows ->
+      List.iteri
+        (fun i row ->
+          if List.length row <> w then
+            err ~path ~code:"values-arity" "VALUES row %d has arity %d, claims %d"
+              i (List.length row) w;
+          List.iter (check_rexpr ~path ~ctx:"VALUES cell" ~w:0 ~nparams) row)
+        rows
+    | Table_fn_scan { tf_args; _ } ->
+      List.iter
+        (check_rexpr ~path ~ctx:"table-fn argument" ~w:0 ~nparams)
+        tf_args
+    | Bloom_filter { bl_subject_key; bl_source_key; bl_bits } ->
+      if input_ok 2 then begin
+        preserves_width ~what:"BLOOM";
+        if bl_subject_key < 0 || bl_subject_key >= iw 0 then
+          err ~path ~code:"slot-ref" "Bloom subject key $%d out of range (width %d)"
+            bl_subject_key (iw 0);
+        if bl_source_key < 0 || bl_source_key >= iw 1 then
+          err ~path ~code:"slot-ref" "Bloom source key $%d out of range (width %d)"
+            bl_source_key (iw 1);
+        if bl_bits <= 0 then
+          err ~path ~code:"limit" "Bloom filter with %d bits" bl_bits
+      end
+    | Fixpoint _ ->
+      if input_ok 2 then begin
+        if iw 0 <> w || iw 1 <> w then
+          err ~path ~code:"width" "FIXPOINT seed/step widths %d/%d, claims %d"
+            (iw 0) (iw 1) w
+      end
+    | Rec_delta { rd_width } ->
+      if rd_width <> w then
+        err ~path ~code:"width" "REC-DELTA declares width %d but claims %d" rd_width
+          w;
+      if not in_fix then
+        err ~path ~code:"rec-delta" "REC-DELTA leaf outside a FIXPOINT step"
+    | Choose_op ->
+      if n_inputs = 0 then
+        err ~path ~code:"choose" "CHOOSE with no alternatives"
+      else
+        List.iteri
+          (fun i c ->
+            if width c <> w then
+              err ~path ~code:"width" "CHOOSE alternative %d has width %d, claims %d"
+                i (width c) w)
+          p.inputs);
+    (* recurse — the step side of a FIXPOINT may contain REC-DELTA, and
+       a bound join's inner owns its own parameter space (the QES binds
+       its RParams positionally from j_corr) *)
+    List.iteri
+      (fun i c ->
+        let in_fix =
+          match p.op with
+          | Fixpoint _ -> i = 1 || in_fix
+          | _ -> in_fix
+        in
+        let nparams =
+          match p.op with
+          | Join { j_bound = true; j_corr; _ } when i = 1 -> List.length j_corr
+          | _ -> nparams
+        in
+        walk ~path:(path ^ ">" ^ op_name c.op) ~nparams ~in_fix c)
+      p.inputs
+  in
+  walk ~path:(op_name root.op) ~nparams:0 ~in_fix:false root;
+  List.rev !errs
+
+let is_valid ?catalog p = check ?catalog p = []
+
+(** @raise Invalid_plan listing every violation. *)
+let assert_valid ?catalog p =
+  match check ?catalog p with
+  | [] -> ()
+  | errs ->
+    raise
+      (Invalid_plan
+         (Fmt.str "invalid plan: %s"
+            (String.concat "; " (List.map violation_to_string errs))))

@@ -1,0 +1,40 @@
+(** Structural validation of optimizer plans (the verifier's plan leg).
+
+    Re-checks, after the fact, the claims a finished LOLEPOP plan makes:
+    slot and parameter references resolve in their binding spaces,
+    operational properties hold (a SORT establishes the order it claims,
+    merge-join and streamed-GROUP inputs carry the order their method
+    requires — i.e. the glue STARs were inserted — SHIP/site properties
+    are consistent), and cost/cardinality estimates are finite and
+    non-negative. *)
+
+open Sb_storage
+
+type violation = {
+  v_path : string;
+      (** operator path from the root, e.g. ["SORT>JOIN[MERGE,regular]"] *)
+  v_code : string;
+      (** stable machine-matchable code: ["cost"], ["card"], ["inputs"],
+          ["width"], ["slot-ref"], ["param"], ["order-slot"],
+          ["order-claim"], ["merge-order"], ["equi-slot"], ["site"],
+          ["limit"], ["values-arity"], ["setop-width"], ["table"],
+          ["column"], ["index"], ["rec-delta"], ["scalar-width"],
+          ["choose"] *)
+  v_msg : string;
+}
+
+val violation_to_string : violation -> string
+
+exception Invalid_plan of string
+
+(** All violations, outermost-first.  With [?catalog], base-table
+    accesses are additionally checked against the schema: table and
+    index existence, base-column ranges of kept columns and of
+    SCAN/IXSCAN predicates (which the QES evaluates over the full base
+    row before projection). *)
+val check : ?catalog:Catalog.t -> Sb_optimizer.Plan.plan -> violation list
+
+val is_valid : ?catalog:Catalog.t -> Sb_optimizer.Plan.plan -> bool
+
+(** @raise Invalid_plan listing every violation. *)
+val assert_valid : ?catalog:Catalog.t -> Sb_optimizer.Plan.plan -> unit

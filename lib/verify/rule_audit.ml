@@ -1,0 +1,125 @@
+(** Rewrite-rule soundness harness.
+
+    Two sanitizer-style oracles for the paper's rule contract ("every
+    rule changes a consistent QGM representation into another consistent
+    QGM representation", and rewrites preserve semantics):
+
+    - {!instrument} wraps a rule set so that QGM consistency is asserted
+      before and after {e every individual firing}, attributing the
+      breakage to the rule that caused it;
+    - {!compare_results} differentially compares query results executed
+      before vs. after rewriting (bag semantics unless the query is
+      ordered).
+
+    Both are driven by paranoid mode ([STARBURST_PARANOID=1]), wired
+    through [Corona]. *)
+
+open Sb_storage
+module Check = Sb_qgm.Check
+module Rule = Sb_rewrite.Rule
+
+exception Unsound of string
+
+let unsound fmt = Fmt.kstr (fun s -> raise (Unsound s)) fmt
+
+(** Is paranoid mode requested by the environment?  Truthy values: "1",
+    "true", "yes", "on" (case-insensitive). *)
+let paranoid_env () =
+  match Sys.getenv_opt "STARBURST_PARANOID" with
+  | None -> false
+  | Some v ->
+    (match String.lowercase_ascii (String.trim v) with
+    | "1" | "true" | "yes" | "on" -> true
+    | _ -> false)
+
+let consistent_or ~moment ~rule g =
+  match Check.check g with
+  | [] -> ()
+  | errs ->
+    unsound "rule %s: inconsistent QGM %s firing: %s" rule moment
+      (String.concat "; " errs)
+
+(** Wraps every rule so its action asserts QGM consistency before and
+    after the firing.  A pre-firing violation is attributed to the rule
+    as "before" (some earlier mutation broke the graph and this rule is
+    first to observe it); a post-firing violation names the rule that
+    just ran.
+    @raise Unsound on the first broken contract. *)
+let instrument (rules : Rule.t list) : Rule.t list =
+  List.map
+    (fun (r : Rule.t) ->
+      {
+        r with
+        Rule.action =
+          (fun (ctx : Rule.context) ->
+            consistent_or ~moment:"before" ~rule:r.Rule.rule_name ctx.Rule.graph;
+            r.Rule.action ctx;
+            consistent_or ~moment:"after" ~rule:r.Rule.rule_name ctx.Rule.graph);
+      })
+    rules
+
+(* Rows rendered for a divergence report: at most [cap], one per line. *)
+let pp_rows rows =
+  let cap = 5 in
+  let shown = List.filteri (fun i _ -> i < cap) rows in
+  String.concat "; " (List.map Tuple.to_string shown)
+  ^ if List.length rows > cap then Fmt.str "; … (%d more)" (List.length rows - cap) else ""
+
+(** Differentially compares two result sets.  [ordered] compares as
+    sequences (the query had a top-level ORDER BY); otherwise as bags.
+    [Error msg] describes the divergence: cardinality mismatch, rows
+    only on one side, or (ordered) the first differing position. *)
+let compare_results ?registry ?(ordered = false) (before : Tuple.t list)
+    (after : Tuple.t list) : (unit, string) result =
+  let cmp = Tuple.compare ?registry in
+  if ordered then begin
+    let rec go i xs ys =
+      match xs, ys with
+      | [], [] -> Ok ()
+      | x :: xs, y :: ys when cmp x y = 0 -> go (i + 1) xs ys
+      | x :: _, y :: _ ->
+        Error
+          (Fmt.str "row %d differs: %s before vs %s after" i (Tuple.to_string x)
+             (Tuple.to_string y))
+      | rest, [] ->
+        Error (Fmt.str "after is missing %d trailing row(s): %s" (List.length rest) (pp_rows rest))
+      | [], rest ->
+        Error (Fmt.str "after has %d extra trailing row(s): %s" (List.length rest) (pp_rows rest))
+    in
+    go 0 before after
+  end
+  else begin
+    let sb = List.sort cmp before and sa = List.sort cmp after in
+    if List.compare_lengths sb sa <> 0 || not (List.equal (fun a b -> cmp a b = 0) sb sa)
+    then begin
+      (* multiset difference, for the report *)
+      let diff xs ys =
+        List.fold_left
+          (fun (missing, ys) x ->
+            let rec drop acc = function
+              | [] -> None
+              | y :: rest when cmp x y = 0 -> Some (List.rev_append acc rest)
+              | y :: rest -> drop (y :: acc) rest
+            in
+            match drop [] ys with
+            | Some ys' -> (missing, ys')
+            | None -> (x :: missing, ys))
+          ([], ys) xs
+        |> fst |> List.rev
+      in
+      let lost = diff sb sa and gained = diff sa sb in
+      Error
+        (Fmt.str "results diverge (%d rows before, %d after)%s%s"
+           (List.length before) (List.length after)
+           (if lost <> [] then Fmt.str "; lost: %s" (pp_rows lost) else "")
+           (if gained <> [] then Fmt.str "; gained: %s" (pp_rows gained) else ""))
+    end
+    else Ok ()
+  end
+
+(** [assert_equivalent ~what ~ordered before after] raises {!Unsound}
+    naming [what] (e.g. the rewrite phase) on divergence. *)
+let assert_equivalent ?registry ?ordered ~what before after =
+  match compare_results ?registry ?ordered before after with
+  | Ok () -> ()
+  | Error msg -> unsound "%s changed query results: %s" what msg

@@ -1,0 +1,37 @@
+(** Rewrite-rule soundness harness: per-firing QGM consistency
+    assertions and differential result comparison, driven by paranoid
+    mode ([STARBURST_PARANOID=1]). *)
+
+open Sb_storage
+module Rule = Sb_rewrite.Rule
+
+exception Unsound of string
+
+(** Is paranoid mode requested by the environment ([STARBURST_PARANOID]
+    set to 1/true/yes/on)? *)
+val paranoid_env : unit -> bool
+
+(** Wraps every rule so its action asserts QGM consistency before and
+    after the firing, attributing a broken contract to the rule by name.
+    @raise Unsound on the first violation. *)
+val instrument : Rule.t list -> Rule.t list
+
+(** Differentially compares two result sets — as sequences when
+    [ordered] (top-level ORDER BY), as bags otherwise.  [Error msg]
+    describes the divergence (lost/gained rows, first differing
+    position). *)
+val compare_results :
+  ?registry:Datatype.registry ->
+  ?ordered:bool ->
+  Tuple.t list ->
+  Tuple.t list ->
+  (unit, string) result
+
+(** @raise Unsound naming [what] on divergence. *)
+val assert_equivalent :
+  ?registry:Datatype.registry ->
+  ?ordered:bool ->
+  what:string ->
+  Tuple.t list ->
+  Tuple.t list ->
+  unit

@@ -13,4 +13,5 @@ let () =
       Test_features.suite;
       Test_props.suite;
       Test_obs.suite;
+      Test_verify.suite;
     ]
