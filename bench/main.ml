@@ -133,6 +133,64 @@ let verify () =
   else Printf.printf "all %d queries verified\n" (List.length corpus)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos sweep (--chaos SEED)                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Runs the verification corpus with a seeded 5% storage fault
+    probability: every query must complete, degrade, or fail with a
+    structured error — never crash.  Reports ok / degraded / failed
+    counts plus injection and retry totals. *)
+let chaos seed =
+  Bench_util.header
+    (Printf.sprintf
+       "Chaos sweep: seed %d, 5%% storage fault probability, capped retries"
+       seed);
+  let db = Bench_util.parts_db ~n_parts:300 ~fanout:3 () in
+  let faults = Starburst.Faults.create ~seed () in
+  Starburst.Faults.fail_prob faults 0.05;
+  Starburst.Corona.set_faults db faults;
+  let corpus =
+    [
+      "SELECT q.partno, q.price FROM quotations q WHERE q.partno IN (SELECT \
+       partno FROM inventory WHERE type = 'CPU') AND q.price < 50";
+      "SELECT partno FROM inventory WHERE type = 'CPU' OR onhand_qty > 80";
+      "SELECT i.type, count(*), min(q.price) FROM quotations q, inventory i \
+       WHERE q.partno = i.partno GROUP BY i.type";
+      "SELECT partno FROM quotations WHERE price > (SELECT min(price) FROM \
+       quotations) ORDER BY partno";
+      "SELECT DISTINCT supplier FROM quotations WHERE order_qty > 10";
+      "SELECT partno FROM inventory UNION SELECT partno FROM quotations";
+      "SELECT q.supplier FROM quotations q WHERE EXISTS (SELECT partno FROM \
+       inventory i WHERE i.partno = q.partno AND i.onhand_qty < q.order_qty)";
+    ]
+  in
+  let abbrev s = if String.length s <= 66 then s else String.sub s 0 63 ^ "..." in
+  let ok = ref 0 and degraded = ref 0 and failed = ref 0 in
+  List.iter
+    (fun text ->
+      match Starburst.run db text with
+      | _ ->
+        (match Starburst.Corona.last_degraded db with
+        | Some reason ->
+          incr degraded;
+          Printf.printf "  degraded %-66s\n           %s\n" (abbrev text) reason
+        | None ->
+          incr ok;
+          Printf.printf "  ok       %-66s\n" (abbrev text))
+      | exception Starburst.Error e ->
+        incr failed;
+        Printf.printf "  failed   %-66s\n           %s\n" (abbrev text)
+          (Starburst.Err.to_string e))
+    corpus;
+  Starburst.Corona.set_faults db Starburst.Faults.none;
+  Printf.printf
+    "chaos: %d ok, %d degraded, %d failed (structured); %d faults injected, \
+     %d retried\n"
+    !ok !degraded !failed
+    (Starburst.Faults.injected faults)
+    (Starburst.Faults.retried faults)
+
+(* ------------------------------------------------------------------ *)
 (* Stage-level trace export (--trace-json FILE)                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -162,24 +220,35 @@ let trace_json path =
     exit 1
 
 let () =
-  let rec split_flags acc trace verify_only = function
-    | [] -> (List.rev acc, trace, verify_only)
-    | "--trace-json" :: path :: rest -> split_flags acc (Some path) verify_only rest
-    | "--verify" :: rest -> split_flags acc trace true rest
-    | a :: rest -> split_flags (a :: acc) trace verify_only rest
+  let rec split_flags acc trace verify_only chaos_seed = function
+    | [] -> (List.rev acc, trace, verify_only, chaos_seed)
+    | "--trace-json" :: path :: rest ->
+      split_flags acc (Some path) verify_only chaos_seed rest
+    | "--verify" :: rest -> split_flags acc trace true chaos_seed rest
+    | "--chaos" :: seed :: rest -> (
+      match int_of_string_opt seed with
+      | Some s -> split_flags acc trace verify_only (Some s) rest
+      | None ->
+        Printf.eprintf "error: --chaos expects an integer seed, got %s\n" seed;
+        exit 2)
+    | a :: rest -> split_flags (a :: acc) trace verify_only chaos_seed rest
   in
-  let args, trace_path, verify_only =
-    split_flags [] None false (Array.to_list Sys.argv |> List.tl)
+  let args, trace_path, verify_only, chaos_seed =
+    split_flags [] None false None (Array.to_list Sys.argv |> List.tl)
   in
   let args = List.map String.lowercase_ascii args in
   let wanted name = args = [] || List.mem name args in
   print_endline "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
-  if verify_only && args = [] then verify ()
+  if (verify_only || chaos_seed <> None) && args = [] then begin
+    if verify_only then verify ();
+    Option.iter chaos chaos_seed
+  end
   else begin
     List.iter
       (fun (name, _descr, f) -> if wanted name then f ())
       experiments;
     if args = [] || List.mem "micro" args then micro ();
-    if verify_only then verify ()
+    if verify_only then verify ();
+    Option.iter chaos chaos_seed
   end;
   Option.iter trace_json trace_path

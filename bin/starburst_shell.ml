@@ -10,7 +10,8 @@
     statistics aggregates) are installed unless [--bare] is given.
 
     Meta-commands: [\stats] (execution counters and per-rule rewrite
-    firings of the last query), [\metrics] (Prometheus-style dump),
+    firings of the last query), [\limits] (session resource limits and
+    the last statement's consumption), [\metrics] (Prometheus-style dump),
     [\trace] (span tree of the current tracer; enable with
     [SET trace = on]), [\check [query]] (catalog lints, or the full
     verification report of a query — same as [EXPLAIN VERIFY]), [\q]. *)
@@ -52,6 +53,22 @@ let print_stats db =
           Printf.printf "  %-32s %7d %9d\n" name fires attempts)
       (Engine.per_rule stats)
 
+let print_limits db =
+  let module Limits = Sb_resil.Limits in
+  print_endline "session limits (SET limit_<name> = n, 0 = unlimited):";
+  List.iter
+    (fun (name, value) -> Printf.printf "  %-20s %s\n" name value)
+    (Limits.describe (Starburst.limits db));
+  print_endline "consumption (last statement):";
+  List.iter
+    (fun (name, used, limit) ->
+      Printf.printf "  %-20s %d%s\n" name used
+        (if limit = 0 then "" else Printf.sprintf " / %d" limit))
+    (Limits.consumption (Starburst.last_gov db));
+  (match Starburst.last_degraded db with
+  | None -> ()
+  | Some reason -> Printf.printf "degraded: %s\n" reason)
+
 (* \check            — lint the catalog
    \check SELECT ...  — full verification report for the query *)
 let print_check db rest =
@@ -70,7 +87,8 @@ let print_check db rest =
     match Sb_hydrogen.Parser.query_text text with
     | wq -> (
       try print_string (Starburst.Corona.explain_verify db wq) with
-      | Starburst.Error msg -> Printf.printf "error: %s\n" msg
+      | Starburst.Error e ->
+        Printf.printf "error: %s\n" (Starburst.Err.to_string e)
       | Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
       | Sb_optimizer.Generator.Unsupported msg ->
         Printf.printf "unsupported: %s\n" msg
@@ -83,6 +101,7 @@ let print_check db rest =
 let meta_command db line =
   match String.split_on_char ' ' (String.trim line) with
   | "\\stats" :: _ -> print_stats db
+  | "\\limits" :: _ -> print_limits db
   | "\\check" :: rest -> print_check db rest
   | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
   | "\\trace" :: rest ->
@@ -98,7 +117,8 @@ let meta_command db line =
 let run_one db text =
   match Starburst.run db text with
   | r -> print_result db r
-  | exception Starburst.Error msg -> Printf.printf "error: %s\n" msg
+  | exception Starburst.Error e ->
+    Printf.printf "error: %s\n" (Starburst.Err.to_string e)
   | exception Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
   | exception Sb_optimizer.Generator.Unsupported msg ->
     Printf.printf "unsupported: %s\n" msg
@@ -112,7 +132,7 @@ let run_script db text =
 
 let repl db =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\metrics \\trace \\check, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\limits \\metrics \\trace \\check, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");

@@ -23,7 +23,7 @@ let () =
 
   section "Without the extension, the syntax is rejected";
   (try ignore (Starburst.run db "SELECT d.dname FROM dept d LEFT OUTER JOIN emp e ON d.id = e.dept")
-   with Sb_qgm.Builder.Semantic_error msg -> Printf.printf "rejected: %s\n" msg);
+   with Starburst.Error e -> Printf.printf "rejected: %s\n" e.Starburst.Err.err_msg);
 
   section "Install the extension (one call; see Sb_extensions.Outer_join)";
   Sb_extensions.Outer_join.install db;

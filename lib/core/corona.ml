@@ -32,10 +32,17 @@ module Metrics = Sb_obs.Metrics
 module Plan_check = Sb_verify.Plan_check
 module Rule_audit = Sb_verify.Rule_audit
 module Lint = Sb_verify.Lint
+module Err = Sb_resil.Err
+module Limits = Sb_resil.Limits
+module Faults = Sb_resil.Faults
 
-exception Error of string
+exception Error of Err.t
 
-let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+(* most in-pipeline errors raised here are semantic (bad names, arity
+   mismatches, invalid options); other stages raise their own
+   exceptions, classified at the {!run} boundary *)
+let error fmt =
+  Fmt.kstr (fun s -> raise (Error (Err.make Err.Semantic s))) fmt
 
 (** A compiled query: "these two stages may be separated in time, since
     the result of the compilation stage can be stored for future use"
@@ -69,6 +76,10 @@ type t = {
   mutable last_rewrite : Engine.stats option;
   metrics : Metrics.t;
   mutable tracer : Trace.t;  (** {!Trace.noop} unless tracing is on *)
+  limits : Limits.t;  (** per-query resource limits (SET limit_<name>) *)
+  mutable last_gov : Limits.gov;  (** governor of the current/last query *)
+  mutable last_degraded : string option;
+      (** why the last statement fell back to a degraded compilation *)
 }
 
 type result =
@@ -76,10 +87,15 @@ type result =
   | Affected of int
   | Message of string
 
-let create ?(pool_capacity = 256) () : t =
+let create ?(pool_capacity = 256) ?limits () : t =
   let catalog = Catalog.create ~pool_capacity () in
   let functions = Functions.create () in
   let builder_cfg = Builder.make_config ~catalog ~functions in
+  let limits =
+    match limits with
+    | Some l -> l
+    | None -> Limits.apply_env (Limits.default ())
+  in
   {
     catalog;
     plan_cache = Hashtbl.create 32;
@@ -99,6 +115,9 @@ let create ?(pool_capacity = 256) () : t =
     last_rewrite = None;
     metrics = Metrics.create ();
     tracer = Trace.noop;
+    limits;
+    last_gov = Limits.start limits;
+    last_degraded = None;
   }
 
 let bind_host t name value =
@@ -106,6 +125,40 @@ let bind_host t name value =
 
 let counters t = t.last_counters
 let last_rewrite t = t.last_rewrite
+
+(* ------------------------------------------------------------------ *)
+(* Resilience                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let limits t = t.limits
+let last_gov t = t.last_gov
+let last_degraded t = t.last_degraded
+
+(** Opens a fresh governor for one statement: all pipeline stages —
+    optimizer plan generation included — charge against it. *)
+let begin_statement t : Limits.gov =
+  let gov = Limits.start t.limits in
+  t.last_gov <- gov;
+  t.last_degraded <- None;
+  t.last_rewrite <- None;
+  t.optimizer.Generator.sctx.Star.governor <- Some gov;
+  gov
+
+(** Installs a fault-injection plan on storage (catalog lookups, buffer
+    pool, index searches); injections and retries land in {!metrics}. *)
+let set_faults t (f : Faults.t) =
+  Faults.set_metrics f t.metrics;
+  Catalog.set_faults t.catalog f
+
+let faults t = Catalog.faults t.catalog
+
+(* runs [f] with the optimizer governor suspended (paranoid baselines
+   and greedy fallbacks must not charge the statement's plan budget) *)
+let without_opt_governor t f =
+  let sctx = t.optimizer.Generator.sctx in
+  let saved = sctx.Star.governor in
+  sctx.Star.governor <- None;
+  Fun.protect ~finally:(fun () -> sctx.Star.governor <- saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -240,10 +293,74 @@ let optimize t (g : Qgm.t) : Plan.plan =
 
 let refine_plan t (p : Plan.plan) : Plan.plan = stage t "refine" (fun () -> refine p)
 
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let exn_message = function
+  | Error e | Err.Error e -> Err.to_string e
+  | Qgm.Qgm_error m | Star.Opt_error m | Generator.Unsupported m
+  | Plan_check.Invalid_plan m | Rule_audit.Unsound m | Failure m ->
+    m
+  | exn -> Printexc.to_string exn
+
+let degrade t ~stage:stage_name ~reason =
+  t.last_degraded <- Some reason;
+  Metrics.incr
+    (Metrics.counter ~label:("stage", stage_name) t.metrics "sb_degraded_total");
+  if Trace.enabled t.tracer then
+    Trace.with_span t.tracer "degraded"
+      ~attrs:[ ("stage", stage_name); ("reason", reason) ]
+      (fun () -> ())
+
+(** Rewrite with fallback: if the engine (or a paranoid audit) fails,
+    the half-transformed graph is discarded and the canonical QGM is
+    rebuilt from the AST — the query still runs, un-rewritten, with a
+    degradation span + metric recorded.  Returns the graph to continue
+    compiling. *)
+let rewrite_degradable t (wq : Ast.with_query) (g : Qgm.t) : Qgm.t =
+  if not t.rewrite_enabled then g
+  else
+    match rewrite t g with
+    | _ -> g
+    | exception ((Stack_overflow | Out_of_memory) as exn) -> raise exn
+    | exception exn -> (
+      match build_qgm t wq with
+      | g0 ->
+        degrade t ~stage:"rewrite"
+          ~reason:(Fmt.str "rewrite failed: %s" (exn_message exn));
+        g0
+      | exception _ -> raise exn)
+
+(** Optimization with fallback: on failure (including a blown plan-node
+    budget) retry under {!Star.greedy_strategy} with the governor
+    suspended — one cheap plan per STAR always exists for the base
+    rules.  Re-raises the original error if even that fails. *)
+let optimize_degradable t (g : Qgm.t) : Plan.plan =
+  try optimize t g with
+  | (Stack_overflow | Out_of_memory) as exn -> raise exn
+  | exn -> (
+    let sctx = t.optimizer.Generator.sctx in
+    let saved = sctx.Star.strategy in
+    let retry () =
+      Fun.protect
+        ~finally:(fun () -> sctx.Star.strategy <- saved)
+        (fun () ->
+          sctx.Star.strategy <- Star.greedy_strategy;
+          without_opt_governor t (fun () -> optimize t g))
+    in
+    match retry () with
+    | plan ->
+      degrade t ~stage:"optimize"
+        ~reason:(Fmt.str "optimize failed: %s; greedy fallback" (exn_message exn));
+      plan
+    | exception _ -> raise exn)
+
 let compile ?(rewrite_enabled = true) t (wq : Ast.with_query) : Plan.plan =
+  ignore (begin_statement t);
   let g = build_qgm t wq in
-  if rewrite_enabled && t.rewrite_enabled then ignore (rewrite t g);
-  refine_plan t (optimize t g)
+  let g = if rewrite_enabled then rewrite_degradable t wq g else g in
+  refine_plan t (optimize_degradable t g)
 
 let compile_text t (text : string) : Plan.plan = compile t (parse t text)
 
@@ -251,14 +368,18 @@ let compile_text t (text : string) : Plan.plan = compile t (parse t text)
 (* Query execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_plan t (plan : Plan.plan) : Tuple.t list =
+let exec_plan t (gov : Limits.gov) (plan : Plan.plan) : Tuple.t list =
   let counters = Exec.fresh_counters () in
   t.last_counters <- counters;
   let rows =
-    stage t "execute" (fun () -> Exec.run ~hosts:t.hosts ~counters t.exec_db plan)
+    stage t "execute" (fun () ->
+        Exec.run ~hosts:t.hosts ~counters ~gov t.exec_db plan)
   in
   record_exec_counters t counters;
   rows
+
+let run_plan t (plan : Plan.plan) : Tuple.t list =
+  exec_plan t (begin_statement t) plan
 
 (* A query's results are deterministic unless some box keeps LIMIT rows
    of an unordered stream — the one case the differential oracle must
@@ -269,6 +390,7 @@ let deterministic_results (g : Qgm.t) : bool =
     (Qgm.reachable_boxes g)
 
 let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
+  let gov = begin_statement t in
   let g = build_qgm t wq in
   (* paranoid: execute the un-rewritten compilation first; the rewritten
      one must return the same rows.  The baseline is rebuilt from the
@@ -276,18 +398,21 @@ let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
   let baseline =
     if t.paranoid && t.rewrite_enabled && deterministic_results g then begin
       let g0 = build_qgm t wq in
-      (* executed without counter/metrics recording: the oracle run must
-         not be observable as a second query *)
-      Some (Exec.run ~hosts:t.hosts t.exec_db (refine_plan t (optimize t g0)))
+      (* executed without counter/metrics recording, and outside the
+         statement's plan budget: the oracle run must not be observable
+         as a second query *)
+      Some
+        (without_opt_governor t (fun () ->
+             Exec.run ~hosts:t.hosts t.exec_db (refine_plan t (optimize t g0))))
     end
     else None
   in
-  if t.rewrite_enabled then ignore (rewrite t g);
+  let g = rewrite_degradable t wq g in
   let columns =
     List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head
   in
-  let plan = refine_plan t (optimize t g) in
-  let rows = run_plan t plan in
+  let plan = refine_plan t (optimize_degradable t g) in
+  let rows = exec_plan t gov plan in
   Option.iter
     (fun before ->
       Rule_audit.assert_equivalent ~registry:t.catalog.Catalog.datatypes
@@ -305,11 +430,12 @@ let query t (text : string) : Tuple.t list = snd (query_ast t (parse t text))
 
 (** Compiles [text] once; see {!execute_prepared}. *)
 let prepare t (text : string) : prepared =
+  ignore (begin_statement t);
   let wq = parse t text in
   let g = build_qgm t wq in
-  if t.rewrite_enabled then ignore (rewrite t g);
+  let g = rewrite_degradable t wq g in
   let columns = List.map (fun hc -> hc.Qgm.hc_name) (Qgm.top_box g).Qgm.b_head in
-  let plan = refine_plan t (optimize t g) in
+  let plan = refine_plan t (optimize_degradable t g) in
   { prep_text = text; prep_columns = columns; prep_plan = plan }
 
 (** Executes a prepared query under the current host-variable bindings. *)
@@ -533,6 +659,13 @@ let do_set t key value : result =
       | "depth" | "depth_first" -> Engine.Depth_first
       | "breadth" | "breadth_first" -> Engine.Breadth_first
       | v -> error "unknown search strategy %s" v)
+  | k when String.length k > 6 && String.sub k 0 6 = "limit_" -> (
+    match int_of_string_opt value with
+    | None -> error "%s expects an integer (0 = unlimited)" k
+    | Some n -> (
+      match Limits.set t.limits k n with
+      | Ok () -> ()
+      | Error msg -> error "%s" msg))
   | k -> error "unknown option %s" k);
   Message (Fmt.str "%s = %s" key value)
 
@@ -568,27 +701,32 @@ let pp_analyzed_plan buf (lookup : Plan.plan -> Exec.op_stats option) plan =
     the plan with per-operator accounting, and prints the LOLEPOP tree
     with estimated vs. actual rows and time. *)
 let explain_analyze t (wq : Ast.with_query) : string =
+  let gov = begin_statement t in
   let time f =
     let t0 = Trace.now_ns () in
     let v = f () in
     (v, Int64.sub (Trace.now_ns ()) t0)
   in
   let g, build_ns = time (fun () -> build_qgm t wq) in
-  let rewrite_stats, rewrite_ns =
+  let (g, rewrite_stats), rewrite_ns =
     if t.rewrite_enabled then
-      let stats, ns = time (fun () -> rewrite t g) in
-      (Some stats, ns)
-    else (None, 0L)
+      let g', ns = time (fun () -> rewrite_degradable t wq g) in
+      ((g', t.last_rewrite), ns)
+    else ((g, None), 0L)
   in
-  let raw_plan, optimize_ns = time (fun () -> optimize t g) in
+  let raw_plan, optimize_ns = time (fun () -> optimize_degradable t g) in
   let plan, refine_ns = time (fun () -> refine raw_plan) in
   let counters = Exec.fresh_counters () in
   t.last_counters <- counters;
   let (rows, lookup), execute_ns =
-    time (fun () -> Exec.run_analyzed ~hosts:t.hosts ~counters t.exec_db plan)
+    time (fun () ->
+        Exec.run_analyzed ~hosts:t.hosts ~counters ~gov t.exec_db plan)
   in
   record_exec_counters t counters;
   let buf = Buffer.create 1024 in
+  (match t.last_degraded with
+  | Some reason -> Buffer.add_string buf (Fmt.str "degraded: %s\n" reason)
+  | None -> ());
   Buffer.add_string buf "== STAGE TIMINGS ==\n";
   let stage_line name ns extra =
     Buffer.add_string buf
@@ -615,6 +753,7 @@ let explain_analyze t (wq : Ast.with_query) : string =
     catalog, and differential execution of the un-rewritten vs.
     rewritten compilation. *)
 let explain_verify t (wq : Ast.with_query) : string =
+  ignore (begin_statement t);
   let buf = Buffer.create 512 in
   let add fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let report name = function
@@ -683,6 +822,7 @@ let explain t mode (wq : Ast.with_query) : string =
   if mode = Ast.Explain_analyze then explain_analyze t wq
   else if mode = Ast.Explain_verify then explain_verify t wq
   else begin
+  ignore (begin_statement t);
   let buf = Buffer.create 512 in
   let g = build_qgm t wq in
   (match mode with
@@ -690,15 +830,24 @@ let explain t mode (wq : Ast.with_query) : string =
     Buffer.add_string buf "== QGM ==\n";
     Buffer.add_string buf (Qgm_print.to_string g)
   | _ -> ());
-  if t.rewrite_enabled then begin
-    let stats = rewrite t g in
-    match mode with
-    | Ast.Explain_rewrite | Ast.Explain_all ->
-      Buffer.add_string buf
-        (Fmt.str "== QGM after rewrite (%d rules fired) ==\n" stats.Engine.rules_fired);
-      Buffer.add_string buf (Qgm_print.to_string g)
-    | _ -> ()
-  end;
+  let g =
+    if t.rewrite_enabled then begin
+      let g' = rewrite_degradable t wq g in
+      (match mode with
+      | Ast.Explain_rewrite | Ast.Explain_all ->
+        let fired =
+          match t.last_rewrite with
+          | Some stats -> stats.Engine.rules_fired
+          | None -> 0
+        in
+        Buffer.add_string buf
+          (Fmt.str "== QGM after rewrite (%d rules fired) ==\n" fired);
+        Buffer.add_string buf (Qgm_print.to_string g')
+      | _ -> ());
+      g'
+    end
+    else g
+  in
   (match mode with
   | Ast.Explain_dot ->
     (* Graphviz rendering of the (rewritten) QGM, drawn with the
@@ -707,10 +856,13 @@ let explain t mode (wq : Ast.with_query) : string =
   | _ -> ());
   (match mode with
   | Ast.Explain_plan | Ast.Explain_all ->
-    let plan = refine (Generator.optimize t.optimizer g) in
+    let plan = refine (optimize_degradable t g) in
     Buffer.add_string buf "== PLAN ==\n";
     Buffer.add_string buf (Plan.to_string plan)
   | _ -> ());
+  (match t.last_degraded with
+  | Some reason -> Buffer.add_string buf (Fmt.str "degraded: %s\n" reason)
+  | None -> ());
   Buffer.contents buf
   end
 
@@ -795,16 +947,47 @@ let rec run_statement t (stmt : Ast.statement) : result =
   | Ast.Stmt_explain (mode, Ast.Stmt_query wq) -> Message (explain t mode wq)
   | Ast.Stmt_explain (_, inner) -> run_statement t inner
 
+(* exception classification at the pipeline boundary: every failure
+   escaping [run] becomes a structured [Error] carrying its stage, the
+   statement text, and a retryable flag.  Asynchronous/fatal exceptions
+   (Out_of_memory, Stack_overflow, ...) pass through unclassified. *)
+let classify_exn (text : string) (exn : exn) : exn option =
+  let mk ?retryable stage msg =
+    Some (Error (Err.make ~query:text ?retryable stage msg))
+  in
+  match exn with
+  | Error e | Err.Error e -> Some (Error (Err.with_query text e))
+  | Parser.Parse_error (msg, _) -> mk Err.Parse ("parse error: " ^ msg)
+  | Sb_hydrogen.Lexer.Lex_error (msg, _) -> mk Err.Parse ("lex error: " ^ msg)
+  | Builder.Semantic_error msg | Functions.Function_error msg
+  | Catalog.Catalog_error msg ->
+    mk Err.Semantic msg
+  | Qgm.Qgm_error msg -> mk Err.Rewrite msg
+  | Generator.Unsupported msg | Star.Opt_error msg -> mk Err.Optimize msg
+  | Exec.Runtime_error msg | Value.Type_error msg
+  | Table_store.Constraint_violation msg ->
+    mk Err.Exec msg
+  | Rule_audit.Unsound msg -> mk Err.Internal ("rule audit: " ^ msg)
+  | Plan_check.Invalid_plan msg -> mk Err.Internal ("plan check: " ^ msg)
+  | Failure msg -> mk Err.Internal msg
+  | Invalid_argument msg -> mk Err.Internal msg
+  | _ -> None
+
 (** Parses and runs one statement. *)
 let run t (text : string) : result =
-  match stage t "parse" (fun () -> Parser.statement text) with
-  | stmt -> run_statement t stmt
-  | exception Parser.Parse_error (msg, _) -> error "parse error: %s" msg
-  | exception Sb_hydrogen.Lexer.Lex_error (msg, _) -> error "lex error: %s" msg
+  try run_statement t (stage t "parse" (fun () -> Parser.statement text))
+  with exn -> (
+    match classify_exn text exn with
+    | Some classified -> raise classified
+    | None -> raise exn)
 
 (** Parses and runs a [;]-separated script, returning each result. *)
 let run_script t (text : string) : result list =
-  List.map (run_statement t) (Parser.script text)
+  try List.map (run_statement t) (Parser.script text)
+  with exn -> (
+    match classify_exn text exn with
+    | Some classified -> raise classified
+    | None -> raise exn)
 
 (** Renders a [Rows] result as an aligned table. *)
 let render_result ?registry (r : result) : string =

@@ -27,8 +27,14 @@ module Metrics = Sb_obs.Metrics
 module Plan_check = Sb_verify.Plan_check
 module Rule_audit = Sb_verify.Rule_audit
 module Lint = Sb_verify.Lint
+module Err = Sb_resil.Err
+module Limits = Sb_resil.Limits
+module Faults = Sb_resil.Faults
 
-exception Error of string
+(** Every failure escaping {!run} / {!run_script} is a structured
+    {!Err.t}: classified by pipeline stage, carrying the statement
+    text, and flagged retryable when it was a transient fault. *)
+exception Error of Err.t
 
 (** A compiled query: "these two stages may be separated in time, since
     the result of the compilation stage can be stored for future use"
@@ -65,6 +71,10 @@ type t = {
   mutable last_rewrite : Engine.stats option;
   metrics : Metrics.t;
   mutable tracer : Trace.t;  (** {!Trace.noop} unless tracing is on *)
+  limits : Limits.t;  (** per-query resource limits (SET limit_<name>) *)
+  mutable last_gov : Limits.gov;  (** governor of the current/last query *)
+  mutable last_degraded : string option;
+      (** why the last statement fell back to a degraded compilation *)
 }
 
 (** Execution outcome of one statement. *)
@@ -74,8 +84,10 @@ type result =
   | Message of string
 
 (** A fresh database with the base rule set, the base STAR array, the
-    built-in storage managers, access methods and functions installed. *)
-val create : ?pool_capacity:int -> unit -> t
+    built-in storage managers, access methods and functions installed.
+    [limits] seeds the per-query resource governor; when omitted,
+    {!Limits.default} with [STARBURST_LIMITS] applied on top. *)
+val create : ?pool_capacity:int -> ?limits:Limits.t -> unit -> t
 
 (** Binds a host-language variable for subsequent executions. *)
 val bind_host : t -> string -> Value.t -> unit
@@ -85,6 +97,33 @@ val counters : t -> Exec.counters
 
 (** Rewrite statistics of the most recent rewritten query. *)
 val last_rewrite : t -> Engine.stats option
+
+(** {1 Resilience}
+
+    A per-statement resource governor enforces {!limits} cooperatively
+    inside QES operator loops and the STAR generator; breaches raise a
+    structured [Resource] error naming the limit, leaving the session
+    usable.  If rewrite or optimization fails (or blows its budget),
+    compilation degrades — un-rewritten plan, or greedy STAR strategy —
+    instead of failing the query, and records why. *)
+
+(** The session's limits; mutate directly or via [SET limit_* = n]. *)
+val limits : t -> Limits.t
+
+(** The governor of the current (or most recent) statement — its
+    {!Limits.consumption} backs the shell's [\limits]. *)
+val last_gov : t -> Limits.gov
+
+(** [Some reason] if the last statement's compilation degraded
+    (also shown by EXPLAIN as [degraded: <reason>]). *)
+val last_degraded : t -> string option
+
+(** Installs a fault-injection plan on storage (catalog lookups,
+    buffer-pool pins, index searches); injections and retries are
+    counted in {!metrics}. *)
+val set_faults : t -> Faults.t -> unit
+
+val faults : t -> Faults.t
 
 (** {1 Observability}
 

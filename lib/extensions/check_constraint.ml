@@ -14,7 +14,11 @@ open Sb_storage
     @raise Starburst.Error when the table does not exist. *)
 let attach (db : Starburst.t) ~table ~name (pred : Tuple.t -> bool) =
   match Catalog.find_table db.Starburst.Corona.catalog table with
-  | None -> raise (Starburst.Error (Fmt.str "no such table %s" table))
+  | None ->
+    raise
+      (Starburst.Error
+         (Starburst.Err.make Starburst.Err.Semantic
+            (Fmt.str "no such table %s" table)))
   | Some tab ->
     let instance =
       {
@@ -41,8 +45,9 @@ let attach (db : Starburst.t) ~table ~name (pred : Tuple.t -> bool) =
         if not (pred tuple) then
           raise
             (Starburst.Error
-               (Fmt.str "existing rows of %s violate check constraint %s" table
-                  name)))
+               (Starburst.Err.make Starburst.Err.Semantic
+                  (Fmt.str "existing rows of %s violate check constraint %s"
+                     table name))))
       (Table_store.scan tab);
     Table_store.attach tab instance
 

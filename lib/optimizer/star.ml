@@ -82,6 +82,8 @@ type ctx = {
   mutable plans_generated : int;  (** plans produced before pruning *)
   mutable plans_pruned : int;  (** plans discarded by the strategy *)
   mutable tracer : Sb_obs.Trace.t;  (** spans per expansion when enabled *)
+  mutable governor : Sb_resil.Limits.gov option;
+      (** per-query plan-node budget, charged on every expansion *)
 }
 
 and star = { star_name : string; mutable alternatives : alternative list }
@@ -134,6 +136,9 @@ let invoke ctx name payload : Plan.plan list =
         (ctx.strategy.st_order applicable)
     in
     ctx.plans_generated <- ctx.plans_generated + List.length plans;
+    (match ctx.governor with
+    | Some gov -> Sb_resil.Limits.charge_plan_nodes gov (List.length plans)
+    | None -> ());
     if plans = [] then
       error "STAR %s produced no plan (quant %d)" name payload.pl_quant;
     let kept = ctx.strategy.st_prune plans in
@@ -227,4 +232,5 @@ let create ?(strategy = default_strategy) ~catalog ~site_of () : ctx =
     plans_generated = 0;
     plans_pruned = 0;
     tracer = Sb_obs.Trace.noop;
+    governor = None;
   }

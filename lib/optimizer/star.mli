@@ -76,6 +76,8 @@ type ctx = {
   mutable plans_generated : int;  (** plans produced before pruning *)
   mutable plans_pruned : int;  (** plans discarded by the strategy *)
   mutable tracer : Sb_obs.Trace.t;  (** spans per expansion when enabled *)
+  mutable governor : Sb_resil.Limits.gov option;
+      (** per-query plan-node budget, charged on every expansion *)
 }
 
 and star = { star_name : string; mutable alternatives : alternative list }

@@ -98,6 +98,7 @@ type ectx = {
   db : db;
   hosts : (string * Value.t) list;
   counters : counters;
+  gov : Sb_resil.Limits.gov;  (** per-query resource governor *)
   mutable caches : cache_entry list;
   mutable deltas : Tuple.t list list;  (** fixpoint delta stack *)
   instr : analysis option;  (** per-operator accounting when analyzing *)
@@ -340,6 +341,18 @@ and collect ectx ~params (plan : plan) : Tuple.t list =
     operator's stream is wrapped to count rows and accumulate inclusive
     elapsed time. *)
 and stream ectx ~params (p : plan) : Tuple.t Seq.t =
+  (* cooperative governor checks: one operator-invocation charge per
+     stream instantiation, one intermediate-row charge per tuple any
+     operator produces *)
+  Sb_resil.Limits.charge_op ectx.gov;
+  let s = instr_stream ectx ~params p in
+  Seq.map
+    (fun row ->
+      Sb_resil.Limits.charge_row ectx.gov;
+      row)
+    s
+
+and instr_stream ectx ~params (p : plan) : Tuple.t Seq.t =
   match ectx.instr with
   | None -> op_stream ectx ~params p
   | Some tbl ->
@@ -390,6 +403,7 @@ and op_stream ectx ~params (p : plan) : Tuple.t Seq.t =
       | Pr_custom (name, es) -> Access_method.Custom (name, List.map v es)
     in
     ectx.counters.c_index_probes <- ectx.counters.c_index_probes + 1;
+    let rids = probe_search ectx am probe in
     Seq.filter_map
       (fun rid ->
         match Table_store.fetch tab rid with
@@ -399,7 +413,7 @@ and op_stream ectx ~params (p : plan) : Tuple.t Seq.t =
           if conj ectx ~row ~params ix_preds then
             Some (Array.of_list (List.map (fun c -> row.(c)) ix_cols))
           else None)
-      (am.Access_method.am_search probe)
+      rids
   | Idx_and { ia_table; ia_probes; ia_cols; ia_preds } ->
     let tab = find_table ectx ia_table in
     let v e = eval ectx ~row:[||] ~params e in
@@ -422,7 +436,7 @@ and op_stream ectx ~params (p : plan) : Tuple.t Seq.t =
             | None -> error "index %s on %s disappeared" index ia_table
           in
           ectx.counters.c_index_probes <- ectx.counters.c_index_probes + 1;
-          List.of_seq (am.Access_method.am_search (probe_of probe)))
+          List.of_seq (probe_search ectx am (probe_of probe)))
         ia_probes
     in
     let intersection =
@@ -574,6 +588,12 @@ and find_table ectx name =
   match Catalog.find_table ectx.db.x_cat name with
   | Some tab -> tab
   | None -> error "no such table %s" name
+
+(* fault site "qes.probe": an index search as seen from the executor
+   (distinct from the access method's own "<kind>.search" site) *)
+and probe_search ectx am probe =
+  Sb_resil.Faults.guard (Catalog.faults ectx.db.x_cat) ~site:"qes.probe"
+    (fun () -> am.Access_method.am_search probe)
 
 (* --- joins --- *)
 
@@ -890,30 +910,47 @@ and fixpoint_stream ectx ~params (p : plan) ~distinct : Tuple.t Seq.t =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Standalone executions get a fresh governor over the default limits,
+   so the finite intermediate-row ceiling holds even outside Corona. *)
+let default_gov () = Sb_resil.Limits.start (Sb_resil.Limits.default ())
+
 (** Runs a plan to completion, returning the result rows. *)
-let run ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan) :
-    Tuple.t list =
-  let ectx = { db; hosts; counters; caches = []; deltas = []; instr = None } in
+let run ?(hosts = []) ?(counters = fresh_counters ()) ?gov (db : db)
+    (plan : plan) : Tuple.t list =
+  let gov = match gov with Some g -> g | None -> default_gov () in
+  let ectx =
+    { db; hosts; counters; gov; caches = []; deltas = []; instr = None }
+  in
   let rows = collect ectx ~params:[||] plan in
+  List.iter (fun _ -> Sb_resil.Limits.charge_output gov) rows;
   counters.c_output <- counters.c_output + List.length rows;
   rows
 
 (** Streams a plan's results (lazy, single pass). *)
-let run_seq ?(hosts = []) ?(counters = fresh_counters ()) (db : db) (plan : plan)
-    : Tuple.t Seq.t =
-  let ectx = { db; hosts; counters; caches = []; deltas = []; instr = None } in
-  stream ectx ~params:[||] plan
+let run_seq ?(hosts = []) ?(counters = fresh_counters ()) ?gov (db : db)
+    (plan : plan) : Tuple.t Seq.t =
+  let gov = match gov with Some g -> g | None -> default_gov () in
+  let ectx =
+    { db; hosts; counters; gov; caches = []; deltas = []; instr = None }
+  in
+  Seq.map
+    (fun row ->
+      Sb_resil.Limits.charge_output gov;
+      row)
+    (stream ectx ~params:[||] plan)
 
 (** Like {!run}, but with per-operator accounting: also returns a lookup
     from plan node (by physical identity, including subplans embedded in
     expressions) to its rows-produced and inclusive elapsed time. *)
-let run_analyzed ?(hosts = []) ?(counters = fresh_counters ()) (db : db)
+let run_analyzed ?(hosts = []) ?(counters = fresh_counters ()) ?gov (db : db)
     (plan : plan) : Tuple.t list * (plan -> op_stats option) =
+  let gov = match gov with Some g -> g | None -> default_gov () in
   let tbl : analysis = ref [] in
   let ectx =
-    { db; hosts; counters; caches = []; deltas = []; instr = Some tbl }
+    { db; hosts; counters; gov; caches = []; deltas = []; instr = Some tbl }
   in
   let rows = collect ectx ~params:[||] plan in
+  List.iter (fun _ -> Sb_resil.Limits.charge_output gov) rows;
   counters.c_output <- counters.c_output + List.length rows;
   (rows, fun p -> Option.map snd (List.find_opt (fun (q, _) -> q == p) !tbl))
 
@@ -921,7 +958,7 @@ let run_analyzed ?(hosts = []) ?(counters = fresh_counters ()) (db : db)
     facade for UPDATE/DELETE predicates and SET expressions). *)
 let eval_row ?(hosts = []) (db : db) ~(row : Tuple.t) (e : rexpr) : Value.t =
   let ectx =
-    { db; hosts; counters = fresh_counters (); caches = []; deltas = [];
-      instr = None }
+    { db; hosts; counters = fresh_counters (); gov = default_gov ();
+      caches = []; deltas = []; instr = None }
   in
   eval ectx ~row ~params:[||] e

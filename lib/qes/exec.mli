@@ -50,10 +50,15 @@ val make_db : catalog:Catalog.t -> functions:Functions.t -> db
 
 val register_join_kind : db -> string -> kind_impl -> unit
 
-(** Runs a plan to completion.  [hosts] binds host variables. *)
+(** Runs a plan to completion.  [hosts] binds host variables.  [gov] is
+    the per-query resource governor — operator instantiations and every
+    intermediate/output row are charged to it; when omitted a fresh
+    governor over {!Sb_resil.Limits.default} applies, so the finite
+    intermediate-row ceiling holds even outside Corona. *)
 val run :
   ?hosts:(string * Value.t) list ->
   ?counters:counters ->
+  ?gov:Sb_resil.Limits.gov ->
   db ->
   Sb_optimizer.Plan.plan ->
   Tuple.t list
@@ -69,6 +74,7 @@ type op_stats = { mutable os_rows : int; mutable os_ns : int64 }
 val run_analyzed :
   ?hosts:(string * Value.t) list ->
   ?counters:counters ->
+  ?gov:Sb_resil.Limits.gov ->
   db ->
   Sb_optimizer.Plan.plan ->
   Tuple.t list * (Sb_optimizer.Plan.plan -> op_stats option)
@@ -77,6 +83,7 @@ val run_analyzed :
 val run_seq :
   ?hosts:(string * Value.t) list ->
   ?counters:counters ->
+  ?gov:Sb_resil.Limits.gov ->
   db ->
   Sb_optimizer.Plan.plan ->
   Tuple.t Seq.t

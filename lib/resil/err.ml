@@ -1,0 +1,41 @@
+type stage =
+  | Parse
+  | Semantic
+  | Rewrite
+  | Optimize
+  | Exec
+  | Storage
+  | Resource
+  | Internal
+
+type t = {
+  err_stage : stage;
+  err_msg : string;
+  err_query : string option;
+  err_retryable : bool;
+}
+
+exception Error of t
+
+let stage_name = function
+  | Parse -> "parse"
+  | Semantic -> "semantic"
+  | Rewrite -> "rewrite"
+  | Optimize -> "optimize"
+  | Exec -> "exec"
+  | Storage -> "storage"
+  | Resource -> "resource"
+  | Internal -> "internal"
+
+let make ?query ?(retryable = false) stage msg =
+  { err_stage = stage; err_msg = msg; err_query = query; err_retryable = retryable }
+
+let fail ?query ?retryable stage fmt =
+  Fmt.kstr (fun s -> raise (Error (make ?query ?retryable stage s))) fmt
+
+let with_query q e =
+  match e.err_query with Some _ -> e | None -> { e with err_query = Some q }
+
+let to_string e =
+  Fmt.str "%s: %s%s" (stage_name e.err_stage) e.err_msg
+    (if e.err_retryable then " (retryable)" else "")

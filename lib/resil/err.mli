@@ -1,0 +1,44 @@
+(** Structured error taxonomy for the whole pipeline.
+
+    Every failure that escapes a pipeline stage is classified by the
+    stage that produced it, carries the query text when known, and a
+    retryable flag (true only for transient faults, e.g. injected
+    storage hiccups whose retries were exhausted).  This replaces the
+    stringly [Corona.Error] at the language-processor boundary. *)
+
+type stage =
+  | Parse  (** lexing / parsing *)
+  | Semantic  (** name resolution, typing, catalog lookups *)
+  | Rewrite  (** QGM rewrite engine *)
+  | Optimize  (** STAR generator / plan refinement *)
+  | Exec  (** QES runtime *)
+  | Storage  (** buffer pool, heap, access methods *)
+  | Resource  (** a governor limit was exceeded *)
+  | Internal  (** invariant violation; a bug, not a user error *)
+
+type t = {
+  err_stage : stage;
+  err_msg : string;
+  err_query : string option;  (** statement text, when known *)
+  err_retryable : bool;
+}
+
+exception Error of t
+
+val stage_name : stage -> string
+val make : ?query:string -> ?retryable:bool -> stage -> string -> t
+
+(** [fail stage fmt ...] raises {!Error} with a formatted message. *)
+val fail :
+  ?query:string ->
+  ?retryable:bool ->
+  stage ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+
+(** Fills in [err_query] if the error does not already carry one. *)
+val with_query : string -> t -> t
+
+(** ["exec: division by zero"], with [" (retryable)"] appended when
+    the flag is set.  Query text is not included. *)
+val to_string : t -> string

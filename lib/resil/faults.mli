@@ -1,0 +1,52 @@
+(** Deterministic, seedable fault injection.
+
+    Storage and QES consult a fault plan at named sites
+    ([buffer.pin], [heap.page], [catalog.lookup], [btree.search],
+    [qes.probe], ...) before doing the real work.  A plan can script
+    exact ordinals ("fail the 3rd page read") or a probability ("fail
+    10% of probes at seed 42"); both are driven by one seeded PRNG so
+    a chaos run is reproducible.
+
+    Transient faults are retried with capped exponential backoff on a
+    {e virtual} clock — [vclock_ns] advances, nothing sleeps — and are
+    counted in {!Sb_obs.Metrics} when a registry is attached.  A
+    transient fault that persists past [max_retries], or any permanent
+    fault, raises a structured {!Err.Storage} error. *)
+
+type outcome = Transient | Permanent
+type t
+
+(** The disabled plan: {!guard} is a direct call. *)
+val none : t
+
+val create :
+  ?seed:int ->
+  ?max_retries:int ->
+  ?backoff_base_ns:int64 ->
+  ?backoff_cap_ns:int64 ->
+  unit ->
+  t
+
+val enabled : t -> bool
+val seed : t -> int
+
+(** [fail_nth t ~site [3; 7]] fails the 3rd and 7th consults at
+    [site] (1-based, counted per site). *)
+val fail_nth : t -> ?outcome:outcome -> site:string -> int list -> unit
+
+(** [fail_prob t p] makes every consult fail with probability [p];
+    with [~site] the probability applies to that site only (and
+    overrides the global probability there). *)
+val fail_prob : t -> ?outcome:outcome -> ?site:string -> float -> unit
+
+(** Counters land in [registry] as [sb_faults_injected_total{site=...}]
+    and [sb_fault_retries_total{site=...}]. *)
+val set_metrics : t -> Sb_obs.Metrics.t -> unit
+
+(** [guard t ~site f] runs [f], injecting faults per the plan.
+    Transient faults retry [f] after advancing the virtual clock. *)
+val guard : t -> site:string -> (unit -> 'a) -> 'a
+
+val injected : t -> int
+val retried : t -> int
+val vclock_ns : t -> int64

@@ -1,0 +1,150 @@
+type t = {
+  mutable max_output_rows : int;
+  mutable max_intermediate_rows : int;
+  mutable max_operator_calls : int;
+  mutable deadline_ms : int;
+  mutable max_plan_nodes : int;
+}
+
+let default () =
+  {
+    max_output_rows = 0;
+    max_intermediate_rows = 10_000_000;
+    max_operator_calls = 0;
+    deadline_ms = 0;
+    max_plan_nodes = 0;
+  }
+
+let unlimited () =
+  {
+    max_output_rows = 0;
+    max_intermediate_rows = 0;
+    max_operator_calls = 0;
+    deadline_ms = 0;
+    max_plan_nodes = 0;
+  }
+
+let copy t = { t with max_output_rows = t.max_output_rows }
+
+let strip_prefix p s =
+  if String.length s > String.length p && String.sub s 0 (String.length p) = p
+  then String.sub s (String.length p) (String.length s - String.length p)
+  else s
+
+let canonical name =
+  let n = String.lowercase_ascii (String.trim name) in
+  strip_prefix "max_" (strip_prefix "limit_" n)
+
+let set t name v =
+  if v < 0 then Error (Fmt.str "limit %s: negative value %d" name v)
+  else
+    match canonical name with
+    | "output_rows" -> Ok (t.max_output_rows <- v)
+    | "intermediate_rows" -> Ok (t.max_intermediate_rows <- v)
+    | "operator_calls" -> Ok (t.max_operator_calls <- v)
+    | "deadline_ms" -> Ok (t.deadline_ms <- v)
+    | "plan_nodes" -> Ok (t.max_plan_nodes <- v)
+    | other -> Error (Fmt.str "unknown limit %S" other)
+
+let apply_env t =
+  (match Sys.getenv_opt "STARBURST_LIMITS" with
+  | None -> ()
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.iter (fun entry ->
+             match String.index_opt entry '=' with
+             | None -> ()
+             | Some i ->
+                 let k = String.sub entry 0 i in
+                 let v =
+                   String.sub entry (i + 1) (String.length entry - i - 1)
+                 in
+                 (match int_of_string_opt (String.trim v) with
+                 | Some n -> ignore (set t k n)
+                 | None -> ())));
+  t
+
+let describe t =
+  let show v = if v = 0 then "unlimited" else string_of_int v in
+  [
+    ("output_rows", show t.max_output_rows);
+    ("intermediate_rows", show t.max_intermediate_rows);
+    ("operator_calls", show t.max_operator_calls);
+    ("deadline_ms", show t.deadline_ms);
+    ("plan_nodes", show t.max_plan_nodes);
+  ]
+
+(* Governor *)
+
+type gov = {
+  g_limits : t;
+  g_now : unit -> int64;
+  g_start_ns : int64;
+  mutable g_output_rows : int;
+  mutable g_intermediate_rows : int;
+  mutable g_operator_calls : int;
+  mutable g_plan_nodes : int;
+}
+
+let start ?(now = Sb_obs.Trace.now_ns) limits =
+  {
+    g_limits = limits;
+    g_now = now;
+    g_start_ns = now ();
+    g_output_rows = 0;
+    g_intermediate_rows = 0;
+    g_operator_calls = 0;
+    g_plan_nodes = 0;
+  }
+
+let limits g = g.g_limits
+
+let exceeded name limit =
+  raise
+    (Err.Error
+       (Err.make Err.Resource (Fmt.str "limit max_%s exceeded (%d)" name limit)))
+
+let elapsed_ns g = Int64.sub (g.g_now ()) g.g_start_ns
+
+let check_deadline g =
+  let ms = g.g_limits.deadline_ms in
+  if ms > 0 then
+    let budget = Int64.mul (Int64.of_int ms) 1_000_000L in
+    if Int64.compare (elapsed_ns g) budget > 0 then
+      raise
+        (Err.Error
+           (Err.make Err.Resource (Fmt.str "limit deadline_ms exceeded (%d)" ms)))
+
+let charge_row g =
+  let n = g.g_intermediate_rows + 1 in
+  g.g_intermediate_rows <- n;
+  let lim = g.g_limits.max_intermediate_rows in
+  if lim > 0 && n > lim then exceeded "intermediate_rows" lim;
+  if n land 63 = 0 then check_deadline g
+
+let charge_output g =
+  let n = g.g_output_rows + 1 in
+  g.g_output_rows <- n;
+  let lim = g.g_limits.max_output_rows in
+  if lim > 0 && n > lim then exceeded "output_rows" lim
+
+let charge_op g =
+  let n = g.g_operator_calls + 1 in
+  g.g_operator_calls <- n;
+  let lim = g.g_limits.max_operator_calls in
+  if lim > 0 && n > lim then exceeded "operator_calls" lim;
+  check_deadline g
+
+let charge_plan_nodes g n =
+  let total = g.g_plan_nodes + n in
+  g.g_plan_nodes <- total;
+  let lim = g.g_limits.max_plan_nodes in
+  if lim > 0 && total > lim then exceeded "plan_nodes" lim
+
+let consumption g =
+  [
+    ("output_rows", g.g_output_rows, g.g_limits.max_output_rows);
+    ("intermediate_rows", g.g_intermediate_rows, g.g_limits.max_intermediate_rows);
+    ("operator_calls", g.g_operator_calls, g.g_limits.max_operator_calls);
+    ("plan_nodes", g.g_plan_nodes, g.g_limits.max_plan_nodes);
+  ]

@@ -1,0 +1,69 @@
+(** Per-query resource limits and the governor that enforces them.
+
+    The paper's rewrite engine carries a firing budget so that rule
+    application "always stops in a consistent QGM state"; the governor
+    extends that discipline to the rest of the pipeline.  Limits are
+    checked cooperatively — QES charges a unit per intermediate row and
+    per operator instantiation, the STAR generator charges per plan
+    node — so a breach surfaces as a structured {!Err.Resource} error
+    naming the limit, never as a wedged process.
+
+    A limit of [0] means unlimited.  [max_intermediate_rows]
+    deliberately defaults to a finite value so a nested-loop blowup
+    with missing stats cannot run away silently. *)
+
+type t = {
+  mutable max_output_rows : int;
+  mutable max_intermediate_rows : int;  (** default 10_000_000 *)
+  mutable max_operator_calls : int;
+  mutable deadline_ms : int;  (** wall-clock budget per statement *)
+  mutable max_plan_nodes : int;  (** optimizer plan-node budget *)
+}
+
+val default : unit -> t
+val unlimited : unit -> t
+val copy : t -> t
+
+(** [set t name v] sets a limit by name ([output_rows],
+    [intermediate_rows], [operator_calls], [deadline_ms],
+    [plan_nodes]; a [limit_] or [max_] prefix is accepted).  Returns
+    [Error msg] for an unknown name or negative value. *)
+val set : t -> string -> int -> (unit, string) result
+
+(** Applies [STARBURST_LIMITS] (e.g.
+    ["intermediate_rows=200000,deadline_ms=5000"]) on top of [t].
+    Malformed entries are ignored. *)
+val apply_env : t -> t
+
+(** [(name, value)] pairs; value rendered as ["unlimited"] when 0. *)
+val describe : t -> (string * string) list
+
+(** {1 Governor} — one per statement. *)
+
+type gov
+
+(** [now] defaults to the monotonic clock; tests substitute a fake. *)
+val start : ?now:(unit -> int64) -> t -> gov
+
+val limits : gov -> t
+
+(** Charge one intermediate row produced by an operator.  The deadline
+    is re-checked every 64 rows to amortise clock reads. *)
+val charge_row : gov -> unit
+
+(** Charge one row delivered to the client. *)
+val charge_output : gov -> unit
+
+(** Charge one operator instantiation; also checks the deadline. *)
+val charge_op : gov -> unit
+
+(** Charge [n] freshly generated optimizer plan nodes. *)
+val charge_plan_nodes : gov -> int -> unit
+
+val check_deadline : gov -> unit
+
+(** Per-query consumption, for [\limits]: [(counter, used, limit)]
+    with [limit = 0] meaning unlimited. *)
+val consumption : gov -> (string * int * int) list
+
+val elapsed_ns : gov -> int64

@@ -144,6 +144,13 @@ let run ?(strategy = Sequential) ?(search = Depth_first) ?budget
     ?(check_each = false) ?(tracer = Sb_obs.Trace.noop) ~(rules : Rule.t list)
     (g : Qgm.t) : stats =
   let stats = fresh_stats () in
+  match budget with
+  | Some b when b <= 0 ->
+    (* a zero budget cannot fire anything: return before examining any
+       box (and before garbage collection), leaving the QGM untouched *)
+    stats.budget_exhausted <- true;
+    stats
+  | _ ->
   let rng =
     match strategy with
     | Statistical { seed; _ } -> Some (Random.State.make [| seed |])

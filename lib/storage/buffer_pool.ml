@@ -36,6 +36,7 @@ type t = {
   mutable next_file : file_id;
   mutable tick : int;
   stats : stats;
+  mutable faults : Sb_resil.Faults.t;
 }
 
 let create ?(capacity = 256) () =
@@ -46,7 +47,11 @@ let create ?(capacity = 256) () =
     next_file = 0;
     tick = 0;
     stats = { logical_reads = 0; physical_reads = 0; physical_writes = 0; evictions = 0 };
+    faults = Sb_resil.Faults.none;
   }
+
+let set_faults t f = t.faults <- f
+let faults t = t.faults
 
 let stats t = t.stats
 
@@ -101,7 +106,7 @@ let maybe_evict t =
 
 let maybe_evict t = try maybe_evict t with Exit -> ()
 
-let pin t file_id page_no =
+let pin_raw t file_id page_no =
   t.tick <- t.tick + 1;
   t.stats.logical_reads <- t.stats.logical_reads + 1;
   match Hashtbl.find_opt t.cache (file_id, page_no) with
@@ -120,6 +125,10 @@ let pin t file_id page_no =
     Hashtbl.replace t.cache (file_id, page_no) frame;
     maybe_evict t;
     frame.page
+
+let pin t file_id page_no =
+  Sb_resil.Faults.guard t.faults ~site:"buffer.pin" (fun () ->
+      pin_raw t file_id page_no)
 
 let unpin t file_id page_no =
   match Hashtbl.find_opt t.cache (file_id, page_no) with

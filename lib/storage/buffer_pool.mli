@@ -24,6 +24,12 @@ val create : ?capacity:int -> unit -> t
 val stats : t -> stats
 val reset_stats : t -> unit
 
+(** Fault-injection plan consulted on every {!pin} (site
+    ["buffer.pin"]); defaults to {!Sb_resil.Faults.none}. *)
+val set_faults : t -> Sb_resil.Faults.t -> unit
+
+val faults : t -> Sb_resil.Faults.t
+
 val create_file : ?page_size:int -> t -> file_id
 val drop_file : t -> file_id -> unit
 val page_count : t -> file_id -> int

@@ -21,6 +21,7 @@ type t = {
   views : (string, view_def) Hashtbl.t;
   mutable site_of : string -> string;
       (** simulated-distribution hook: site where a table lives *)
+  mutable faults : Sb_resil.Faults.t;
 }
 
 let norm = String.lowercase_ascii
@@ -35,6 +36,7 @@ let create ?(pool_capacity = 256) () =
       tables = Hashtbl.create 16;
       views = Hashtbl.create 16;
       site_of = (fun _ -> "local");
+      faults = Sb_resil.Faults.none;
     }
   in
   Storage_manager.register t.storage_managers Heap_file.factory;
@@ -43,7 +45,16 @@ let create ?(pool_capacity = 256) () =
   Access_method.register t.access_methods Access_method.unique_constraint_kind;
   t
 
-let find_table t name = Hashtbl.find_opt t.tables (norm name)
+let set_faults t f =
+  t.faults <- f;
+  Buffer_pool.set_faults t.pool f
+
+let faults t = t.faults
+
+let find_table t name =
+  Sb_resil.Faults.guard t.faults ~site:"catalog.lookup" (fun () ->
+      Hashtbl.find_opt t.tables (norm name))
+
 let find_view t name = Hashtbl.find_opt t.views (norm name)
 
 let table_exists t name = Hashtbl.mem t.tables (norm name)
@@ -132,6 +143,17 @@ let create_index t ~name ~table ~kind ~columns =
   let am =
     k.Access_method.kind_create ~name ~schema:tab.Table_store.schema
       ~columns:positions ~registry:t.datatypes
+  in
+  (* fault site "<kind>.search" (e.g. "btree.search"): the plan is read
+     at probe time, so faults installed after CREATE INDEX still apply *)
+  let am =
+    {
+      am with
+      Access_method.am_search =
+        (fun probe ->
+          Sb_resil.Faults.guard t.faults ~site:(kind ^ ".search") (fun () ->
+              am.Access_method.am_search probe));
+    }
   in
   Table_store.attach tab am;
   am

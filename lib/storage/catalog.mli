@@ -22,6 +22,9 @@ type t = {
   mutable site_of : string -> string;
       (** simulated-distribution hook: the site a table lives at
           (default: every table is ["local"]) *)
+  mutable faults : Sb_resil.Faults.t;
+      (** fault-injection plan; {!set_faults} also installs it on the
+          buffer pool *)
 }
 
 exception Catalog_error of string
@@ -30,6 +33,12 @@ exception Catalog_error of string
     fixed) and access-method kinds (btree) registered. *)
 val create : ?pool_capacity:int -> unit -> t
 
+(** Installs a fault plan on the catalog (site ["catalog.lookup"]),
+    its buffer pool (["buffer.pin"]) and — via probe-time consult — all
+    index searches (["<kind>.search"]). *)
+val set_faults : t -> Sb_resil.Faults.t -> unit
+
+val faults : t -> Sb_resil.Faults.t
 val find_table : t -> string -> Table_store.t option
 val find_view : t -> string -> view_def option
 val table_exists : t -> string -> bool

@@ -75,11 +75,15 @@ let make ~(pool : Buffer_pool.t) ~(schema : Schema.t) : instance =
       if page_no >= npages then Seq.Nil
       else begin
         let rows = ref [] in
-        Buffer_pool.with_page pool file page_no (fun p ->
-            Page.iter p (fun slot record ->
-                rows :=
-                  ({ rid_page = page_no; rid_slot = slot }, Row_codec.decode record)
-                  :: !rows));
+        Sb_resil.Faults.guard (Buffer_pool.faults pool) ~site:"heap.page"
+          (fun () ->
+            rows := [];
+            Buffer_pool.with_page pool file page_no (fun p ->
+                Page.iter p (fun slot record ->
+                    rows :=
+                      ({ rid_page = page_no; rid_slot = slot },
+                       Row_codec.decode record)
+                      :: !rows)));
         let rows = List.rev !rows in
         Seq.append (List.to_seq rows) (page_seq (page_no + 1)) ()
       end

@@ -14,4 +14,5 @@ let () =
       Test_props.suite;
       Test_obs.suite;
       Test_verify.suite;
+      Test_resil.suite;
     ]
