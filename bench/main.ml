@@ -5,6 +5,7 @@
     dune exec bench/main.exe            # all experiments
     dune exec bench/main.exe -- e6 e8   # a subset
     dune exec bench/main.exe -- micro   # Bechamel micro-benchmarks only
+    dune exec bench/main.exe -- --analyze  # property-inference timing sweep
     v} *)
 
 let experiments =
@@ -92,26 +93,28 @@ let micro () =
     plan is validated against the catalog, and the rewritten compilation
     is differentially executed against the un-rewritten one.  Exits
     non-zero on the first unsoundness, so CI can gate on it. *)
+(* shared by the verification (--verify) and inference (--analyze) sweeps *)
+let sweep_corpus =
+  [
+    "SELECT q.partno, q.price FROM quotations q WHERE q.partno IN (SELECT \
+     partno FROM inventory WHERE type = 'CPU') AND q.price < 50";
+    "SELECT partno FROM inventory WHERE type = 'CPU' OR onhand_qty > 80";
+    "SELECT i.type, count(*), min(q.price) FROM quotations q, inventory i \
+     WHERE q.partno = i.partno GROUP BY i.type";
+    "SELECT partno FROM quotations WHERE price > (SELECT min(price) FROM \
+     quotations) ORDER BY partno";
+    "SELECT DISTINCT supplier FROM quotations WHERE order_qty > 10";
+    "SELECT partno FROM inventory UNION SELECT partno FROM quotations";
+    "SELECT q.supplier FROM quotations q WHERE EXISTS (SELECT partno FROM \
+     inventory i WHERE i.partno = q.partno AND i.onhand_qty < q.order_qty)";
+  ]
+
 let verify () =
   Bench_util.header
     "Verification sweep: rule audit + plan check + differential execution";
   let db = Bench_util.parts_db ~n_parts:300 ~fanout:3 () in
   db.Starburst.Corona.paranoid <- true;
-  let corpus =
-    [
-      "SELECT q.partno, q.price FROM quotations q WHERE q.partno IN (SELECT \
-       partno FROM inventory WHERE type = 'CPU') AND q.price < 50";
-      "SELECT partno FROM inventory WHERE type = 'CPU' OR onhand_qty > 80";
-      "SELECT i.type, count(*), min(q.price) FROM quotations q, inventory i \
-       WHERE q.partno = i.partno GROUP BY i.type";
-      "SELECT partno FROM quotations WHERE price > (SELECT min(price) FROM \
-       quotations) ORDER BY partno";
-      "SELECT DISTINCT supplier FROM quotations WHERE order_qty > 10";
-      "SELECT partno FROM inventory UNION SELECT partno FROM quotations";
-      "SELECT q.supplier FROM quotations q WHERE EXISTS (SELECT partno FROM \
-       inventory i WHERE i.partno = q.partno AND i.onhand_qty < q.order_qty)";
-    ]
-  in
+  let corpus = sweep_corpus in
   let abbrev s = if String.length s <= 70 then s else String.sub s 0 67 ^ "..." in
   let failures = ref 0 in
   List.iter
@@ -131,6 +134,35 @@ let verify () =
     exit 1
   end
   else Printf.printf "all %d queries verified\n" (List.length corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Inference timing sweep (--analyze)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Times property inference ([Sb_analysis.Infer.analyze]) on the
+    rewritten QGM of each corpus query, reporting wall time and the
+    number of inferred facts, so inference-cost regressions surface in
+    CI logs next to the numbers they would inflate. *)
+let analyze_sweep () =
+  Bench_util.header "Inference sweep: per-query property inference cost";
+  let db = Bench_util.parts_db ~n_parts:300 ~fanout:3 () in
+  let catalog = db.Starburst.Corona.catalog in
+  let abbrev s = if String.length s <= 64 then s else String.sub s 0 61 ^ "..." in
+  let total = ref 0.0 in
+  List.iter
+    (fun text ->
+      let g = Starburst.build_qgm db (Sb_hydrogen.Parser.query_text text) in
+      let t0 = Unix.gettimeofday () in
+      let inf = Sb_analysis.Infer.analyze ~trust_stats:true ~catalog g in
+      let dt = Unix.gettimeofday () -. t0 in
+      total := !total +. dt;
+      Printf.printf "  %8.1fus  %3d fact(s)  %s\n" (dt *. 1e6)
+        (Sb_analysis.Infer.fact_count inf)
+        (abbrev text))
+    sweep_corpus;
+  Printf.printf "total inference time: %.1fus over %d queries\n"
+    (!total *. 1e6)
+    (List.length sweep_corpus)
 
 (* ------------------------------------------------------------------ *)
 (* Chaos sweep (--chaos SEED)                                          *)
@@ -220,27 +252,29 @@ let trace_json path =
     exit 1
 
 let () =
-  let rec split_flags acc trace verify_only chaos_seed = function
-    | [] -> (List.rev acc, trace, verify_only, chaos_seed)
+  let rec split_flags acc trace verify_only analyze_only chaos_seed = function
+    | [] -> (List.rev acc, trace, verify_only, analyze_only, chaos_seed)
     | "--trace-json" :: path :: rest ->
-      split_flags acc (Some path) verify_only chaos_seed rest
-    | "--verify" :: rest -> split_flags acc trace true chaos_seed rest
+      split_flags acc (Some path) verify_only analyze_only chaos_seed rest
+    | "--verify" :: rest -> split_flags acc trace true analyze_only chaos_seed rest
+    | "--analyze" :: rest -> split_flags acc trace verify_only true chaos_seed rest
     | "--chaos" :: seed :: rest -> (
       match int_of_string_opt seed with
-      | Some s -> split_flags acc trace verify_only (Some s) rest
+      | Some s -> split_flags acc trace verify_only analyze_only (Some s) rest
       | None ->
         Printf.eprintf "error: --chaos expects an integer seed, got %s\n" seed;
         exit 2)
-    | a :: rest -> split_flags (a :: acc) trace verify_only chaos_seed rest
+    | a :: rest -> split_flags (a :: acc) trace verify_only analyze_only chaos_seed rest
   in
-  let args, trace_path, verify_only, chaos_seed =
-    split_flags [] None false None (Array.to_list Sys.argv |> List.tl)
+  let args, trace_path, verify_only, analyze_only, chaos_seed =
+    split_flags [] None false false None (Array.to_list Sys.argv |> List.tl)
   in
   let args = List.map String.lowercase_ascii args in
   let wanted name = args = [] || List.mem name args in
   print_endline "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
-  if (verify_only || chaos_seed <> None) && args = [] then begin
+  if (verify_only || analyze_only || chaos_seed <> None) && args = [] then begin
     if verify_only then verify ();
+    if analyze_only then analyze_sweep ();
     Option.iter chaos chaos_seed
   end
   else begin
@@ -249,6 +283,7 @@ let () =
       experiments;
     if args = [] || List.mem "micro" args then micro ();
     if verify_only then verify ();
+    if analyze_only then analyze_sweep ();
     Option.iter chaos chaos_seed
   end;
   Option.iter trace_json trace_path

@@ -14,7 +14,9 @@
     the last statement's consumption), [\metrics] (Prometheus-style dump),
     [\trace] (span tree of the current tracer; enable with
     [SET trace = on]), [\check [query]] (catalog lints, or the full
-    verification report of a query — same as [EXPLAIN VERIFY]), [\q]. *)
+    verification report of a query — same as [EXPLAIN VERIFY]),
+    [\infer query] (inferred semantic properties — same as
+    [EXPLAIN ANALYSIS]), [\q]. *)
 
 let install_extensions db =
   Sb_extensions.Outer_join.install db;
@@ -98,11 +100,36 @@ let print_check db rest =
     | exception Sb_hydrogen.Lexer.Lex_error (msg, _) ->
       Printf.printf "lex error: %s\n" msg)
 
+(* \infer SELECT ...  — inferred properties, prover lints and the
+   inference-tightened plan (EXPLAIN ANALYSIS) *)
+let print_infer db rest =
+  match String.trim (String.concat " " rest) with
+  | "" -> print_endline "usage: \\infer SELECT ..."
+  | text -> (
+    let text =
+      match String.rindex_opt text ';' with
+      | Some i -> String.sub text 0 i
+      | None -> text
+    in
+    match Sb_hydrogen.Parser.query_text text with
+    | wq -> (
+      try print_string (Starburst.Corona.explain_analysis db wq) with
+      | Starburst.Error e ->
+        Printf.printf "error: %s\n" (Starburst.Err.to_string e)
+      | Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
+      | Sb_optimizer.Generator.Unsupported msg ->
+        Printf.printf "unsupported: %s\n" msg)
+    | exception Sb_hydrogen.Parser.Parse_error (msg, _) ->
+      Printf.printf "parse error: %s\n" msg
+    | exception Sb_hydrogen.Lexer.Lex_error (msg, _) ->
+      Printf.printf "lex error: %s\n" msg)
+
 let meta_command db line =
   match String.split_on_char ' ' (String.trim line) with
   | "\\stats" :: _ -> print_stats db
   | "\\limits" :: _ -> print_limits db
   | "\\check" :: rest -> print_check db rest
+  | "\\infer" :: rest -> print_infer db rest
   | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
   | "\\trace" :: rest ->
     let tr = Starburst.tracer db in
@@ -132,7 +159,7 @@ let run_script db text =
 
 let repl db =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\limits \\metrics \\trace \\check, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\limits \\metrics \\trace \\check \\infer, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");

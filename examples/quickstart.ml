@@ -41,4 +41,20 @@ let () =
   section "Execution counters for the last query";
   let c = Starburst.counters db in
   Printf.printf "tuples scanned: %d, output rows: %d\n"
-    c.Sb_qes.Exec.c_scanned c.Sb_qes.Exec.c_output
+    c.Sb_qes.Exec.c_scanned c.Sb_qes.Exec.c_output;
+
+  section "Semantic analysis: EXPLAIN ANALYSIS (inferred keys, bounds, lints)";
+  let join =
+    "SELECT q.partno, count(*) FROM quotations q, inventory i WHERE q.partno \
+     = i.partno GROUP BY q.partno"
+  in
+  print_endline join;
+  run ("EXPLAIN ANALYSIS " ^ join);
+
+  section "The linter proves the second conjunct redundant";
+  (* keep in sync with the "lint: examples query" test *)
+  let redundant =
+    "SELECT partno, price FROM quotations WHERE partno = 1 AND partno >= 1"
+  in
+  print_endline redundant;
+  run ("EXPLAIN ANALYSIS " ^ redundant)

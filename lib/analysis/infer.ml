@@ -1,0 +1,664 @@
+(** Property inference over QGM: a fixpoint dataflow pass that derives,
+    per box and per head column, the facts in {!Props} — nullability,
+    value intervals, keys, row-count bounds, provable emptiness.
+
+    Boxes are visited bottom-up through the range edges; a back edge in
+    a recursive graph is cut with top (sound: top over-approximates any
+    fixpoint), then a bounded number of improvement sweeps re-applies
+    the transfer functions from that over-approximation downward.
+
+    [trust_stats] controls whether catalog statistics (min/max, row
+    counts) feed the result.  The optimizer wants them (estimates may
+    be stale); rewrite-rule safety proofs and lints must not (only
+    declared schema facts and the predicates themselves). *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+module Qgm = Sb_qgm.Qgm
+
+type t = {
+  props : (Qgm.box_id, Props.box_props) Hashtbl.t;
+  trust_stats : bool;
+}
+
+(* cap on key combinations tried when several inputs expose several
+   candidate keys; past this the derivation just drops candidates *)
+let max_key_combos = 8
+
+let box_props t id =
+  match Hashtbl.find_opt t.props id with
+  | Some p -> p
+  | None -> Props.top_box 0
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let base_table_props ~trust_stats ~catalog name arity =
+  match Catalog.find_table catalog name with
+  | None -> Props.top_box arity
+  | Some tab ->
+    let schema = tab.Table_store.schema in
+    let stats = tab.Table_store.stats in
+    let analyzed = Array.length stats.Stats.ts_columns > 0 in
+    let col i =
+      if i >= Array.length schema then Props.top_col
+      else
+        let c = schema.(i) in
+        let iv =
+          if trust_stats && analyzed && i < Array.length stats.Stats.ts_columns
+          then
+            let cs = stats.Stats.ts_columns.(i) in
+            match cs.Stats.cs_min, cs.Stats.cs_max with
+            | Some lo, Some hi -> Some { Props.lo = Some lo; hi = Some hi }
+            | _ -> Some Props.top_iv
+          else Some Props.top_iv
+        in
+        { Props.cp_nullable = c.Schema.col_nullable; cp_interval = iv }
+    in
+    let keys =
+      List.concat
+        (List.init (Array.length schema) (fun i ->
+             if schema.(i).Schema.col_unique then [ [ i ] ] else []))
+    in
+    let p =
+      {
+        Props.bp_cols = Array.init arity col;
+        bp_keys = Props.normalize_keys keys;
+        bp_max_rows =
+          (if trust_stats && analyzed then Some stats.Stats.ts_cardinality
+           else None);
+        bp_empty = false;
+      }
+    in
+    if p.Props.bp_max_rows = Some 1 || p.Props.bp_max_rows = Some 0 then
+      (* stats are estimates: take the row bound but never "proved empty" *)
+      { (Props.clamp_rows p 1) with bp_empty = false }
+    else p
+
+(* column prop seen *through* a quantifier: extension setformers (the
+   outer join's PF) may NULL-pad their columns, so the input's NOT NULL
+   must not survive the crossing *)
+let through_quant (q : Qgm.quant) (c : Props.col_prop) =
+  match q.Qgm.q_type with
+  | Qgm.Ext _ | Qgm.SP _ -> { c with Props.cp_nullable = true }
+  | Qgm.F | Qgm.E | Qgm.A | Qgm.S -> c
+
+(* conjuncts a prover env can safely consume: anything free of
+   subquery/aggregate/host references (those evaluate as unknown
+   anyway, so dropping them loses nothing and keeps envs small) *)
+let provable_conjuncts (b : Qgm.box) =
+  List.concat_map (fun p -> Qgm.conjuncts p.Qgm.p_expr) b.Qgm.b_preds
+  |> List.filter (fun e ->
+         not (Qgm.contains_quantified e || Qgm.contains_host e))
+
+(* candidate keys of an input, as seen from quantifier [q]: key columns
+   re-addressed as (q, i) pairs.  An Ext/SP quantifier can replicate or
+   pad rows, so its input keys are not keys of the crossing. *)
+let quant_keys inp (q : Qgm.quant) =
+  match q.Qgm.q_type with
+  | Qgm.F ->
+    let keys =
+      if Props.single_row inp then [ [] ]
+      else inp.Props.bp_keys
+    in
+    List.map (List.map (fun i -> (q.Qgm.q_id, i))) keys
+  | _ -> []
+
+(* [combos] builds up to [max_key_combos] choices of one key per
+   quantifier (cartesian, capped) *)
+let combos per_quant =
+  List.fold_left
+    (fun acc ks ->
+      let next =
+        List.concat_map (fun chosen -> List.map (fun k -> k @ chosen) ks) acc
+      in
+      if List.length next > max_key_combos then
+        match next with [] -> [] | x :: _ -> [ x ]
+      else next)
+    [ [] ] per_quant
+
+(* Derived keys of a select box.  A quantifier is "determined" when one
+   of its input keys is pinned column-by-column — each key column's
+   equality class contains a constant or a column of another, still
+   undetermined quantifier.  Undetermined quantifiers contribute their
+   key columns to the box key; if every quantifier is determined the
+   box yields at most one row (per binding of any correlated outer). *)
+let select_keys g env (b : Qgm.box) inputs =
+  let setformers = Qgm.setformers b in
+  let setformer_ids = List.map (fun q -> q.Qgm.q_id) setformers in
+  let pinned remaining (qid, i) =
+    let module P = Prover in
+    let n = P.N_col (qid, i) in
+    let root = P.find env n in
+    match root with
+    | P.N_const _ -> true
+    | P.N_col _ ->
+      (* the class is forced to a single non-null value... *)
+      let cp = P.class_prop env n in
+      (match cp.Props.cp_interval with
+      | Some iv when Props.is_point iv && not cp.Props.cp_nullable -> true
+      | _ ->
+        (* ...or holds a column of another remaining quantifier or of a
+           correlated outer quantifier (pinning per outer binding) *)
+        let pins_via qid' =
+          qid' <> qid
+          && (List.exists (fun q -> q.Qgm.q_id = qid') remaining
+             || not (List.mem qid' setformer_ids))
+        in
+        let classmate tbl =
+          Hashtbl.fold
+            (fun node _ acc ->
+              acc
+              ||
+              match node with
+              | P.N_col (qid', _) ->
+                pins_via qid' && P.find env node = root
+              | P.N_const _ -> false)
+            tbl false
+        in
+        classmate env.P.parent || classmate env.P.cls)
+  in
+  let keys_of q =
+    match List.assoc_opt q.Qgm.q_id inputs with
+    | Some inp -> quant_keys inp q
+    | None -> []
+  in
+  (* peel determined quantifiers *)
+  let rec peel remaining =
+    let others q = List.filter (fun q' -> q'.Qgm.q_id <> q.Qgm.q_id) remaining in
+    match
+      List.find_opt
+        (fun q ->
+          List.exists
+            (fun key -> key <> [] && List.for_all (pinned (others q)) key)
+            (keys_of q)
+          || List.mem [] (keys_of q))
+        remaining
+    with
+    | Some q -> peel (others q)
+    | None -> remaining
+  in
+  let remaining = peel setformers in
+  (* head position of a pass-through body column *)
+  let head_pos (qid, i) =
+    let rec loop j = function
+      | [] -> None
+      | hc :: rest ->
+        if hc.Qgm.hc_expr = Some (Qgm.Col (qid, i)) then Some j
+        else loop (j + 1) rest
+    in
+    loop 0 b.Qgm.b_head
+  in
+  let body_keys = combos (List.map keys_of remaining) in
+  let head_keys =
+    List.filter_map
+      (fun key ->
+        let pos = List.map head_pos key in
+        if List.for_all Option.is_some pos then
+          Some (List.filter_map Fun.id pos)
+        else None)
+      body_keys
+  in
+  let single = remaining = [] && setformers <> [] in
+  ignore g;
+  (head_keys, single)
+
+let rec transfer visit g ~catalog ~trust_stats (b : Qgm.box) : Props.box_props =
+  let arity = Qgm.arity b in
+  match b.Qgm.b_kind with
+  | Qgm.Base_table name -> base_table_props ~trust_stats ~catalog name arity
+  | Qgm.Select -> select_props visit g ~catalog ~trust_stats b
+  | Qgm.Group_by keys -> group_props visit g b keys
+  | Qgm.Set_op (op, all) -> setop_props visit g b op all
+  | Qgm.Values_box rows -> values_props b rows
+  | Qgm.Choose -> choose_props visit g b
+  | Qgm.Table_fn _ | Qgm.Ext_op _ -> Props.top_box arity
+
+and select_props visit g ~catalog ~trust_stats b =
+  ignore catalog;
+  ignore trust_stats;
+  let inputs =
+    List.map (fun q -> (q.Qgm.q_id, visit q.Qgm.q_input)) b.Qgm.b_quants
+  in
+  let quant_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun q -> Hashtbl.replace tbl q.Qgm.q_id q) b.Qgm.b_quants;
+    Hashtbl.find_opt tbl
+  in
+  let prop_of qid i =
+    match quant_of qid with
+    | Some q -> (
+      match List.assoc_opt qid inputs with
+      | Some inp when i < Array.length inp.Props.bp_cols ->
+        through_quant q inp.Props.bp_cols.(i)
+      | _ -> Props.top_col)
+    | None -> Props.top_col (* correlated outer reference: unknown here *)
+  in
+  let conjuncts = provable_conjuncts b in
+  let env = Prover.make_env ~prop_of () in
+  Prover.assume_all env conjuncts;
+  let contradiction = env.Prover.contradiction in
+  (* an empty ForEach input empties the box (extension setformers like
+     the outer join's PF preserve rows, so they don't) *)
+  let empty_input =
+    List.exists
+      (fun q ->
+        q.Qgm.q_type = Qgm.F
+        && match List.assoc_opt q.Qgm.q_id inputs with
+           | Some inp -> inp.Props.bp_empty
+           | None -> false)
+      b.Qgm.b_quants
+  in
+  let empty = contradiction || empty_input in
+  let head_prop hc =
+    match hc.Qgm.hc_expr with
+    | Some e -> Prover.col_of_aval (Prover.aval env e)
+    | None -> Props.top_col
+  in
+  let cols = Array.of_list (List.map head_prop b.Qgm.b_head) in
+  let head_keys, single = select_keys g env b inputs in
+  let keys = if b.Qgm.b_distinct then
+      List.init (Array.length cols) Fun.id :: head_keys
+    else head_keys
+  in
+  let p =
+    {
+      Props.bp_cols = cols;
+      bp_keys = Props.normalize_keys keys;
+      bp_max_rows = None;
+      bp_empty = empty;
+    }
+  in
+  let p = if single then Props.clamp_rows p 1 else p in
+  (* product of input row bounds.  Only valid when every setformer is a
+     plain ForEach: extension setformers (outer-join PF) preserve
+     unmatched rows, so their output can exceed the product. *)
+  let p =
+    let setf = Qgm.setformers b in
+    if setf = [] || List.exists (fun q -> q.Qgm.q_type <> Qgm.F) setf then p
+    else
+      let bound =
+        List.fold_left
+          (fun acc q ->
+            match acc with
+            | None -> None
+            | Some n -> (
+              match List.assoc_opt q.Qgm.q_id inputs with
+              | Some { Props.bp_max_rows = Some m; _ }
+                when n * m < 1_000_000_000 ->
+                Some (n * m)
+              | _ -> None))
+          (Some 1) setf
+      in
+      match bound with Some n -> Props.clamp_rows p n | None -> p
+  in
+  let p = match b.Qgm.b_limit with Some n -> Props.clamp_rows p n | None -> p in
+  if empty then Props.clamp_rows p 0 else p
+
+and group_props visit _g b keys =
+  match Qgm.setformers b with
+  | [ q ] ->
+    let inp = visit q.Qgm.q_input in
+    let prop_of qid i =
+      if qid = q.Qgm.q_id && i < Array.length inp.Props.bp_cols then
+        through_quant q inp.Props.bp_cols.(i)
+      else Props.top_col
+    in
+    let env = Prover.make_env ~prop_of () in
+    let head_prop hc =
+      match hc.Qgm.hc_expr with
+      | Some e -> Prover.col_of_aval (Prover.aval env e)
+      | None -> Props.top_col
+    in
+    let cols = Array.of_list (List.map head_prop b.Qgm.b_head) in
+    (* head positions holding the grouping expressions form a key *)
+    let head_pos e =
+      let rec loop j = function
+        | [] -> None
+        | hc :: rest ->
+          if hc.Qgm.hc_expr = Some e then Some j else loop (j + 1) rest
+      in
+      loop 0 b.Qgm.b_head
+    in
+    let key_pos = List.map head_pos keys in
+    let keyed = List.for_all Option.is_some key_pos in
+    let p =
+      {
+        Props.bp_cols = cols;
+        bp_keys =
+          (if keyed && keys <> [] then
+             Props.normalize_keys [ List.filter_map Fun.id key_pos ]
+           else []);
+        bp_max_rows = None;
+        bp_empty = (keys <> [] && inp.Props.bp_empty);
+      }
+    in
+    (* a global aggregate always yields exactly one row *)
+    let p = if keys = [] then Props.clamp_rows p 1 else p in
+    (* group count bounds: input rows, and the product of the integer
+       interval widths of the grouping columns *)
+    let p =
+      match inp.Props.bp_max_rows with
+      | Some n when keys <> [] -> Props.clamp_rows p n
+      | _ -> p
+    in
+    let p =
+      if keys = [] then p
+      else
+        let widths =
+          List.map
+            (fun e ->
+              match (Prover.aval env e).Prover.av_iv with
+              | Some iv -> Props.int_width iv
+              | None -> Some 1)
+            keys
+        in
+        if List.for_all Option.is_some widths then
+          let w =
+            List.fold_left
+              (fun acc o -> acc * Option.value o ~default:1)
+              1 widths
+          in
+          if w < 1_000_000_000 then Props.clamp_rows p (max 1 w) else p
+        else p
+    in
+    if p.Props.bp_empty then Props.clamp_rows p 0 else p
+  | _ -> Props.top_box (Qgm.arity b)
+
+and setop_props visit g b op all =
+  let inputs = List.map (fun q -> visit q.Qgm.q_input) (Qgm.setformers b) in
+  ignore g;
+  let arity = Qgm.arity b in
+  match inputs with
+  | [] -> Props.top_box arity
+  | first :: rest ->
+    let col_at inp i =
+      if i < Array.length inp.Props.bp_cols then inp.Props.bp_cols.(i)
+      else Props.top_col
+    in
+    let combine f =
+      Array.init arity (fun i ->
+          List.fold_left (fun acc inp -> f acc (col_at inp i)) (col_at first i) rest)
+    in
+    let sum_rows () =
+      List.fold_left
+        (fun acc inp ->
+          match acc, inp.Props.bp_max_rows with
+          | Some a, Some b -> Some (a + b)
+          | _ -> None)
+        (Some 0) inputs
+    in
+    (match op with
+    | Ast.Union ->
+      let p =
+        {
+          Props.bp_cols = combine Props.hull_col;
+          bp_keys =
+            (if (not all) && arity > 0 then [ List.init arity Fun.id ] else []);
+          bp_max_rows = None;
+          bp_empty = List.for_all (fun i -> i.Props.bp_empty) inputs;
+        }
+      in
+      let p =
+        match sum_rows () with Some n -> Props.clamp_rows p n | None -> p
+      in
+      if p.Props.bp_empty then Props.clamp_rows p 0 else p
+    | Ast.Intersect ->
+      let p =
+        {
+          Props.bp_cols = combine Props.meet_col;
+          bp_keys =
+            (if (not all) && arity > 0 then [ List.init arity Fun.id ]
+             else first.Props.bp_keys);
+          bp_max_rows =
+            List.fold_left
+              (fun acc i -> Props.min_rows_opt acc i.Props.bp_max_rows)
+              None inputs;
+          bp_empty = List.exists (fun i -> i.Props.bp_empty) inputs;
+        }
+      in
+      if p.Props.bp_empty then Props.clamp_rows p 0 else p
+    | Ast.Except ->
+      let p =
+        {
+          first with
+          Props.bp_keys =
+            (if (not all) && arity > 0 then [ List.init arity Fun.id ]
+             else first.Props.bp_keys);
+          bp_empty = first.Props.bp_empty;
+        }
+      in
+      if p.Props.bp_empty then Props.clamp_rows p 0 else p)
+
+and values_props b rows =
+  let arity = Qgm.arity b in
+  let env = Prover.make_env () in
+  let col i =
+    List.fold_left
+      (fun acc row ->
+        let e = try List.nth row i with _ -> Qgm.Lit Value.Null in
+        Props.hull_col acc (Prover.col_of_aval (Prover.aval env e)))
+      Props.bot_col rows
+  in
+  let p =
+    {
+      Props.bp_cols =
+        (if rows = [] then Array.make arity Props.top_col
+         else Array.init arity col);
+      bp_keys = [];
+      bp_max_rows = None;
+      bp_empty = rows = [];
+    }
+  in
+  Props.clamp_rows p (List.length rows)
+
+and choose_props visit g b =
+  ignore g;
+  let arity = Qgm.arity b in
+  let inputs = List.map (fun q -> visit q.Qgm.q_input) b.Qgm.b_quants in
+  match inputs with
+  | [] -> Props.top_box arity
+  | first :: rest ->
+    let col_at inp i =
+      if i < Array.length inp.Props.bp_cols then inp.Props.bp_cols.(i)
+      else Props.top_col
+    in
+    {
+      Props.bp_cols =
+        Array.init arity (fun i ->
+            List.fold_left
+              (fun acc inp -> Props.hull_col acc (col_at inp i))
+              (col_at first i) rest);
+      (* only keys every alternative guarantees survive *)
+      bp_keys =
+        Props.normalize_keys
+          (List.filter
+             (fun k -> List.for_all (fun inp -> Props.covers_key inp k) inputs)
+             first.Props.bp_keys);
+      bp_max_rows =
+        List.fold_left
+          (fun acc inp ->
+            match acc, inp.Props.bp_max_rows with
+            | Some a, Some b -> Some (max a b)
+            | _ -> None)
+          first.Props.bp_max_rows rest;
+      bp_empty = List.for_all (fun i -> i.Props.bp_empty) inputs;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let improvement_sweeps = 2
+
+let analyze ?(trust_stats = false) ~catalog (g : Qgm.t) : t =
+  let t = { props = Hashtbl.create 16; trust_stats } in
+  let in_progress = Hashtbl.create 8 in
+  let rec visit id : Props.box_props =
+    match Hashtbl.find_opt t.props id with
+    | Some p -> p
+    | None ->
+      if Hashtbl.mem in_progress id then
+        (* back edge of a recursive query: cut with top *)
+        Props.top_box (Qgm.arity (Qgm.box g id))
+      else begin
+        Hashtbl.replace in_progress id ();
+        let p = transfer visit g ~catalog ~trust_stats (Qgm.box g id) in
+        Hashtbl.remove in_progress id;
+        Hashtbl.replace t.props id p;
+        p
+      end
+  in
+  if g.Qgm.top >= 0 && Hashtbl.mem g.Qgm.boxes g.Qgm.top then begin
+    ignore (visit g.Qgm.top);
+    (* re-apply the transfers bottom-up a bounded number of times to
+       tighten whatever the back-edge cut left at top *)
+    let order = List.rev (Qgm.reachable_boxes g) in
+    if List.exists (fun b -> Qgm.is_recursive g b.Qgm.b_id) order then
+      for _ = 1 to improvement_sweeps do
+        List.iter
+          (fun b ->
+            let p =
+              transfer
+                (fun id -> box_props t id)
+                g ~catalog ~trust_stats b
+            in
+            Hashtbl.replace t.props b.Qgm.b_id p)
+          order
+      done
+  end;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Facts about column [i] seen through quantifier [qid] (an extension
+    setformer such as the outer join's PF hides its input's NOT NULL). *)
+let quant_col_prop t g qid i =
+  let q = Qgm.quant g qid in
+  let p = box_props t q.Qgm.q_input in
+  if i < Array.length p.Props.bp_cols then
+    through_quant q p.Props.bp_cols.(i)
+  else Props.top_col
+
+let col_not_null t g qid i =
+  not (quant_col_prop t g qid i).Props.cp_nullable
+
+(** Is column [i] alone a key of the box quantifier [qid] ranges over? *)
+let col_unique t g qid i =
+  let q = Qgm.quant g qid in
+  let p = box_props t q.Qgm.q_input in
+  Props.covers_key p [ i ]
+
+let single_row t id = Props.single_row (box_props t id)
+
+(** Does [cols] cover a key of the box [qid] ranges over? *)
+let quant_has_key t g qid cols =
+  let q = Qgm.quant g qid in
+  Props.covers_key (box_props t q.Qgm.q_input) cols
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function
+  | Qgm.Base_table n -> "BASE " ^ n
+  | Qgm.Select -> "SELECT"
+  | Qgm.Group_by _ -> "GROUP BY"
+  | Qgm.Set_op _ -> "SET OP"
+  | Qgm.Values_box _ -> "VALUES"
+  | Qgm.Table_fn (n, _) -> "TABLE FN " ^ n
+  | Qgm.Choose -> "CHOOSE"
+  | Qgm.Ext_op n -> "EXT " ^ n
+
+(** Count of non-trivial derived facts, for the bench report. *)
+let fact_count t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      let cols =
+        Array.fold_left
+          (fun n c ->
+            n
+            + (if not c.Props.cp_nullable then 1 else 0)
+            +
+            match c.Props.cp_interval with
+            | Some iv when not (Props.is_top_iv iv) -> 1
+            | None -> 1
+            | _ -> 0)
+          0 p.Props.bp_cols
+      in
+      acc + cols + List.length p.Props.bp_keys
+      + (if p.Props.bp_max_rows <> None then 1 else 0)
+      + if p.Props.bp_empty then 1 else 0)
+    t.props 0
+
+let pp_box t _g ppf (b : Qgm.box) =
+  let p = box_props t b.Qgm.b_id in
+  Fmt.pf ppf "%s [%s]%s:@," b.Qgm.b_label (kind_name b.Qgm.b_kind)
+    (if p.Props.bp_empty then "  PROVABLY EMPTY" else "");
+  List.iteri
+    (fun i hc ->
+      let c =
+        if i < Array.length p.Props.bp_cols then p.Props.bp_cols.(i)
+        else Props.top_col
+      in
+      Fmt.pf ppf "  %-16s %a@," hc.Qgm.hc_name Props.pp_col c)
+    b.Qgm.b_head;
+  if p.Props.bp_keys <> [] then begin
+    let col_name i =
+      try (Qgm.head_col b i).Qgm.hc_name with _ -> string_of_int i
+    in
+    let key_str = function
+      | [] -> "<single row>"
+      | k -> "(" ^ String.concat ", " (List.map col_name k) ^ ")"
+    in
+    Fmt.pf ppf "  keys: %s@,"
+      (String.concat "; " (List.map key_str p.Props.bp_keys))
+  end;
+  match p.Props.bp_max_rows with
+  | Some n -> Fmt.pf ppf "  max rows: %d@," n
+  | None -> ()
+
+let to_string t g =
+  Fmt.str "%a"
+    (fun ppf () ->
+      Fmt.pf ppf "@[<v>";
+      List.iter (fun b -> pp_box t g ppf b) (Qgm.reachable_boxes g);
+      Fmt.pf ppf "@]")
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Summaries for the paranoid regression audit                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Compare the top box's derived facts before and after a rewrite
+    firing; returns human-readable descriptions of facts that were
+    {e lost} (the rewrite moved up the lattice).  Arity changes are
+    reported as a single incomparability note. *)
+let regressions ~(before : Props.box_props) ~(after : Props.box_props) =
+  let b = before and a = after in
+  if Array.length b.Props.bp_cols <> Array.length a.Props.bp_cols then []
+    (* head changed shape: incomparable, not a regression *)
+  else begin
+    let out = ref [] in
+    let note fmt = Fmt.kstr (fun s -> out := s :: !out) fmt in
+    Array.iteri
+      (fun i cb ->
+        let ca = a.Props.bp_cols.(i) in
+        if (not cb.Props.cp_nullable) && ca.Props.cp_nullable then
+          note "column %d lost NOT NULL" i)
+      b.Props.bp_cols;
+    List.iter
+      (fun k ->
+        if not (Props.covers_key a k) then note "lost key %a" Props.pp_key k)
+      b.Props.bp_keys;
+    (match b.Props.bp_max_rows, a.Props.bp_max_rows with
+    | Some nb, Some na when na > nb -> note "row bound loosened %d -> %d" nb na
+    | Some nb, None -> note "lost row bound %d" nb
+    | _ -> ());
+    if b.Props.bp_empty && not a.Props.bp_empty then
+      note "lost provable emptiness";
+    List.rev !out
+  end

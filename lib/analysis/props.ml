@@ -1,0 +1,211 @@
+(** The property lattice of the semantic-analysis pass (DESIGN section 6.3).
+
+    Properties describe the {e set} of rows a box can produce: every
+    element is an over-approximation, so weakening (towards top) is
+    always sound and the fixpoint iteration only ever moves downward
+    from top.
+
+    Per column we track whether NULL can appear and an interval
+    enclosing all non-null values; per box we track derived keys, a row
+    count bound, and provable emptiness. *)
+
+open Sb_storage
+
+(* ------------------------------------------------------------------ *)
+(* Intervals over non-null values                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Closed interval; [None] bounds are infinite.  Bounds are [Value.t]
+    and compare with {!Value.compare}, which is only meaningful within
+    one SQL type — well-typed queries never mix types in a column. *)
+type interval = { lo : Value.t option; hi : Value.t option }
+
+let top_iv = { lo = None; hi = None }
+let is_top_iv i = i.lo = None && i.hi = None
+let point v = { lo = Some v; hi = Some v }
+
+let cmp = Value.compare ?registry:None
+
+(** [None] when the intersection is empty. *)
+let meet_iv a b : interval option =
+  let lo =
+    match a.lo, b.lo with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if cmp x y >= 0 then x else y)
+  in
+  let hi =
+    match a.hi, b.hi with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if cmp x y <= 0 then x else y)
+  in
+  match lo, hi with
+  | Some l, Some h when cmp l h > 0 -> None
+  | _ -> Some { lo; hi }
+
+(** Convex hull (over-approximate union). *)
+let hull_iv a b =
+  let lo =
+    match a.lo, b.lo with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Some (if cmp x y <= 0 then x else y)
+  in
+  let hi =
+    match a.hi, b.hi with
+    | None, _ | _, None -> None
+    | Some x, Some y -> Some (if cmp x y >= 0 then x else y)
+  in
+  { lo; hi }
+
+(** Is [a] contained in [b]? *)
+let leq_iv a b =
+  (match b.lo with
+  | None -> true
+  | Some bl -> ( match a.lo with None -> false | Some al -> cmp al bl >= 0))
+  && match b.hi with
+     | None -> true
+     | Some bh -> ( match a.hi with None -> false | Some ah -> cmp ah bh <= 0)
+
+let mem_iv v i =
+  (match i.lo with None -> true | Some l -> cmp l v <= 0)
+  && match i.hi with None -> true | Some h -> cmp v h <= 0
+
+(** Number of integer values in the interval, when both bounds are
+    integers (the cardinality bound used for GROUP BY estimates). *)
+let int_width i =
+  match i.lo, i.hi with
+  | Some (Value.Int a), Some (Value.Int b) when b >= a -> Some (b - a + 1)
+  | _ -> None
+
+let is_point i =
+  match i.lo, i.hi with Some a, Some b -> cmp a b = 0 | _ -> false
+
+let pp_bound ppf = function
+  | None -> Fmt.string ppf "*"
+  | Some v -> Fmt.string ppf (Value.to_literal v)
+
+let pp_iv ppf i =
+  if is_top_iv i then Fmt.string ppf "(-inf,+inf)"
+  else Fmt.pf ppf "[%a,%a]" pp_bound i.lo pp_bound i.hi
+
+(* ------------------------------------------------------------------ *)
+(* Column properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [cp_interval = None] means the column cannot hold a non-null value
+    (it is always NULL, or the box is empty).  [cp_nullable = false]
+    means NULL cannot appear. *)
+type col_prop = { cp_nullable : bool; cp_interval : interval option }
+
+let top_col = { cp_nullable = true; cp_interval = Some top_iv }
+
+(** A column with no possible value at all: the box is provably empty. *)
+let bot_col = { cp_nullable = false; cp_interval = None }
+
+let impossible_col c = (not c.cp_nullable) && c.cp_interval = None
+
+let meet_col a b =
+  {
+    cp_nullable = a.cp_nullable && b.cp_nullable;
+    cp_interval =
+      (match a.cp_interval, b.cp_interval with
+      | None, _ | _, None -> None
+      | Some x, Some y -> meet_iv x y);
+  }
+
+let hull_col a b =
+  {
+    cp_nullable = a.cp_nullable || b.cp_nullable;
+    cp_interval =
+      (match a.cp_interval, b.cp_interval with
+      | None, x | x, None -> x
+      | Some x, Some y -> Some (hull_iv x y));
+  }
+
+(** Is [a] at least as precise as [b] (a's value set contained in b's)? *)
+let leq_col a b =
+  ((not a.cp_nullable) || b.cp_nullable)
+  && match a.cp_interval, b.cp_interval with
+     | None, _ -> true
+     | Some _, None -> false
+     | Some x, Some y -> leq_iv x y
+
+let pp_col ppf c =
+  (match c.cp_interval with
+  | None -> Fmt.string ppf (if c.cp_nullable then "NULL" else "(empty)")
+  | Some i -> if not (is_top_iv i) then pp_iv ppf i else Fmt.string ppf "any");
+  if (not c.cp_nullable) && c.cp_interval <> None then
+    Fmt.string ppf " NOT NULL"
+
+(* ------------------------------------------------------------------ *)
+(* Box properties                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** A key is a set of head-column indices whose values identify a row;
+    the empty key [[]] means "at most one row".  [bp_keys] is kept
+    minimal (no key is a superset of another) and each key is sorted. *)
+type box_props = {
+  bp_cols : col_prop array;
+  bp_keys : int list list;
+  bp_max_rows : int option;
+  bp_empty : bool;
+}
+
+let top_box arity =
+  {
+    bp_cols = Array.make arity top_col;
+    bp_keys = [];
+    bp_max_rows = None;
+    bp_empty = false;
+  }
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(** Sort each key, drop duplicates and supersets of other keys. *)
+let normalize_keys keys =
+  let keys = List.map (List.sort_uniq Int.compare) keys in
+  let keys = List.sort_uniq compare keys in
+  List.filter
+    (fun k ->
+      not (List.exists (fun k' -> k' <> k && subset k' k) keys))
+    keys
+
+let add_key p k = { p with bp_keys = normalize_keys (k :: p.bp_keys) }
+
+let min_rows_opt a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (min x y)
+
+(** Fold a row-count bound into [p], deriving the empty flag and the
+    empty key when the bound is tight enough. *)
+let clamp_rows p n =
+  let p = { p with bp_max_rows = min_rows_opt p.bp_max_rows (Some n) } in
+  let p = if n <= 1 then add_key p [] else p in
+  if n <= 0 then { p with bp_empty = true } else p
+
+let single_row p =
+  p.bp_empty
+  || (match p.bp_max_rows with Some n -> n <= 1 | None -> false)
+  || List.mem [] p.bp_keys
+
+(** Does the column set [cols] cover some key of [p]? *)
+let covers_key p cols =
+  single_row p || List.exists (fun k -> subset k cols) p.bp_keys
+
+(** Is [a] at least as precise as [b] in every tracked dimension?  Used
+    by the paranoid-mode regression audit: a rewrite firing that moves
+    the top box's properties strictly {e up} the lattice has lost
+    derived facts.  Arity mismatch (a rule changed the head) compares
+    as incomparable, i.e. [false]. *)
+let leq_box a b =
+  Array.length a.bp_cols = Array.length b.bp_cols
+  && (b.bp_empty = false || a.bp_empty)
+  && (match b.bp_max_rows with
+     | None -> true
+     | Some nb -> ( match a.bp_max_rows with Some na -> na <= nb | None -> false))
+  && Array.for_all2 leq_col a.bp_cols b.bp_cols
+  && List.for_all (fun kb -> covers_key a kb) b.bp_keys
+
+let pp_key ppf = function
+  | [] -> Fmt.string ppf "<single row>"
+  | k -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma int) k

@@ -1,0 +1,422 @@
+(** A predicate satisfiability / implication prover over conjunctions.
+
+    The engine is deliberately small: equality classes (a union-find
+    over column references and constants), interval narrowing for
+    comparisons against constants and between columns, and Kleene
+    three-valued logic so NULL behaves as SQL's unknown.  Everything it
+    cannot model (LIKE, functions, subqueries, host variables,
+    arithmetic beyond +/-) evaluates to "any truth value possible",
+    which keeps every verdict sound: [Proved] / [Unsat] are only
+    returned when they hold in all models.  See DESIGN section 6.3 for
+    scope and known incompletenesses. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+module Qgm = Sb_qgm.Qgm
+
+(* ------------------------------------------------------------------ *)
+(* Three-valued truth as a can-set                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Which of TRUE / FALSE / NULL the expression can evaluate to. *)
+type tri = { t : bool; f : bool; n : bool }
+
+let any_tri = { t = true; f = true; n = true }
+let must_true = { t = true; f = false; n = false }
+let must_false = { t = false; f = true; n = false }
+let must_null = { t = false; f = false; n = true }
+
+let tri_not x = { x with t = x.f; f = x.t }
+
+(* Kleene conjunction/disjunction over can-sets: the result can be [v]
+   iff some pair of operand outcomes combines to [v]. *)
+let tri_and a b =
+  {
+    t = a.t && b.t;
+    f = a.f || b.f;
+    n = (a.n && (b.t || b.n)) || (b.n && (a.t || a.n));
+  }
+
+let tri_or a b =
+  {
+    t = a.t || b.t;
+    f = a.f && b.f;
+    n = (a.n && (b.f || b.n)) || (b.n && (a.f || a.n));
+  }
+
+(** The conjunct passes a WHERE clause only when TRUE. *)
+let can_pass x = x.t
+let must_pass x = x.t && (not x.f) && not x.n
+
+(* ------------------------------------------------------------------ *)
+(* Abstract values                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** [av_iv = None]: the expression cannot produce a non-null value. *)
+type aval = { av_null : bool; av_iv : Props.interval option }
+
+let top_aval = { av_null = true; av_iv = Some Props.top_iv }
+let aval_of_col (c : Props.col_prop) =
+  { av_null = c.Props.cp_nullable; av_iv = c.Props.cp_interval }
+let col_of_aval a =
+  { Props.cp_nullable = a.av_null; cp_interval = a.av_iv }
+
+(* ------------------------------------------------------------------ *)
+(* Environment: union-find over columns and constants                  *)
+(* ------------------------------------------------------------------ *)
+
+type node = N_col of Qgm.quant_id * int | N_const of Value.t
+
+type env = {
+  prop_of : Qgm.quant_id -> int -> Props.col_prop;
+      (** baseline facts for a column (from inference or schema);
+          consulted lazily the first time a column is touched *)
+  parent : (node, node) Hashtbl.t;
+  cls : (node, Props.col_prop) Hashtbl.t;  (** root -> refined prop *)
+  mutable contradiction : bool;
+}
+
+let make_env ?(prop_of = fun _ _ -> Props.top_col) () =
+  {
+    prop_of;
+    parent = Hashtbl.create 16;
+    cls = Hashtbl.create 16;
+    contradiction = false;
+  }
+
+let base_prop env = function
+  | N_col (q, i) -> env.prop_of q i
+  | N_const v ->
+    if Value.is_null v then { Props.cp_nullable = true; cp_interval = None }
+    else { Props.cp_nullable = false; cp_interval = Some (Props.point v) }
+
+let rec find env n =
+  match Hashtbl.find_opt env.parent n with
+  | None -> n
+  | Some p ->
+    let r = find env p in
+    if r <> p then Hashtbl.replace env.parent n r;
+    r
+
+let class_prop env n =
+  let r = find env n in
+  match Hashtbl.find_opt env.cls r with
+  | Some p -> p
+  | None ->
+    let p = base_prop env r in
+    Hashtbl.replace env.cls r p;
+    p
+
+let set_class_prop env n p =
+  let r = find env n in
+  Hashtbl.replace env.cls r p;
+  if Props.impossible_col p then env.contradiction <- true
+
+(** Refine node [n] by meeting its class property with [p]. *)
+let refine env n p =
+  set_class_prop env n (Props.meet_col (class_prop env n) p)
+
+let not_null = { Props.cp_nullable = false; cp_interval = Some Props.top_iv }
+
+let union env a b =
+  let ra = find env a and rb = find env b in
+  if ra <> rb then begin
+    let p = Props.meet_col (class_prop env ra) (class_prop env rb) in
+    (* keep constants as roots so a class's constant survives as root *)
+    let root, child =
+      match ra, rb with N_const _, _ -> ra, rb | _, _ -> rb, ra
+    in
+    Hashtbl.remove env.cls child;
+    Hashtbl.replace env.parent child root;
+    set_class_prop env root p
+  end
+
+let same_class env a b = find env a = find env b
+
+(* ------------------------------------------------------------------ *)
+(* Abstract evaluation of value expressions                            *)
+(* ------------------------------------------------------------------ *)
+
+let iv_add a b =
+  match a, b with
+  | { Props.lo; hi }, { Props.lo = lo'; hi = hi' } ->
+    let add x y =
+      match x, y with
+      | Some (Value.Int a), Some (Value.Int b) -> Some (Value.Int (a + b))
+      | _ -> None
+    in
+    { Props.lo = add lo lo'; hi = add hi hi' }
+
+let iv_neg i =
+  let neg = function Some (Value.Int x) -> Some (Value.Int (-x)) | _ -> None in
+  { Props.lo = neg i.Props.hi; hi = neg i.Props.lo }
+
+let rec aval env (e : Qgm.expr) : aval =
+  match e with
+  | Qgm.Lit v ->
+    if Value.is_null v then { av_null = true; av_iv = None }
+    else { av_null = false; av_iv = Some (Props.point v) }
+  | Qgm.Col (q, i) -> aval_of_col (class_prop env (N_col (q, i)))
+  | Qgm.Bin ((Ast.Add | Ast.Sub) as op, a, b) ->
+    let va = aval env a and vb = aval env b in
+    let iv =
+      match va.av_iv, vb.av_iv with
+      | None, _ | _, None -> None
+      | Some x, Some y ->
+        Some (iv_add x (if op = Ast.Add then y else iv_neg y))
+    in
+    { av_null = va.av_null || vb.av_null; av_iv = iv }
+  | Qgm.Bin ((Ast.Mul | Ast.Div | Ast.Mod | Ast.Concat), a, b) ->
+    let va = aval env a and vb = aval env b in
+    let iv =
+      match va.av_iv, vb.av_iv with
+      | None, _ | _, None -> None  (* a null operand nulls the result *)
+      | Some _, Some _ -> Some Props.top_iv
+    in
+    { av_null = va.av_null || vb.av_null; av_iv = iv }
+  | Qgm.Un (Ast.Neg, a) ->
+    let va = aval env a in
+    { va with av_iv = Option.map iv_neg va.av_iv }
+  | Qgm.Case (arms, els) ->
+    let branches =
+      List.map (fun (_, v) -> aval env v) arms
+      @ [ (match els with Some e -> aval env e | None -> { av_null = true; av_iv = None }) ]
+    in
+    let hull a b = aval_of_col (Props.hull_col (col_of_aval a) (col_of_aval b)) in
+    (match branches with [] -> top_aval | b :: rest -> List.fold_left hull b rest)
+  | Qgm.Agg ("count", _, _) ->
+    { av_null = false; av_iv = Some { Props.lo = Some (Value.Int 0); hi = None } }
+  | Qgm.Agg (("min" | "max"), _, Some a) ->
+    (* groups are non-empty, so MIN/MAX are NULL only when the argument
+       can be (an all-NULL group) *)
+    let va = aval env a in
+    { av_null = va.av_null; av_iv = va.av_iv }
+  | Qgm.Un (Ast.Not, _) | Qgm.Bin _ | Qgm.Is_null _ | Qgm.Like _ ->
+    (* boolean-valued: BOOL can also be NULL, interval not tracked *)
+    top_aval
+  | Qgm.Host _ | Qgm.Fun _ | Qgm.Agg _ | Qgm.Quantified _ -> top_aval
+
+(* ------------------------------------------------------------------ *)
+(* Three-valued evaluation of predicates                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Can [cmp] come out true (resp. false) for some pair of non-null
+   values drawn from intervals [a] and [b]? *)
+let cmp_possible op (a : Props.interval) (b : Props.interval) =
+  let lt x y =
+    (* exists va in x, vb in y with va < vb  <=>  x.lo < y.hi *)
+    match x.Props.lo, y.Props.hi with
+    | None, _ | _, None -> true
+    | Some l, Some h -> Props.cmp l h < 0
+  in
+  let le x y =
+    match x.Props.lo, y.Props.hi with
+    | None, _ | _, None -> true
+    | Some l, Some h -> Props.cmp l h <= 0
+  in
+  let overlap = Props.meet_iv a b <> None in
+  let both_same_point = Props.is_point a && Props.is_point b && overlap in
+  match op with
+  | Ast.Eq -> (overlap, not both_same_point)
+  | Ast.Neq -> (not both_same_point, overlap)
+  | Ast.Lt -> (lt a b, le b a)
+  | Ast.Le -> (le a b, lt b a)
+  | Ast.Gt -> (lt b a, le a b)
+  | Ast.Ge -> (le b a, lt a b)
+  | _ -> (true, true)
+
+let is_cmp = function
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true
+  | _ -> false
+
+let node_of = function Qgm.Col (q, i) -> Some (N_col (q, i)) | Qgm.Lit v when not (Value.is_null v) -> Some (N_const v) | _ -> None
+
+let rec eval env (e : Qgm.expr) : tri =
+  match e with
+  | Qgm.Lit (Value.Bool b) -> if b then must_true else must_false
+  | Qgm.Lit Value.Null -> must_null
+  | Qgm.Lit _ -> any_tri
+  | Qgm.Bin (Ast.And, a, b) -> tri_and (eval env a) (eval env b)
+  | Qgm.Bin (Ast.Or, a, b) -> tri_or (eval env a) (eval env b)
+  | Qgm.Un (Ast.Not, a) -> tri_not (eval env a)
+  | Qgm.Is_null a ->
+    let v = aval env a in
+    { t = v.av_null; f = v.av_iv <> None; n = false }
+  | Qgm.Bin (op, a, b) when is_cmp op ->
+    let va = aval env a and vb = aval env b in
+    let n = va.av_null || vb.av_null in
+    let t, f =
+      match va.av_iv, vb.av_iv with
+      | None, _ | _, None -> (false, false)  (* a null side: always NULL *)
+      | Some ia, Some ib ->
+        let t, f = cmp_possible op ia ib in
+        (* congruence: both sides in one equality class compare equal *)
+        (match node_of a, node_of b with
+        | Some na, Some nb when same_class env na nb -> (
+          match op with
+          | Ast.Eq | Ast.Le | Ast.Ge -> (t, false)
+          | Ast.Neq | Ast.Lt | Ast.Gt -> (false, f)
+          | _ -> (t, f))
+        | _ -> (t, f))
+    in
+    { t; f; n }
+  | Qgm.Bin _ | Qgm.Un (Ast.Neg, _) -> any_tri
+  | Qgm.Case _ | Qgm.Fun _ | Qgm.Agg _ | Qgm.Host _ | Qgm.Col _
+  | Qgm.Like _ | Qgm.Quantified _ -> any_tri
+
+(* ------------------------------------------------------------------ *)
+(* Assuming a conjunct true                                            *)
+(* ------------------------------------------------------------------ *)
+
+let iv_for_cmp op v =
+  (* interval implied for x by "x op v" (v non-null) *)
+  let pred_int f = match v with Value.Int x -> Some (Value.Int (f x)) | _ -> None in
+  match op with
+  | Ast.Eq -> Some (Props.point v)
+  | Ast.Le -> Some { Props.lo = None; hi = Some v }
+  | Ast.Ge -> Some { Props.lo = Some v; hi = None }
+  | Ast.Lt ->
+    Some
+      (match pred_int (fun x -> x - 1) with
+      | Some b -> { Props.lo = None; hi = Some b }
+      | None -> { Props.lo = None; hi = Some v })
+      (* non-integer strict bounds kept closed: a sound over-approximation *)
+  | Ast.Gt ->
+    Some
+      (match pred_int (fun x -> x + 1) with
+      | Some b -> { Props.lo = Some b; hi = None }
+      | None -> { Props.lo = Some v; hi = None })
+  | _ -> None
+
+let flip = function
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+  | op -> op
+
+(** Refine [env] under the assumption that [e] evaluates to TRUE.
+    Unknown shapes refine nothing — but a conjunct that {e cannot} be
+    true flags a contradiction. *)
+let rec assume env (e : Qgm.expr) =
+  if not env.contradiction then
+    match e with
+    | Qgm.Bin (Ast.And, a, b) ->
+      assume env a;
+      assume env b
+    | Qgm.Bin (Ast.Eq, a, b) -> (
+      match node_of a, node_of b with
+      | Some na, Some nb ->
+        refine env na not_null;
+        refine env nb not_null;
+        union env na nb
+      | _ -> check env e)
+    | Qgm.Bin (op, a, b) when is_cmp op -> (
+      let constrain col_e op other_e =
+        match node_of col_e with
+        | Some nc -> (
+          refine env nc not_null;
+          (match node_of other_e with
+          | Some no -> refine env no not_null
+          | None -> ());
+          (* narrow by the other side's current bounds *)
+          let vo = aval env other_e in
+          match vo.av_iv with
+          | Some { Props.lo; hi } ->
+            let bound =
+              match op with
+              | Ast.Lt | Ast.Le -> Option.bind hi (iv_for_cmp op)
+              | Ast.Gt | Ast.Ge -> Option.bind lo (iv_for_cmp op)
+              | Ast.Neq -> None
+              | _ -> None
+            in
+            (match bound with
+            | Some iv ->
+              refine env nc { Props.cp_nullable = false; cp_interval = Some iv }
+            | None -> ())
+          | None -> env.contradiction <- true (* other side always NULL *))
+        | None -> ()
+      in
+      constrain a op b;
+      constrain b (flip op) a;
+      (match op, node_of a, node_of b with
+      | Ast.Neq, Some na, Some nb when same_class env na nb ->
+        env.contradiction <- true
+      | _ -> ());
+      check env e)
+    | Qgm.Un (Ast.Not, Qgm.Is_null inner) -> (
+      match node_of inner with
+      | Some n -> refine env n not_null
+      | None -> check env e)
+    | Qgm.Is_null inner -> (
+      match node_of inner with
+      | Some n ->
+        refine env n { Props.cp_nullable = true; cp_interval = None }
+      | None -> check env e)
+    | Qgm.Un (Ast.Not, Qgm.Un (Ast.Not, inner)) -> assume env inner
+    | _ -> check env e
+
+(* generic fallback: no refinement, but detect impossibility *)
+and check env e = if not (can_pass (eval env e)) then env.contradiction <- true
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type sat = Satisfiable | Unsatisfiable | Sat_unknown
+type verdict = Proved | Disproved | Unknown
+
+let sat_to_string = function
+  | Satisfiable -> "satisfiable"
+  | Unsatisfiable -> "unsatisfiable"
+  | Sat_unknown -> "unknown"
+
+let verdict_to_string = function
+  | Proved -> "proved"
+  | Disproved -> "disproved"
+  | Unknown -> "unknown"
+
+(** Load the conjunction into a fresh child of [env]'s baseline.  Two
+    rounds, because a later conjunct can tighten a class an earlier
+    conjunct already constrained. *)
+let assume_all env conjuncts =
+  assume env (Qgm.conjoin conjuncts);
+  if not env.contradiction then assume env (Qgm.conjoin conjuncts);
+  (* re-check every conjunct against the final refinement *)
+  if not env.contradiction then
+    List.iter (fun c -> check env c) conjuncts
+
+(** Satisfiability of a conjunction.  [Unsatisfiable] is a proof (no
+    row can pass); [Satisfiable] is claimed only when every conjunct is
+    forced TRUE by the refined environment — for the interval +
+    equality fragment the refined classes then exhibit a witness. *)
+let satisfiable ?prop_of conjuncts =
+  let env = make_env ?prop_of () in
+  assume_all env conjuncts;
+  if env.contradiction then Unsatisfiable
+  else if List.for_all (fun c -> must_pass (eval env c)) conjuncts then
+    Satisfiable
+  else Sat_unknown
+
+(** Does the conjunction of [hyps] imply that [concl] is TRUE?  A
+    contradiction in the hypotheses proves the implication vacuously. *)
+let implies ?prop_of hyps concl =
+  let env = make_env ?prop_of () in
+  assume_all env hyps;
+  if env.contradiction then Proved
+  else
+    let v = eval env concl in
+    if must_pass v then Proved
+    else if not (can_pass v) then Disproved
+    else Unknown
+
+(** Truth of a constant predicate under no hypotheses: [Some true] when
+    it must pass a WHERE clause, [Some false] when it never can (FALSE
+    or NULL both filter the row).  The NULL-aware replacement for the
+    old [Lint.const_truth] literal fold. *)
+let const_truth ?prop_of (e : Qgm.expr) : bool option =
+  let env = make_env ?prop_of () in
+  let v = eval env e in
+  if must_pass v then Some true
+  else if not (can_pass v) then Some false
+  else None

@@ -32,6 +32,7 @@ module Metrics = Sb_obs.Metrics
 module Plan_check = Sb_verify.Plan_check
 module Rule_audit = Sb_verify.Rule_audit
 module Lint = Sb_verify.Lint
+module Infer = Sb_analysis.Infer
 module Err = Sb_resil.Err
 module Limits = Sb_resil.Limits
 module Faults = Sb_resil.Faults
@@ -227,9 +228,20 @@ let build_qgm t (wq : Ast.with_query) : Qgm.t =
 
 let rewrite t (g : Qgm.t) : Engine.stats =
   (* paranoid mode wraps every rule in the soundness audit (consistency
-     asserted before and after each firing, attributed by rule name) *)
+     asserted before and after each firing, attributed by rule name) and
+     the inference audit (inferred top-box properties compared before
+     and after each firing; regressions are logged and counted, never
+     fatal — a rewrite may trade derivable precision for shape) *)
   let rules = Rule.all t.rules in
-  let rules = if t.paranoid then Rule_audit.instrument rules else rules in
+  let rules =
+    if t.paranoid then
+      Rule_audit.instrument_inference ~catalog:t.catalog
+        ~on_regression:(fun msg ->
+          Metrics.incr (Metrics.counter t.metrics "sb_analysis_regressions_total");
+          Logs.warn (fun m -> m "analysis regression: %s" msg))
+        (Rule_audit.instrument rules)
+    else rules
+  in
   let stats =
     stage t "rewrite" (fun () ->
         Engine.run ~strategy:t.rewrite_strategy ~search:t.rewrite_search
@@ -765,7 +777,7 @@ let explain_verify t (wq : Ast.with_query) : string =
   add "== VERIFY ==";
   let g = build_qgm t wq in
   report "qgm (built)" (Check.check g);
-  (match Lint.lint_qgm g @ Lint.lint_catalog t.catalog with
+  (match Lint.lint_qgm ~catalog:t.catalog g @ Lint.lint_catalog t.catalog with
   | [] -> add "%-26s none" "lint"
   | diags ->
     add "%-26s %d diagnostic(s)" "lint" (List.length diags);
@@ -818,8 +830,41 @@ let explain_verify t (wq : Ast.with_query) : string =
     | Error msg -> add "%-26s DIVERGED: %s" "differential" msg));
   Buffer.contents buf
 
+(** EXPLAIN ANALYSIS (and the shell's [\infer]): the semantic analysis
+    of the rewritten QGM — per-box inferred column properties
+    (nullability, value ranges), derived keys, row bounds and provable
+    emptiness ({!Sb_analysis.Infer}), the prover-backed lint findings,
+    and the plan with inference-tightened estimates. *)
+let explain_analysis t (wq : Ast.with_query) : string =
+  ignore (begin_statement t);
+  let buf = Buffer.create 1024 in
+  let g = build_qgm t wq in
+  if t.rewrite_enabled then ignore (rewrite_degradable t wq g);
+  let t0 = Trace.now_ns () in
+  let inf = Infer.analyze ~trust_stats:true ~catalog:t.catalog g in
+  let infer_ns = Int64.sub (Trace.now_ns ()) t0 in
+  Buffer.add_string buf
+    (Fmt.str "== ANALYSIS (%d fact(s), %s) ==\n" (Infer.fact_count inf)
+       (Trace.dur_string infer_ns));
+  Buffer.add_string buf (Infer.to_string inf g);
+  (match Lint.lint_qgm ~catalog:t.catalog g with
+  | [] -> ()
+  | diags ->
+    Buffer.add_string buf "== LINT ==\n";
+    List.iter
+      (fun d -> Buffer.add_string buf ("  " ^ Lint.diag_to_string d ^ "\n"))
+      diags);
+  (match refine (optimize_degradable t g) with
+  | plan ->
+    Buffer.add_string buf "== PLAN (inference-tightened estimates) ==\n";
+    Buffer.add_string buf (Plan.to_string plan)
+  | exception Generator.Unsupported msg ->
+    Buffer.add_string buf (Fmt.str "== PLAN ==\nunsupported: %s\n" msg));
+  Buffer.contents buf
+
 let explain t mode (wq : Ast.with_query) : string =
   if mode = Ast.Explain_analyze then explain_analyze t wq
+  else if mode = Ast.Explain_analysis then explain_analysis t wq
   else if mode = Ast.Explain_verify then explain_verify t wq
   else begin
   ignore (begin_statement t);

@@ -195,6 +195,13 @@ val explain : t -> Ast.explain_mode -> Ast.with_query -> string
 (** The [EXPLAIN ANALYZE] renderer (also reachable via {!explain}). *)
 val explain_analyze : t -> Ast.with_query -> string
 
+(** The [EXPLAIN ANALYSIS] renderer (also reachable via {!explain} and
+    the shell's [\infer]): the semantic analysis of the rewritten QGM —
+    inferred per-box column properties (nullability, value ranges),
+    derived keys, row bounds, provable emptiness, the prover-backed
+    lint findings, and the plan with inference-tightened estimates. *)
+val explain_analysis : t -> Ast.with_query -> string
+
 (** The [EXPLAIN VERIFY] renderer (also reachable via {!explain} and the
     shell's [\check]): QGM consistency before/after rewrite with every
     firing audited, lints, plan validation against the catalog, and

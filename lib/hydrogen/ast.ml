@@ -143,6 +143,10 @@ and explain_mode =
   | Explain_analyze
       (** execute the statement and report per-operator estimated
           vs. actual rows alongside per-stage timings *)
+  | Explain_analysis
+      (** dump the semantic analysis of the rewritten QGM: inferred
+          per-box column properties (nullability, ranges), derived
+          keys, row bounds, and prover-backed lint findings *)
   | Explain_verify
       (** run the static verifier: QGM consistency before/after rewrite,
           lints, plan validation, and differential execution *)

@@ -679,6 +679,7 @@ let rec parse_statement st : statement =
       else if accept_kw st "PLAN" then Explain_plan
       else if accept_kw st "DOT" then Explain_dot
       else if accept_kw st "ANALYZE" then Explain_analyze
+      else if accept_kw st "ANALYSIS" then Explain_analysis
       else if accept_kw st "VERIFY" then Explain_verify
       else Explain_all
     in

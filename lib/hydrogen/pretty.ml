@@ -186,6 +186,7 @@ let rec pp_statement ppf = function
       | Explain_dot -> " DOT"
       | Explain_all -> ""
       | Explain_analyze -> " ANALYZE"
+      | Explain_analysis -> " ANALYSIS"
       | Explain_verify -> " VERIFY"
     in
     Fmt.pf ppf "EXPLAIN%s %a" m pp_statement s

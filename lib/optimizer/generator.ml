@@ -25,6 +25,12 @@ type t = {
   mutable select_handlers : (t -> env -> Qgm.t -> Qgm.box -> Plan.plan option) list;
       (** extension hooks for SELECT boxes with extension setformers
           (e.g. the outer-join extension's PF handler) *)
+  mutable use_analysis : bool;
+      (** consult property inference ({!Sb_analysis.Infer}) to tighten
+          cardinality estimates (key-covered joins, row bounds) *)
+  mutable analysis : Sb_analysis.Infer.t option;
+      (** inferred properties of the graph being optimized *)
+  mutable analysis_secs : float;  (** time spent in inference, last query *)
   (* join-enumerator accounting, read by the bench harness *)
   mutable enum_subsets : int;
   mutable enum_pairs : int;
@@ -53,6 +59,9 @@ let create ?(strategy = Star.default_strategy) ~catalog ~functions () : t =
     allow_bushy = false;
     allow_cartesian = false;
     select_handlers = [];
+    use_analysis = true;
+    analysis = None;
+    analysis_secs = 0.0;
     enum_subsets = 0;
     enum_pairs = 0;
     enum_plans_kept = 0;
@@ -103,6 +112,61 @@ let plan_info t (g : Qgm.t) (p : plan) : Cost.slot_info =
         match (Qgm.box g quant.Qgm.q_input).Qgm.b_kind with
         | Qgm.Base_table name -> Some (table_stats t name, c)
         | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Inferred-property helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Infer = Sb_analysis.Infer
+
+(** Caps [p]'s cardinality estimate from above — never below one row,
+    since downstream cost formulas divide by cardinalities. *)
+let cap_card (cap : float) (p : plan) : plan =
+  if cap < p.props.p_card then
+    { p with props = { p.props with p_card = Float.max 1.0 cap } }
+  else p
+
+(** Caps a finished box plan by the box's inferred row bound
+    ([bp_max_rows]: declared keys, GROUP BY key-range widths, LIMITs,
+    single-row subquery proofs). *)
+let clamp_box_card t (b : Qgm.box) (p : plan) : plan =
+  match t.analysis with
+  | None -> p
+  | Some inf -> (
+    match (Infer.box_props inf b.Qgm.b_id).Sb_analysis.Props.bp_max_rows with
+    | Some n -> cap_card (float_of_int n) p
+    | None -> p)
+
+(** When the equi-join columns on one side cover a derived key of that
+    side's quantifier, every row of the other side matches at most one
+    row, so the join output is capped by the other side's estimate —
+    the key/foreign-key case the default selectivity model
+    underestimates for derived inputs (no statistics resolve). *)
+let key_join_cap t (g : Qgm.t) ~(outer : plan) ~(inner : plan)
+    ~(equi : (int * int) list) (p : plan) : plan =
+  match t.analysis, equi with
+  | None, _ | _, [] -> p
+  | Some inf, _ ->
+    let side_covered (side : plan) proj =
+      match side.props.p_quants with
+      | [ qid ] ->
+        let cols =
+          List.filter_map
+            (fun eq ->
+              let s = proj eq in
+              if s >= 0 && s < Array.length side.props.p_slots then begin
+                let q, c = side.props.p_slots.(s) in
+                if q = qid && c >= 0 then Some c else None
+              end
+              else None)
+            equi
+        in
+        cols <> []
+        && Infer.quant_has_key inf g qid (List.sort_uniq Int.compare cols)
+      | _ -> false
+    in
+    let p = if side_covered inner snd then cap_card outer.props.p_card p else p in
+    if side_covered outer fst then cap_card inner.props.p_card p else p
 
 (** All columns of quantifier [q] referenced anywhere in the graph. *)
 let needed_cols (g : Qgm.t) qid : int list =
@@ -393,7 +457,10 @@ and enumerate_joins t ~g ~env ~(quants : Qgm.quant list)
                 Star.make_payload ~outer ~inner ~kind:J_regular ~equi:!equi
                   ?pred ~info:(plan_info t g outer) ()
               in
-              Star.invoke t.sctx "JoinRoot" payload @ acc)
+              List.map
+                (key_join_cap t g ~outer ~inner ~equi:!equi)
+                (Star.invoke t.sctx "JoinRoot" payload)
+              @ acc)
             acc outers)
         acc inners
       |> fun x -> x
@@ -701,9 +768,10 @@ and finish_box t ~g ~env (b : Qgm.box) (input : plan) : plan =
       end
     end
   in
-  match b.Qgm.b_limit with
-  | Some n -> Cost.mk_limit n ordered
-  | None -> ordered
+  clamp_box_card t b
+    (match b.Qgm.b_limit with
+    | Some n -> Cost.mk_limit n ordered
+    | None -> ordered)
 
 and compile_select_body t ~g ~env (b : Qgm.box) : plan =
   let setformers = List.filter (fun q -> q.Qgm.q_type = Qgm.F) b.Qgm.b_quants in
@@ -948,7 +1016,8 @@ and compile_group_by t ~g ~env (b : Qgm.box) (keys : Qgm.expr list) : plan =
     List.length head_exprs = Array.length best.props.p_slots
     && List.mapi (fun i e -> e = RCol i) head_exprs |> List.for_all Fun.id
   in
-  if identity then best else Cost.mk_project ~slots head_exprs best
+  clamp_box_card t b
+    (if identity then best else Cost.mk_project ~slots head_exprs best)
 
 (* --- set operations --- *)
 
@@ -1097,6 +1166,24 @@ and compile_recursive t ~g ~env (b : Qgm.box) : plan =
 (** Optimizes the whole QGM; the resulting plan computes the top box's
     head columns. *)
 let optimize t (g : Qgm.t) : plan =
+  (* property inference first: the plan generator consults it for key
+     joins and row bounds.  Statistics are trusted here — a cost
+     estimate may be wrong, unlike a rewrite, and analyzed intervals
+     sharpen range bounds considerably.  Advisory only: any inference
+     failure falls back to uninformed costing. *)
+  if t.use_analysis then begin
+    let t0 = Sys.time () in
+    (try t.analysis <- Some (Infer.analyze ~trust_stats:true ~catalog:t.cat g)
+     with exn ->
+       Logs.debug (fun m ->
+           m "optimizer: property inference failed: %s" (Printexc.to_string exn));
+       t.analysis <- None);
+    t.analysis_secs <- Sys.time () -. t0
+  end
+  else begin
+    t.analysis <- None;
+    t.analysis_secs <- 0.0
+  end;
   let compile () =
     let plan, params = compile_box t ~g g.Qgm.top in
     if Array.length params > 0 then

@@ -23,6 +23,13 @@ type t = {
   mutable select_handlers : (t -> env -> Qgm.t -> Qgm.box -> Plan.plan option) list;
       (** extension hooks for SELECT boxes with extension setformers
           (e.g. the outer-join extension's PF handler) *)
+  mutable use_analysis : bool;
+      (** consult property inference ({!Sb_analysis.Infer}) to tighten
+          cardinality estimates (key-covered joins, row bounds); on by
+          default *)
+  mutable analysis : Sb_analysis.Infer.t option;
+      (** inferred properties of the graph last optimized *)
+  mutable analysis_secs : float;  (** time spent in inference, last query *)
   (* join-enumerator accounting, read by the bench harness *)
   mutable enum_subsets : int;
   mutable enum_pairs : int;

@@ -182,10 +182,30 @@ let order_satisfies ~(have : (int * Ast.order_dir) list) ~(want : (int * Ast.ord
   in
   go have want
 
+(** Does [q] strictly dominate [p]?  [q] must be at the same site, at
+    least as good on every property a later operator could want — cost,
+    estimated cardinality, duplicate-freeness, and [p]'s output order
+    (as a prefix of [q]'s) — and strictly better on cost or
+    cardinality.  Keeping [p] then never helps: any plan built on it
+    has a counterpart built on [q] that is no worse. *)
+let dominates (q : Plan.plan) (p : Plan.plan) =
+  let qp = q.Plan.props and pp = p.Plan.props in
+  qp.Plan.p_site = pp.Plan.p_site
+  && qp.Plan.p_cost <= pp.Plan.p_cost
+  && qp.Plan.p_card <= pp.Plan.p_card
+  && (qp.Plan.p_distinct || not pp.Plan.p_distinct)
+  && order_satisfies ~have:qp.Plan.p_order ~want:pp.Plan.p_order
+  && (qp.Plan.p_cost < pp.Plan.p_cost || qp.Plan.p_card < pp.Plan.p_card)
+
 (** Keep the cheapest plan overall plus the cheapest per interesting
     property combination (order, site, distinct) — the System R pruning
-    criterion generalized to properties. *)
+    criterion generalized to properties — after discarding strictly
+    dominated plans (worse in cost {e and} cardinality with no
+    compensating property). *)
 let interesting_prune ?(max_plans = 8) (plans : Plan.plan list) : Plan.plan list =
+  let plans =
+    List.filter (fun p -> not (List.exists (fun q -> dominates q p) plans)) plans
+  in
   let groups = Hashtbl.create 8 in
   List.iter
     (fun (p : Plan.plan) ->

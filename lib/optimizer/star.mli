@@ -115,8 +115,14 @@ val alternative_count : ctx -> int
 val order_satisfies :
   have:(int * Ast.order_dir) list -> want:(int * Ast.order_dir) list -> bool
 
+(** Does [q] strictly dominate [p] — same site, no worse on cost,
+    cardinality, distinctness and [p]'s order, strictly better on cost
+    or cardinality? *)
+val dominates : Plan.plan -> Plan.plan -> bool
+
 (** Keep the cheapest plan overall plus the cheapest per interesting
-    property combination (order, site, distinct). *)
+    property combination (order, site, distinct), after discarding
+    strictly {!dominates}-dominated plans. *)
 val interesting_prune : ?max_plans:int -> Plan.plan list -> Plan.plan list
 
 (** Rank-ordered alternatives, interesting-property pruning (default). *)

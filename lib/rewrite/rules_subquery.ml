@@ -51,18 +51,16 @@ let candidate ~catalog g (b : Qgm.box) : candidate option =
               match inner with
               | Qgm.Bin (Ast.Eq, a, Qgm.Col (qid', 0))
                 when qid' = qid && not (List.mem qid (Qgm.quant_refs a)) ->
+                (* the equality binds the whole (1-column) head, so the
+                   conversion is duplicate-free when that head covers a
+                   derived key of the subquery box: DISTINCT, a GROUP BY
+                   head, a pass-through of a declared-UNIQUE column, or
+                   an outright single-row guarantee all qualify *)
                 let unique =
-                  Qgm.arity sub > 0
-                  && (sub.Qgm.b_distinct && Qgm.arity sub = 1
-                     ||
-                     match (Qgm.head_col sub 0).Qgm.hc_expr with
-                     | Some (Qgm.Col (sq, j)) ->
-                       derives_unique g (Qgm.quant g sq) j ~catalog
-                     | _ -> false)
+                  Qgm.arity sub = 1
+                  && (sub.Qgm.b_distinct
+                     || derives_key g sub.Qgm.b_id [ 0 ] ~catalog)
                 in
-                (* the uniqueness argument above only applies to a
-                   1-column head bound by the equality *)
-                let unique = unique && Qgm.arity sub = 1 in
                 Some
                   { cd_pred = p; cd_quant = q; cd_sub = sub; cd_inner = inner;
                     cd_unique = unique }

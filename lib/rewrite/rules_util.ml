@@ -3,7 +3,6 @@
 
 module Qgm = Sb_qgm.Qgm
 module Ast = Sb_hydrogen.Ast
-open Sb_storage
 
 (** The single quantifier ranging over box [id], if exactly one. *)
 let single_user g id =
@@ -109,40 +108,34 @@ let quantified_uses g qid =
     g.Qgm.boxes;
   !count
 
-(** Is head column [i] of the box under quantifier [q] derived from a
-    declared-UNIQUE base-table column (at most one row per value)?
-    Follows simple pass-through heads one level at a time. *)
-let rec derives_unique g (q : Qgm.quant) i ~catalog =
-  let b = Qgm.box g q.Qgm.q_input in
-  match b.Qgm.b_kind with
-  | Qgm.Base_table name -> (
-    match Catalog.find_table catalog name with
-    | Some tab ->
-      i < Array.length tab.Table_store.schema
-      && tab.Table_store.schema.(i).Schema.col_unique
-    | None -> false)
-  | Qgm.Select -> (
-    (* sound only when the box cannot multiply rows of the source *)
-    match Qgm.setformers b with
-    | [ inner ] -> (
-      match (Qgm.head_col b i).Qgm.hc_expr with
-      | Some (Qgm.Col (qid, j)) when qid = inner.Qgm.q_id ->
-        derives_unique g inner j ~catalog
-      | _ -> false)
-    | _ -> false)
-  | _ -> false
+(* Rule safety conditions below are prover queries against property
+   inference ({!Sb_analysis.Infer}), never against statistics — only
+   declared schema facts and the graph's own predicates, so a stale
+   ANALYZE cannot make a rewrite unsound.  The analysis is recomputed
+   per query because the condition runs mid-rewrite on a mutating
+   graph; graphs are small and the pass is linear. *)
+let infer g ~catalog = Sb_analysis.Infer.analyze ~trust_stats:false ~catalog g
 
-(** Is base column [i] under quantifier [q] declared NOT NULL? *)
+(** Is head column [i] of the box under quantifier [q] a derived key of
+    that box (at most one row per value)?  Catalog UNIQUE declarations,
+    GROUP BY / DISTINCT heads, and key-preserving selects all qualify. *)
+let derives_unique g (q : Qgm.quant) i ~catalog =
+  Sb_analysis.Infer.col_unique (infer g ~catalog) g q.Qgm.q_id i
+
+(** Can column [i] seen through quantifier [q] ever be NULL?  Declared
+    NOT NULL propagates through selects and joins; an extension
+    setformer (outer-join PF) NULL-pads, so nothing survives it. *)
 let derives_not_null g (q : Qgm.quant) i ~catalog =
-  let b = Qgm.box g q.Qgm.q_input in
-  match b.Qgm.b_kind with
-  | Qgm.Base_table name -> (
-    match Catalog.find_table catalog name with
-    | Some tab ->
-      i < Array.length tab.Table_store.schema
-      && not tab.Table_store.schema.(i).Schema.col_nullable
-    | None -> false)
-  | _ -> false
+  Sb_analysis.Infer.col_not_null (infer g ~catalog) g q.Qgm.q_id i
+
+(** Does the head-column set [cols] cover a derived key of box [id]
+    (equal values in [cols] imply the same row)?  The empty set covers
+    exactly the boxes with a single-row guarantee (per binding of any
+    correlated outer quantifier). *)
+let derives_key g id cols ~catalog =
+  Sb_analysis.Props.covers_key
+    (Sb_analysis.Infer.box_props (infer g ~catalog) id)
+    cols
 
 (** Removes predicate [p] (physical identity) from [b]. *)
 let remove_pred (b : Qgm.box) (p : Qgm.pred) =

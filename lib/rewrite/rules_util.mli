@@ -27,13 +27,24 @@ val col_used_anywhere : Qgm.t -> Qgm.quant_id -> int -> bool
 (** Number of [Quantified] nodes consuming the quantifier. *)
 val quantified_uses : Qgm.t -> Qgm.quant_id -> int
 
-(** Does head column [i] under the quantifier derive from a
-    declared-UNIQUE base-table column? *)
+(** Is head column [i] of the box under the quantifier a derived key of
+    that box?  A prover query against {!Sb_analysis.Infer} (statistics
+    are never trusted): catalog UNIQUE declarations, GROUP BY and
+    DISTINCT heads, and key-preserving selects all qualify. *)
 val derives_unique :
   Qgm.t -> Qgm.quant -> int -> catalog:Sb_storage.Catalog.t -> bool
 
+(** Can column [i] seen through the quantifier never be NULL?  Inference
+    propagates declared NOT NULL through selects; extension setformers
+    (outer-join PF) NULL-pad, so nothing survives them. *)
 val derives_not_null :
   Qgm.t -> Qgm.quant -> int -> catalog:Sb_storage.Catalog.t -> bool
+
+(** Does the head-column set cover a derived key of the box?  The empty
+    set covers exactly the boxes with a single-row guarantee (per
+    binding of any correlated outer quantifier). *)
+val derives_key :
+  Qgm.t -> Qgm.box_id -> int list -> catalog:Sb_storage.Catalog.t -> bool
 
 (** Removes a predicate by physical identity. *)
 val remove_pred : Qgm.box -> Qgm.pred -> unit

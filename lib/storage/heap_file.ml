@@ -29,7 +29,10 @@ let make ~(pool : Buffer_pool.t) ~(schema : Schema.t) : instance =
   let insert tuple =
     let record = Row_codec.encode tuple in
     if String.length record > Page.default_size - 64 then
-      failwith "heap: record larger than page";
+      Sb_resil.Err.fail Sb_resil.Err.Storage
+        "heap: record of %d bytes exceeds page capacity (%d)"
+        (String.length record)
+        (Page.default_size - 64);
     let page_no = alloc_for (String.length record) in
     let slot =
       Buffer_pool.with_page pool file page_no (fun p -> Page.insert p record)

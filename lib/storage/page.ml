@@ -57,10 +57,15 @@ let ensure_slot_capacity t =
   end
 
 (** Inserts [record]; returns the slot number.
-    @raise Failure if the page lacks room (callers check {!has_room}). *)
+    @raise Sb_resil.Err.Error (stage [Storage], non-retryable) if the
+    page lacks room — a broken caller invariant (callers check
+    {!has_room}), not a transient condition. *)
 let insert t (record : string) =
   let len = String.length record in
-  if not (has_room t len) then failwith "Page.insert: page full";
+  if not (has_room t len) then
+    Sb_resil.Err.fail Sb_resil.Err.Storage
+      "Page.insert: page full (%d bytes requested, %d free)" len
+      (free_space t);
   let off = t.free_low - len in
   Bytes.blit_string record 0 t.data off len;
   t.free_low <- off;

@@ -99,7 +99,12 @@ let decode (s : string) : Tuple.t =
         let n = read_string () in
         let p = read_string () in
         Value.Ext (n, p)
-      | c -> failwith (Fmt.str "Row_codec.decode: bad tag %C" c))
+      | c ->
+        (* an unknown tag means the record bytes are corrupt: a
+           structured, non-retryable storage error rather than a bare
+           [Failure], so the run boundary classifies it *)
+        Sb_resil.Err.fail Sb_resil.Err.Storage
+          "Row_codec.decode: bad tag %C (corrupt record)" c)
 
 (* --- fixed-length codec --- *)
 

@@ -34,46 +34,36 @@ let diag_to_string d =
     d.d_msg
 
 (* Constant truth value of an expression, if decidable without a row.
-   Deliberately shallow: literals, comparisons of literals, and
-   AND/OR/NOT over those — the lint should never guess. *)
-let rec const_truth (e : Qgm.expr) : bool option =
-  let const_value = function Qgm.Lit v -> Some v | _ -> None in
-  match e with
-  | Qgm.Lit (Value.Bool b) -> Some b
-  | Qgm.Lit Value.Null -> Some false (* NULL is not TRUE as a predicate *)
-  | Qgm.Bin (Ast.And, a, b) ->
-    (match const_truth a, const_truth b with
-    | Some false, _ | _, Some false -> Some false
-    | Some true, Some true -> Some true
-    | _ -> None)
-  | Qgm.Bin (Ast.Or, a, b) ->
-    (match const_truth a, const_truth b with
-    | Some true, _ | _, Some true -> Some true
-    | Some false, Some false -> Some false
-    | _ -> None)
-  | Qgm.Un (Ast.Not, a) -> Option.map not (const_truth a)
-  | Qgm.Bin (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), a, b)
-    -> (
-    match const_value a, const_value b with
-    | Some va, Some vb when not (Value.is_null va || Value.is_null vb) ->
-      let c = Value.compare va vb in
-      Some
-        (match op with
-        | Ast.Eq -> c = 0
-        | Ast.Neq -> c <> 0
-        | Ast.Lt -> c < 0
-        | Ast.Le -> c <= 0
-        | Ast.Gt -> c > 0
-        | Ast.Ge -> c >= 0
-        | _ -> assert false)
-    | _ -> None)
-  | _ -> None
+   A shim over the prover's three-valued evaluator: the old literal
+   fold treated NULL comparisons as booleans, so [NOT NULL] folded to
+   TRUE and [x = NULL] escaped the always-false lint entirely.
+   [Some false] now means "never passes a WHERE clause" (constant FALSE
+   or constant NULL alike). *)
+let const_truth (e : Qgm.expr) : bool option = Sb_analysis.Prover.const_truth e
 
-let lint_qgm (g : Qgm.t) : diag list =
+(* A conjunct the prover can reason about without guessing (no
+   subqueries, host variables, or aggregates inside). *)
+let provable e =
+  not (Qgm.contains_quantified e || Qgm.contains_host e || Qgm.contains_agg e)
+
+let lint_qgm ?catalog (g : Qgm.t) : diag list =
   let diags = ref [] in
   let add d_severity d_loc d_code fmt =
     Fmt.kstr (fun d_msg -> diags := { d_severity; d_loc; d_code; d_msg } :: !diags) fmt
   in
+  (* semantic facts back the deeper lints when the catalog is at hand;
+     without it columns are simply unknown and those lints stay quiet *)
+  let inf =
+    Option.map
+      (fun cat -> Sb_analysis.Infer.analyze ~trust_stats:false ~catalog:cat g)
+      catalog
+  in
+  let prop_of qid i =
+    match inf with
+    | Some inf -> Sb_analysis.Infer.quant_col_prop inf g qid i
+    | None -> Sb_analysis.Props.top_col
+  in
+  let show e = Fmt.str "%a" (Print.pp_expr g) e in
   let boxes = Qgm.reachable_boxes g in
   (* quantifier ids referenced anywhere in the graph (heads, preds,
      group keys, order, values) — correlation makes this global *)
@@ -121,6 +111,65 @@ let lint_qgm (g : Qgm.t) : diag list =
             add Info (Box b.b_id) "always-true" "predicate is always true"
           | None -> ())
         b.b_preds;
+      (* prover-backed predicate lints over the box's conjunction *)
+      let conjs =
+        List.concat_map (fun (p : Qgm.pred) -> Qgm.conjuncts p.p_expr) b.b_preds
+        |> List.filter provable
+      in
+      let module Prover = Sb_analysis.Prover in
+      (* contradictory-pred: the conjunction as a whole is unsatisfiable
+         even though no single conjunct is constant-false *)
+      if
+        conjs <> []
+        && (not (List.exists (fun c -> const_truth c = Some false) conjs))
+        && Prover.satisfiable ~prop_of conjs = Prover.Unsatisfiable
+      then
+        add Warning (Box b.b_id) "contradictory-pred"
+          "predicates are contradictory: the box provably produces no rows"
+      else begin
+        (* implied-pred: dropping the conjunct changes nothing *)
+        List.iteri
+          (fun idx c ->
+            let others = List.filteri (fun j _ -> j <> idx) conjs in
+            if
+              others <> []
+              && const_truth c <> Some true (* already always-true *)
+              && Prover.implies ~prop_of others c = Prover.Proved
+            then
+              add Info (Box b.b_id) "implied-pred"
+                "conjunct %s is implied by the other predicates (redundant)"
+                (show c))
+          conjs;
+        (* null-join-key: an equi-join key that can be NULL silently
+           drops rows; worth an IS NOT NULL or a schema fix *)
+        if inf <> None then
+          List.iter
+            (fun c ->
+              match c with
+              | Qgm.Bin (Ast.Eq, Qgm.Col (q1, i1), Qgm.Col (q2, i2))
+                when q1 <> q2 ->
+                let setf = List.map (fun q -> q.Qgm.q_id) (Qgm.setformers b) in
+                if List.mem q1 setf && List.mem q2 setf then
+                  List.iter
+                    (fun (q, i) ->
+                      let guarded =
+                        List.exists
+                          (fun c' ->
+                            c' = Qgm.Un (Ast.Not, Qgm.Is_null (Qgm.Col (q, i))))
+                          conjs
+                      in
+                      if
+                        (prop_of q i).Sb_analysis.Props.cp_nullable
+                        && not guarded
+                      then
+                        add Info (Box b.b_id) "null-join-key"
+                          "join key %s can be NULL and is not guarded by IS \
+                           NOT NULL (NULL keys never match)"
+                          (show (Qgm.Col (q, i))))
+                    [ (q1, i1); (q2, i2) ]
+              | _ -> ())
+            conjs
+      end;
       (* shadowed output columns *)
       let rec dup seen = function
         | [] -> ()

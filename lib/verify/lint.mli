@@ -12,6 +12,7 @@ type diag = {
   d_loc : location;
   d_code : string;
       (** ["unused-quant"], ["always-false"], ["always-true"],
+          ["contradictory-pred"], ["implied-pred"], ["null-join-key"],
           ["shadowed-column"], ["single-choose"], ["unordered-limit"],
           ["no-stats"], ["stale-stats"] *)
   d_msg : string;
@@ -20,13 +21,18 @@ type diag = {
 val severity_name : severity -> string
 val diag_to_string : diag -> string
 
-(** Constant truth value of an expression, if decidable without a row
-    (shallow fold over literals, comparisons, AND/OR/NOT). *)
+(** Constant truth value of an expression, if decidable without a row.
+    Three-valued: [Some false] means the predicate never passes a WHERE
+    clause — constant FALSE and constant NULL alike.  (A shim over
+    {!Sb_analysis.Prover.const_truth}.) *)
 val const_truth : Sb_qgm.Qgm.expr -> bool option
 
 (** Statement lints: unused setformers, constant predicates, shadowed
-    output columns, single-alternative CHOOSE, LIMIT without ORDER BY. *)
-val lint_qgm : Sb_qgm.Qgm.t -> diag list
+    output columns, single-alternative CHOOSE, LIMIT without ORDER BY —
+    plus, with [catalog] (enabling property inference), contradictory
+    and implied predicate conjunctions and nullable unguarded join
+    keys. *)
+val lint_qgm : ?catalog:Catalog.t -> Sb_qgm.Qgm.t -> diag list
 
 (** Catalog lints: populated tables with missing or stale statistics. *)
 val lint_catalog : Catalog.t -> diag list

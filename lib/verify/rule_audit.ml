@@ -58,6 +58,40 @@ let instrument (rules : Rule.t list) : Rule.t list =
       })
     rules
 
+(** Wraps every rule so inferred semantic properties of the top box
+    (NOT NULL columns, derived keys, row bounds, provable emptiness)
+    are computed before and after each firing and compared; facts the
+    firing {e lost} are reported through [on_regression] as
+    ["rule-name: description"].
+
+    A lost fact is not by itself unsoundness — a rewrite may trade
+    derivable precision for a better shape (so this logs and counts
+    rather than raising) — but a sudden regression pinpoints the firing
+    that weakened later analyses.  Inference here never trusts
+    statistics, so the comparison is stable under ANALYZE. *)
+let instrument_inference ~catalog
+    ?(on_regression = fun msg -> Logs.warn (fun m -> m "analysis: %s" msg))
+    (rules : Rule.t list) : Rule.t list =
+  let summarize g =
+    let inf = Sb_analysis.Infer.analyze ~trust_stats:false ~catalog g in
+    Sb_analysis.Infer.box_props inf g.Sb_qgm.Qgm.top
+  in
+  List.map
+    (fun (r : Rule.t) ->
+      {
+        r with
+        Rule.action =
+          (fun (ctx : Rule.context) ->
+            let before = summarize ctx.Rule.graph in
+            r.Rule.action ctx;
+            let after = summarize ctx.Rule.graph in
+            List.iter
+              (fun what ->
+                on_regression (Fmt.str "%s: %s" r.Rule.rule_name what))
+              (Sb_analysis.Infer.regressions ~before ~after));
+      })
+    rules
+
 (* Rows rendered for a divergence report: at most [cap], one per line. *)
 let pp_rows rows =
   let cap = 5 in

@@ -16,6 +16,18 @@ val paranoid_env : unit -> bool
     @raise Unsound on the first violation. *)
 val instrument : Rule.t list -> Rule.t list
 
+(** Wraps every rule so the top box's inferred properties (NOT NULL,
+    keys, row bounds, emptiness — {!Sb_analysis.Infer}) are compared
+    before and after each firing; lost facts are reported through
+    [on_regression] as ["rule-name: description"].  Never raises: a
+    regression flags a firing that weakened later analyses, not
+    unsoundness.  Default [on_regression] logs a warning. *)
+val instrument_inference :
+  catalog:Catalog.t ->
+  ?on_regression:(string -> unit) ->
+  Rule.t list ->
+  Rule.t list
+
 (** Differentially compares two result sets — as sequences when
     [ordered] (top-level ORDER BY), as bags otherwise.  [Error msg]
     describes the divergence (lost/gained rows, first differing

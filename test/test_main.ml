@@ -15,4 +15,5 @@ let () =
       Test_obs.suite;
       Test_verify.suite;
       Test_resil.suite;
+      Test_analysis.suite;
     ]
