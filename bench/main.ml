@@ -251,24 +251,62 @@ let trace_json path =
     Printf.eprintf "error: cannot write trace file: %s\n" msg;
     exit 1
 
+(** [--fuzz N --seed S]: N deterministic differential fuzz cases (see
+    lib/fuzz); prints the harness report plus its metrics and exits
+    non-zero on any discrepancy, so CI can gate on the sweep. *)
+let fuzz ~cases ~seed =
+  Bench_util.header
+    (Printf.sprintf "Fuzz sweep: %d cases, seed %d, differential + \
+                     metamorphic oracles" cases seed);
+  let metrics = Sb_obs.Metrics.create () in
+  let stats =
+    Sb_fuzz.Harness.run ~metrics ~out_dir:"_fuzz_failures"
+      ~log:print_endline ~seed ~n:cases ()
+  in
+  print_string (Sb_fuzz.Harness.report stats);
+  print_string (Sb_obs.Metrics.dump metrics);
+  if stats.Sb_fuzz.Harness.st_failures <> [] then
+    exit (min 125 (List.length stats.Sb_fuzz.Harness.st_failures))
+
 let () =
-  let rec split_flags acc trace verify_only analyze_only chaos_seed = function
-    | [] -> (List.rev acc, trace, verify_only, analyze_only, chaos_seed)
+  let rec split_flags acc trace verify_only analyze_only chaos_seed fz sd =
+    function
+    | [] -> (List.rev acc, trace, verify_only, analyze_only, chaos_seed, fz, sd)
     | "--trace-json" :: path :: rest ->
-      split_flags acc (Some path) verify_only analyze_only chaos_seed rest
-    | "--verify" :: rest -> split_flags acc trace true analyze_only chaos_seed rest
-    | "--analyze" :: rest -> split_flags acc trace verify_only true chaos_seed rest
+      split_flags acc (Some path) verify_only analyze_only chaos_seed fz sd rest
+    | "--verify" :: rest ->
+      split_flags acc trace true analyze_only chaos_seed fz sd rest
+    | "--analyze" :: rest ->
+      split_flags acc trace verify_only true chaos_seed fz sd rest
     | "--chaos" :: seed :: rest -> (
       match int_of_string_opt seed with
-      | Some s -> split_flags acc trace verify_only analyze_only (Some s) rest
+      | Some s ->
+        split_flags acc trace verify_only analyze_only (Some s) fz sd rest
       | None ->
         Printf.eprintf "error: --chaos expects an integer seed, got %s\n" seed;
         exit 2)
-    | a :: rest -> split_flags (a :: acc) trace verify_only analyze_only chaos_seed rest
+    | "--fuzz" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        split_flags acc trace verify_only analyze_only chaos_seed (Some n) sd rest
+      | _ ->
+        Printf.eprintf "error: --fuzz expects a positive case count, got %s\n" n;
+        exit 2)
+    | "--seed" :: s :: rest -> (
+      match int_of_string_opt s with
+      | Some s ->
+        split_flags acc trace verify_only analyze_only chaos_seed fz s rest
+      | None ->
+        Printf.eprintf "error: --seed expects an integer, got %s\n" s;
+        exit 2)
+    | a :: rest ->
+      split_flags (a :: acc) trace verify_only analyze_only chaos_seed fz sd rest
   in
-  let args, trace_path, verify_only, analyze_only, chaos_seed =
-    split_flags [] None false false None (Array.to_list Sys.argv |> List.tl)
+  let args, trace_path, verify_only, analyze_only, chaos_seed, fuzz_cases, seed =
+    split_flags [] None false false None None 42
+      (Array.to_list Sys.argv |> List.tl)
   in
+  Option.iter (fun cases -> fuzz ~cases ~seed; exit 0) fuzz_cases;
   let args = List.map String.lowercase_ascii args in
   let wanted name = args = [] || List.mem name args in
   print_endline "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";

@@ -1,0 +1,90 @@
+(** Standalone fuzzing driver.
+
+    [fuzz_main --fuzz N --seed S] runs N deterministic differential
+    fuzz cases; [--replay PATH] replays one [.sbf] repro file or every
+    repro under a directory.  Exit status is the number of
+    discrepancies (capped at 125), so CI can gate on it directly. *)
+
+let usage () =
+  prerr_endline
+    "usage: fuzz_main [--fuzz N] [--seed S] [--out DIR] [--metrics]\n\
+    \       fuzz_main --replay PATH   (a .sbf file or a directory)";
+  exit 2
+
+type opts = {
+  mutable cases : int;
+  mutable seed : int;
+  mutable out : string;
+  mutable metrics : bool;
+  mutable replay : string option;
+}
+
+let parse_args () =
+  let o =
+    { cases = 100; seed = 42; out = "_fuzz_failures"; metrics = false;
+      replay = None }
+  in
+  let rec go = function
+    | [] -> o
+    | "--fuzz" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> o.cases <- n
+      | _ -> usage ());
+      go rest
+    | "--seed" :: s :: rest ->
+      (match int_of_string_opt s with Some s -> o.seed <- s | None -> usage ());
+      go rest
+    | "--out" :: dir :: rest ->
+      o.out <- dir;
+      go rest
+    | "--metrics" :: rest ->
+      o.metrics <- true;
+      go rest
+    | "--replay" :: path :: rest ->
+      o.replay <- Some path;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let show_verdict path = function
+  | Sb_fuzz.Oracle.Pass ->
+    Printf.printf "PASS  %s\n" path;
+    0
+  | Sb_fuzz.Oracle.Rejected msg ->
+    Printf.printf "REJECT %s (%s)\n" path msg;
+    1
+  | Sb_fuzz.Oracle.Fail { config; detail } ->
+    Printf.printf "FAIL  %s [%s] %s\n" path config detail;
+    1
+
+let replay path =
+  if Sys.is_directory path then begin
+    let results = Sb_fuzz.Harness.replay_dir path in
+    if results = [] then begin
+      Printf.printf "no .sbf repros under %s\n" path;
+      0
+    end
+    else
+      List.fold_left (fun acc (p, v) -> acc + show_verdict p v) 0 results
+  end
+  else show_verdict path (Sb_fuzz.Harness.replay_file path)
+
+let () =
+  let o = parse_args () in
+  match o.replay with
+  | Some path ->
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "no such file or directory: %s\n" path;
+      exit 2
+    end;
+    exit (min 125 (replay path))
+  | None ->
+    let metrics = Sb_obs.Metrics.create () in
+    let stats =
+      Sb_fuzz.Harness.run ~metrics ~out_dir:o.out ~log:print_endline
+        ~seed:o.seed ~n:o.cases ()
+    in
+    print_string (Sb_fuzz.Harness.report stats);
+    if o.metrics then print_string (Sb_obs.Metrics.dump metrics);
+    exit (min 125 (List.length stats.Sb_fuzz.Harness.st_failures))

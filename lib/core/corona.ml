@@ -401,6 +401,23 @@ let deterministic_results (g : Qgm.t) : bool =
     (fun (b : Qgm.box) -> b.Qgm.b_limit = None || b.Qgm.b_order <> [])
     (Qgm.reachable_boxes g)
 
+(* ORDER BY pins only its keys, so the differential comparison must let
+   rows tied on every key permute.  Map each order key to the head
+   column carrying the same expression; keys not exposed in the head
+   cannot be checked positionally and are skipped (the bag comparison
+   still covers them). *)
+let audit_sort_keys (g : Qgm.t) : int list =
+  let tb = Qgm.top_box g in
+  List.filter_map
+    (fun (e, _dir) ->
+      let rec idx i = function
+        | [] -> None
+        | (hc : Qgm.head_col) :: rest ->
+          if hc.Qgm.hc_expr = Some e then Some i else idx (i + 1) rest
+      in
+      idx 0 tb.Qgm.b_head)
+    tb.Qgm.b_order
+
 let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
   let gov = begin_statement t in
   let g = build_qgm t wq in
@@ -429,7 +446,7 @@ let query_ast t (wq : Ast.with_query) : string list * Tuple.t list =
     (fun before ->
       Rule_audit.assert_equivalent ~registry:t.catalog.Catalog.datatypes
         ~ordered:((Qgm.top_box g).Qgm.b_order <> [])
-        ~what:"rewrite" before rows)
+        ~sort_keys:(audit_sort_keys g) ~what:"rewrite" before rows)
     baseline;
   (columns, rows)
 
@@ -824,7 +841,7 @@ let explain_verify t (wq : Ast.with_query) : string =
     match
       Rule_audit.compare_results ~registry:t.catalog.Catalog.datatypes
         ~ordered:((Qgm.top_box g).Qgm.b_order <> [])
-        before after
+        ~sort_keys:(audit_sort_keys g) before after
     with
     | Ok () -> add "%-26s ok (%d row(s))" "differential" (List.length after)
     | Error msg -> add "%-26s DIVERGED: %s" "differential" msg));

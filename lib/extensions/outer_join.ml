@@ -83,7 +83,12 @@ let push_through_pf : Rule.t =
             match Qgm.quant_refs p.Qgm.p_expr with
             | [ qid ] -> (
               let q = Qgm.quant g qid in
-              if q.Qgm.q_type <> Qgm.F then None
+              (* the quantifier must range in THIS box: a correlated
+                 predicate inside a subquery also has a single outer
+                 quant_ref, but hoisting it out changes semantics
+                 whenever the subquery's emptiness matters (ALL, NOT
+                 IN, scalar aggregates) *)
+              if q.Qgm.q_type <> Qgm.F || q.Qgm.q_parent <> b.Qgm.b_id then None
               else
                 let oj = Qgm.box g q.Qgm.q_input in
                 if not (is_oj_box oj && Ru.has_single_user g oj.Qgm.b_id) then None
@@ -127,6 +132,26 @@ let push_through_pf : Rule.t =
     so the outer join degenerates to a regular join (PF becomes F),
     opening it to the base merge and join-order machinery. *)
 let reduce_to_inner : Rule.t =
+  (* Column references in NULL-strict positions: a NULL there forces
+     the whole comparison to NULL.  CASE arms, IS NULL operands and
+     opaque functions shield their inputs, so columns inside them do
+     not qualify — [CASE WHEN TRUE THEN 'b' ELSE x END <> ''] is TRUE
+     even when [x] is NULL and must not trigger the reduction. *)
+  let rec strict_cols (e : Qgm.expr) =
+    match e with
+    | Qgm.Col (q, i) -> [ (q, i) ]
+    | Qgm.Bin
+        ( ( Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Concat
+          | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ),
+          a,
+          b ) ->
+      strict_cols a @ strict_cols b
+    | Qgm.Un (Ast.Neg, a) | Qgm.Like (a, _) -> strict_cols a
+    | Qgm.Lit _ | Qgm.Host _ | Qgm.Bin ((Ast.And | Ast.Or), _, _)
+    | Qgm.Un (Ast.Not, _) | Qgm.Fun _ | Qgm.Agg _ | Qgm.Case _
+    | Qgm.Is_null _ | Qgm.Quantified _ ->
+      []
+  in
   let null_intolerant = function
     | Qgm.Bin ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _)
     | Qgm.Like _ ->
@@ -143,14 +168,17 @@ let reduce_to_inner : Rule.t =
             match Qgm.quant_refs p.Qgm.p_expr with
             | [ qid ] -> (
               let q = Qgm.quant g qid in
-              if q.Qgm.q_type <> Qgm.F then None
+              (* as in push_through_pf: only a predicate of THIS box
+                 filters the outer join's rows; one inside a subquery
+                 does not justify the reduction *)
+              if q.Qgm.q_type <> Qgm.F || q.Qgm.q_parent <> b.Qgm.b_id then None
               else
                 let oj = Qgm.box g q.Qgm.q_input in
                 if not (is_oj_box oj && Ru.has_single_user g oj.Qgm.b_id) then None
                 else if
                   List.exists
                     (fun (_, i) -> head_side g oj i = `Null_producing)
-                    (Qgm.col_refs p.Qgm.p_expr)
+                    (strict_cols p.Qgm.p_expr)
                 then Some oj
                 else None)
             | _ -> None)

@@ -1,0 +1,74 @@
+(** The differential and metamorphic oracle.
+
+    One fuzz case runs a single generated query through a matrix of
+    independently configured databases (each a fresh {!Starburst.create}
+    with the generated catalog replayed) and cross-checks the results:
+
+    - {e reference}: rewrite budget 0 — the canonical QGM goes straight
+      to the optimizer, so rewrite bugs cannot reach it;
+    - {e rewritten}: the full rule set and default cost-based search;
+    - {e greedy}: full rewrite but the degraded greedy STAR strategy the
+      pipeline falls back to under optimizer failures;
+    - {e paranoid}: sanitizer mode — per-firing rule audits, plan
+      validation, and Corona's own internal differential must all stay
+      silent;
+    - {e chaos}: a seeded fault-injection plan on storage; the run must
+      either match the reference or fail with a structured, retryable
+      {!Sb_resil.Err.t} — never a wrong answer, never a raw exception.
+
+    Results are compared as bags ({!Sb_verify.Rule_audit.compare_results}),
+    so plan-dependent row order is never a false positive.  Queries with
+    a top-level LIMIT are compared on their LIMIT-stripped core (a LIMIT
+    without a total order may legitimately pick different rows per
+    plan); the limited output is then checked metamorphically: it must
+    be a sub-bag of the unlimited output and respect the bound.  A
+    second metamorphic check conjoins a literal-only tautology (proved
+    TRUE by {!Sb_analysis.Prover.const_truth}) onto the WHERE clause and
+    requires the result bag to be unchanged. *)
+
+module Ast = Sb_hydrogen.Ast
+
+type config =
+  | Reference  (** rewrite budget 0 *)
+  | Rewritten  (** full rewrite, cost-based search *)
+  | Greedy  (** full rewrite, forced degraded greedy strategy *)
+  | Paranoid  (** sanitizer mode: audits + plan checks + differential *)
+  | Chaos of int  (** fault injection at the given seed *)
+
+val config_name : config -> string
+
+(** The standard matrix, reference first. *)
+val configs : chaos_seed:int -> config list
+
+type outcome =
+  | Rows of Sb_storage.Tuple.t list
+  | Failed of Sb_resil.Err.t
+
+(** A fresh database loaded with the DDL script (one statement per list
+    element — {!Gen.ddl_of_catalog} for generated cases, the replayed
+    script for corpus cases) and configured as [config]; [inject] (used
+    by the rule-soundness acceptance test to plant a deliberately broken
+    rewrite rule) is applied to every configuration {e except}
+    [Reference], whose budget of 0 keeps it sound. *)
+val fresh_db :
+  ?inject:(Starburst.t -> unit) -> ddl:string list -> config -> Starburst.t
+
+(** Runs one query text, classifying every failure as {!Failed} — an
+    exception escaping here is itself a bug the oracle reports. *)
+val run_outcome : Starburst.t -> string -> outcome
+
+type verdict =
+  | Pass
+  | Rejected of string
+      (** the reference itself refused the query (parse/semantic): a
+          generator imperfection, counted but not a discrepancy *)
+  | Fail of { config : string; detail : string }
+
+(** Runs the full matrix plus the metamorphic checks for one case.
+    Pure in its arguments — the shrinker re-invokes it verbatim. *)
+val check_case :
+  ?inject:(Starburst.t -> unit) ->
+  ddl:string list ->
+  chaos_seed:int ->
+  Ast.with_query ->
+  verdict

@@ -1,0 +1,96 @@
+(** Replayable failure files.  See repro.mli. *)
+
+module Parser = Sb_hydrogen.Parser
+
+type t = {
+  r_seed : int;
+  r_case : int;
+  r_chaos_seed : int;
+  r_config : string;
+  r_detail : string;
+  r_ddl : string list;
+  r_query : string;
+}
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "-- sb_fuzz repro\n";
+  Printf.bprintf b "-- seed: %d\n" r.r_seed;
+  Printf.bprintf b "-- case: %d\n" r.r_case;
+  Printf.bprintf b "-- chaos-seed: %d\n" r.r_chaos_seed;
+  Printf.bprintf b "-- config: %s\n" (one_line r.r_config);
+  Printf.bprintf b "-- detail: %s\n" (one_line r.r_detail);
+  List.iter (fun stmt -> Printf.bprintf b "%s;\n" stmt) r.r_ddl;
+  Buffer.add_string b "-- query\n";
+  Printf.bprintf b "%s\n" r.r_query;
+  Buffer.contents b
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let meta = Hashtbl.create 8 in
+  let ddl_buf = Buffer.create 512 in
+  let query_buf = Buffer.create 256 in
+  let in_query = ref false in
+  List.iter
+    (fun line ->
+      let trimmed = String.trim line in
+      if trimmed = "-- query" then in_query := true
+      else if String.length trimmed >= 2 && String.sub trimmed 0 2 = "--" then begin
+        (* header comment: "-- key: value" *)
+        let body = String.trim (String.sub trimmed 2 (String.length trimmed - 2)) in
+        match String.index_opt body ':' with
+        | Some i ->
+          let key = String.trim (String.sub body 0 i) in
+          let value =
+            String.trim (String.sub body (i + 1) (String.length body - i - 1))
+          in
+          Hashtbl.replace meta key value
+        | None -> ()
+      end
+      else if !in_query then begin
+        Buffer.add_string query_buf line;
+        Buffer.add_char query_buf '\n'
+      end
+      else begin
+        Buffer.add_string ddl_buf line;
+        Buffer.add_char ddl_buf '\n'
+      end)
+    lines;
+  if not !in_query then failwith "repro file has no '-- query' marker";
+  let int_meta key default =
+    match Hashtbl.find_opt meta key with
+    | Some v -> (try int_of_string v with _ -> default)
+    | None -> default
+  in
+  let str_meta key default =
+    Option.value (Hashtbl.find_opt meta key) ~default
+  in
+  let ddl =
+    String.split_on_char ';' (Buffer.contents ddl_buf)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  {
+    r_seed = int_meta "seed" 0;
+    r_case = int_meta "case" 0;
+    r_chaos_seed = int_meta "chaos-seed" 1;
+    r_config = str_meta "config" "unknown";
+    r_detail = str_meta "detail" "";
+    r_ddl = ddl;
+    r_query = String.trim (Buffer.contents query_buf);
+  }
+
+let save ~dir r =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "seed%d_case%d.sbf" r.r_seed r.r_case) in
+  let oc = open_out path in
+  output_string oc (to_string r);
+  close_out oc;
+  path
+
+let replay r =
+  let query = Parser.query_text r.r_query in
+  Oracle.check_case ~ddl:r.r_ddl ~chaos_seed:r.r_chaos_seed query

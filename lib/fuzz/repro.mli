@@ -1,0 +1,34 @@
+(** Replayable failure files ([.sbf]).
+
+    A repro is a plain Hydrogen script: header comments carrying the
+    metadata (root seed, case number, chaos seed, failing configuration,
+    discrepancy detail), the catalog DDL/DML, then a [-- query] marker
+    followed by the query text.  Since [--] starts a Hydrogen comment,
+    the whole file is also pasteable into the shell as-is.
+
+    Fresh failures land in [_fuzz_failures/]; curated ones are promoted
+    to [test/fuzz_corpus/] where the test suite and the CI fuzz job
+    replay them forever. *)
+
+type t = {
+  r_seed : int;  (** root seed of the run that found it *)
+  r_case : int;  (** case index within that run *)
+  r_chaos_seed : int;  (** fault seed the oracle used for this case *)
+  r_config : string;  (** the configuration that diverged *)
+  r_detail : string;  (** first line of the discrepancy description *)
+  r_ddl : string list;
+  r_query : string;
+}
+
+val to_string : t -> string
+
+(** Inverse of {!to_string}; tolerates extra comments and blank lines.
+    @raise Failure on a file without a [-- query] marker. *)
+val of_string : string -> t
+
+(** [save dir repro] writes [dir/seed<S>_case<N>.sbf] (creating [dir])
+    and returns the path. *)
+val save : dir:string -> t -> string
+
+(** Replays one repro through the oracle matrix. *)
+val replay : t -> Oracle.verdict

@@ -1,0 +1,206 @@
+(** Greedy structural minimization.  See shrink.mli. *)
+
+open Sb_storage
+module Ast = Sb_hydrogen.Ast
+
+(* [variants] functions return strictly "smaller" replacements for a
+   node, outermost reductions first; unsound candidates are filtered by
+   the caller's predicate, not here. *)
+
+let truth = Ast.Lit (Value.Bool true)
+
+let rec expr_variants (e : Ast.expr) : Ast.expr list =
+  let inside rebuild child = List.map rebuild (expr_variants child) in
+  match e with
+  | Ast.Bin (((Ast.And | Ast.Or) as op), a, b) ->
+    [ a; b ]
+    @ inside (fun a' -> Ast.Bin (op, a', b)) a
+    @ inside (fun b' -> Ast.Bin (op, a, b')) b
+  | Ast.Un (Ast.Not, a) -> (a :: inside (fun a' -> Ast.Un (Ast.Not, a')) a)
+  (* whole-predicate eliminations: each removes at least one quantifier
+     or one atom from the boolean skeleton *)
+  | Ast.Exists _ | Ast.In_query _ | Ast.Quant_cmp _ -> [ truth ]
+  | Ast.Between _ | Ast.Like _ | Ast.In_list _ | Ast.Is_null _ -> [ truth ]
+  | Ast.Bin (op, a, b) when Ast.is_comparison op ->
+    truth
+    :: inside (fun a' -> Ast.Bin (op, a', b)) a
+    @ inside (fun b' -> Ast.Bin (op, a, b')) b
+  | Ast.Bin (op, a, b) ->
+    (* arithmetic / concat: try collapsing to either operand *)
+    [ a; b ]
+    @ inside (fun a' -> Ast.Bin (op, a', b)) a
+    @ inside (fun b' -> Ast.Bin (op, a, b')) b
+  | Ast.Case (_, Some els) -> [ els ]
+  | Ast.Case ((_, v) :: _, None) -> [ v ]
+  | Ast.Lit (Value.Int n) when n <> 0 -> [ Ast.Lit (Value.Int 0) ]
+  | Ast.Lit (Value.Float f) when f <> 0.0 -> [ Ast.Lit (Value.Float 0.0) ]
+  | Ast.Lit (Value.String s) when s <> "" -> [ Ast.Lit (Value.String "") ]
+  | Ast.Scalar_query _ -> [ Ast.Lit (Value.Int 0) ]
+  | Ast.Agg (_, _, _) | Ast.Func _ | Ast.Col _ | Ast.Host _ | Ast.Lit _
+  | Ast.Case ([], None) | Ast.Un (Ast.Neg, _) ->
+    []
+
+let drop_each (l : 'a list) : 'a list list =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) l) l
+
+let rec from_variants (f : Ast.from_item) : Ast.from_item list =
+  match f with
+  | Ast.From_join (l, jt, r, on) ->
+    [ l; r ]
+    @ List.map (fun l' -> Ast.From_join (l', jt, r, on)) (from_variants l)
+    @ List.map (fun r' -> Ast.From_join (l, jt, r', on)) (from_variants r)
+    @ List.map (fun on' -> Ast.From_join (l, jt, r, on')) (expr_variants on)
+  | Ast.From_query (q, a, cols) ->
+    List.map (fun q' -> Ast.From_query (q', a, cols)) (query_variants q)
+  | Ast.From_table _ | Ast.From_func _ -> []
+
+and select_variants (s : Ast.select) : Ast.select list =
+  let v = ref [] in
+  let add s' = v := s' :: !v in
+  (match s.Ast.sel_limit with
+  | Some _ -> add { s with Ast.sel_limit = None }
+  | None -> ());
+  if s.Ast.sel_order <> [] then add { s with Ast.sel_order = [] };
+  (match s.Ast.sel_having with
+  | Some _ -> add { s with Ast.sel_having = None }
+  | None -> ());
+  if s.Ast.sel_distinct then add { s with Ast.sel_distinct = false };
+  (match s.Ast.sel_where with
+  | Some w ->
+    add { s with Ast.sel_where = None };
+    List.iter
+      (fun w' -> add { s with Ast.sel_where = Some w' })
+      (expr_variants w)
+  | None -> ());
+  if List.length s.Ast.sel_group > 1 then
+    List.iter (fun g -> add { s with Ast.sel_group = g }) (drop_each s.Ast.sel_group);
+  if List.length s.Ast.sel_items > 1 then
+    List.iter (fun items -> add { s with Ast.sel_items = items })
+      (drop_each s.Ast.sel_items);
+  if List.length s.Ast.sel_from > 1 then
+    List.iter (fun from -> add { s with Ast.sel_from = from })
+      (drop_each s.Ast.sel_from);
+  List.iteri
+    (fun i f ->
+      List.iter
+        (fun f' ->
+          add
+            {
+              s with
+              Ast.sel_from =
+                List.mapi (fun j g -> if i = j then f' else g) s.Ast.sel_from;
+            })
+        (from_variants f))
+    s.Ast.sel_from;
+  List.rev !v
+
+and query_variants (q : Ast.query) : Ast.query list =
+  match q with
+  | Ast.Set_op (op, all, a, b) ->
+    [ a; b ]
+    @ List.map (fun a' -> Ast.Set_op (op, all, a', b)) (query_variants a)
+    @ List.map (fun b' -> Ast.Set_op (op, all, a, b')) (query_variants b)
+  | Ast.Select s -> List.map (fun s' -> Ast.Select s') (select_variants s)
+  | Ast.Values _ -> []
+
+let query_reductions (wq : Ast.with_query) : Ast.with_query list =
+  (if wq.Ast.with_defs <> [] then [ { wq with Ast.with_defs = [] } ] else [])
+  @ List.map
+      (fun b -> { wq with Ast.with_body = b })
+      (query_variants wq.Ast.with_body)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog reductions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let table_row_variants (t : Gen.table) : Gen.table list =
+  let n = List.length t.Gen.t_rows in
+  if n = 0 then []
+  else
+    let keep p = { t with Gen.t_rows = List.filteri p t.Gen.t_rows } in
+    let halves =
+      if n >= 2 then [ keep (fun i _ -> i < n / 2); keep (fun i _ -> i >= n / 2) ]
+      else []
+    in
+    let singles =
+      if n <= 8 then List.init n (fun i -> keep (fun j _ -> j <> i)) else []
+    in
+    halves @ singles
+
+let catalog_reductions (cat : Gen.catalog) : Gen.catalog list =
+  let replace i t' = List.mapi (fun j t -> if i = j then t' else t) cat in
+  let dropped_tables =
+    if List.length cat > 1 then
+      List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) cat) cat
+    else []
+  in
+  let per_table =
+    List.concat
+      (List.mapi
+         (fun i (t : Gen.table) ->
+           let no_index =
+             match t.Gen.t_index with
+             | Some _ -> [ replace i { t with Gen.t_index = None } ]
+             | None -> []
+           in
+           let fewer_rows = List.map (replace i) (table_row_variants t) in
+           let fewer_cols =
+             (* drop one non-key column (index 0 is the key) and the
+                matching position in every row *)
+             if List.length t.Gen.t_cols > 1 then
+               List.init
+                 (List.length t.Gen.t_cols - 1)
+                 (fun k ->
+                   let idx = k + 1 in
+                   replace i
+                     {
+                       t with
+                       Gen.t_cols =
+                         List.filteri (fun j _ -> j <> idx) t.Gen.t_cols;
+                       t_rows =
+                         List.map
+                           (List.filteri (fun j _ -> j <> idx))
+                           t.Gen.t_rows;
+                     })
+             else []
+           in
+           no_index @ fewer_rows @ fewer_cols)
+         cat)
+  in
+  dropped_tables @ per_table
+
+(* ------------------------------------------------------------------ *)
+(* The fixpoint                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let shrink ?(max_attempts = 300) ~still_fails cat query =
+  let attempts = ref 0 in
+  let steps = ref 0 in
+  let cur_cat = ref cat in
+  let cur_q = ref query in
+  let try_candidates () =
+    let candidates =
+      List.map (fun q -> (!cur_cat, q)) (query_reductions !cur_q)
+      @ List.map (fun c -> (c, !cur_q)) (catalog_reductions !cur_cat)
+    in
+    let rec go = function
+      | [] -> false
+      | (c, q) :: rest ->
+        if !attempts >= max_attempts then false
+        else begin
+          incr attempts;
+          if still_fails c q then begin
+            cur_cat := c;
+            cur_q := q;
+            incr steps;
+            true
+          end
+          else go rest
+        end
+    in
+    go candidates
+  in
+  while try_candidates () do
+    ()
+  done;
+  (!cur_cat, !cur_q, !steps)

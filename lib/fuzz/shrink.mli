@@ -1,0 +1,29 @@
+(** Failing-case minimization.
+
+    Greedy fixpoint over structural reductions: drop WITH definitions,
+    set-operation arms, select items, FROM entries and join sides,
+    conjuncts and subquery predicates (replaced by TRUE), ORDER BY /
+    LIMIT / DISTINCT / HAVING clauses; shrink literals toward zero and
+    the empty string; drop catalog tables, columns, indexes, and rows
+    (halving, then row-by-row).  Each candidate is re-validated with
+    the caller's [still_fails] predicate — typically "the {!Oracle}
+    verdict is still [Fail]" — so type- or scope-breaking reductions
+    are skipped naturally (they make the reference reject the query
+    rather than fail the oracle).
+
+    Everything is deterministic: candidates are tried in a fixed order
+    and the first that preserves the failure is committed. *)
+
+module Ast = Sb_hydrogen.Ast
+
+(** [shrink ~still_fails cat q] minimizes [(cat, q)] while
+    [still_fails] holds, returning the fixpoint and the number of
+    committed reduction steps (exported as [sb_fuzz_shrink_steps_total]).
+    [max_attempts] bounds the total number of predicate evaluations
+    (default 300). *)
+val shrink :
+  ?max_attempts:int ->
+  still_fails:(Gen.catalog -> Ast.with_query -> bool) ->
+  Gen.catalog ->
+  Ast.with_query ->
+  Gen.catalog * Ast.with_query * int

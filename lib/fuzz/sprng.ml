@@ -1,0 +1,73 @@
+(** SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom
+    number generators", OOPSLA 2014): a tiny splittable generator whose
+    streams are pure functions of the root seed.  Chosen over
+    [Stdlib.Random] because fuzz cases must be independent (case [i]
+    must not shift when case [i-1] changes how much randomness it
+    consumes) and reproducible across OCaml versions. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+(* gammas must be odd; weak gammas (too few bit transitions) are nudged *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  let transitions =
+    let x = Int64.(logxor z (shift_right_logical z 1)) in
+    let rec popcount acc x =
+      if x = 0L then acc
+      else popcount (acc + 1) Int64.(logand x (sub x 1L))
+    in
+    popcount 0 x
+  in
+  if transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed =
+  let s = mix64 (Int64.of_int seed) in
+  { state = s; gamma = golden_gamma }
+
+let next64 t =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+let split t =
+  let state = next64 t in
+  let gamma = mix_gamma (next64 t) in
+  { state; gamma }
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Sprng.int: bound must be positive";
+  (* modulo bias is negligible against 62 bits for fuzz-sized bounds *)
+  bits t mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Sprng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t = Int64.to_float (Int64.shift_right_logical (next64 t) 11)
+              *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+let chance t p = float t < p
+let skewed t n = min (int t n) (int t n)
+
+let choose t = function
+  | [] -> invalid_arg "Sprng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Sprng.weighted: no positive weights";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Sprng.weighted: no positive weights"
+    | (w, x) :: rest -> if k < max 0 w then x else pick (k - max 0 w) rest
+  in
+  pick k choices

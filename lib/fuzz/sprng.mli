@@ -1,0 +1,52 @@
+(** A splittable, fully deterministic PRNG (SplitMix64).
+
+    Every random decision in the fuzzing subsystem — catalog shapes,
+    data skew, query grammar choices, chaos fault seeds — is drawn from
+    one of these streams, and every stream descends from a single root
+    seed, so an entire fuzz run (and the chaos table in the resilience
+    suite) replays byte-for-byte from one [--seed] flag.  [split]
+    derives an independent child stream: consuming the child never
+    perturbs the parent, which keeps case [i] identical no matter how
+    much randomness case [i-1] consumed.
+
+    [Stdlib.Random] (and in particular [Random.self_init]) is
+    deliberately not used anywhere in [Sb_fuzz]. *)
+
+type t
+
+(** A fresh root stream.  Equal seeds yield equal streams forever. *)
+val create : int -> t
+
+(** An independent child stream derived from (and advancing) [t]. *)
+val split : t -> t
+
+(** The next raw 64-bit draw. *)
+val next64 : t -> int64
+
+(** A non-negative int drawn uniformly (62 usable bits). *)
+val bits : t -> int
+
+(** [int t n] is uniform in [\[0, n)].  @raise Invalid_argument if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val range : t -> int -> int -> int
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [skewed t n]: a value in [\[0, n)] biased toward small values
+    (min of two uniform draws) — the generator's cheap Zipf stand-in
+    for skewed data and join keys. *)
+val skewed : t -> int -> int
+
+(** Uniform choice.  @raise Invalid_argument on the empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Weighted choice; weights are relative positive ints. *)
+val weighted : t -> (int * 'a) list -> 'a

@@ -249,7 +249,18 @@ and parse_multiplicative st =
   loop lhs
 
 and parse_unary st =
-  if accept_sym st "-" then Un (Neg, parse_unary st) else parse_primary st
+  if accept_sym st "-" then
+    (* fold [- <numeric literal>] into a negative literal so printed
+       negative constants round-trip structurally *)
+    match peek st with
+    | Lexer.INT x ->
+      advance st;
+      Lit (Sb_storage.Value.Int (-x))
+    | Lexer.FLOAT x ->
+      advance st;
+      Lit (Sb_storage.Value.Float (-.x))
+    | _ -> Un (Neg, parse_unary st)
+  else parse_primary st
 
 and parse_primary st =
   match peek st with

@@ -13,6 +13,10 @@ let rec pp_expr ppf (e : expr) =
   | Col (Some q, c) -> Fmt.pf ppf "%s.%s" q c
   | Host v -> Fmt.pf ppf ":%s" v
   | Bin (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Un (Neg, (Lit (Sb_storage.Value.Int _ | Sb_storage.Value.Float _) as l)) ->
+    (* keep the literal parenthesized: the parser folds a bare
+       [- <number>] into a negative literal *)
+    Fmt.pf ppf "(- (%a))" pp_expr l
   | Un (Neg, a) -> Fmt.pf ppf "(- %a)" pp_expr a
   | Un (Not, a) -> Fmt.pf ppf "(NOT %a)" pp_expr a
   | Func (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(Fmt.any ", ") pp_expr) args
@@ -40,7 +44,10 @@ let rec pp_expr ppf (e : expr) =
   | Scalar_query q -> Fmt.pf ppf "(%a)" pp_query q
   | Between (e, lo, hi) ->
     Fmt.pf ppf "(%a BETWEEN %a AND %a)" pp_expr e pp_expr lo pp_expr hi
-  | Like (e, pat) -> Fmt.pf ppf "(%a LIKE '%s')" pp_expr e pat
+  | Like (e, pat) ->
+    (* quote-double the pattern like any string literal *)
+    Fmt.pf ppf "(%a LIKE %s)" pp_expr e
+      (Sb_storage.Value.to_literal (Sb_storage.Value.String pat))
 
 and pp_query ppf = function
   | Select s -> pp_select ppf s

@@ -167,16 +167,25 @@ let push_through_set_op : Rule.t =
     multiple operations to reduce execution cost").
 
     A replica that has already been pushed below its quantifier must not
-    be derived again, or replication and push-down would ping-pong. *)
+    be derived again, or replication and push-down would ping-pong.  The
+    check recurses: push-down rules may carry a predicate several levels
+    deep (e.g. through an outer join onto its preserved side), and a
+    one-level test would re-derive the replica forever.  Fuel bounds the
+    descent on cyclic (recursive-query) graphs. *)
 let derived_already_pushed g (e : Qgm.expr) =
-  match Qgm.quant_refs e with
-  | [ qid ] -> (
-    let q = Qgm.quant g qid in
-    let l = Qgm.box g q.Qgm.q_input in
-    match inline_through g q e with
-    | Some e' -> pred_exists l e'
-    | None -> false)
-  | _ -> false
+  let rec pushed fuel (e : Qgm.expr) =
+    fuel > 0
+    &&
+    match Qgm.quant_refs e with
+    | [ qid ] -> (
+      let q = Qgm.quant g qid in
+      let l = Qgm.box g q.Qgm.q_input in
+      match inline_through g q e with
+      | Some e' -> pred_exists l e' || pushed (fuel - 1) e'
+      | None -> false)
+    | _ -> false
+  in
+  pushed 8 e
 
 let replicate_candidate g (b : Qgm.box) =
   match b.Qgm.b_kind with

@@ -80,9 +80,20 @@ let to_string ?registry = function
 
 let pp ppf v = Fmt.string ppf (to_string v)
 
-(** Literal display form, quoting strings (used by pretty-printers). *)
+(** Literal display form, quoting strings (used by pretty-printers).
+    Unlike {!to_string} this must round-trip through the Hydrogen
+    lexer: floats keep a ['.'] or exponent so an integral float does
+    not reparse as an INT, and shortest-exact rendering keeps the value
+    bit-identical. *)
+let float_literal x =
+  let s = Fmt.str "%.15g" x in
+  let s = if float_of_string s = x then s else Fmt.str "%.17g" x in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
 let to_literal = function
   | String s -> Fmt.str "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Float x -> float_literal x
   | v -> to_string v
 
 (* Numeric accessors used by the expression evaluator. *)

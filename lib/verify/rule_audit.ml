@@ -99,14 +99,67 @@ let pp_rows rows =
   String.concat "; " (List.map Tuple.to_string shown)
   ^ if List.length rows > cap then Fmt.str "; … (%d more)" (List.length rows - cap) else ""
 
-(** Differentially compares two result sets.  [ordered] compares as
-    sequences (the query had a top-level ORDER BY); otherwise as bags.
-    [Error msg] describes the divergence: cardinality mismatch, rows
-    only on one side, or (ordered) the first differing position. *)
-let compare_results ?registry ?(ordered = false) (before : Tuple.t list)
+(* Bag (multiset) comparison with a lost/gained report. *)
+let compare_results_bag ?registry (before : Tuple.t list)
     (after : Tuple.t list) : (unit, string) result =
   let cmp = Tuple.compare ?registry in
-  if ordered then begin
+  let sb = List.sort cmp before and sa = List.sort cmp after in
+  if List.compare_lengths sb sa <> 0
+     || not (List.equal (fun a b -> cmp a b = 0) sb sa)
+  then begin
+    (* multiset difference, for the report *)
+    let diff xs ys =
+      List.fold_left
+        (fun (missing, ys) x ->
+          let rec drop acc = function
+            | [] -> None
+            | y :: rest when cmp x y = 0 -> Some (List.rev_append acc rest)
+            | y :: rest -> drop (y :: acc) rest
+          in
+          match drop [] ys with
+          | Some ys' -> (missing, ys')
+          | None -> (x :: missing, ys))
+        ([], ys) xs
+      |> fst |> List.rev
+    in
+    let lost = diff sb sa and gained = diff sa sb in
+    Error
+      (Fmt.str "results diverge (%d rows before, %d after)%s%s"
+         (List.length before) (List.length after)
+         (if lost <> [] then Fmt.str "; lost: %s" (pp_rows lost) else "")
+         (if gained <> [] then Fmt.str "; gained: %s" (pp_rows gained) else ""))
+  end
+  else Ok ()
+
+(** Differentially compares two result sets.  [ordered] compares as
+    sequences (the query had a top-level ORDER BY); otherwise as bags.
+    With [sort_keys], ordered comparison is bag equality plus positional
+    equality of the key projections — ORDER BY does not pin the relative
+    order of rows tied on every key.  [Error msg] describes the
+    divergence: cardinality mismatch, rows only on one side, or
+    (ordered) the first differing position. *)
+let compare_results ?registry ?(ordered = false) ?sort_keys
+    (before : Tuple.t list) (after : Tuple.t list) : (unit, string) result =
+  let cmp = Tuple.compare ?registry in
+  if ordered && sort_keys <> None then begin
+    let ks = Option.get sort_keys in
+    let keys rows = List.map (fun r -> Tuple.project r ks) rows in
+    match compare_results_bag ?registry before after with
+    | Error _ as e -> e
+    | Ok () ->
+      let rec go i xs ys =
+        match (xs, ys) with
+        | [], [] | _ :: _, [] | [], _ :: _ -> Ok () (* lengths equal: bag-checked *)
+        | x :: xs, y :: ys ->
+          if cmp x y = 0 then go (i + 1) xs ys
+          else
+            Error
+              (Fmt.str "sort key at row %d differs: %s before vs %s after" i
+                 (Tuple.to_string x) (Tuple.to_string y))
+      in
+      go 0 (keys before) (keys after)
+  end
+  else if ordered then begin
     let rec go i xs ys =
       match xs, ys with
       | [], [] -> Ok ()
@@ -122,38 +175,11 @@ let compare_results ?registry ?(ordered = false) (before : Tuple.t list)
     in
     go 0 before after
   end
-  else begin
-    let sb = List.sort cmp before and sa = List.sort cmp after in
-    if List.compare_lengths sb sa <> 0 || not (List.equal (fun a b -> cmp a b = 0) sb sa)
-    then begin
-      (* multiset difference, for the report *)
-      let diff xs ys =
-        List.fold_left
-          (fun (missing, ys) x ->
-            let rec drop acc = function
-              | [] -> None
-              | y :: rest when cmp x y = 0 -> Some (List.rev_append acc rest)
-              | y :: rest -> drop (y :: acc) rest
-            in
-            match drop [] ys with
-            | Some ys' -> (missing, ys')
-            | None -> (x :: missing, ys))
-          ([], ys) xs
-        |> fst |> List.rev
-      in
-      let lost = diff sb sa and gained = diff sa sb in
-      Error
-        (Fmt.str "results diverge (%d rows before, %d after)%s%s"
-           (List.length before) (List.length after)
-           (if lost <> [] then Fmt.str "; lost: %s" (pp_rows lost) else "")
-           (if gained <> [] then Fmt.str "; gained: %s" (pp_rows gained) else ""))
-    end
-    else Ok ()
-  end
+  else compare_results_bag ?registry before after
 
 (** [assert_equivalent ~what ~ordered before after] raises {!Unsound}
     naming [what] (e.g. the rewrite phase) on divergence. *)
-let assert_equivalent ?registry ?ordered ~what before after =
-  match compare_results ?registry ?ordered before after with
+let assert_equivalent ?registry ?ordered ?sort_keys ~what before after =
+  match compare_results ?registry ?ordered ?sort_keys before after with
   | Ok () -> ()
   | Error msg -> unsound "%s changed query results: %s" what msg

@@ -31,10 +31,17 @@ val instrument_inference :
 (** Differentially compares two result sets — as sequences when
     [ordered] (top-level ORDER BY), as bags otherwise.  [Error msg]
     describes the divergence (lost/gained rows, first differing
-    position). *)
+    position).
+
+    When [ordered] and [sort_keys] (the output-column positions of the
+    ORDER BY keys) is given, rows tied on every key may permute freely:
+    the sets are compared as bags plus positional equality of the key
+    projections.  An ORDER BY constrains only its keys, so a strict
+    sequence comparison would misreport legitimate tie reorderings. *)
 val compare_results :
   ?registry:Datatype.registry ->
   ?ordered:bool ->
+  ?sort_keys:int list ->
   Tuple.t list ->
   Tuple.t list ->
   (unit, string) result
@@ -43,6 +50,7 @@ val compare_results :
 val assert_equivalent :
   ?registry:Datatype.registry ->
   ?ordered:bool ->
+  ?sort_keys:int list ->
   what:string ->
   Tuple.t list ->
   Tuple.t list ->

@@ -20,6 +20,71 @@ let roundtrips text =
   in
   if ast <> ast2 then Alcotest.failf "round-trip changed AST for: %s\n  printed: %s" text printed
 
+(* Printed-query fixture table: each pair pins the pretty-printer's
+   exact output for one input, and the printed text must re-parse to the
+   same AST.  These anchor the printer formats the fuzzer's round-trip
+   oracle relies on (negative-literal parenthesisation, LIKE pattern
+   quoting, float literals, canonical aggregate calls). *)
+let printed_fixtures =
+  [
+    ( "SELECT -3 AS a, - (4) AS b, -2.5 AS c FROM t",
+      "SELECT -3 AS a, (- (4)) AS b, -2.5 AS c FROM t" );
+    ( "SELECT a FROM t WHERE name LIKE 'o''k%'",
+      "SELECT a FROM t WHERE (name LIKE 'o''k%')" );
+    ( "SELECT count(*), count(DISTINCT a), sum(a), min(b) FROM t",
+      "SELECT count(*), count(DISTINCT a), sum(a), min(b) FROM t" );
+    ( "SELECT a FROM t WHERE a BETWEEN -2 AND 4",
+      "SELECT a FROM t WHERE (a BETWEEN -2 AND 4)" );
+    ( "SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y",
+      "SELECT a FROM t LEFT OUTER JOIN u ON (t.x = u.y)" );
+    ( "SELECT a FROM t RIGHT JOIN u ON TRUE",
+      "SELECT a FROM t RIGHT OUTER JOIN u ON TRUE" );
+    ( "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.x)",
+      "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE (u.x = t.x))" );
+    ( "SELECT a FROM t WHERE a >= ALL (SELECT b FROM u)",
+      "SELECT a FROM t WHERE (a >= ALL (SELECT b FROM u))" );
+    ( "SELECT a FROM t WHERE NOT (a IN (1, NULL, 3))",
+      "SELECT a FROM t WHERE (NOT (a IN (1, NULL, 3)))" );
+    ( "SELECT d, count(*) FROM t GROUP BY d HAVING count(*) > 2",
+      "SELECT d, count(*) FROM t GROUP BY d HAVING (count(*) > 2)" );
+    ( "SELECT DISTINCT a FROM t ORDER BY 1 DESC LIMIT 6",
+      "SELECT DISTINCT a FROM t ORDER BY 1 DESC LIMIT 6" );
+    ( "SELECT CASE WHEN a IS NULL THEN 'n' ELSE b END AS c FROM t",
+      "SELECT CASE WHEN (a IS NULL) THEN 'n' ELSE b END AS c FROM t" );
+    ( "WITH v AS (SELECT a FROM t) SELECT * FROM v",
+      "WITH v AS (SELECT a FROM t)\nSELECT * FROM v" );
+    ( "(SELECT a FROM t) UNION ALL (SELECT b FROM u)",
+      "(SELECT a FROM t) UNION ALL (SELECT b FROM u)" );
+    ( "SELECT a FROM (SELECT b AS a FROM u) AS v",
+      "SELECT a FROM (SELECT b AS a FROM u) AS v" );
+    ( "SELECT 1.5 AS x, 0.25 AS y, 'm m' AS z FROM t",
+      "SELECT 1.5 AS x, 0.25 AS y, 'm m' AS z FROM t" );
+    ( "SELECT a FROM t WHERE a = (SELECT max(b) FROM u WHERE u.k = t.k)",
+      "SELECT a FROM t WHERE (a = (SELECT max(b) FROM u WHERE (u.k = t.k)))"
+    );
+    ( "SELECT a + b * c - d AS e FROM t",
+      "SELECT ((a + (b * c)) - d) AS e FROM t" );
+    ( "SELECT a FROM t WHERE a / 2 = 3 AND b % 2 = 1",
+      "SELECT a FROM t WHERE (((a / 2) = 3) AND ((b % 2) = 1))" );
+    ( "SELECT a FROM t WHERE x IS NOT NULL OR y = FALSE",
+      "SELECT a FROM t WHERE ((NOT (x IS NULL)) OR (y = FALSE))" );
+    ( "SELECT t.a AS x FROM t, u WHERE t.k = u.k ORDER BY x",
+      "SELECT t.a AS x FROM t, u WHERE (t.k = u.k) ORDER BY x" );
+    ( "SELECT a || 'z' AS s FROM t", "SELECT (a || 'z') AS s FROM t" );
+    ( "SELECT a FROM t WHERE b = :host_var",
+      "SELECT a FROM t WHERE (b = :host_var)" );
+  ]
+
+let test_printed_fixtures () =
+  List.iter
+    (fun (input, expected) ->
+      let ast = parse_ok input in
+      let printed = Pretty.statement_to_string ast in
+      Alcotest.(check string) input expected printed;
+      if parse_ok printed <> ast then
+        Alcotest.failf "printed text re-parses differently: %s" printed)
+    printed_fixtures
+
 let corpus =
   [
     "SELECT 1 + 2 * 3 AS x FROM t";
@@ -202,6 +267,7 @@ let suite =
   ( "hydrogen",
     [
       case "round-trip corpus" test_roundtrip_corpus;
+      case "printed fixtures" test_printed_fixtures;
       case "lexer" test_lexer;
       case "lexer errors" test_lex_errors;
       case "parse errors" test_parse_errors;

@@ -16,4 +16,5 @@ let () =
       Test_verify.suite;
       Test_resil.suite;
       Test_analysis.suite;
+      Test_fuzz.suite;
     ]
