@@ -269,6 +269,23 @@ let fuzz ~cases ~seed =
     exit (min 125 (List.length stats.Sb_fuzz.Harness.st_failures))
 
 let () =
+  (* --server [--server-stmts N]: the concurrent multi-session sweep;
+     independent of the experiment list, so it dispatches first *)
+  (let argv = Array.to_list Sys.argv |> List.tl in
+   if List.mem "--server" argv then begin
+     let rec intflag_of name = function
+       | flag :: n :: _ when flag = name -> int_of_string_opt n
+       | _ :: rest -> intflag_of name rest
+       | [] -> None
+     in
+     print_endline
+       "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
+     Bench_server.run
+       ?stmts:(intflag_of "--server-stmts" argv)
+       ?workers:(intflag_of "--server-workers" argv)
+       ();
+     exit 0
+   end);
   let rec split_flags acc trace verify_only analyze_only chaos_seed fz sd =
     function
     | [] -> (List.rev acc, trace, verify_only, analyze_only, chaos_seed, fz, sd)

@@ -2,12 +2,16 @@
 
     [fuzz_main --fuzz N --seed S] runs N deterministic differential
     fuzz cases; [--replay PATH] replays one [.sbf] repro file or every
-    repro under a directory.  Exit status is the number of
-    discrepancies (capped at 125), so CI can gate on it directly. *)
+    repro under a directory; [--server N] replays a generated workload
+    through N concurrent server sessions and differentially compares
+    every result against a single-caller oracle.  Exit status is the
+    number of discrepancies (capped at 125), so CI can gate on it
+    directly. *)
 
 let usage () =
   prerr_endline
     "usage: fuzz_main [--fuzz N] [--seed S] [--out DIR] [--metrics]\n\
+    \       fuzz_main --server N [--fuzz CASES] [--seed S]\n\
     \       fuzz_main --replay PATH   (a .sbf file or a directory)";
   exit 2
 
@@ -17,12 +21,13 @@ type opts = {
   mutable out : string;
   mutable metrics : bool;
   mutable replay : string option;
+  mutable server : int option;
 }
 
 let parse_args () =
   let o =
     { cases = 100; seed = 42; out = "_fuzz_failures"; metrics = false;
-      replay = None }
+      replay = None; server = None }
   in
   let rec go = function
     | [] -> o
@@ -42,6 +47,11 @@ let parse_args () =
       go rest
     | "--replay" :: path :: rest ->
       o.replay <- Some path;
+      go rest
+    | "--server" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> o.server <- Some n
+      | _ -> usage ());
       go rest
     | _ -> usage ()
   in
@@ -70,8 +80,96 @@ let replay path =
   end
   else show_verdict path (Sb_fuzz.Harness.replay_file path)
 
+(* --server N: one generated catalog, [cases] generated queries, every
+   query run both by a single plain caller (the oracle) and through the
+   concurrent front end — N sessions on N domains, queries dealt
+   round-robin.  Outcomes must agree as bags; failures must fail on
+   both sides.  Pure in (seed, cases, sessions). *)
+let server_differential ~sessions ~cases ~seed =
+  let module Gen = Sb_fuzz.Gen in
+  let module Oracle = Sb_fuzz.Oracle in
+  let module Sprng = Sb_fuzz.Sprng in
+  let module Server = Sb_server in
+  let module Err = Sb_resil.Err in
+  let rng = Sprng.create seed in
+  let catalog = Gen.gen_catalog (Sprng.split rng) in
+  let ddl = Gen.ddl_of_catalog catalog in
+  let texts =
+    Array.init cases (fun _ ->
+        Gen.query_text (Gen.gen_query (Sprng.split rng) catalog))
+  in
+  let odb = Starburst.create () in
+  List.iter (fun stmt -> ignore (Starburst.run odb stmt)) ddl;
+  let expected = Array.map (Oracle.run_outcome odb) texts in
+  (* no shedding here: a greedy plan may pick a different (legitimate)
+     LIMIT subset, which the bag comparison would misread as a bug *)
+  let config =
+    {
+      (Server.default_config ()) with
+      Server.max_inflight = max 16 (2 * sessions);
+      degrade_inflight = max 16 (2 * sessions);
+      session_inflight = 4;
+    }
+  in
+  let server = Server.create ~config () in
+  let boot = Server.session server in
+  List.iter
+    (fun stmt ->
+      match Server.submit server boot stmt with
+      | Ok _ -> ()
+      | Error e -> failwith ("server DDL failed: " ^ Err.to_string e))
+    ddl;
+  Server.close_session server boot;
+  let outcomes : Oracle.outcome option array = Array.make cases None in
+  let worker d () =
+    let s = Server.session server in
+    for i = 0 to cases - 1 do
+      if i mod sessions = d then begin
+        let rec go attempts =
+          match Server.submit server s texts.(i) with
+          | Ok (Starburst.Rows { rows; _ }) -> Oracle.Rows rows
+          | Ok _ -> Oracle.Rows []
+          | Error e when e.Err.err_retryable && attempts < 5 ->
+            go (attempts + 1)
+          | Error e -> Oracle.Failed e
+        in
+        outcomes.(i) <- Some (go 0)
+      end
+    done;
+    Server.close_session server s
+  in
+  let domains = Array.init sessions (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join domains;
+  Server.shutdown server;
+  let sort = List.sort Sb_storage.Tuple.compare in
+  let agree i =
+    match (expected.(i), outcomes.(i)) with
+    | Oracle.Rows a, Some (Oracle.Rows b) ->
+      List.equal (fun x y -> Sb_storage.Tuple.compare x y = 0) (sort a) (sort b)
+    | Oracle.Failed _, Some (Oracle.Failed _) -> true
+    | _ -> false
+  in
+  let failures = ref 0 and both_failed = ref 0 in
+  for i = 0 to cases - 1 do
+    (match expected.(i) with Oracle.Failed _ -> incr both_failed | _ -> ());
+    if not (agree i) then begin
+      incr failures;
+      Printf.printf "DIFF  case %d (session %d): %s\n" i (i mod sessions)
+        texts.(i)
+    end
+  done;
+  Printf.printf
+    "server-differential: %d cases x %d sessions, %d agree, %d failed on \
+     both sides, %d discrepancies\n"
+    cases sessions (cases - !failures) !both_failed !failures;
+  !failures
+
 let () =
   let o = parse_args () in
+  match o.server with
+  | Some sessions ->
+    exit (min 125 (server_differential ~sessions ~cases:o.cases ~seed:o.seed))
+  | None ->
   match o.replay with
   | Some path ->
     if not (Sys.file_exists path) then begin

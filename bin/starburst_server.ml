@@ -1,0 +1,147 @@
+(* starburst-server: a line-protocol TCP front end over Sb_server.
+   One connection = one session.  Statements are terminated by a line
+   ending in ';' (or a lone ';'); each response is the rendered result
+   followed by a line containing a single '.'.  Meta-commands:
+   \cache (shared plan-cache counters), \sessions, \stats, \quit. *)
+
+module Server = Sb_server
+module Corona = Starburst.Corona
+module Err = Sb_resil.Err
+
+let send out lines =
+  List.iter
+    (fun l ->
+      output_string out l;
+      output_char out '\n')
+    lines;
+  output_string out ".\n";
+  flush out
+
+let pc_lines (c : Starburst.Plan_cache.stats) =
+  [
+    Fmt.str "hits          %d" c.Starburst.Plan_cache.hits;
+    Fmt.str "misses        %d" c.Starburst.Plan_cache.misses;
+    Fmt.str "evictions     %d" c.Starburst.Plan_cache.evictions;
+    Fmt.str "invalidations %d" c.Starburst.Plan_cache.invalidations;
+    Fmt.str "resident      %d" c.Starburst.Plan_cache.resident;
+  ]
+
+let meta server line =
+  match String.trim line with
+  | "\\cache" -> Some (pc_lines (Server.cache_stats server))
+  | "\\sessions" ->
+    Some
+      (List.map
+         (fun (id, inflight) -> Fmt.str "session %d  inflight %d" id inflight)
+         (Server.list_sessions server))
+  | "\\stats" ->
+    let st = Server.stats server in
+    Some
+      [
+        Fmt.str "sessions %d  inflight %d  admitted %d  shed %d  rejected %d  epoch %d"
+          st.Server.st_sessions st.Server.st_inflight st.Server.st_admitted
+          st.Server.st_shed st.Server.st_rejected st.Server.st_epoch;
+      ]
+  | _ -> None
+
+let handle_connection server fd =
+  let inp = Unix.in_channel_of_descr fd in
+  let out = Unix.out_channel_of_descr fd in
+  let session = Server.session server in
+  let buf = Buffer.create 256 in
+  let registry = (Server.catalog server).Sb_storage.Catalog.datatypes in
+  let run_statement text =
+    match Server.submit server session text with
+    | Ok result ->
+      send out (String.split_on_char '\n' (Corona.render_result ~registry result))
+    | Error e -> send out [ "error: " ^ Err.to_string e ]
+  in
+  (try
+     let quit = ref false in
+     while not !quit do
+       let line = input_line inp in
+       let trimmed = String.trim line in
+       if Buffer.length buf = 0 && trimmed = "\\quit" then quit := true
+       else
+         match if Buffer.length buf = 0 then meta server line else None with
+         | Some lines -> send out lines
+         | None ->
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n';
+           if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';'
+           then begin
+             let text = Buffer.contents buf in
+             Buffer.clear buf;
+             if String.trim text <> ";" then run_statement text
+             else send out []
+           end
+     done
+   with End_of_file | Sys_error _ -> ());
+  Server.close_session server session;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let serve ~host ~port ~workers ~once =
+  let config =
+    match workers with
+    | None -> Server.default_config ()
+    | Some w ->
+      {
+        (Server.default_config ()) with
+        Server.workers = w;
+        max_inflight = 4 * w;
+        degrade_inflight = 2 * w;
+      }
+  in
+  let server = Server.create ~config () in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 64;
+  let actual_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  Fmt.pr "starburst-server listening on %s:%d (%d workers)@." host actual_port
+    config.Server.workers;
+  if once then begin
+    (* single-connection mode, used by tests and scripted clients *)
+    let fd, _ = Unix.accept sock in
+    handle_connection server fd;
+    Unix.close sock;
+    Server.shutdown server
+  end
+  else
+    while true do
+      let fd, _ = Unix.accept sock in
+      ignore (Thread.create (fun () -> handle_connection server fd) ())
+    done
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Address to bind.")
+
+let port =
+  Arg.(value & opt int 5447 & info [ "port"; "p" ] ~doc:"TCP port (0 = ephemeral).")
+
+let workers =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers"; "w" ] ~doc:"Worker-pool domains (default: sized from cores).")
+
+let once =
+  Arg.(
+    value & flag
+    & info [ "once" ] ~doc:"Serve a single connection, then exit (for tests).")
+
+let cmd =
+  let doc = "line-protocol TCP front end for Starburst" in
+  Cmd.v
+    (Cmd.info "starburst-server" ~doc)
+    Term.(
+      const (fun host port workers once -> serve ~host ~port ~workers ~once)
+      $ host $ port $ workers $ once)
+
+let () = exit (Cmd.eval cmd)

@@ -16,7 +16,13 @@
     [SET trace = on]), [\check [query]] (catalog lints, or the full
     verification report of a query — same as [EXPLAIN VERIFY]),
     [\infer query] (inferred semantic properties — same as
-    [EXPLAIN ANALYSIS]), [\q]. *)
+    [EXPLAIN ANALYSIS]), [\cache] (plan-cache counters), [\sessions]
+    (open server sessions), [\q].
+
+    [--server N] runs the REPL through an embedded {!Sb_server} with [N]
+    worker domains (statements pass the admission controller and the
+    shared plan cache); [--connect HOST:PORT] talks to a running
+    [starburst-server] over its line protocol instead. *)
 
 let install_extensions db =
   Sb_extensions.Outer_join.install db;
@@ -124,12 +130,56 @@ let print_infer db rest =
     | exception Sb_hydrogen.Lexer.Lex_error (msg, _) ->
       Printf.printf "lex error: %s\n" msg)
 
-let meta_command db line =
+(* The shell runs either on a plain database handle or through an
+   embedded multi-session server (one interactive session; statements
+   pass the admission controller and the shared plan cache). *)
+type backend =
+  | Local of Starburst.t
+  | Server of Sb_server.t * Sb_server.session
+
+let backend_db = function
+  | Local db -> db
+  | Server (_, session) -> Sb_server.session_db session
+
+let print_cache_stats (c : Starburst.Plan_cache.stats) =
+  Printf.printf "plan cache:\n";
+  Printf.printf "  hits          %d\n" c.Starburst.Plan_cache.hits;
+  Printf.printf "  misses        %d\n" c.Starburst.Plan_cache.misses;
+  Printf.printf "  evictions     %d\n" c.Starburst.Plan_cache.evictions;
+  Printf.printf "  invalidations %d\n" c.Starburst.Plan_cache.invalidations;
+  Printf.printf "  resident      %d\n" c.Starburst.Plan_cache.resident
+
+let print_cache backend =
+  (match backend with
+  | Local db -> print_cache_stats (Starburst.plan_cache_stats db)
+  | Server (server, _) -> print_cache_stats (Sb_server.cache_stats server));
+  let db = backend_db backend in
+  Printf.printf "  epoch         %d\n"
+    (Sb_storage.Catalog.epoch db.Starburst.Corona.catalog)
+
+let print_sessions backend =
+  match backend with
+  | Local _ ->
+    print_endline "not in server mode (one implicit session); try --server N"
+  | Server (server, session) ->
+    List.iter
+      (fun (id, inflight) ->
+        Printf.printf "session %d  inflight %d%s\n" id inflight
+          (if id = Sb_server.session_id session then "  (this shell)" else ""))
+      (Sb_server.list_sessions server);
+    let st = Sb_server.stats server in
+    Printf.printf "admitted %d  shed %d  rejected %d\n" st.Sb_server.st_admitted
+      st.Sb_server.st_shed st.Sb_server.st_rejected
+
+let meta_command backend line =
+  let db = backend_db backend in
   match String.split_on_char ' ' (String.trim line) with
   | "\\stats" :: _ -> print_stats db
   | "\\limits" :: _ -> print_limits db
   | "\\check" :: rest -> print_check db rest
   | "\\infer" :: rest -> print_infer db rest
+  | "\\cache" :: _ -> print_cache backend
+  | "\\sessions" :: _ -> print_sessions backend
   | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
   | "\\trace" :: rest ->
     let tr = Starburst.tracer db in
@@ -141,25 +191,31 @@ let meta_command db line =
   | cmd :: _ -> Printf.printf "unknown meta-command %s\n" cmd
   | [] -> ()
 
-let run_one db text =
-  match Starburst.run db text with
-  | r -> print_result db r
-  | exception Starburst.Error e ->
-    Printf.printf "error: %s\n" (Starburst.Err.to_string e)
-  | exception Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
-  | exception Sb_optimizer.Generator.Unsupported msg ->
-    Printf.printf "unsupported: %s\n" msg
-  | exception Sb_qes.Exec.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg
-  | exception Sb_storage.Value.Type_error msg -> Printf.printf "type error: %s\n" msg
+let run_one backend text =
+  match backend with
+  | Server (server, session) -> (
+    match Sb_server.submit server session text with
+    | Ok r -> print_result (backend_db backend) r
+    | Error e -> Printf.printf "error: %s\n" (Starburst.Err.to_string e))
+  | Local db -> (
+    match Starburst.run db text with
+    | r -> print_result db r
+    | exception Starburst.Error e ->
+      Printf.printf "error: %s\n" (Starburst.Err.to_string e)
+    | exception Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
+    | exception Sb_optimizer.Generator.Unsupported msg ->
+      Printf.printf "unsupported: %s\n" msg
+    | exception Sb_qes.Exec.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg
+    | exception Sb_storage.Value.Type_error msg -> Printf.printf "type error: %s\n" msg)
 
-let run_script db text =
+let run_script backend text =
   List.iter
-    (fun stmt -> run_one db (Sb_hydrogen.Pretty.statement_to_string stmt))
+    (fun stmt -> run_one backend (Sb_hydrogen.Pretty.statement_to_string stmt))
     (Sb_hydrogen.Parser.script text)
 
-let repl db =
+let repl backend =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\limits \\metrics \\trace \\check \\infer, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\limits \\metrics \\trace \\check \\infer \\cache \\sessions, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");
@@ -167,7 +223,7 @@ let repl db =
     | exception End_of_file -> ()
     | "\\q" | "\\quit" -> ()
     | line when Buffer.length buf = 0 && String.length line > 0 && line.[0] = '\\' ->
-      meta_command db line;
+      meta_command backend line;
       loop ()
     | line ->
       Buffer.add_string buf line;
@@ -175,7 +231,7 @@ let repl db =
       let text = Buffer.contents buf in
       if String.contains line ';' then begin
         Buffer.clear buf;
-        (try run_script db text
+        (try run_script backend text
          with
         | Sb_hydrogen.Parser.Parse_error (msg, _) -> Printf.printf "parse error: %s\n" msg
         | Sb_hydrogen.Lexer.Lex_error (msg, _) -> Printf.printf "lex error: %s\n" msg)
@@ -184,24 +240,120 @@ let repl db =
   in
   loop ()
 
+(* --- remote mode: line-protocol client for starburst-server --- *)
+
+let connect_repl host port =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd addr;
+  let inp = Unix.in_channel_of_descr fd in
+  let out = Unix.out_channel_of_descr fd in
+  Printf.printf
+    "connected to %s:%d — end statements with ';', \\cache \\sessions \\stats, \\q to quit.\n"
+    host port;
+  let read_response () =
+    let rec go () =
+      match input_line inp with
+      | "." -> ()
+      | line ->
+        print_endline line;
+        go ()
+    in
+    go ()
+  in
+  (try
+     let quit = ref false in
+     while not !quit do
+       print_string "starburst> ";
+       match read_line () with
+       | exception End_of_file -> quit := true
+       | "\\q" | "\\quit" ->
+         output_string out "\\quit\n";
+         flush out;
+         quit := true
+       | line ->
+         output_string out line;
+         output_char out '\n';
+         flush out;
+         let trimmed = String.trim line in
+         (* the server replies to complete statements and meta-commands *)
+         if
+           (String.length trimmed > 0 && trimmed.[0] = '\\')
+           || (String.length trimmed > 0
+              && trimmed.[String.length trimmed - 1] = ';')
+         then read_response ()
+     done
+   with End_of_file | Sys_error _ -> print_endline "server closed the connection");
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let bare = List.mem "--bare" args in
   let args = List.filter (fun a -> a <> "--bare") args in
-  let db = Starburst.create () in
-  if not bare then install_extensions db;
-  match args with
-  | [] -> repl db
-  | [ "-e"; stmt ] -> run_one db stmt
-  | [ path ] ->
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
-    (try run_script db text
-     with
-    | Sb_hydrogen.Parser.Parse_error (msg, _) -> Printf.printf "parse error: %s\n" msg
-    | Sb_hydrogen.Lexer.Lex_error (msg, _) -> Printf.printf "lex error: %s\n" msg)
-  | _ ->
-    prerr_endline "usage: starburst_shell [--bare] [script.sql | -e STATEMENT]";
-    exit 2
+  (* --connect HOST:PORT — remote line-protocol client *)
+  let rec find_connect = function
+    | "--connect" :: target :: _ -> Some target
+    | _ :: rest -> find_connect rest
+    | [] -> None
+  in
+  match find_connect args with
+  | Some target -> (
+    match String.split_on_char ':' target with
+    | [ host; port ] -> (
+      match int_of_string_opt port with
+      | Some port -> connect_repl host port
+      | None ->
+        prerr_endline "usage: starburst_shell --connect HOST:PORT";
+        exit 2)
+    | _ ->
+      prerr_endline "usage: starburst_shell --connect HOST:PORT";
+      exit 2)
+  | None ->
+    (* --server N — embedded multi-session server with N worker domains *)
+    let rec extract_server acc = function
+      | "--server" :: n :: rest -> (int_of_string_opt n, List.rev acc @ rest)
+      | a :: rest -> extract_server (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    let server_workers, args = extract_server [] args in
+    let backend =
+      match server_workers with
+      | Some workers ->
+        let config =
+          {
+            (Sb_server.default_config ()) with
+            Sb_server.workers;
+            max_inflight = 4 * workers;
+            degrade_inflight = 2 * workers;
+          }
+        in
+        let server =
+          Sb_server.create ~config
+            ~install:(if bare then fun _ -> () else install_extensions)
+            ()
+        in
+        Server (server, Sb_server.session server)
+      | None ->
+        let db = Starburst.create () in
+        if not bare then install_extensions db;
+        Local db
+    in
+    (match args with
+    | [] -> repl backend
+    | [ "-e"; stmt ] -> run_one backend stmt
+    | [ path ] ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      (try run_script backend text
+       with
+      | Sb_hydrogen.Parser.Parse_error (msg, _) -> Printf.printf "parse error: %s\n" msg
+      | Sb_hydrogen.Lexer.Lex_error (msg, _) -> Printf.printf "lex error: %s\n" msg)
+    | _ ->
+      prerr_endline
+        "usage: starburst_shell [--bare] [--server N | --connect HOST:PORT] [script.sql | -e STATEMENT]";
+      exit 2);
+    match backend with
+    | Server (server, _) -> Sb_server.shutdown server
+    | Local _ -> ()

@@ -57,7 +57,8 @@ type prepared = {
 
 type t = {
   catalog : Catalog.t;
-  plan_cache : (string, prepared) Hashtbl.t;
+  plan_cache : prepared Plan_cache.t;
+      (** shared when several sessions are created over one catalog *)
   functions : Functions.t;
   builder_cfg : Builder.config;
   rules : Rule.set;
@@ -88,8 +89,12 @@ type result =
   | Affected of int
   | Message of string
 
-let create ?(pool_capacity = 256) ?limits () : t =
-  let catalog = Catalog.create ~pool_capacity () in
+let create ?(pool_capacity = 256) ?limits ?catalog ?plan_cache () : t =
+  let catalog =
+    match catalog with
+    | Some c -> c
+    | None -> Catalog.create ~pool_capacity ()
+  in
   let functions = Functions.create () in
   let builder_cfg = Builder.make_config ~catalog ~functions in
   let limits =
@@ -97,9 +102,15 @@ let create ?(pool_capacity = 256) ?limits () : t =
     | Some l -> l
     | None -> Limits.apply_env (Limits.default ())
   in
+  let metrics = Metrics.create () in
+  let plan_cache =
+    match plan_cache with
+    | Some pc -> pc
+    | None -> Plan_cache.create ~metrics ()
+  in
   {
     catalog;
-    plan_cache = Hashtbl.create 32;
+    plan_cache;
     functions;
     builder_cfg;
     rules = Base_rules.default_set ~catalog;
@@ -114,7 +125,7 @@ let create ?(pool_capacity = 256) ?limits () : t =
     hosts = [];
     last_counters = Exec.fresh_counters ();
     last_rewrite = None;
-    metrics = Metrics.create ();
+    metrics;
     tracer = Trace.noop;
     limits;
     last_gov = Limits.start limits;
@@ -470,21 +481,47 @@ let prepare t (text : string) : prepared =
 (** Executes a prepared query under the current host-variable bindings. *)
 let execute_prepared t (p : prepared) : Tuple.t list = run_plan t p.prep_plan
 
-(** Like {!query}, but caches the compiled plan per query text.  The
-    cache is invalidated by any DDL statement. *)
-let cached_query t (text : string) : Tuple.t list =
-  let p =
-    match Hashtbl.find_opt t.plan_cache text with
-    | Some p -> p
-    | None ->
-      if Hashtbl.length t.plan_cache > 256 then Hashtbl.reset t.plan_cache;
-      let p = prepare t text in
-      Hashtbl.replace t.plan_cache text p;
-      p
+(* A plan is only reusable under the compile options it was built with,
+   so those options are part of the cache key.  This is also what keeps
+   a shed (greedy-strategy) compilation from being served to sessions
+   running at full optimization, and vice versa. *)
+let settings_fingerprint t : string =
+  let strategy =
+    match t.rewrite_strategy with
+    | Engine.Sequential -> "seq"
+    | Engine.Priority -> "pri"
+    | Engine.Statistical { seed; _ } -> Fmt.str "stat:%d" seed
   in
-  execute_prepared t p
+  Fmt.str "rw=%b,%s,%s,%s;opt=%s,%b,%b"
+    t.rewrite_enabled strategy
+    (match t.rewrite_search with
+    | Engine.Depth_first -> "dfs"
+    | Engine.Breadth_first -> "bfs")
+    (match t.rewrite_budget with None -> "-" | Some n -> string_of_int n)
+    t.optimizer.Generator.sctx.Star.strategy.Star.st_name
+    t.optimizer.Generator.allow_bushy t.optimizer.Generator.allow_cartesian
 
-let clear_plan_cache t = Hashtbl.reset t.plan_cache
+let plan_cache_key t (text : string) : string =
+  Plan_cache.normalize text ^ "\x00" ^ settings_fingerprint t
+
+(** Like {!query}, but caches the compiled plan, keyed on normalized
+    query text plus the session's compile options.  Entries remember the
+    catalog/statistics epoch they were compiled at, so DDL and ANALYZE
+    (from this session or any other sharing the catalog) invalidate
+    them; eviction is LRU.  A degraded compilation is executed but never
+    cached. *)
+let cached_query t (text : string) : Tuple.t list =
+  let key = plan_cache_key t text in
+  let epoch = Catalog.epoch t.catalog in
+  match Plan_cache.find t.plan_cache ~epoch key with
+  | Some p -> execute_prepared t p
+  | None ->
+    let p = prepare t text in
+    if t.last_degraded = None then Plan_cache.add t.plan_cache ~epoch key p;
+    execute_prepared t p
+
+let clear_plan_cache t = Plan_cache.clear t.plan_cache
+let plan_cache_stats t = Plan_cache.stats t.plan_cache
 
 (* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
@@ -932,13 +969,11 @@ let explain t mode (wq : Ast.with_query) : string =
 (* Statement dispatch                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* No wholesale cache clearing here: DDL and ANALYZE bump the catalog
+   epoch (inside Catalog, plus {!Catalog.bump_epoch} for the single-table
+   path below), which invalidates cached plans lazily; SET changes the
+   settings fingerprint, steering lookups away from stale entries. *)
 let rec run_statement t (stmt : Ast.statement) : result =
-  (match stmt with
-  | Ast.Stmt_create_table _ | Ast.Stmt_create_index _ | Ast.Stmt_create_view _
-  | Ast.Stmt_drop_table _ | Ast.Stmt_drop_view _ | Ast.Stmt_drop_index _
-  | Ast.Stmt_analyze _ | Ast.Stmt_set _ ->
-    clear_plan_cache t
-  | _ -> ());
   match stmt with
   | Ast.Stmt_query wq ->
     let columns, rows = query_ast t wq in
@@ -1004,6 +1039,7 @@ let rec run_statement t (stmt : Ast.statement) : result =
     Message "statistics updated"
   | Ast.Stmt_analyze (Some name) ->
     ignore (Table_store.analyze (find_table t name));
+    Catalog.bump_epoch t.catalog;
     Message (Fmt.str "statistics updated for %s" name)
   | Ast.Stmt_set (key, value) -> do_set t key value
   | Ast.Stmt_explain (mode, Ast.Stmt_query wq) -> Message (explain t mode wq)

@@ -50,7 +50,8 @@ type prepared = {
     instrumentation; ordinary use goes through the functions below. *)
 type t = {
   catalog : Catalog.t;
-  plan_cache : (string, prepared) Hashtbl.t;
+  plan_cache : prepared Plan_cache.t;
+      (** shared when several sessions are created over one catalog *)
   functions : Functions.t;
   builder_cfg : Builder.config;
   rules : Rule.set;
@@ -86,8 +87,17 @@ type result =
 (** A fresh database with the base rule set, the base STAR array, the
     built-in storage managers, access methods and functions installed.
     [limits] seeds the per-query resource governor; when omitted,
-    {!Limits.default} with [STARBURST_LIMITS] applied on top. *)
-val create : ?pool_capacity:int -> ?limits:Limits.t -> unit -> t
+    {!Limits.default} with [STARBURST_LIMITS] applied on top.
+    [catalog] and [plan_cache] let a multi-session server share one
+    database and one compiled-plan cache among per-session handles
+    (when omitted, each handle gets its own). *)
+val create :
+  ?pool_capacity:int ->
+  ?limits:Limits.t ->
+  ?catalog:Catalog.t ->
+  ?plan_cache:prepared Plan_cache.t ->
+  unit ->
+  t
 
 (** Binds a host-language variable for subsequent executions. *)
 val bind_host : t -> string -> Value.t -> unit
@@ -178,11 +188,27 @@ val query : t -> string -> Tuple.t list
 val prepare : t -> string -> prepared
 val execute_prepared : t -> prepared -> Tuple.t list
 
-(** Like {!query}, but caches the compiled plan per query text; the
-    cache is invalidated by any DDL statement. *)
+(** The compile options that qualify a cached plan's reusability —
+    appended to the normalized text to form the plan-cache key. *)
+val settings_fingerprint : t -> string
+
+(** The plan-cache key for [text] under the session's current options:
+    [Plan_cache.normalize text] plus {!settings_fingerprint}. *)
+val plan_cache_key : t -> string -> string
+
+(** Like {!query}, but caches the compiled plan, keyed on normalized
+    query text plus {!settings_fingerprint}.  Entries remember the
+    catalog/statistics epoch they were compiled at, so DDL and ANALYZE —
+    from this session or any other sharing the catalog — invalidate them
+    lazily; eviction is LRU.  A degraded compilation runs but is never
+    cached. *)
 val cached_query : t -> string -> Tuple.t list
 
 val clear_plan_cache : t -> unit
+
+(** Hit/miss/eviction/invalidation counters and resident-entry count of
+    the session's (possibly shared) plan cache. *)
+val plan_cache_stats : t -> Plan_cache.stats
 
 (** {1 Statements} *)
 
@@ -210,6 +236,13 @@ val explain_analysis : t -> Ast.with_query -> string
 val explain_verify : t -> Ast.with_query -> string
 
 val run_statement : t -> Ast.statement -> result
+
+(** The exception classifier used at the {!run} boundary: [Some (Error e)]
+    with the pipeline stage and statement text filled in, or [None] for
+    asynchronous/fatal exceptions that must pass through unclassified.
+    Exposed so alternative front ends (the multi-session server) report
+    the same structured errors as {!run}. *)
+val classify_exn : string -> exn -> exn option
 
 (** Parses and runs one statement.
     @raise Error on parse, semantic, planning or execution failures. *)

@@ -22,8 +22,15 @@ type t = Corona.t
 
 (* --- language extensions --- *)
 
+(* Catalog-level registries are shared by every session of a
+   multi-session server, and each session runs the same extension
+   installer — so catalog registrations are idempotent: re-registering
+   an already-present name is a no-op rather than a duplicate error. *)
+
 let register_datatype (db : t) ops =
-  Datatype.register db.Corona.catalog.Catalog.datatypes ops
+  let reg = db.Corona.catalog.Catalog.datatypes in
+  if Datatype.find reg ops.Datatype.ext_name = None then
+    Datatype.register reg ops
 
 let register_scalar_function (db : t) f =
   Functions.register_scalar db.Corona.functions f
@@ -47,10 +54,14 @@ let enable_operation (db : t) name =
 (* --- data management extensions (Core attachments) --- *)
 
 let register_storage_manager (db : t) factory =
-  Storage_manager.register db.Corona.catalog.Catalog.storage_managers factory
+  let reg = db.Corona.catalog.Catalog.storage_managers in
+  if Storage_manager.find reg factory.Storage_manager.factory_name = None then
+    Storage_manager.register reg factory
 
 let register_access_method (db : t) kind =
-  Access_method.register db.Corona.catalog.Catalog.access_methods kind
+  let reg = db.Corona.catalog.Catalog.access_methods in
+  if Access_method.find reg kind.Access_method.kind_name = None then
+    Access_method.register reg kind
 
 (** Assigns tables to (simulated) sites; the optimizer inserts SHIP
     operators and charges network cost for cross-site access. *)

@@ -1,0 +1,44 @@
+(** Shared prepared-plan cache: sharded, LRU, epoch-invalidated.
+
+    Keys are normalized query text (callers may append a settings
+    fingerprint); values are prepared plans.  Entries remember the
+    catalog/statistics epoch they were compiled at and are dropped on
+    mismatch, so DDL and ANALYZE invalidate lazily.  Each shard has its
+    own lock, so sessions on different domains rarely contend. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  resident : int;  (** entries currently cached, across all shards *)
+}
+
+(** [create ()] is an empty cache of [capacity] total entries spread
+    over [shards] independently locked shards.  When [metrics] is given,
+    lookups and evictions also drive the
+    [sb_plan_cache_{hits,misses,evictions,invalidations}_total]
+    counters.
+    @raise Invalid_argument if [shards <= 0] or [capacity < shards]. *)
+val create : ?shards:int -> ?capacity:int -> ?metrics:Sb_obs.Metrics.t -> unit -> 'a t
+
+(** Normalizes query text so lexically equivalent statements share one
+    cache entry: whitespace runs collapse to one space, characters
+    outside ['...'] literals fold to lowercase, and a trailing [;] is
+    dropped. *)
+val normalize : string -> string
+
+(** [find t ~epoch key] is the cached value compiled at [epoch], if any.
+    An entry from an older epoch is dropped and counted as an
+    invalidation; the lookup reports a miss. *)
+val find : 'a t -> epoch:int -> string -> 'a option
+
+(** Inserts (or refreshes) [key], evicting LRU entries over capacity. *)
+val add : 'a t -> epoch:int -> string -> 'a -> unit
+
+(** Drops every entry (counters are kept). *)
+val clear : 'a t -> unit
+
+val stats : 'a t -> stats

@@ -11,4 +11,5 @@
 
 module Corona = Corona
 module Extension = Extension
+module Plan_cache = Plan_cache
 include Corona

@@ -27,6 +27,17 @@ type t = {
   n_buckets : int;
 }
 
+(* One registry is shared by every pipeline layer and, under the
+   multi-session server, by statements running on several domains at
+   once.  Mutation volume is a handful of updates per statement, so a
+   single module-level lock keeps every registry domain-safe without
+   per-metric overhead. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let create ?(n_buckets = 32) () =
   if n_buckets < 2 then invalid_arg "Metrics.create: need at least 2 buckets";
   { counters = []; histograms = []; n_buckets }
@@ -34,6 +45,7 @@ let create ?(n_buckets = 32) () =
 let same_key name label (n, l) = String.equal name n && label = l
 
 let counter ?label t name : counter =
+  locked @@ fun () ->
   match
     List.find_opt (fun c -> same_key name label (c.c_name, c.c_label)) t.counters
   with
@@ -43,10 +55,11 @@ let counter ?label t name : counter =
     t.counters <- c :: t.counters;
     c
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let incr ?(by = 1) c = locked (fun () -> c.c_value <- c.c_value + by)
 let counter_value c = c.c_value
 
 let histogram ?label t name : histogram =
+  locked @@ fun () ->
   match
     List.find_opt
       (fun h -> same_key name label (h.h_name, h.h_label))
@@ -75,6 +88,7 @@ let bucket_index h (v : float) =
     min i (Array.length h.h_buckets - 1)
 
 let observe h v =
+  locked @@ fun () ->
   let i = bucket_index h v in
   h.h_buckets.(i) <- h.h_buckets.(i) + 1;
   h.h_count <- h.h_count + 1;
@@ -100,6 +114,7 @@ let histogram_buckets h =
        h.h_buckets)
 
 let clear t =
+  locked @@ fun () ->
   List.iter (fun c -> c.c_value <- 0) t.counters;
   List.iter
     (fun h ->
@@ -130,6 +145,7 @@ let float_bound ub =
     samples, histograms as cumulative [_bucket{le=...}] series plus
     [_sum] and [_count]. *)
 let dump t =
+  locked @@ fun () ->
   let buf = Buffer.create 1024 in
   let by_name proj xs =
     List.sort (fun a b -> compare (proj a) (proj b)) xs

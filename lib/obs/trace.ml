@@ -32,6 +32,10 @@ type t = {
   enabled : bool;
   capacity : int;
   ring : span option array;  (** ring buffer of finished spans *)
+  lock : Mutex.t;
+      (** guards ring/stack/id mutation — a tracer shared across domains
+          stays memory-safe (span parentage is only meaningful within
+          one domain; give each session its own tracer for clean trees) *)
   mutable next_slot : int;
   mutable finished : int;  (** total spans ever finished *)
   mutable next_id : int;
@@ -43,6 +47,7 @@ let noop =
     enabled = false;
     capacity = 0;
     ring = [||];
+    lock = Mutex.create ();
     next_slot = 0;
     finished = 0;
     next_id = 0;
@@ -55,6 +60,7 @@ let create ?(capacity = 4096) () =
     enabled = true;
     capacity;
     ring = Array.make capacity None;
+    lock = Mutex.create ();
     next_slot = 0;
     finished = 0;
     next_id = 0;
@@ -64,6 +70,10 @@ let create ?(capacity = 4096) () =
 let enabled t = t.enabled
 let now_ns () : int64 = Monotonic_clock.now ()
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let push_finished t sp =
   t.ring.(t.next_slot) <- Some sp;
   t.next_slot <- (t.next_slot + 1) mod t.capacity;
@@ -72,19 +82,24 @@ let push_finished t sp =
 let with_span t name ?(attrs = []) f =
   if not t.enabled then f ()
   else begin
-    let parent = match t.stack with [] -> -1 | os :: _ -> os.os_id in
     let os =
-      {
-        os_id = t.next_id;
-        os_parent = parent;
-        os_name = name;
-        os_attrs = attrs;
-        os_start_ns = now_ns ();
-      }
+      locked t (fun () ->
+          let parent = match t.stack with [] -> -1 | os :: _ -> os.os_id in
+          let os =
+            {
+              os_id = t.next_id;
+              os_parent = parent;
+              os_name = name;
+              os_attrs = attrs;
+              os_start_ns = now_ns ();
+            }
+          in
+          t.next_id <- t.next_id + 1;
+          t.stack <- os :: t.stack;
+          os)
     in
-    t.next_id <- t.next_id + 1;
-    t.stack <- os :: t.stack;
     let finish () =
+      locked t @@ fun () ->
       (* pop through any spans left open by an exception below us *)
       let rec pop = function
         | [] -> []
@@ -113,18 +128,19 @@ let with_span t name ?(attrs = []) f =
 
 let add_attr t key value =
   if t.enabled then
-    match t.stack with
-    | [] -> ()
-    | os :: _ -> os.os_attrs <- (key, value) :: os.os_attrs
+    locked t (fun () ->
+        match t.stack with
+        | [] -> ()
+        | os :: _ -> os.os_attrs <- (key, value) :: os.os_attrs)
 
 let clear t =
-  if t.enabled then begin
-    Array.fill t.ring 0 t.capacity None;
-    t.next_slot <- 0;
-    t.finished <- 0;
-    t.next_id <- 0;
-    t.stack <- []
-  end
+  if t.enabled then
+    locked t (fun () ->
+        Array.fill t.ring 0 t.capacity None;
+        t.next_slot <- 0;
+        t.finished <- 0;
+        t.next_id <- 0;
+        t.stack <- [])
 
 let dropped t = max 0 (t.finished - t.capacity)
 
@@ -132,6 +148,7 @@ let dropped t = max 0 (t.finished - t.capacity)
 let spans t =
   if not t.enabled then []
   else begin
+    locked t @@ fun () ->
     let acc = ref [] in
     for i = 0 to t.capacity - 1 do
       let slot = (t.next_slot + i) mod t.capacity in

@@ -10,6 +10,10 @@ type site = {
 type t = {
   f_on : bool;
   f_seed : int;
+  f_lock : Mutex.t;
+      (** one fault plan may be consulted from several domains at once
+          (the plan is installed on a shared catalog); the lock keeps
+          per-site ordinals and the PRNG coherent *)
   f_rng : Random.State.t;
   f_sites : (string, site) Hashtbl.t;
   mutable f_prob : float;
@@ -27,6 +31,7 @@ let make ~on ~seed ~max_retries ~base ~cap =
   {
     f_on = on;
     f_seed = seed;
+    f_lock = Mutex.create ();
     f_rng = Random.State.make [| seed |];
     f_sites = Hashtbl.create 16;
     f_prob = 0.;
@@ -87,6 +92,8 @@ let bump t name site =
    fresh consult: a probability plan can fail the retry again, and an
    ordinal plan trips once. *)
 let should_fail t name =
+  Mutex.lock t.f_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.f_lock) @@ fun () ->
   let s = site_of t name in
   s.s_calls <- s.s_calls + 1;
   match List.assoc_opt s.s_calls s.s_fail_on with
@@ -104,11 +111,15 @@ let backoff_ns t attempt =
 let guard t ~site f =
   if not t.f_on then f ()
   else
+    let counted g =
+      Mutex.lock t.f_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.f_lock) g
+    in
     let rec attempt n =
       match should_fail t site with
       | None -> f ()
       | Some o -> (
-          t.f_injected <- t.f_injected + 1;
+          counted (fun () -> t.f_injected <- t.f_injected + 1);
           bump t "sb_faults_injected_total" site;
           match o with
           | Permanent ->
@@ -120,9 +131,10 @@ let guard t ~site f =
                   "transient fault at %s persisted after %d retries" site
                   t.f_max_retries)
               else (
-                t.f_retried <- t.f_retried + 1;
+                counted (fun () ->
+                    t.f_retried <- t.f_retried + 1;
+                    t.f_vclock_ns <- Int64.add t.f_vclock_ns (backoff_ns t n));
                 bump t "sb_fault_retries_total" site;
-                t.f_vclock_ns <- Int64.add t.f_vclock_ns (backoff_ns t n);
                 attempt (n + 1)))
     in
     attempt 0

@@ -1,0 +1,550 @@
+(** The multi-session concurrent front end.
+
+    Starburst's pipeline lives in a {e session}: a per-client
+    {!Starburst.Corona.t} handle carrying SET options, host-variable
+    bindings and resource limits.  Every session of one server shares a
+    single {!Sb_storage.Catalog} (tables, views, extension registries)
+    and a single {!Starburst.Plan_cache} — the paper's point that "the
+    result of the compilation stage can be stored for future use" pays
+    off across clients, not just across calls.
+
+    Statements run on a pool of OCaml domains.  An admission controller
+    in front of the pool keeps the server deterministic under overload:
+    up to [degrade_inflight] concurrent statements compile at full
+    optimization; past that, new statements are {e shed} — compiled with
+    the greedy STAR strategy, rewrite off (a cheap plan always exists) —
+    and past [max_inflight] they are rejected with a structured,
+    retryable [Resource] error rather than queued without bound.
+
+    Consistency model: within a session, statements execute in
+    submission order.  Across sessions, reads (SELECT / EXPLAIN) run
+    concurrently; any statement that may mutate shared state (DML, DDL,
+    ANALYZE) takes the server's writer lock, so readers never observe a
+    half-applied write.  DDL bumps the catalog epoch, which lazily
+    invalidates every stale entry of the shared plan cache. *)
+
+module Corona = Starburst.Corona
+module Plan_cache = Starburst.Plan_cache
+module Generator = Starburst.Generator
+module Star = Starburst.Star
+module Catalog = Sb_storage.Catalog
+module Err = Sb_resil.Err
+module Limits = Sb_resil.Limits
+module Metrics = Sb_obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Promises                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'a promise = {
+  p_lock : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_value : 'a option;
+}
+
+let promise () =
+  { p_lock = Mutex.create (); p_cond = Condition.create (); p_value = None }
+
+let resolve p v =
+  Mutex.lock p.p_lock;
+  p.p_value <- Some v;
+  Condition.broadcast p.p_cond;
+  Mutex.unlock p.p_lock
+
+let resolved v =
+  let p = promise () in
+  p.p_value <- Some v;
+  p
+
+let await p =
+  Mutex.lock p.p_lock;
+  while p.p_value = None do
+    Condition.wait p.p_cond p.p_lock
+  done;
+  let v = Option.get p.p_value in
+  Mutex.unlock p.p_lock;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* A writer-preferring readers/writer lock                             *)
+(* ------------------------------------------------------------------ *)
+
+module Rwlock = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+    mutable waiting_writers : int;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      readers = 0;
+      writer = false;
+      waiting_writers = 0;
+    }
+
+  (* writers are preferred so a DDL stream cannot be starved by a
+     steady read load *)
+  let rd_lock t =
+    Mutex.lock t.m;
+    while t.writer || t.waiting_writers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m
+
+  let rd_unlock t =
+    Mutex.lock t.m;
+    t.readers <- t.readers - 1;
+    if t.readers = 0 then Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let wr_lock t =
+    Mutex.lock t.m;
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writer <- true;
+    Mutex.unlock t.m
+
+  let wr_unlock t =
+    Mutex.lock t.m;
+    t.writer <- false;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let with_read t f =
+    rd_lock t;
+    Fun.protect ~finally:(fun () -> rd_unlock t) f
+
+  let with_write t f =
+    wr_lock t;
+    Fun.protect ~finally:(fun () -> wr_unlock t) f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  q_lock : Mutex.t;
+  q_cond : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable q_stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.q_lock;
+    while Queue.is_empty pool.jobs && not pool.q_stop do
+      Condition.wait pool.q_cond pool.q_lock
+    done;
+    if Queue.is_empty pool.jobs then (
+      (* stopping, queue drained *)
+      Mutex.unlock pool.q_lock)
+    else begin
+      let job = Queue.pop pool.jobs in
+      Mutex.unlock pool.q_lock;
+      (try job () with _ -> () (* jobs resolve their own promises *));
+      next ()
+    end
+  in
+  next ()
+
+let pool_create n =
+  let pool =
+    {
+      q_lock = Mutex.create ();
+      q_cond = Condition.create ();
+      jobs = Queue.create ();
+      q_stop = false;
+      domains = [||];
+    }
+  in
+  pool.domains <- Array.init n (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+(* [quiet] skips waking a worker: only safe when the pusher is about to
+   help-drain the queue itself (see [await_helping] — helpers never
+   sleep while jobs are queued, so quiet jobs cannot be stranded). *)
+let pool_push ?(quiet = false) pool job =
+  if (not quiet) && Array.length pool.domains = 0 then
+    (* empty pool (single-core box): the async path degenerates to
+       running the statement on the submitting domain *)
+    try job () with _ -> () (* jobs resolve their own promises *)
+  else begin
+    Mutex.lock pool.q_lock;
+    Queue.push job pool.jobs;
+    if not quiet then Condition.signal pool.q_cond;
+    Mutex.unlock pool.q_lock
+  end
+
+let pool_try_pop pool =
+  Mutex.lock pool.q_lock;
+  let job =
+    if Queue.is_empty pool.jobs then None else Some (Queue.pop pool.jobs)
+  in
+  Mutex.unlock pool.q_lock;
+  job
+
+(* Help-first await: while the promise is unresolved, the blocking
+   caller pops queued jobs and runs them on its own domain instead of
+   sleeping.  Jobs never block on other promises, so helping cannot
+   deadlock.  On a small machine this turns the client/worker handoff
+   into a plain call; on a big one it adds the caller's core to the
+   pool for exactly as long as it would otherwise idle. *)
+let await_helping pool p =
+  let rec loop () =
+    Mutex.lock p.p_lock;
+    match p.p_value with
+    | Some v ->
+      Mutex.unlock p.p_lock;
+      v
+    | None -> (
+      Mutex.unlock p.p_lock;
+      match pool_try_pop pool with
+      | Some job ->
+        (try job () with _ -> () (* jobs resolve their own promises *));
+        loop ()
+      | None -> await p)
+  in
+  loop ()
+
+let pool_shutdown pool =
+  Mutex.lock pool.q_lock;
+  pool.q_stop <- true;
+  Condition.broadcast pool.q_cond;
+  Mutex.unlock pool.q_lock;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  workers : int;  (** domains in the worker pool *)
+  max_inflight : int;
+      (** admission high-water mark: statements admitted while this many
+          are already in flight are rejected with a retryable error *)
+  degrade_inflight : int;
+      (** load-shedding threshold: statements admitted past this point
+          compile greedily (rewrite off, greedy STAR strategy) *)
+  session_inflight : int;  (** per-session concurrent-statement cap *)
+  cache_shards : int;
+  cache_capacity : int;
+}
+
+(* Sized to the hardware: every extra domain makes the stop-the-world
+   minor-GC barrier wider, so on a single-core box the pool is empty
+   and help-first callers do all the driving. *)
+let default_config () =
+  let workers = max 0 (min 8 (Domain.recommended_domain_count () - 1)) in
+  {
+    workers;
+    (* floors keep an empty pool admitting: help-first callers still
+       execute, so capacity never drops to zero *)
+    max_inflight = max 8 (4 * workers);
+    degrade_inflight = max 6 (2 * workers);
+    session_inflight = 4;
+    cache_shards = 8;
+    cache_capacity = 1024;
+  }
+
+type session = {
+  s_id : int;
+  s_db : Corona.t;
+  s_lock : Mutex.t;  (** statements of one session run in order *)
+  mutable s_inflight : int;
+  mutable s_closed : bool;
+}
+
+type t = {
+  catalog : Catalog.t;
+  cache : Corona.prepared Plan_cache.t;
+  metrics : Metrics.t;
+  config : config;
+  limits_template : Limits.t;  (** copied into each new session *)
+  install : (Corona.t -> unit) option;
+      (** per-session extension installer (runs on every new session) *)
+  lock : Mutex.t;  (** guards sessions, counters, admission decisions *)
+  sessions : (int, session) Hashtbl.t;
+  mutable next_session : int;
+  mutable inflight : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable cache_enabled : bool;
+  mutable closed : bool;
+  rw : Rwlock.t;
+  pool : pool;
+}
+
+type stats = {
+  st_sessions : int;
+  st_inflight : int;
+  st_admitted : int;
+  st_shed : int;
+  st_rejected : int;
+  st_epoch : int;
+  st_cache : Plan_cache.stats;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?config ?limits ?install () =
+  let config = match config with Some c -> c | None -> default_config () in
+  let limits_template =
+    match limits with Some l -> l | None -> Limits.apply_env (Limits.default ())
+  in
+  let metrics = Metrics.create () in
+  {
+    catalog = Catalog.create ();
+    cache =
+      Plan_cache.create ~shards:config.cache_shards
+        ~capacity:config.cache_capacity ~metrics ();
+    metrics;
+    config;
+    limits_template;
+    install;
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 16;
+    next_session = 0;
+    inflight = 0;
+    admitted = 0;
+    shed = 0;
+    rejected = 0;
+    cache_enabled = true;
+    closed = false;
+    rw = Rwlock.create ();
+    pool = pool_create config.workers;
+  }
+
+let metrics t = t.metrics
+let catalog t = t.catalog
+let set_cache_enabled t on = locked t (fun () -> t.cache_enabled <- on)
+let cache_stats t = Plan_cache.stats t.cache
+let clear_cache t = Plan_cache.clear t.cache
+
+let session t =
+  let db =
+    Corona.create ~catalog:t.catalog ~plan_cache:t.cache
+      ~limits:(Limits.copy t.limits_template) ()
+  in
+  Option.iter (fun f -> f db) t.install;
+  locked t (fun () ->
+      if t.closed then failwith "Sb_server.session: server is shut down";
+      let id = t.next_session in
+      t.next_session <- id + 1;
+      let s =
+        { s_id = id; s_db = db; s_lock = Mutex.create ();
+          s_inflight = 0; s_closed = false }
+      in
+      Hashtbl.replace t.sessions id s;
+      s)
+
+let session_id s = s.s_id
+let session_db s = s.s_db
+
+let close_session t s =
+  locked t (fun () ->
+      s.s_closed <- true;
+      Hashtbl.remove t.sessions s.s_id)
+
+let list_sessions t =
+  locked t (fun () ->
+      Hashtbl.fold (fun id s acc -> (id, s.s_inflight) :: acc) t.sessions [])
+  |> List.sort compare
+
+let stats t =
+  let sessions, inflight, admitted, shed, rejected =
+    locked t (fun () ->
+        (Hashtbl.length t.sessions, t.inflight, t.admitted, t.shed, t.rejected))
+  in
+  {
+    st_sessions = sessions;
+    st_inflight = inflight;
+    st_admitted = admitted;
+    st_shed = shed;
+    st_rejected = rejected;
+    st_epoch = Catalog.epoch t.catalog;
+    st_cache = cache_stats t;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Statement classification                                            *)
+(* ------------------------------------------------------------------ *)
+
+let first_word text =
+  let n = String.length text in
+  let is_sep c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '(' in
+  let i = ref 0 in
+  while !i < n && is_sep text.[!i] do incr i done;
+  let start = !i in
+  while !i < n && not (is_sep text.[!i]) do incr i done;
+  String.lowercase_ascii (String.sub text start (!i - start))
+
+(* [`Query] goes through the shared plan cache; [`Read] runs without
+   caching but still under the reader lock; [`Write] may mutate shared
+   state (DML, DDL, ANALYZE) and takes the writer lock.  SET only
+   mutates the session handle, so it reads. *)
+let classify text =
+  match first_word text with
+  | "select" | "with" -> `Query
+  | "explain" | "set" -> `Read
+  | _ -> `Write
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let classify_error text exn : Err.t =
+  match Corona.classify_exn text exn with
+  | Some (Corona.Error e) -> e
+  | _ -> (
+    match exn with
+    | Corona.Error e | Err.Error e -> e
+    | exn -> Err.make ~query:text Err.Internal (Printexc.to_string exn))
+
+(* the cached fast path: like [Corona.cached_query], but returning a
+   full [Corona.result] (the prepared plan carries its column names) *)
+let run_query_cached db text : Corona.result =
+  let key = Corona.plan_cache_key db text in
+  let epoch = Catalog.epoch db.Corona.catalog in
+  let p =
+    match Plan_cache.find db.Corona.plan_cache ~epoch key with
+    | Some p -> p
+    | None ->
+      let p = Corona.prepare db text in
+      if Corona.last_degraded db = None then
+        Plan_cache.add db.Corona.plan_cache ~epoch key p;
+      p
+  in
+  Corona.Rows
+    {
+      columns = p.Corona.prep_columns;
+      rows = Corona.execute_prepared db p;
+    }
+
+(* runs [f] with the session's compiler flipped to its cheapest
+   settings; the settings fingerprint keys shed plans separately, so a
+   shed compilation never masquerades as a fully optimized one *)
+let with_shed db f =
+  let sctx = db.Corona.optimizer.Generator.sctx in
+  let saved_strategy = sctx.Star.strategy in
+  let saved_rewrite = db.Corona.rewrite_enabled in
+  sctx.Star.strategy <- Star.greedy_strategy;
+  db.Corona.rewrite_enabled <- false;
+  Fun.protect
+    ~finally:(fun () ->
+      sctx.Star.strategy <- saved_strategy;
+      db.Corona.rewrite_enabled <- saved_rewrite)
+    f
+
+let bump t name = Metrics.incr (Metrics.counter t.metrics name)
+
+let execute t s ~shed ~use_cache text : (Corona.result, Err.t) result =
+  let kind = classify text in
+  let run () =
+    Mutex.lock s.s_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.s_lock)
+      (fun () ->
+        let go () =
+          match kind with
+          | `Query when use_cache -> run_query_cached s.s_db text
+          | _ -> Corona.run s.s_db text
+        in
+        if shed then with_shed s.s_db go else go ())
+  in
+  match
+    match kind with
+    | `Query | `Read -> Rwlock.with_read t.rw run
+    | `Write -> Rwlock.with_write t.rw run
+  with
+  | result -> Ok result
+  | exception ((Stack_overflow | Out_of_memory) as exn) -> raise exn
+  | exception exn -> Error (classify_error text exn)
+
+(* ------------------------------------------------------------------ *)
+(* Admission + submission                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reject t ~msg text =
+  locked t (fun () -> t.rejected <- t.rejected + 1);
+  bump t "sb_server_rejected_total";
+  Error (Err.make ~query:text ~retryable:true Err.Resource msg)
+
+(* The admission decision and the counters move together under the
+   server lock; the statement itself runs on a pool domain. *)
+let submit_with ~quiet t s (text : string) :
+    (Corona.result, Err.t) result promise =
+  let decision =
+    locked t (fun () ->
+        if t.closed then `Closed
+        else if s.s_closed then `Session_closed
+        else if t.inflight >= t.config.max_inflight then `Reject
+        else if s.s_inflight >= t.config.session_inflight then `Session_cap
+        else begin
+          t.inflight <- t.inflight + 1;
+          s.s_inflight <- s.s_inflight + 1;
+          t.admitted <- t.admitted + 1;
+          if t.inflight > t.config.degrade_inflight then begin
+            t.shed <- t.shed + 1;
+            `Admit_shed
+          end
+          else `Admit
+        end)
+  in
+  match decision with
+  | `Closed ->
+    resolved (Error (Err.make ~query:text Err.Resource "server is shut down"))
+  | `Session_closed ->
+    resolved (Error (Err.make ~query:text Err.Resource "session is closed"))
+  | `Reject ->
+    resolved
+      (reject t text
+         ~msg:
+           (Fmt.str "server over capacity (%d statements in flight); retry"
+              t.config.max_inflight))
+  | `Session_cap ->
+    resolved
+      (reject t text
+         ~msg:
+           (Fmt.str "session over its concurrency limit (%d); retry"
+              t.config.session_inflight))
+  | (`Admit | `Admit_shed) as adm ->
+    let shed = adm = `Admit_shed in
+    bump t "sb_server_admitted_total";
+    if shed then bump t "sb_server_shed_total";
+    let p = promise () in
+    pool_push ~quiet t.pool (fun () ->
+        let outcome =
+          try execute t s ~shed ~use_cache:t.cache_enabled text
+          with exn -> Error (classify_error text exn)
+        in
+        locked t (fun () ->
+            t.inflight <- t.inflight - 1;
+            s.s_inflight <- s.s_inflight - 1);
+        resolve p outcome);
+    p
+
+let submit_async t s text = submit_with ~quiet:false t s text
+
+(* the blocking path pushes quietly and helps drain the queue itself:
+   on a loaded box the statement usually runs as a plain call on the
+   caller's domain, with the pool as overflow *)
+let submit t s text = await_helping t.pool (submit_with ~quiet:true t s text)
+
+let shutdown t =
+  locked t (fun () -> t.closed <- true);
+  pool_shutdown t.pool

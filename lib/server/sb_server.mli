@@ -1,0 +1,106 @@
+(** Multi-session concurrent front end over one Starburst database.
+
+    Each {!session} is an isolated {!Starburst.Corona.t} handle — its own
+    SET options, host-variable bindings and resource limits — while all
+    sessions of a server share one catalog and one compiled-plan cache.
+    Statements run on a pool of OCaml domains behind an admission
+    controller: under load, compilation degrades to greedy plans before
+    anything queues without bound, and past the high-water mark
+    statements are rejected with a structured, retryable [Resource]
+    error.
+
+    Within a session, statements execute in submission order.  Across
+    sessions, SELECT / EXPLAIN run concurrently; statements that may
+    mutate shared state (DML, DDL, ANALYZE) are serialized behind a
+    writer lock.  DDL bumps the catalog epoch, lazily invalidating
+    stale entries of the shared plan cache. *)
+
+type t
+type session
+
+(** A blocking future; {!submit_async} returns one per statement. *)
+type 'a promise
+
+val await : 'a promise -> 'a
+
+type config = {
+  workers : int;  (** domains in the worker pool *)
+  max_inflight : int;
+      (** admission high-water mark: statements arriving while this many
+          are in flight are rejected (retryable) *)
+  degrade_inflight : int;
+      (** load-shedding threshold: statements admitted past this point
+          compile greedily (rewrite off, greedy STAR strategy) *)
+  session_inflight : int;  (** per-session concurrent-statement cap *)
+  cache_shards : int;
+  cache_capacity : int;
+}
+
+(** Sized from [Domain.recommended_domain_count]: [workers] pool
+    domains, shedding past [2*workers] in flight, rejecting past
+    [4*workers]. *)
+val default_config : unit -> config
+
+(** A fresh server (own catalog, shared plan cache, worker pool).
+    [limits] is the template copied into each new session's governor.
+    [install] runs once per new session — the place to register
+    extensions (datatypes, functions, rules) on every session handle. *)
+val create :
+  ?config:config ->
+  ?limits:Sb_resil.Limits.t ->
+  ?install:(Starburst.Corona.t -> unit) ->
+  unit ->
+  t
+
+(** Opens a session.  Fails if the server is shut down. *)
+val session : t -> session
+
+val session_id : session -> int
+
+(** The session's database handle, for direct host-variable binding or
+    inspection.  Statement execution should go through {!submit} so the
+    admission controller and locking discipline apply. *)
+val session_db : session -> Starburst.Corona.t
+
+val close_session : t -> session -> unit
+
+(** [(session id, statements in flight)] for every open session. *)
+val list_sessions : t -> (int * int) list
+
+(** Submits one statement and blocks for its outcome.  [Error e] carries
+    the same structured classification as {!Starburst.Corona.run};
+    admission rejections are [Resource] errors with [retryable = true]. *)
+val submit :
+  t -> session -> string -> (Starburst.Corona.result, Sb_resil.Err.t) result
+
+(** Like {!submit} but returns immediately; rejections resolve the
+    promise without touching the worker pool. *)
+val submit_async :
+  t ->
+  session ->
+  string ->
+  (Starburst.Corona.result, Sb_resil.Err.t) result promise
+
+type stats = {
+  st_sessions : int;
+  st_inflight : int;
+  st_admitted : int;
+  st_shed : int;
+  st_rejected : int;
+  st_epoch : int;  (** current catalog/statistics epoch *)
+  st_cache : Starburst.Plan_cache.stats;
+}
+
+val stats : t -> stats
+val cache_stats : t -> Starburst.Plan_cache.stats
+val clear_cache : t -> unit
+
+(** When off, queries compile per call and the shared cache is neither
+    read nor written (the bench's cache-off arm). *)
+val set_cache_enabled : t -> bool -> unit
+
+val metrics : t -> Sb_obs.Metrics.t
+val catalog : t -> Sb_storage.Catalog.t
+
+(** Stops accepting work and joins the worker domains. *)
+val shutdown : t -> unit

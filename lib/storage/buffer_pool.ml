@@ -5,7 +5,14 @@
     paper's cost behaviour is the {e accounting}: a page access that misses
     the (bounded, LRU) cache counts as a physical read, and evicting a
     dirty page counts as a physical write.  The optimizer's cost model and
-    the experiment harness read these counters. *)
+    the experiment harness read these counters.
+
+    Concurrency contract (the multi-session server relies on it): every
+    operation that touches the frame cache, the file table or the stats
+    runs under the pool lock, so any number of domains may pin/unpin
+    concurrently.  Page {e contents} are not protected here — writers
+    must be serialized above (the server takes its writer lock around
+    DML/DDL statements). *)
 
 type file_id = int
 
@@ -31,6 +38,7 @@ type file = {
 
 type t = {
   capacity : int;
+  lock : Mutex.t;  (** guards files, cache, tick and stats *)
   files : (file_id, file) Hashtbl.t;
   cache : (file_id * int, frame) Hashtbl.t;
   mutable next_file : file_id;
@@ -42,6 +50,7 @@ type t = {
 let create ?(capacity = 256) () =
   {
     capacity;
+    lock = Mutex.create ();
     files = Hashtbl.create 16;
     cache = Hashtbl.create (2 * capacity);
     next_file = 0;
@@ -50,39 +59,48 @@ let create ?(capacity = 256) () =
     faults = Sb_resil.Faults.none;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let set_faults t f = t.faults <- f
 let faults t = t.faults
 
 let stats t = t.stats
 
 let reset_stats t =
+  locked t @@ fun () ->
   t.stats.logical_reads <- 0;
   t.stats.physical_reads <- 0;
   t.stats.physical_writes <- 0;
   t.stats.evictions <- 0
 
 let create_file ?(page_size = Page.default_size) t =
+  locked t @@ fun () ->
   let id = t.next_file in
   t.next_file <- id + 1;
   Hashtbl.replace t.files id { pages = [||]; npages = 0; page_size };
   id
 
 let drop_file t id =
+  locked t @@ fun () ->
   Hashtbl.remove t.files id;
   Hashtbl.iter
     (fun key frame -> if frame.f_file = id then Hashtbl.remove t.cache key)
     (Hashtbl.copy t.cache)
 
+(* callers hold the lock *)
 let get_file t id =
   match Hashtbl.find_opt t.files id with
   | Some f -> f
   | None -> invalid_arg (Fmt.str "Buffer_pool: unknown file %d" id)
 
-let page_count t id = (get_file t id).npages
+let page_count t id = locked t (fun () -> (get_file t id).npages)
 
 (* Evict the least-recently-used unpinned frame, if the pool is over
    capacity.  Dirty pages are "written back" (they already live in the
-   file array; we just count the write and clear the flag). *)
+   file array; we just count the write and clear the flag).  Runs under
+   the lock. *)
 let maybe_evict t =
   while Hashtbl.length t.cache > t.capacity do
     let victim = ref None in
@@ -107,6 +125,7 @@ let maybe_evict t =
 let maybe_evict t = try maybe_evict t with Exit -> ()
 
 let pin_raw t file_id page_no =
+  locked t @@ fun () ->
   t.tick <- t.tick + 1;
   t.stats.logical_reads <- t.stats.logical_reads + 1;
   match Hashtbl.find_opt t.cache (file_id, page_no) with
@@ -131,6 +150,7 @@ let pin t file_id page_no =
       pin_raw t file_id page_no)
 
 let unpin t file_id page_no =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.cache (file_id, page_no) with
   | Some frame when frame.pins > 0 -> frame.pins <- frame.pins - 1
   | _ -> ()
@@ -141,6 +161,7 @@ let with_page t file_id page_no f =
 
 (** Appends a fresh page to [file_id] and returns its page number. *)
 let alloc_page t file_id =
+  locked t @@ fun () ->
   let f = get_file t file_id in
   let page_no = f.npages in
   let page = Page.create ~size:f.page_size page_no in

@@ -4,7 +4,14 @@
     Views are stored as their Hydrogen text plus optional column renames;
     the language processor (which owns the parser) expands them.  Keeping
     the definition textual here keeps Core independent of Corona, matching
-    the paper's layering. *)
+    the paper's layering.
+
+    Concurrency contract: lookups and DDL both run under the catalog
+    lock, so any number of domains may resolve names while one performs
+    DDL.  Every definition change (and every statistics refresh) bumps
+    the {e epoch} counter; the plan cache compares a cached plan's
+    compile-time epoch against the current one, so DDL invalidates
+    shared plans without the catalog knowing the cache exists. *)
 
 type view_def = {
   view_name : string;
@@ -14,11 +21,14 @@ type view_def = {
 
 type t = {
   pool : Buffer_pool.t;
+  lock : Mutex.t;  (** guards tables/views maps and the epoch *)
   datatypes : Datatype.registry;
   storage_managers : Storage_manager.registry;
   access_methods : Access_method.registry;
   tables : (string, Table_store.t) Hashtbl.t;
   views : (string, view_def) Hashtbl.t;
+  mutable epoch : int;
+      (** bumped by every DDL statement and statistics refresh *)
   mutable site_of : string -> string;
       (** simulated-distribution hook: site where a table lives *)
   mutable faults : Sb_resil.Faults.t;
@@ -30,11 +40,13 @@ let create ?(pool_capacity = 256) () =
   let t =
     {
       pool = Buffer_pool.create ~capacity:pool_capacity ();
+      lock = Mutex.create ();
       datatypes = Datatype.create_registry ();
       storage_managers = Storage_manager.create_registry ();
       access_methods = Access_method.create_registry ();
       tables = Hashtbl.create 16;
       views = Hashtbl.create 16;
+      epoch = 0;
       site_of = (fun _ -> "local");
       faults = Sb_resil.Faults.none;
     }
@@ -45,27 +57,42 @@ let create ?(pool_capacity = 256) () =
   Access_method.register t.access_methods Access_method.unique_constraint_kind;
   t
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let epoch t = locked t (fun () -> t.epoch)
+let bump_epoch t = locked t (fun () -> t.epoch <- t.epoch + 1)
+
 let set_faults t f =
   t.faults <- f;
   Buffer_pool.set_faults t.pool f
 
 let faults t = t.faults
 
+(* unlocked internals, shared by the locked public operations *)
+let find_table_u t name = Hashtbl.find_opt t.tables (norm name)
+let find_view_u t name = Hashtbl.find_opt t.views (norm name)
+let table_exists_u t name = Hashtbl.mem t.tables (norm name)
+let view_exists_u t name = Hashtbl.mem t.views (norm name)
+
 let find_table t name =
   Sb_resil.Faults.guard t.faults ~site:"catalog.lookup" (fun () ->
-      Hashtbl.find_opt t.tables (norm name))
+      locked t (fun () -> find_table_u t name))
 
-let find_view t name = Hashtbl.find_opt t.views (norm name)
+let find_view t name = locked t (fun () -> find_view_u t name)
 
-let table_exists t name = Hashtbl.mem t.tables (norm name)
-let view_exists t name = Hashtbl.mem t.views (norm name)
+let table_exists t name = locked t (fun () -> table_exists_u t name)
+let view_exists t name = locked t (fun () -> view_exists_u t name)
 
 let table_names t =
-  Hashtbl.fold (fun _ tab acc -> tab.Table_store.name :: acc) t.tables []
+  locked t (fun () ->
+      Hashtbl.fold (fun _ tab acc -> tab.Table_store.name :: acc) t.tables [])
   |> List.sort String.compare
 
 let view_names t =
-  Hashtbl.fold (fun _ v acc -> v.view_name :: acc) t.views []
+  locked t (fun () ->
+      Hashtbl.fold (fun _ v acc -> v.view_name :: acc) t.views [])
   |> List.sort String.compare
 
 exception Catalog_error of string
@@ -75,7 +102,8 @@ let error fmt = Fmt.kstr (fun s -> raise (Catalog_error s)) fmt
 (** Creates a table.  [storage] names a registered storage manager
     (default ["heap"]). *)
 let create_table t ?(storage = "heap") ~name ~(schema : Schema.t) () =
-  if table_exists t name || view_exists t name then
+  locked t @@ fun () ->
+  if table_exists_u t name || view_exists_u t name then
     error "table or view %s already exists" name;
   let factory =
     match Storage_manager.find t.storage_managers storage with
@@ -103,27 +131,36 @@ let create_table t ?(storage = "heap") ~name ~(schema : Schema.t) () =
       end)
     schema;
   Hashtbl.replace t.tables (norm name) table;
+  t.epoch <- t.epoch + 1;
   table
 
 let drop_table t name =
-  match find_table t name with
+  locked t @@ fun () ->
+  match find_table_u t name with
   | None -> error "no such table %s" name
-  | Some _ -> Hashtbl.remove t.tables (norm name)
+  | Some _ ->
+    Hashtbl.remove t.tables (norm name);
+    t.epoch <- t.epoch + 1
 
 let create_view t ~name ~text ?columns () =
-  if table_exists t name || view_exists t name then
+  locked t @@ fun () ->
+  if table_exists_u t name || view_exists_u t name then
     error "table or view %s already exists" name;
   Hashtbl.replace t.views (norm name)
-    { view_name = name; view_text = text; view_columns = columns }
+    { view_name = name; view_text = text; view_columns = columns };
+  t.epoch <- t.epoch + 1
 
 let drop_view t name =
-  if not (view_exists t name) then error "no such view %s" name;
-  Hashtbl.remove t.views (norm name)
+  locked t @@ fun () ->
+  if not (view_exists_u t name) then error "no such view %s" name;
+  Hashtbl.remove t.views (norm name);
+  t.epoch <- t.epoch + 1
 
 (** Creates an index (attachment) of a registered [kind] on [table]. *)
 let create_index t ~name ~table ~kind ~columns =
+  locked t @@ fun () ->
   let tab =
-    match find_table t table with
+    match find_table_u t table with
     | Some tab -> tab
     | None -> error "no such table %s" table
   in
@@ -156,12 +193,18 @@ let create_index t ~name ~table ~kind ~columns =
     }
   in
   Table_store.attach tab am;
+  t.epoch <- t.epoch + 1;
   am
 
 let drop_index t ~table ~name =
-  match find_table t table with
+  locked t @@ fun () ->
+  match find_table_u t table with
   | None -> error "no such table %s" table
-  | Some tab -> Table_store.detach tab name
+  | Some tab ->
+    Table_store.detach tab name;
+    t.epoch <- t.epoch + 1
 
 let analyze_all t =
-  Hashtbl.iter (fun _ tab -> ignore (Table_store.analyze tab)) t.tables
+  locked t (fun () ->
+      Hashtbl.iter (fun _ tab -> ignore (Table_store.analyze tab)) t.tables;
+      t.epoch <- t.epoch + 1)

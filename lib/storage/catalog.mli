@@ -14,11 +14,15 @@ type view_def = {
 
 type t = {
   pool : Buffer_pool.t;
+  lock : Mutex.t;  (** guards the table/view maps and the epoch *)
   datatypes : Datatype.registry;
   storage_managers : Storage_manager.registry;
   access_methods : Access_method.registry;
   tables : (string, Table_store.t) Hashtbl.t;
   views : (string, view_def) Hashtbl.t;
+  mutable epoch : int;
+      (** bumped by every DDL statement and statistics refresh; the
+          plan cache invalidates on mismatch (read via {!epoch}) *)
   mutable site_of : string -> string;
       (** simulated-distribution hook: the site a table lives at
           (default: every table is ["local"]) *)
@@ -32,6 +36,15 @@ exception Catalog_error of string
 (** A fresh database instance with the built-in storage managers (heap,
     fixed) and access-method kinds (btree) registered. *)
 val create : ?pool_capacity:int -> unit -> t
+
+(** The catalog/statistics epoch: changes whenever a definition or its
+    statistics may have changed, so a plan compiled at epoch [e] is
+    trustworthy iff [epoch t = e] still holds. *)
+val epoch : t -> int
+
+(** Advances the epoch without a definition change — used by callers
+    that refresh statistics outside the catalog (single-table ANALYZE). *)
+val bump_epoch : t -> unit
 
 (** Installs a fault plan on the catalog (site ["catalog.lookup"]),
     its buffer pool (["buffer.pin"]) and — via probe-time consult — all

@@ -17,4 +17,5 @@ let () =
       Test_resil.suite;
       Test_analysis.suite;
       Test_fuzz.suite;
+      Test_server.suite;
     ]

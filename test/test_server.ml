@@ -1,0 +1,466 @@
+(** Server tests: the sharded LRU plan cache (key normalization,
+    eviction, epoch invalidation, exported counters) and the
+    multi-session front end — concurrent sessions checked against a
+    single-caller oracle, SET and host-variable isolation across
+    sessions sharing one cache, DDL/ANALYZE epoch invalidation under
+    concurrency, and the admission controller's reject, session-cap and
+    load-shed paths (made deterministic with a latch function and
+    seeded [Sb_resil.Faults]). *)
+
+open Test_util
+module Server = Sb_server
+module Err = Sb_resil.Err
+module Faults = Sb_resil.Faults
+module Plan_cache = Starburst.Plan_cache
+module Functions = Sb_hydrogen.Functions
+module Catalog = Sb_storage.Catalog
+module Datatype = Sb_storage.Datatype
+module Value = Sb_storage.Value
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- plan cache --------------------------------------------------- *)
+
+let test_normalize () =
+  let n = Plan_cache.normalize in
+  Alcotest.(check string)
+    "whitespace collapsed, lowercased, trailing ; dropped" "select x from t"
+    (n "  SELECT   x\n\tFROM  T ;");
+  Alcotest.(check string) "string literals keep their case"
+    "select 'AbC' from t" (n "SELECT 'AbC' FROM t");
+  Alcotest.(check bool) "equivalent spellings share one key" true
+    (n "SELECT partno FROM t" = n "select  partno\nfrom T;");
+  Alcotest.(check bool) "different literals stay distinct" true
+    (n "SELECT 'a' FROM t" <> n "SELECT 'A' FROM t")
+
+let test_lru_eviction () =
+  let c : int Plan_cache.t = Plan_cache.create ~shards:1 ~capacity:2 () in
+  Plan_cache.add c ~epoch:0 "a" 1;
+  Plan_cache.add c ~epoch:0 "b" 2;
+  ignore (Plan_cache.find c ~epoch:0 "a");
+  (* [a] is now most recently used, so inserting a third key evicts [b] *)
+  Plan_cache.add c ~epoch:0 "c" 3;
+  let st = Plan_cache.stats c in
+  Alcotest.(check int) "resident stays at capacity" 2 st.Plan_cache.resident;
+  Alcotest.(check int) "one eviction" 1 st.Plan_cache.evictions;
+  Alcotest.(check bool) "recently used key survives" true
+    (Plan_cache.find c ~epoch:0 "a" = Some 1);
+  Alcotest.(check bool) "LRU key evicted" true
+    (Plan_cache.find c ~epoch:0 "b" = None);
+  Alcotest.(check bool) "new key resident" true
+    (Plan_cache.find c ~epoch:0 "c" = Some 3)
+
+let test_epoch_invalidation () =
+  let c : int Plan_cache.t = Plan_cache.create ~shards:2 ~capacity:8 () in
+  Plan_cache.add c ~epoch:0 "k" 1;
+  Alcotest.(check bool) "hit at its compile epoch" true
+    (Plan_cache.find c ~epoch:0 "k" = Some 1);
+  Alcotest.(check bool) "stale epoch misses" true
+    (Plan_cache.find c ~epoch:1 "k" = None);
+  let st = Plan_cache.stats c in
+  Alcotest.(check int) "invalidation counted" 1 st.Plan_cache.invalidations;
+  Alcotest.(check int) "stale entry dropped" 0 st.Plan_cache.resident;
+  Plan_cache.add c ~epoch:1 "k" 2;
+  Alcotest.(check bool) "recompiled entry hits at the new epoch" true
+    (Plan_cache.find c ~epoch:1 "k" = Some 2)
+
+let test_cache_metrics () =
+  let m = Sb_obs.Metrics.create () in
+  let c : int Plan_cache.t =
+    Plan_cache.create ~shards:1 ~capacity:1 ~metrics:m ()
+  in
+  ignore (Plan_cache.find c ~epoch:0 "k");
+  Plan_cache.add c ~epoch:0 "k" 1;
+  ignore (Plan_cache.find c ~epoch:0 "k");
+  ignore (Plan_cache.find c ~epoch:1 "k");
+  Plan_cache.add c ~epoch:1 "k" 1;
+  Plan_cache.add c ~epoch:1 "other" 2 (* capacity 1: evicts [k] *);
+  let dump = Sb_obs.Metrics.dump m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains needle dump))
+    [
+      "sb_plan_cache_hits_total";
+      "sb_plan_cache_misses_total";
+      "sb_plan_cache_invalidations_total";
+      "sb_plan_cache_evictions_total";
+    ]
+
+(* --- server fixtures ---------------------------------------------- *)
+
+let schema =
+  [
+    "CREATE TABLE quotations (partno INT NOT NULL, price FLOAT, order_qty \
+     INT, supplier STRING)";
+    "CREATE TABLE inventory (partno INT NOT NULL UNIQUE, onhand_qty INT, \
+     type STRING)";
+    "INSERT INTO quotations VALUES (1, 10.5, 100, 'acme'), (2, 20.0, 5, \
+     'acme'), (3, 7.25, 50, 'globex'), (4, 99.0, 2, 'initech'), (1, 11.0, \
+     30, 'globex')";
+    "INSERT INTO inventory VALUES (1, 20, 'CPU'), (2, 500, 'CPU'), (3, 10, \
+     'DISK'), (4, 1, 'CPU')";
+    "ANALYZE";
+  ]
+
+let mix =
+  [|
+    "SELECT partno FROM quotations WHERE price < 15";
+    "SELECT i.type, count(*) FROM quotations q, inventory i WHERE q.partno \
+     = i.partno GROUP BY i.type";
+    "SELECT DISTINCT supplier FROM quotations WHERE order_qty > 10";
+    "SELECT partno FROM inventory WHERE type = 'CPU' ORDER BY partno";
+    "SELECT count(*) FROM quotations WHERE partno IN (SELECT partno FROM \
+     inventory WHERE onhand_qty > 15)";
+  |]
+
+let ok_exn = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "unexpected error: %s" (Err.to_string e)
+
+let rows_exn outcome =
+  match ok_exn outcome with
+  | Starburst.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected a row-returning statement"
+
+let fresh_server ?config ?install () =
+  let server = Server.create ?config ?install () in
+  let boot = Server.session server in
+  List.iter
+    (fun stmt -> ignore (ok_exn (Server.submit server boot stmt)))
+    schema;
+  Server.close_session server boot;
+  server
+
+(* the single-caller oracle: one plain handle, same schema and data *)
+let oracle () =
+  let db = Starburst.create () in
+  List.iter (fun stmt -> ignore (Starburst.run db stmt)) schema;
+  db
+
+(* --- sessions vs the single caller -------------------------------- *)
+
+let test_sessions_match_single_caller () =
+  let server = fresh_server () in
+  let odb = oracle () in
+  let s1 = Server.session server and s2 = Server.session server in
+  Array.iter
+    (fun qtext ->
+      let expect = Starburst.query odb qtext in
+      List.iter
+        (fun s -> check_bag qtext expect (rows_exn (Server.submit server s qtext)))
+        [ s1; s2 ])
+    mix;
+  (* a second pass is all cache hits and still correct *)
+  let before = (Server.cache_stats server).Plan_cache.hits in
+  Array.iter
+    (fun qtext ->
+      check_bag qtext (Starburst.query odb qtext)
+        (rows_exn (Server.submit server s1 qtext)))
+    mix;
+  Alcotest.(check bool) "second pass hit the shared cache" true
+    ((Server.cache_stats server).Plan_cache.hits >= before + Array.length mix);
+  Server.shutdown server
+
+let test_concurrent_domains_match () =
+  let server = fresh_server () in
+  let adm0 = (Server.stats server).Server.st_admitted in
+  let odb = oracle () in
+  let expected = Array.map (fun qtext -> Starburst.query odb qtext) mix in
+  let rounds = 25 in
+  let worker i () =
+    let s = Server.session server in
+    let bad = ref 0 in
+    for k = 0 to rounds - 1 do
+      let qi = (i + k) mod Array.length mix in
+      match Server.submit server s mix.(qi) with
+      | Ok (Starburst.Rows { rows; _ }) when same_bag expected.(qi) rows -> ()
+      | _ -> incr bad
+    done;
+    Server.close_session server s;
+    !bad
+  in
+  let domains = Array.init 4 (fun i -> Domain.spawn (worker i)) in
+  let bad = Array.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  Alcotest.(check int) "every concurrent result matches the single caller" 0
+    bad;
+  let st = Server.stats server in
+  Alcotest.(check int) "all statements admitted" (4 * rounds)
+    (st.Server.st_admitted - adm0);
+  let c = Server.cache_stats server in
+  Alcotest.(check bool) "the shared cache amortized compilation" true
+    (c.Plan_cache.hits > c.Plan_cache.misses);
+  Server.shutdown server
+
+(* --- per-session state --------------------------------------------- *)
+
+let test_set_isolation () =
+  let server = fresh_server () in
+  let s1 = Server.session server and s2 = Server.session server in
+  ignore (ok_exn (Server.submit server s1 "SET limit_output_rows = 1"));
+  (match Server.submit server s1 "SELECT partno FROM quotations" with
+  | Error e ->
+    Alcotest.(check string) "breach is a resource error" "resource"
+      (Err.stage_name e.Err.err_stage)
+  | Ok _ -> Alcotest.fail "session 1 should breach its output-row limit");
+  (* the other session shares the cached plan but not the governor *)
+  Alcotest.(check int) "session 2 is unlimited" 5
+    (List.length (rows_exn (Server.submit server s2 "SELECT partno FROM quotations")));
+  Server.shutdown server
+
+let test_host_var_isolation () =
+  let server = fresh_server () in
+  let s1 = Server.session server and s2 = Server.session server in
+  Starburst.bind_host (Server.session_db s1) "lim" (f 15.0);
+  Starburst.bind_host (Server.session_db s2) "lim" (f 8.0);
+  let qtext = "SELECT partno FROM quotations WHERE price < :lim" in
+  check_bag "session 1 binding"
+    [ row [ i 1 ]; row [ i 1 ]; row [ i 3 ] ]
+    (rows_exn (Server.submit server s1 qtext));
+  check_bag "session 2 shares the plan, not the binding" [ row [ i 3 ] ]
+    (rows_exn (Server.submit server s2 qtext));
+  Alcotest.(check bool) "the second execution was a cache hit" true
+    ((Server.cache_stats server).Plan_cache.hits >= 1);
+  Server.shutdown server
+
+(* --- epoch invalidation -------------------------------------------- *)
+
+let test_ddl_invalidates () =
+  let server = fresh_server () in
+  let s1 = Server.session server and s2 = Server.session server in
+  let qtext = "SELECT partno FROM parts" in
+  ignore (ok_exn (Server.submit server s1 "CREATE TABLE parts (partno INT)"));
+  ignore (ok_exn (Server.submit server s1 "INSERT INTO parts VALUES (1), (2)"));
+  check_bag "initial" [ row [ i 1 ]; row [ i 2 ] ]
+    (rows_exn (Server.submit server s1 qtext));
+  check_bag "cached" [ row [ i 1 ]; row [ i 2 ] ]
+    (rows_exn (Server.submit server s1 qtext));
+  let inv0 = (Server.cache_stats server).Plan_cache.invalidations in
+  ignore (ok_exn (Server.submit server s2 "DROP TABLE parts"));
+  ignore (ok_exn (Server.submit server s2 "CREATE TABLE parts (partno INT)"));
+  ignore (ok_exn (Server.submit server s2 "INSERT INTO parts VALUES (7)"));
+  check_bag "no stale plan served after drop/recreate" [ row [ i 7 ] ]
+    (rows_exn (Server.submit server s1 qtext));
+  Alcotest.(check bool) "invalidation counted" true
+    ((Server.cache_stats server).Plan_cache.invalidations > inv0);
+  let e0 = (Server.stats server).Server.st_epoch in
+  ignore (ok_exn (Server.submit server s2 "ANALYZE"));
+  Alcotest.(check bool) "ANALYZE bumps the statistics epoch" true
+    ((Server.stats server).Server.st_epoch > e0);
+  Server.shutdown server
+
+let test_concurrent_invalidation () =
+  let server = fresh_server () in
+  let s = Server.session server in
+  ignore (ok_exn (Server.submit server s "CREATE TABLE kv (k INT)"));
+  let qtext = "SELECT count(*) FROM kv" in
+  let stop = Atomic.make false in
+  (* readers hammer the cached count while the writer interleaves
+     inserts with single-table ANALYZE (each bumps the epoch); rows only
+     ever get added, so any non-monotone count is a stale plan *)
+  let reader () =
+    let rs = Server.session server in
+    let bad = ref 0 and last = ref 0 in
+    while not (Atomic.get stop) do
+      match Server.submit server rs qtext with
+      | Ok (Starburst.Rows { rows = [ [| Value.Int n |] ]; _ }) ->
+        if n < !last then incr bad;
+        last := n
+      | _ -> incr bad
+    done;
+    Server.close_session server rs;
+    !bad
+  in
+  let readers = Array.init 2 (fun _ -> Domain.spawn reader) in
+  for k = 1 to 20 do
+    ignore
+      (ok_exn
+         (Server.submit server s (Printf.sprintf "INSERT INTO kv VALUES (%d)" k)));
+    ignore (ok_exn (Server.submit server s "ANALYZE kv"))
+  done;
+  Atomic.set stop true;
+  let bad = Array.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  Alcotest.(check int) "readers only saw fresh, monotone counts" 0 bad;
+  (match rows_exn (Server.submit server s qtext) with
+  | [ [| Value.Int n |] ] -> Alcotest.(check int) "final count" 20 n
+  | _ -> Alcotest.fail "expected one count row");
+  Server.shutdown server
+
+(* --- admission control --------------------------------------------- *)
+
+(* a scalar function that parks the executing statement on a latch, so
+   the test can observe the server with a statement genuinely in
+   flight *)
+let test_admission_rejects_at_high_water () =
+  let gate = Mutex.create () and turn = Condition.create () in
+  let entered = ref false and released = ref false in
+  let latch_fn =
+    {
+      Functions.sf_name = "latch";
+      sf_arity = Some 1;
+      sf_type = (fun _ -> Ok (Some Datatype.Int));
+      sf_eval =
+        (fun args ->
+          Mutex.lock gate;
+          entered := true;
+          Condition.broadcast turn;
+          while not !released do
+            Condition.wait turn gate
+          done;
+          Mutex.unlock gate;
+          List.hd args);
+    }
+  in
+  let config =
+    {
+      (Server.default_config ()) with
+      Server.workers = 1;
+      max_inflight = 1;
+      degrade_inflight = 1;
+      session_inflight = 2;
+    }
+  in
+  let server =
+    Server.create ~config
+      ~install:(fun db ->
+        Functions.register_scalar db.Starburst.Corona.functions latch_fn)
+      ()
+  in
+  let boot = Server.session server in
+  ignore (ok_exn (Server.submit server boot "CREATE TABLE one (x INT)"));
+  ignore (ok_exn (Server.submit server boot "INSERT INTO one VALUES (1)"));
+  let s1 = Server.session server and s2 = Server.session server in
+  let p = Server.submit_async server s1 "SELECT latch(x) FROM one" in
+  Mutex.lock gate;
+  while not !entered do
+    Condition.wait turn gate
+  done;
+  Mutex.unlock gate;
+  (* one statement is parked in flight: the next must bounce *)
+  (match Server.submit server s2 "SELECT x FROM one" with
+  | Error e ->
+    Alcotest.(check bool) "rejection is retryable" true e.Err.err_retryable;
+    Alcotest.(check string) "rejection is a resource error" "resource"
+      (Err.stage_name e.Err.err_stage)
+  | Ok _ -> Alcotest.fail "expected a rejection at the high-water mark");
+  Mutex.lock gate;
+  released := true;
+  Condition.broadcast turn;
+  Mutex.unlock gate;
+  Alcotest.(check int) "the parked statement completes" 1
+    (List.length (rows_exn (Server.await p)));
+  (* capacity freed: the bounced statement is admitted on retry *)
+  Alcotest.(check int) "re-admitted after the flight drains" 1
+    (List.length (rows_exn (Server.submit server s2 "SELECT x FROM one")));
+  Alcotest.(check bool) "rejection counted" true
+    ((Server.stats server).Server.st_rejected >= 1);
+  Server.shutdown server
+
+let test_session_cap () =
+  let config =
+    {
+      (Server.default_config ()) with
+      Server.workers = 0;
+      max_inflight = 8;
+      degrade_inflight = 8;
+      session_inflight = 0;
+    }
+  in
+  let server = Server.create ~config () in
+  let s = Server.session server in
+  (match Server.submit server s "SELECT partno FROM quotations" with
+  | Error e ->
+    Alcotest.(check bool) "session-cap rejection is retryable" true
+      e.Err.err_retryable
+  | Ok _ -> Alcotest.fail "a zero session cap must reject");
+  Server.shutdown server
+
+let test_load_shedding () =
+  let config =
+    {
+      (Server.default_config ()) with
+      Server.workers = 0;
+      max_inflight = 8;
+      degrade_inflight = 0;
+      session_inflight = 4;
+    }
+  in
+  let server = Server.create ~config () in
+  let s = Server.session server in
+  ignore (ok_exn (Server.submit server s "CREATE TABLE t (x INT)"));
+  ignore (ok_exn (Server.submit server s "INSERT INTO t VALUES (1), (2), (3)"));
+  check_bag "a shed (greedy, no-rewrite) plan still answers correctly"
+    [ row [ i 2 ]; row [ i 3 ] ]
+    (rows_exn (Server.submit server s "SELECT x FROM t WHERE x > 1"));
+  Alcotest.(check bool) "statements past the threshold were shed" true
+    ((Server.stats server).Server.st_shed >= 3);
+  Alcotest.(check bool) "shedding is exported as a metric" true
+    (contains "sb_server_shed_total"
+       (Sb_obs.Metrics.dump (Server.metrics server)));
+  Server.shutdown server
+
+(* --- faults and lifecycle ------------------------------------------ *)
+
+let test_injected_fault_surfaces_structured () =
+  let server = fresh_server () in
+  let s = Server.session server in
+  let faults = Faults.create ~seed:11 () in
+  Faults.fail_nth faults ~outcome:Faults.Permanent ~site:"catalog.lookup" [ 1 ];
+  Catalog.set_faults (Server.catalog server) faults;
+  (match Server.submit server s "SELECT partno FROM inventory" with
+  | Error e ->
+    Alcotest.(check string) "injected fault surfaces as a storage error"
+      "storage"
+      (Err.stage_name e.Err.err_stage)
+  | Ok _ -> Alcotest.fail "expected the injected fault to surface");
+  Alcotest.(check int) "the session survives the fault" 4
+    (List.length (rows_exn (Server.submit server s "SELECT partno FROM inventory")));
+  Server.shutdown server
+
+let test_session_lifecycle () =
+  let server = fresh_server () in
+  let s1 = Server.session server and s2 = Server.session server in
+  Alcotest.(check int) "two open sessions" 2
+    (List.length (Server.list_sessions server));
+  Alcotest.(check bool) "ids are distinct" true
+    (Server.session_id s1 <> Server.session_id s2);
+  Server.close_session server s1;
+  Alcotest.(check int) "one session left" 1
+    (List.length (Server.list_sessions server));
+  (match Server.submit server s1 "SELECT partno FROM inventory" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a closed session must not execute");
+  Server.shutdown server;
+  (match Server.submit server s2 "SELECT partno FROM inventory" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a shut-down server must not execute");
+  match Server.session server with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "a shut-down server must not open sessions"
+
+let suite =
+  ( "server",
+    [
+      case "plan cache: key normalization" test_normalize;
+      case "plan cache: LRU eviction" test_lru_eviction;
+      case "plan cache: epoch invalidation" test_epoch_invalidation;
+      case "plan cache: exported counters" test_cache_metrics;
+      case "sessions match the single caller" test_sessions_match_single_caller;
+      case "concurrent domains match the single caller"
+        test_concurrent_domains_match;
+      case "SET variables are session-isolated" test_set_isolation;
+      case "host variables are session-isolated, plans shared"
+        test_host_var_isolation;
+      case "DDL invalidates cached plans across sessions" test_ddl_invalidates;
+      case "no stale plans under concurrent DDL/ANALYZE"
+        test_concurrent_invalidation;
+      case "admission rejects at the high-water mark"
+        test_admission_rejects_at_high_water;
+      case "per-session concurrency cap" test_session_cap;
+      case "load shedding degrades, still answers" test_load_shedding;
+      case "injected faults surface as structured errors"
+        test_injected_fault_surfaces_structured;
+      case "session lifecycle and shutdown" test_session_lifecycle;
+    ] )
