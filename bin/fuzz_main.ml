@@ -11,8 +11,11 @@
 let usage () =
   prerr_endline
     "usage: fuzz_main [--fuzz N] [--seed S] [--out DIR] [--metrics]\n\
+    \                 [--rules native|dsl|both]\n\
     \       fuzz_main --server N [--fuzz CASES] [--seed S]\n\
-    \       fuzz_main --replay PATH   (a .sbf file or a directory)";
+    \       fuzz_main --replay PATH   (a .sbf file or a directory)\n\
+    \       fuzz_main --rules-status  (verify the builtin DSL rules; any\n\
+    \                                  Rejected builtin is a build failure)";
   exit 2
 
 type opts = {
@@ -22,12 +25,15 @@ type opts = {
   mutable metrics : bool;
   mutable replay : string option;
   mutable server : int option;
+  mutable rules : Sb_fuzz.Oracle.rules_mode;
+  mutable rules_status : bool;
 }
 
 let parse_args () =
   let o =
     { cases = 100; seed = 42; out = "_fuzz_failures"; metrics = false;
-      replay = None; server = None }
+      replay = None; server = None; rules = Sb_fuzz.Oracle.Native_rules;
+      rules_status = false }
   in
   let rec go = function
     | [] -> o
@@ -53,9 +59,42 @@ let parse_args () =
       | Some n when n > 0 -> o.server <- Some n
       | _ -> usage ());
       go rest
+    | "--rules" :: mode :: rest ->
+      (match mode with
+      | "native" -> o.rules <- Sb_fuzz.Oracle.Native_rules
+      | "dsl" -> o.rules <- Sb_fuzz.Oracle.Dsl_rules
+      | "both" -> o.rules <- Sb_fuzz.Oracle.Both_rules
+      | _ -> usage ());
+      go rest
+    | "--rules-status" :: rest ->
+      o.rules_status <- true;
+      go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv))
+
+(* --rules-status: strict-mode verification of the builtin DSL rules.
+   Every port must come out of the static verifier Verified or
+   Conditional (with its guards inserted); a Rejected builtin — or a
+   verdict drifting to Rejected after a verifier change — fails the
+   build.  Exit status is the number of rejected builtins. *)
+let rules_status () =
+  let module Dsl = Sb_ruledsl.Dsl in
+  let module Verify = Sb_ruledsl.Verify in
+  let rejected = ref 0 in
+  List.iter
+    (fun (r : Dsl.rule) ->
+      let v = Verify.verify r in
+      (match v.Verify.v_status with
+      | Verify.Rejected _ -> incr rejected
+      | Verify.Verified | Verify.Conditional _ -> ());
+      Printf.printf "%-28s %s\n" r.Dsl.name
+        (Verify.status_to_string v.Verify.v_status))
+    Sb_ruledsl.Builtin.all;
+  Printf.printf "builtin DSL rules: %d, rejected: %d\n"
+    (List.length Sb_ruledsl.Builtin.all)
+    !rejected;
+  !rejected
 
 let show_verdict path = function
   | Sb_fuzz.Oracle.Pass ->
@@ -166,6 +205,8 @@ let server_differential ~sessions ~cases ~seed =
 
 let () =
   let o = parse_args () in
+  if o.rules_status then exit (min 125 (rules_status ()))
+  else
   match o.server with
   | Some sessions ->
     exit (min 125 (server_differential ~sessions ~cases:o.cases ~seed:o.seed))
@@ -179,9 +220,11 @@ let () =
     exit (min 125 (replay path))
   | None ->
     let metrics = Sb_obs.Metrics.create () in
+    if o.rules <> Sb_fuzz.Oracle.Native_rules then
+      Printf.printf "rules mode: %s\n" (Sb_fuzz.Oracle.rules_mode_name o.rules);
     let stats =
-      Sb_fuzz.Harness.run ~metrics ~out_dir:o.out ~log:print_endline
-        ~seed:o.seed ~n:o.cases ()
+      Sb_fuzz.Harness.run ~rules:o.rules ~metrics ~out_dir:o.out
+        ~log:print_endline ~seed:o.seed ~n:o.cases ()
     in
     print_string (Sb_fuzz.Harness.report stats);
     if o.metrics then print_string (Sb_obs.Metrics.dump metrics);

@@ -10,7 +10,9 @@
     statistics aggregates) are installed unless [--bare] is given.
 
     Meta-commands: [\stats] (execution counters and per-rule rewrite
-    firings of the last query), [\limits] (session resource limits and
+    firings of the last query), [\rules] (registered rewrite rules with
+    origin, verification status and cumulative fire/attempt counts —
+    same as [EXPLAIN RULES]), [\limits] (session resource limits and
     the last statement's consumption), [\metrics] (Prometheus-style dump),
     [\trace] (span tree of the current tracer; enable with
     [SET trace = on]), [\check [query]] (catalog lints, or the full
@@ -175,6 +177,10 @@ let meta_command backend line =
   let db = backend_db backend in
   match String.split_on_char ' ' (String.trim line) with
   | "\\stats" :: _ -> print_stats db
+  | "\\rules" :: _ ->
+    (* same report as EXPLAIN RULES: every registered rule with origin,
+       verification status and cumulative fire/attempt counts *)
+    print_string (Starburst.rules_report db)
   | "\\limits" :: _ -> print_limits db
   | "\\check" :: rest -> print_check db rest
   | "\\infer" :: rest -> print_infer db rest
@@ -215,7 +221,7 @@ let run_script backend text =
 
 let repl backend =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\limits \\metrics \\trace \\check \\infer \\cache \\sessions, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\rules \\limits \\metrics \\trace \\check \\infer \\cache \\sessions, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");

@@ -73,6 +73,8 @@ type env = {
           consulted lazily the first time a column is touched *)
   parent : (node, node) Hashtbl.t;
   cls : (node, Props.col_prop) Hashtbl.t;  (** root -> refined prop *)
+  mutable diseqs : (node * node) list;
+      (** assumed disequalities, compared by class root at query time *)
   mutable contradiction : bool;
 }
 
@@ -81,6 +83,7 @@ let make_env ?(prop_of = fun _ _ -> Props.top_col) () =
     prop_of;
     parent = Hashtbl.create 16;
     cls = Hashtbl.create 16;
+    diseqs = [];
     contradiction = false;
   }
 
@@ -118,6 +121,17 @@ let refine env n p =
 
 let not_null = { Props.cp_nullable = false; cp_interval = Some Props.top_iv }
 
+let same_class env a b = find env a = find env b
+
+(** Have [a] and [b] been assumed distinct (by class)? *)
+let diseq_class env a b =
+  let ra = find env a and rb = find env b in
+  List.exists
+    (fun (x, y) ->
+      let rx = find env x and ry = find env y in
+      (rx = ra && ry = rb) || (rx = rb && ry = ra))
+    env.diseqs
+
 let union env a b =
   let ra = find env a and rb = find env b in
   if ra <> rb then begin
@@ -128,10 +142,14 @@ let union env a b =
     in
     Hashtbl.remove env.cls child;
     Hashtbl.replace env.parent child root;
-    set_class_prop env root p
+    set_class_prop env root p;
+    (* merging two classes held apart by a disequality is impossible *)
+    if
+      List.exists
+        (fun (x, y) -> same_class env x y)
+        env.diseqs
+    then env.contradiction <- true
   end
-
-let same_class env a b = find env a = find env b
 
 (* ------------------------------------------------------------------ *)
 (* Abstract evaluation of value expressions                            *)
@@ -250,12 +268,18 @@ let rec eval env (e : Qgm.expr) : tri =
       | None, _ | _, None -> (false, false)  (* a null side: always NULL *)
       | Some ia, Some ib ->
         let t, f = cmp_possible op ia ib in
-        (* congruence: both sides in one equality class compare equal *)
+        (* congruence: both sides in one equality class compare equal;
+           an assumed disequality decides Eq/Neq the other way *)
         (match node_of a, node_of b with
         | Some na, Some nb when same_class env na nb -> (
           match op with
           | Ast.Eq | Ast.Le | Ast.Ge -> (t, false)
           | Ast.Neq | Ast.Lt | Ast.Gt -> (false, f)
+          | _ -> (t, f))
+        | Some na, Some nb when diseq_class env na nb -> (
+          match op with
+          | Ast.Eq -> (false, f)
+          | Ast.Neq -> (t, false)
           | _ -> (t, f))
         | _ -> (t, f))
     in
@@ -340,8 +364,9 @@ let rec assume env (e : Qgm.expr) =
       constrain a op b;
       constrain b (flip op) a;
       (match op, node_of a, node_of b with
-      | Ast.Neq, Some na, Some nb when same_class env na nb ->
-        env.contradiction <- true
+      | Ast.Neq, Some na, Some nb ->
+        if same_class env na nb then env.contradiction <- true
+        else env.diseqs <- (na, nb) :: env.diseqs
       | _ -> ());
       check env e)
     | Qgm.Un (Ast.Not, Qgm.Is_null inner) -> (
@@ -420,3 +445,40 @@ let const_truth ?prop_of (e : Qgm.expr) : bool option =
   if must_pass v then Some true
   else if not (can_pass v) then Some false
   else None
+
+(* ------------------------------------------------------------------ *)
+(* Strictness (null intolerance)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type strictness = Strict | Non_strict | Strict_unknown
+
+let strictness_to_string = function
+  | Strict -> "strict"
+  | Non_strict -> "non-strict"
+  | Strict_unknown -> "unknown"
+
+(** Is [e] {e strict} (null-intolerant) in [cols]: can it never pass a
+    WHERE clause when one of those columns is NULL?  Strict predicates
+    are the ones safe to push below NULL-padding operations — a padded
+    row cannot survive them, so filtering early loses nothing.  [Strict]
+    and [Non_strict] are proofs (the latter exhibits a column whose
+    NULLing forces the predicate TRUE, e.g. [IS NULL]); anything the
+    abstraction cannot decide is [Strict_unknown]. *)
+let strictness ?(prop_of = fun _ _ -> Props.top_col) ~cols (e : Qgm.expr) =
+  let under_null (q, i) =
+    let forced q' i' =
+      if q' = q && i' = i then { Props.cp_nullable = true; cp_interval = None }
+      else prop_of q' i'
+    in
+    eval (make_env ~prop_of:forced ()) e
+  in
+  let verdicts = List.map under_null cols in
+  if List.exists must_pass verdicts then Non_strict
+  else if List.for_all (fun v -> not (can_pass v)) verdicts then Strict
+  else Strict_unknown
+
+(** Strictness of [e] in every column it references. *)
+let strict_in_refs ?prop_of (e : Qgm.expr) =
+  match Qgm.col_refs e with
+  | [] -> Strict_unknown  (* no columns: nothing to be strict in *)
+  | cols -> strictness ?prop_of ~cols e

@@ -23,6 +23,10 @@ module Qgm_print = Sb_qgm.Print
 module Rule = Sb_rewrite.Rule
 module Engine = Sb_rewrite.Engine
 module Base_rules = Sb_rewrite.Base_rules
+module Rule_dsl = Sb_ruledsl.Dsl
+module Rule_compile = Sb_ruledsl.Compile
+module Rule_verify = Sb_ruledsl.Verify
+module Rule_builtin = Sb_ruledsl.Builtin
 module Plan = Sb_optimizer.Plan
 module Star = Sb_optimizer.Star
 module Generator = Sb_optimizer.Generator
@@ -62,6 +66,10 @@ type t = {
   functions : Functions.t;
   builder_cfg : Builder.config;
   rules : Rule.set;
+  rule_stats : (string, int * int) Hashtbl.t;
+      (** cumulative per-rule (fires, attempts) across the session *)
+  mutable dsl_statuses : (string * Rule_verify.status) list;
+      (** verification status of every DSL-compiled rule, by name *)
   optimizer : Generator.t;
   exec_db : Exec.db;
   mutable rewrite_enabled : bool;
@@ -114,6 +122,8 @@ let create ?(pool_capacity = 256) ?limits ?catalog ?plan_cache () : t =
     functions;
     builder_cfg;
     rules = Base_rules.default_set ~catalog;
+    rule_stats = Hashtbl.create 32;
+    dsl_statuses = [];
     optimizer = Generator.create ~catalog ~functions ();
     exec_db = Exec.make_db ~catalog ~functions;
     rewrite_enabled = true;
@@ -218,6 +228,16 @@ let record_exec_counters t (c : Exec.counters) =
   add "sb_exec_output_total" c.Exec.c_output
 
 let record_rewrite_stats t (stats : Engine.stats) =
+  (* cumulative per-rule accounting backs EXPLAIN RULES, the shell's
+     [\rules] and the dead-rule lint — always on, unlike the metrics *)
+  let bump fires attempts name =
+    let f0, a0 =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt t.rule_stats name)
+    in
+    Hashtbl.replace t.rule_stats name (f0 + fires, a0 + attempts)
+  in
+  List.iter (fun (rule, n) -> bump 0 n rule) stats.Engine.attempts;
+  List.iter (fun (rule, n) -> bump n 0 rule) stats.Engine.firings;
   if Trace.enabled t.tracer then
     List.iter
       (fun (rule, n) ->
@@ -225,6 +245,111 @@ let record_rewrite_stats t (stats : Engine.stats) =
           (Metrics.counter ~label:("rule", rule) t.metrics
              "sb_rewrite_rule_fires_total"))
       stats.Engine.firings
+
+(** Cumulative per-rule [(name, (fires, attempts))] rows, sorted by
+    name. *)
+let rule_stats t : (string * (int * int)) list =
+  Hashtbl.fold (fun name fa acc -> (name, fa) :: acc) t.rule_stats []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* The rule DSL                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Compiles and registers a declarative rewrite rule.  The static
+    verifier runs at registration: a [Rejected] rule never enters the
+    rule set — it surfaces as a structured semantic {!Err.t} naming the
+    failed obligation and the counterexample sketch.  [Conditional]
+    rules register with their runtime guards auto-inserted; the
+    returned status says which obligations were discharged statically. *)
+let register_dsl_rule t (r : Rule_dsl.rule) : Rule_verify.status =
+  match Rule_compile.compile ~catalog:t.catalog r with
+  | Error status ->
+    raise
+      (Error
+         (Err.make Err.Semantic
+            (Fmt.str "rule %s rejected by the static verifier: %s"
+               r.Rule_dsl.name
+               (Rule_verify.status_to_string status))))
+  | Ok (rule, status) ->
+    Rule.add t.rules rule;
+    t.dsl_statuses <-
+      (r.Rule_dsl.name, status)
+      :: List.remove_assoc r.Rule_dsl.name t.dsl_statuses;
+    status
+
+(** Replaces the native predicate/redundant rule families with their
+    DSL-compiled ports, in place (registration order, priorities and
+    rewrite behavior are unchanged — the ports rewrite byte-identically,
+    which the fuzz oracle's [--rules both] mode checks).  A builtin the
+    verifier rejects is an internal error: the build's strict mode
+    ([fuzz_main --rules-status]) fails on it. *)
+let use_dsl_builtins t : unit =
+  let compiled =
+    List.map
+      (fun (r : Rule_dsl.rule) ->
+        match Rule_compile.compile ~catalog:t.catalog r with
+        | Ok (rule, status) -> (r.Rule_dsl.name, (rule, status))
+        | Error status ->
+          raise
+            (Error
+               (Err.make Err.Internal
+                  (Fmt.str "builtin rule %s rejected: %s" r.Rule_dsl.name
+                     (Rule_verify.status_to_string status)))))
+      Rule_builtin.all
+  in
+  t.rules.Rule.rules <-
+    List.map
+      (fun (r : Rule.t) ->
+        match List.assoc_opt r.Rule.rule_name compiled with
+        | Some (rule, _) -> rule
+        | None -> r)
+      t.rules.Rule.rules;
+  List.iter
+    (fun (name, (_, status)) ->
+      t.dsl_statuses <-
+        (name, status) :: List.remove_assoc name t.dsl_statuses)
+    compiled
+
+(** The EXPLAIN RULES / [\rules] report: every registered rule with its
+    class, priority, origin, verification status (DSL rules only —
+    native closures are opaque to the verifier) and cumulative
+    fire/attempt counts, followed by any dead-rule lints. *)
+let rules_report t : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Fmt.str "%-28s %-10s %4s  %-6s  %-24s %10s\n" "rule" "class" "prio"
+       "origin" "verification" "fires/attempts");
+  List.iter
+    (fun (r : Rule.t) ->
+      let fires, attempts =
+        Option.value ~default:(0, 0)
+          (Hashtbl.find_opt t.rule_stats r.Rule.rule_name)
+      in
+      let verification =
+        match r.Rule.rule_origin with
+        | Rule.Native -> "-"
+        | Rule.Dsl -> (
+          match List.assoc_opt r.Rule.rule_name t.dsl_statuses with
+          | Some s -> Rule_verify.status_to_string s
+          | None -> "?")
+      in
+      Buffer.add_string buf
+        (Fmt.str "%-28s %-10s %4d  %-6s  %-24s %6d/%-6d\n" r.Rule.rule_name
+           r.Rule.rule_class r.Rule.rule_priority
+           (match r.Rule.rule_origin with
+           | Rule.Native -> "native"
+           | Rule.Dsl -> "dsl")
+           verification fires attempts))
+    (Rule.all t.rules);
+  (match Lint.lint_rules (rule_stats t) with
+  | [] -> ()
+  | diags ->
+    Buffer.add_string buf "== LINT ==\n";
+    List.iter
+      (fun d -> Buffer.add_string buf ("  " ^ Lint.diag_to_string d ^ "\n"))
+      diags);
+  Buffer.contents buf
 
 (** The Prometheus-style text dump of the database's metrics registry:
     stage latencies, per-rule firings, and execution counters. *)
@@ -917,7 +1042,8 @@ let explain_analysis t (wq : Ast.with_query) : string =
   Buffer.contents buf
 
 let explain t mode (wq : Ast.with_query) : string =
-  if mode = Ast.Explain_analyze then explain_analyze t wq
+  if mode = Ast.Explain_rules then rules_report t
+  else if mode = Ast.Explain_analyze then explain_analyze t wq
   else if mode = Ast.Explain_analysis then explain_analysis t wq
   else if mode = Ast.Explain_verify then explain_verify t wq
   else begin
@@ -1042,6 +1168,7 @@ let rec run_statement t (stmt : Ast.statement) : result =
     Catalog.bump_epoch t.catalog;
     Message (Fmt.str "statistics updated for %s" name)
   | Ast.Stmt_set (key, value) -> do_set t key value
+  | Ast.Stmt_explain (Ast.Explain_rules, _) -> Message (rules_report t)
   | Ast.Stmt_explain (mode, Ast.Stmt_query wq) -> Message (explain t mode wq)
   | Ast.Stmt_explain (_, inner) -> run_statement t inner
 

@@ -18,6 +18,10 @@ module Qgm_print = Sb_qgm.Print
 module Rule = Sb_rewrite.Rule
 module Engine = Sb_rewrite.Engine
 module Base_rules = Sb_rewrite.Base_rules
+module Rule_dsl = Sb_ruledsl.Dsl
+module Rule_compile = Sb_ruledsl.Compile
+module Rule_verify = Sb_ruledsl.Verify
+module Rule_builtin = Sb_ruledsl.Builtin
 module Plan = Sb_optimizer.Plan
 module Star = Sb_optimizer.Star
 module Generator = Sb_optimizer.Generator
@@ -55,6 +59,10 @@ type t = {
   functions : Functions.t;
   builder_cfg : Builder.config;
   rules : Rule.set;
+  rule_stats : (string, int * int) Hashtbl.t;
+      (** cumulative per-rule (fires, attempts) across the session *)
+  mutable dsl_statuses : (string * Rule_verify.status) list;
+      (** verification status of every DSL-compiled rule, by name *)
   optimizer : Generator.t;
   exec_db : Exec.db;
   mutable rewrite_enabled : bool;
@@ -107,6 +115,35 @@ val counters : t -> Exec.counters
 
 (** Rewrite statistics of the most recent rewritten query. *)
 val last_rewrite : t -> Engine.stats option
+
+(** {1 The rule DSL}
+
+    Declarative rewrite rules ({!Sb_ruledsl.Dsl.rule}) are compiled to
+    ordinary {!Rule.t}s at registration, after a static verification
+    pass: metavariable scoping, then soundness obligations discharged
+    through {!Sb_analysis.Prover} under schema-only facts.  A rule is
+    [Verified] (all obligations proved), [Conditional] (runtime guards
+    auto-inserted for the unproved ones) or [Rejected] (registration
+    refused with a counterexample sketch). *)
+
+(** Compiles, verifies and registers a DSL rule; returns its status.
+    @raise Error (semantic) when the verifier rejects the rule — the
+    message names the failed obligation and the counterexample sketch. *)
+val register_dsl_rule : t -> Rule_dsl.rule -> Rule_verify.status
+
+(** Replaces the native predicate/redundant rule families with their
+    DSL-compiled ports, in place; rewrite behavior is byte-identical
+    (checked differentially by the fuzz oracle's [--rules both] mode). *)
+val use_dsl_builtins : t -> unit
+
+(** Cumulative per-rule [(name, (fires, attempts))] rows, sorted by
+    name — the input to {!Sb_verify.Lint.lint_rules}. *)
+val rule_stats : t -> (string * (int * int)) list
+
+(** The [EXPLAIN RULES] / shell [\rules] report: every registered rule
+    with class, priority, origin, verification status and cumulative
+    fire/attempt counts, plus dead-rule lints. *)
+val rules_report : t -> string
 
 (** {1 Resilience}
 

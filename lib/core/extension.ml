@@ -71,6 +71,12 @@ let set_site_map (db : t) site_of = db.Corona.catalog.Catalog.site_of <- site_of
 
 let register_rewrite_rule (db : t) rule = Rule.add db.Corona.rules rule
 
+(** The verified path: the declarative rule is statically checked at
+    registration (obligations proved, or guarded, or the registration
+    refused with a structured error) — unlike {!register_rewrite_rule},
+    whose closures the system must take on trust. *)
+let register_dsl_rewrite_rule (db : t) rule = Corona.register_dsl_rule db rule
+
 let rewrite_rule_classes (db : t) = Rule.classes db.Corona.rules
 
 (* --- optimizer extensions --- *)

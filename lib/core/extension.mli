@@ -41,6 +41,14 @@ val set_site_map : t -> (string -> string) -> unit
 (** {1 Query rewrite extensions} *)
 
 val register_rewrite_rule : t -> Rule.t -> unit
+
+(** Registers a declarative ({!Sb_ruledsl.Dsl}) rewrite rule through the
+    static verifier; returns the verification status ([Verified], or
+    [Conditional] with runtime guards auto-inserted).
+    @raise Corona.Error when the verifier rejects the rule. *)
+val register_dsl_rewrite_rule :
+  t -> Sb_ruledsl.Dsl.rule -> Sb_ruledsl.Verify.status
+
 val rewrite_rule_classes : t -> string list
 
 (** {1 Optimizer extensions} *)

@@ -27,9 +27,12 @@ type stats = {
     there as [.sbf] repros.  Counters land in [metrics] as
     [sb_fuzz_cases_total], [sb_fuzz_rejected_total],
     [sb_fuzz_discrepancies_total] and [sb_fuzz_shrink_steps_total].
-    [log] receives one line per failure as it is found. *)
+    [log] receives one line per failure as it is found.  [rules]
+    selects the rewrite-rule implementation under test
+    ({!Oracle.rules_mode}; default native). *)
 val run :
   ?inject:(Starburst.t -> unit) ->
+  ?rules:Oracle.rules_mode ->
   ?metrics:Metrics.t ->
   ?out_dir:string ->
   ?log:(string -> unit) ->

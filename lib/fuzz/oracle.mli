@@ -44,14 +44,30 @@ type outcome =
   | Rows of Sb_storage.Tuple.t list
   | Failed of Sb_resil.Err.t
 
+(** Which rewrite-rule implementation the databases under test run:
+    [Native_rules] (the hand-written closures), [Dsl_rules] (the whole
+    matrix on {!Starburst.use_dsl_builtins}), or [Both_rules] — native
+    everywhere, plus an extra [dsl-differential] leg requiring the two
+    rule sets to agree on the result bag, the rewritten QGM rendering
+    (byte for byte), and the per-rule firing counts. *)
+type rules_mode = Native_rules | Dsl_rules | Both_rules
+
+val rules_mode_name : rules_mode -> string
+
 (** A fresh database loaded with the DDL script (one statement per list
     element — {!Gen.ddl_of_catalog} for generated cases, the replayed
     script for corpus cases) and configured as [config]; [inject] (used
     by the rule-soundness acceptance test to plant a deliberately broken
     rewrite rule) is applied to every configuration {e except}
-    [Reference], whose budget of 0 keeps it sound. *)
+    [Reference], whose budget of 0 keeps it sound.  [dsl] swaps the
+    predicate/redundant rule families for their DSL-compiled ports
+    before the DDL replays. *)
 val fresh_db :
-  ?inject:(Starburst.t -> unit) -> ddl:string list -> config -> Starburst.t
+  ?inject:(Starburst.t -> unit) ->
+  ?dsl:bool ->
+  ddl:string list ->
+  config ->
+  Starburst.t
 
 (** Runs one query text, classifying every failure as {!Failed} — an
     exception escaping here is itself a bug the oracle reports. *)
@@ -68,6 +84,7 @@ type verdict =
     Pure in its arguments — the shrinker re-invokes it verbatim. *)
 val check_case :
   ?inject:(Starburst.t -> unit) ->
+  ?rules:rules_mode ->
   ddl:string list ->
   chaos_seed:int ->
   Ast.with_query ->

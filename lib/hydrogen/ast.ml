@@ -150,6 +150,10 @@ and explain_mode =
   | Explain_verify
       (** run the static verifier: QGM consistency before/after rewrite,
           lints, plan validation, and differential execution *)
+  | Explain_rules
+      (** list the registered rewrite rules with origin, verification
+          status and cumulative fire/attempt counts; takes no statement
+          (the parser supplies a dummy inner statement) *)
 
 (* --- small helpers used across the pipeline --- *)
 

@@ -684,6 +684,11 @@ let parse_with_query st : with_query =
 let rec parse_statement st : statement =
   if is_kw st "EXPLAIN" then begin
     advance st;
+    (* EXPLAIN RULES is a complete statement — it reports on the rule
+       set, not on a query, so no inner statement follows *)
+    if accept_kw st "RULES" then
+      Stmt_explain (Explain_rules, Stmt_analyze None)
+    else
     let mode =
       if accept_kw st "QGM" then Explain_qgm
       else if accept_kw st "REWRITE" then Explain_rewrite

@@ -184,6 +184,7 @@ let rec pp_statement ppf = function
     Fmt.pf ppf "DROP INDEX %s ON %s" di_name di_table
   | Stmt_analyze None -> Fmt.string ppf "ANALYZE"
   | Stmt_analyze (Some t) -> Fmt.pf ppf "ANALYZE %s" t
+  | Stmt_explain (Explain_rules, _) -> Fmt.string ppf "EXPLAIN RULES"
   | Stmt_explain (mode, s) ->
     let m =
       match mode with
@@ -195,6 +196,7 @@ let rec pp_statement ppf = function
       | Explain_analyze -> " ANALYZE"
       | Explain_analysis -> " ANALYSIS"
       | Explain_verify -> " VERIFY"
+      | Explain_rules -> " RULES" (* handled above; kept for exhaustiveness *)
     in
     Fmt.pf ppf "EXPLAIN%s %a" m pp_statement s
   | Stmt_set (k, v) -> Fmt.pf ppf "SET %s = %s" k v

@@ -17,16 +17,32 @@ type context = {
   box : Qgm.box;  (** the box the search facility is currently visiting *)
 }
 
+(** Where a rule's condition/action came from: hand-written OCaml, or
+    compiled from the declarative DSL (and so carrying a verification
+    status the audit trail can attribute). *)
+type origin = Native | Dsl
+
 type t = {
   rule_name : string;
   rule_class : string;
   rule_priority : int;  (** higher fires first under the Priority strategy *)
+  rule_origin : origin;
   condition : context -> bool;
   action : context -> unit;
 }
 
-let make ?(priority = 0) ~name ~rule_class ~condition ~action () =
-  { rule_name = name; rule_class; rule_priority = priority; condition; action }
+let make ?(priority = 0) ?(origin = Native) ~name ~rule_class ~condition
+    ~action () =
+  {
+    rule_name = name;
+    rule_class;
+    rule_priority = priority;
+    rule_origin = origin;
+    condition;
+    action;
+  }
+
+let origin_tag r = match r.rule_origin with Native -> "" | Dsl -> " [dsl]"
 
 (** A rule set with class-based filtering. *)
 type set = { mutable rules : t list }

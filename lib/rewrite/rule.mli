@@ -17,22 +17,32 @@ type context = {
   box : Qgm.box;  (** the box the search facility is currently visiting *)
 }
 
+(** Where a rule's condition/action came from: hand-written OCaml, or
+    compiled from the declarative DSL. *)
+type origin = Native | Dsl
+
 type t = {
   rule_name : string;
   rule_class : string;
   rule_priority : int;  (** higher fires first under the Priority strategy *)
+  rule_origin : origin;
   condition : context -> bool;
   action : context -> unit;
 }
 
 val make :
   ?priority:int ->
+  ?origin:origin ->
   name:string ->
   rule_class:string ->
   condition:(context -> bool) ->
   action:(context -> unit) ->
   unit ->
   t
+
+(** [" [dsl]"] for DSL-compiled rules, [""] for native ones — appended
+    to rule names in audit messages and reports. *)
+val origin_tag : t -> string
 
 (** A mutable rule set with class-based filtering. *)
 type set = { mutable rules : t list }

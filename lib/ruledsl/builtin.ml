@@ -1,0 +1,159 @@
+(** The built-in rule families ported to the DSL.
+
+    These are declarative re-statements of [Rules_predicate] and
+    [Rules_redundant]; compiled, they rewrite byte-identically to the
+    native originals (same candidate selection, same mutations, same
+    fresh-id allocation).  Note what is {e missing} from
+    [eliminate_redundant_join]: the hand-written
+    [derives_unique]/[derives_not_null] prover checks.  The verifier
+    derives those obligations from the [Redirect_refs]/[Remove_quant]
+    actions and auto-inserts equivalent runtime guards in the same
+    position — the rule registers as [Conditional(key,strict)], and the
+    guard an author could forget is exactly the one the system now
+    writes for them. *)
+
+open Dsl
+
+(** Native: [Rules_predicate.push_into_select]. *)
+let push_into_select =
+  {
+    name = "push_into_select";
+    rule_class = "predicate";
+    priority = 40;
+    pattern =
+      [
+        Box_kind K_select_or_group_by;
+        Each_pred "p";
+        Movable "p";
+        Sole_quant_ref { pred = "p"; quant = "q" };
+        Quant_parent_here "q";
+        Quant_type_f "q";
+        Input_box { quant = "q"; box = "l" };
+        Plain_select "l";
+        Not_top "l";
+        Single_user "l";
+        Head_all_exprs "l";
+        Inline { pred = "p"; quant = "q"; out = "e" };
+      ];
+    actions = [ Remove_pred "p"; Add_pred_to { box = "l"; expr = "e" } ];
+  }
+
+(** Native: [Rules_predicate.push_through_group_by]. *)
+let push_through_group_by =
+  {
+    name = "push_through_group_by";
+    rule_class = "predicate";
+    priority = 40;
+    pattern =
+      [
+        Box_kind K_select;
+        Each_pred "p";
+        Movable "p";
+        Sole_quant_ref { pred = "p"; quant = "q" };
+        Input_box { quant = "q"; box = "l" };
+        Kind_is ("l", K_group_by);
+        Quant_type_f "q";
+        Single_user "l";
+        Not_recursive "l";
+        Group_keys_passthrough { pred = "p"; box = "l" };
+        Inline { pred = "p"; quant = "q"; out = "e" };
+      ];
+    actions = [ Remove_pred "p"; Add_pred_to { box = "l"; expr = "e" } ];
+  }
+
+(** Native: [Rules_predicate.push_through_set_op]. *)
+let push_through_set_op =
+  {
+    name = "push_through_set_op";
+    rule_class = "predicate";
+    priority = 35;
+    pattern =
+      [
+        Box_kind K_select_or_group_by;
+        Each_pred "p";
+        Movable "p";
+        Not_marked ("p", "pushed_setop");
+        Sole_quant_ref { pred = "p"; quant = "q" };
+        Input_box { quant = "q"; box = "l" };
+        Kind_is ("l", K_set_op);
+        Quant_type_f "q";
+        Single_user "l";
+        Not_recursive "l";
+      ];
+    actions =
+      [
+        Mark_pred ("p", "pushed_setop");
+        Replicate_into_arms { pred = "p"; quant = "q"; box = "l" };
+      ];
+  }
+
+(** Native: [Rules_predicate.replicate_restriction]. *)
+let replicate_restriction =
+  {
+    name = "replicate_restriction";
+    rule_class = "predicate";
+    priority = 45;
+    pattern =
+      [
+        Box_kind K_select;
+        Each_eq_pair { left = "a"; right = "c" };
+        Each_restriction { col = "x"; op = "o"; lit = "v" };
+        Replica
+          { left = "a"; right = "c"; col = "x"; op = "o"; lit = "v";
+            out = "e" };
+        Not_exists_here "e";
+        Not_already_pushed "e";
+      ];
+    actions = [ Add_pred_here "e" ];
+  }
+
+(** Native: [Rules_predicate.drop_true]. *)
+let drop_true_predicate =
+  {
+    name = "drop_true_predicate";
+    rule_class = "predicate";
+    priority = 70;
+    pattern = [ Each_pred "p"; Pred_matches ("p", E_true) ];
+    actions = [ Remove_preds_matching E_true ];
+  }
+
+(** Native: [Rules_redundant.eliminate_redundant_join] — written {e
+    without} its uniqueness/NOT NULL safety checks; the verifier
+    re-derives them as obligations and guards the rule. *)
+let eliminate_redundant_join =
+  {
+    name = "eliminate_redundant_join";
+    rule_class = "redundant";
+    priority = 52;
+    pattern =
+      [
+        Box_kind K_select;
+        Each_eq_col_pred { pred = "p"; keep = "qk"; drop = "qd"; col = "i" };
+        Both_quants_here ("qk", "qd");
+        Same_input ("qk", "qd");
+        Input_box { quant = "qk"; box = "t" };
+        Kind_is ("t", K_base_table);
+      ];
+    actions =
+      [
+        Remove_pred "p";
+        Redirect_refs { drop = "qd"; keep = "qk" };
+        Drop_reflexive_eqs;
+        Remove_quant "qd";
+      ];
+  }
+
+(** Every ported rule, in the order the native families register them
+    ([Base_rules.default_set] order within each class). *)
+let all =
+  [
+    push_into_select;
+    push_through_group_by;
+    push_through_set_op;
+    replicate_restriction;
+    drop_true_predicate;
+    eliminate_redundant_join;
+  ]
+
+(** The rule classes the DSL ports replace. *)
+let classes = [ "predicate"; "redundant" ]

@@ -1,0 +1,545 @@
+(** Registration-time static verification of DSL rules.
+
+    [verify] reads a rule's semantics off its declarative form and
+    classifies it:
+
+    - {b Verified} — well-formed, and every side-condition of every
+      action is discharged: structurally (the pattern contains the atom
+      that establishes it) or by the {!Sb_analysis.Prover} under
+      schema-only facts (schematic instantiation of the matched
+      predicate shapes).
+    - {b Conditional} — sound only under obligations that depend on the
+      concrete graph (key coverage, NOT NULL, sharing); a runtime guard
+      atom is auto-inserted for each, positioned so a failing guard
+      backtracks to the next match candidate exactly like the
+      hand-written checks it replaces.
+    - {b Rejected} — an obligation is refuted or cannot be guarded; the
+      status names it and sketches a counterexample.  {!Corona} turns
+      registration of a rejected rule into a structured [Err].
+
+    The obligation catalog (DESIGN §6.6): scope, correlation
+    containment, quantifier multiplicity, boundary safety, sharing,
+    null-intolerance (strictness), key/duplicate preservation,
+    implication of derived predicates, justified removal, and
+    termination (no action may re-enable its own condition). *)
+
+module Qgm = Sb_qgm.Qgm
+module Ast = Sb_hydrogen.Ast
+module Prover = Sb_analysis.Prover
+open Dsl
+
+type obligation =
+  | O_scope  (** every metavariable bound before use, no rebinding *)
+  | O_correlation  (** moved predicate confined to the moved-through quantifier *)
+  | O_quant_type  (** movement/elimination only across plain F quantifiers *)
+  | O_boundary  (** the target box can safely absorb the predicate *)
+  | O_share  (** the target box has no other consumers *)
+  | O_strict  (** null-intolerance where NULLs are padded or dropped *)
+  | O_key  (** duplicate preservation when a quantifier is removed *)
+  | O_implied  (** a derived predicate follows from the matched ones *)
+  | O_always_true  (** a removed predicate filters nothing *)
+  | O_termination  (** the action does not re-enable its own condition *)
+
+let obligation_to_string = function
+  | O_scope -> "scope"
+  | O_correlation -> "correlation"
+  | O_quant_type -> "quant-type"
+  | O_boundary -> "boundary"
+  | O_share -> "share"
+  | O_strict -> "strict"
+  | O_key -> "key"
+  | O_implied -> "implied"
+  | O_always_true -> "always-true"
+  | O_termination -> "termination"
+
+type status =
+  | Verified
+  | Conditional of obligation list
+  | Rejected of { obligation : obligation; sketch : string }
+
+let status_to_string = function
+  | Verified -> "Verified"
+  | Conditional obls ->
+    Printf.sprintf "Conditional(%s)"
+      (String.concat "," (List.map obligation_to_string obls))
+  | Rejected { obligation; sketch } ->
+    Printf.sprintf "Rejected(%s): %s" (obligation_to_string obligation) sketch
+
+(** The verifier's full verdict: the status plus the runtime guard atoms
+    to append to the pattern (empty unless [Conditional]). *)
+type verdict = { v_status : status; v_guards : atom list }
+
+let rejected obligation sketch =
+  { v_status = Rejected { obligation; sketch }; v_guards = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness: metavariable sorts and scope                       *)
+(* ------------------------------------------------------------------ *)
+
+type sort = S_pred | S_quant | S_box | S_expr | S_op | S_int
+
+let sort_name = function
+  | S_pred -> "pred"
+  | S_quant -> "quant"
+  | S_box -> "box"
+  | S_expr -> "expr"
+  | S_op -> "op"
+  | S_int -> "int"
+
+let binds_sorted = function
+  | Each_pred p -> [ (p, S_pred) ]
+  | Each_eq_col_pred { pred; keep; drop; col } ->
+    [ (pred, S_pred); (keep, S_quant); (drop, S_quant); (col, S_int) ]
+  | Each_eq_pair { left; right } -> [ (left, S_expr); (right, S_expr) ]
+  | Each_restriction { col; op; lit } ->
+    [ (col, S_expr); (op, S_op); (lit, S_expr) ]
+  | Sole_quant_ref { quant; _ } -> [ (quant, S_quant) ]
+  | Input_box { box; _ } -> [ (box, S_box) ]
+  | Inline { out; _ } | Replica { out; _ } -> [ (out, S_expr) ]
+  | _ -> []
+
+let uses_sorted = function
+  | Each_pred _ | Each_eq_col_pred _ | Each_eq_pair _ | Each_restriction _
+  | Box_kind _ ->
+    []
+  | Pred_matches (p, _) | Movable p | Not_marked (p, _) -> [ (p, S_pred) ]
+  | Sole_quant_ref { pred; _ } -> [ (pred, S_pred) ]
+  | Quant_parent_here q | Quant_type_f q -> [ (q, S_quant) ]
+  | Input_box { quant; _ } -> [ (quant, S_quant) ]
+  | Kind_is (b, _) | Plain_select b | Not_top b | Single_user b
+  | Head_all_exprs b | Not_recursive b ->
+    [ (b, S_box) ]
+  | Group_keys_passthrough { pred; box } -> [ (pred, S_pred); (box, S_box) ]
+  | Inline { pred; quant; _ } -> [ (pred, S_pred); (quant, S_quant) ]
+  | Replica { left; right; col; op; lit; _ } ->
+    [ (left, S_expr); (right, S_expr); (col, S_expr); (op, S_op); (lit, S_expr) ]
+  | Not_exists_here e | Not_already_pushed e -> [ (e, S_expr) ]
+  | Both_quants_here (a, b) | Same_input (a, b) ->
+    [ (a, S_quant); (b, S_quant) ]
+  | Guard_unique { quant; col } | Guard_not_null { quant; col } ->
+    [ (quant, S_quant); (col, S_int) ]
+  | Guard_single_user b -> [ (b, S_box) ]
+  | Guard_strict p -> [ (p, S_pred) ]
+
+let action_uses_sorted = function
+  | Remove_pred p | Mark_pred (p, _) -> [ (p, S_pred) ]
+  | Add_pred_to { box; expr } -> [ (box, S_box); (expr, S_expr) ]
+  | Add_pred_here e -> [ (e, S_expr) ]
+  | Replicate_into_arms { pred; quant; box } ->
+    [ (pred, S_pred); (quant, S_quant); (box, S_box) ]
+  | Redirect_refs { drop; keep } -> [ (drop, S_quant); (keep, S_quant) ]
+  | Drop_reflexive_eqs | Remove_preds_matching _ -> []
+  | Remove_quant q -> [ (q, S_quant) ]
+
+(** Scope and sort check.  [Error (obligation, sketch)] on the first
+    violation. *)
+let well_formed (r : rule) =
+  let exception Bad of string in
+  try
+    let bound = Hashtbl.create 8 in
+    let use where (v, s) =
+      match Hashtbl.find_opt bound v with
+      | None ->
+        raise
+          (Bad
+             (Printf.sprintf "%s references unbound metavariable '%s'" where v))
+      | Some s' when s' <> s ->
+        raise
+          (Bad
+             (Printf.sprintf "%s uses '%s' as a %s but it is bound as a %s"
+                where v (sort_name s) (sort_name s')))
+      | Some _ -> ()
+    in
+    List.iter
+      (fun a ->
+        List.iter (use (atom_name a)) (uses_sorted a);
+        List.iter
+          (fun (v, s) ->
+            if Hashtbl.mem bound v then
+              raise
+                (Bad (Printf.sprintf "metavariable '%s' is bound twice" v));
+            Hashtbl.replace bound v s)
+          (binds_sorted a))
+      r.pattern;
+    List.iter
+      (fun act -> List.iter (use (action_name act)) (action_uses_sorted act))
+      r.actions;
+    Ok ()
+  with Bad sketch -> Error sketch
+
+(* ------------------------------------------------------------------ *)
+(* Schematic prover queries                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** A representative concretization of a shape pattern, over fresh
+    schematic columns (all nullable, nothing else known). *)
+let concretize = function
+  | E_true -> Some (Qgm.Lit (Sb_storage.Value.Bool true))
+  | E_null_lit -> Some (Qgm.Lit Sb_storage.Value.Null)
+  | E_is_null -> Some (Qgm.Is_null (Qgm.Col (1, 0)))
+  | E_cmp -> Some (Qgm.Bin (Ast.Lt, Qgm.Col (1, 0), Qgm.Lit (Sb_storage.Value.Int 7)))
+  | E_any -> None
+
+(** The shape the pattern establishes for predicate metavariable [p]
+    ([E_any] when unconstrained). *)
+let shape_of pattern p =
+  List.fold_left
+    (fun acc a ->
+      match a with Pred_matches (p', ep) when p' = p -> ep | _ -> acc)
+    E_any pattern
+
+(** Replica soundness, discharged schematically: for every comparison
+    operator, [x = y ∧ x op v ⊢ y op v] (and the mirrored orientation)
+    must be proved under schema-only facts.  The Neq case is what the
+    prover's disequality classes exist for. *)
+let replica_implied () =
+  let x = Qgm.Col (1, 0) and y = Qgm.Col (2, 0) in
+  let v = Qgm.Lit (Sb_storage.Value.Int 7) in
+  let ops = [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+  List.for_all
+    (fun op ->
+      Prover.implies
+        [ Qgm.Bin (Ast.Eq, x, y); Qgm.Bin (op, x, v) ]
+        (Qgm.Bin (op, y, v))
+      = Prover.Proved
+      && Prover.implies
+           [ Qgm.Bin (Ast.Eq, x, y); Qgm.Bin (op, y, v) ]
+           (Qgm.Bin (op, x, v))
+         = Prover.Proved)
+    ops
+
+(* ------------------------------------------------------------------ *)
+(* Obligation derivation and discharge                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Everything below pattern-matches the rule's atoms.  [has] is a
+    structural discharge: the obligation holds because the pattern can
+    only match graphs where it does. *)
+let verify (r : rule) : verdict =
+  match well_formed r with
+  | Error sketch -> rejected O_scope sketch
+  | Ok () ->
+    let has a = List.mem a r.pattern in
+    let has_action a = List.mem a r.actions in
+    let exception Reject of obligation * string in
+    (* accumulated unproved-but-guardable obligations, with their guards *)
+    let conditional : (obligation * atom) list ref = ref [] in
+    let guard obl g =
+      if (not (has g)) && not (List.mem (obl, g) !conditional) then
+        conditional := !conditional @ [ (obl, g) ]
+    in
+    let inline_of e =
+      List.find_map
+        (function
+          | Inline { pred; quant; out } when out = e -> Some (pred, quant)
+          | _ -> None)
+        r.pattern
+    in
+    let replica_of e =
+      List.find_map
+        (function
+          | Replica { left; right; col; op; lit; out } when out = e ->
+            Some (left, right, col, op, lit)
+          | _ -> None)
+        r.pattern
+    in
+    let eq_col_witness =
+      List.find_map
+        (function
+          | Each_eq_col_pred { pred; keep; drop; col } ->
+            Some (pred, keep, drop, col)
+          | _ -> None)
+        r.pattern
+    in
+    let redirect =
+      List.find_map
+        (function Redirect_refs { drop; keep } -> Some (drop, keep) | _ -> None)
+        r.actions
+    in
+    (* is [Remove_pred p] justified by the redundant-join cluster: p is
+       the equality witness relating the redirected quantifiers? *)
+    let cluster_removes p =
+      match (eq_col_witness, redirect) with
+      | Some (p', keep, drop, _), Some (drop', keep') ->
+        p' = p && keep = keep' && drop = drop'
+      | _ -> false
+    in
+    let moved_away p =
+      List.exists
+        (function
+          | Add_pred_to { expr; _ } -> (
+            match inline_of expr with Some (p', _) -> p' = p | None -> false)
+          | Replicate_into_arms { pred; _ } -> pred = p
+          | _ -> false)
+        r.actions
+    in
+    (* shared obligations of any predicate move below quantifier [q] *)
+    let check_move ~what p q =
+      if not (has (Movable p)) then
+        raise
+          (Reject
+             ( O_correlation,
+               Printf.sprintf
+                 "%s: '%s' may consume a subquery or aggregate; moving it \
+                  changes where the consumption is evaluated (no movable \
+                  atom)"
+                 what p ));
+      if not (has (Sole_quant_ref { pred = p; quant = q })) then
+        raise
+          (Reject
+             ( O_correlation,
+               Printf.sprintf
+                 "%s: counterexample — '%s' also references a second \
+                  quantifier whose binding is lost below '%s' (no \
+                  sole-quant-ref atom)"
+                 what p q ));
+      if not (has (Quant_type_f q)) then
+        raise
+          (Reject
+             ( O_quant_type,
+               Printf.sprintf
+                 "%s: counterexample — '%s' could be an existential or \
+                  universal quantifier; filtering its input changes the \
+                  subquery's truth value (no quant-type-f atom)"
+                 what q ))
+    in
+    let check_target ~what q l =
+      if not (has (Input_box { quant = q; box = l })) then
+        raise
+          (Reject
+             ( O_boundary,
+               Printf.sprintf
+                 "%s: target box '%s' is not bound as the input of '%s'; \
+                  the predicate would land on an unrelated box"
+                 what l q ))
+    in
+    let check_share l =
+      (* runtime-checkable, so guardable rather than fatal *)
+      if not (has (Single_user l)) then guard O_share (Guard_single_user l)
+    in
+    let check_action = function
+      | Add_pred_to { box = l; expr = e } -> (
+        match inline_of e with
+        | None ->
+          raise
+            (Reject
+               ( O_implied,
+                 Printf.sprintf
+                   "add-pred-to: '%s' is not the inlining of a matched \
+                    predicate; nothing shows it filters only rows the \
+                    original rejected"
+                   e ))
+        | Some (p, q) ->
+          check_move ~what:"push-down" p q;
+          check_target ~what:"push-down" q l;
+          check_share l;
+          let plain = has (Plain_select l) in
+          let group =
+            has (Group_keys_passthrough { pred = p; box = l })
+            && has (Not_recursive l)
+          in
+          let ext = has (Kind_is (l, K_ext)) in
+          if plain || group then ()
+          else if ext then begin
+            (* NULL-padding boundary: the predicate must be strict *)
+            match concretize (shape_of r.pattern p) with
+            | Some ce -> (
+              match Prover.strict_in_refs ce with
+              | Prover.Strict -> ()
+              | Prover.Non_strict ->
+                raise
+                  (Reject
+                     ( O_strict,
+                       Printf.sprintf
+                         "counterexample — a NULL-padded row satisfies \
+                          '%s' (e.g. IS NULL is TRUE on the padding), so \
+                          filtering before the padding keeps rows the \
+                          original dropped, and vice versa"
+                         p ))
+              | Prover.Strict_unknown -> guard O_strict (Guard_strict p))
+            | None -> guard O_strict (Guard_strict p)
+          end
+          else
+            raise
+              (Reject
+                 ( O_boundary,
+                   Printf.sprintf
+                     "push-down: no atom establishes that '%s' absorbs \
+                      predicates (plain-select, group-keys-passthrough + \
+                      not-recursive, or a guarded NULL-padding boundary)"
+                     l )))
+      | Add_pred_here e -> (
+        match replica_of e with
+        | None ->
+          raise
+            (Reject
+               ( O_implied,
+                 Printf.sprintf
+                   "add-pred-here: '%s' is not a replica of matched \
+                    predicates; an unimplied conjunct drops rows"
+                   e ))
+        | Some (left, right, col, op, lit) ->
+          if
+            not
+              (has (Each_eq_pair { left; right })
+              && has (Each_restriction { col; op; lit }))
+          then
+            raise
+              (Reject
+                 ( O_implied,
+                   "add-pred-here: the replica's hypotheses (the equality \
+                    and the restriction) are not matched predicates of the \
+                    box" ));
+          if not (replica_implied ()) then
+            raise
+              (Reject
+                 ( O_implied,
+                   "add-pred-here: the prover could not discharge x = y ∧ \
+                    x op v ⊢ y op v for every comparison operator" ));
+          if not (has (Not_exists_here e) && has (Not_already_pushed e)) then
+            raise
+              (Reject
+                 ( O_termination,
+                   Printf.sprintf
+                     "counterexample — the rule re-derives '%s' on every \
+                      pass (or ping-pongs with push-down) and only the \
+                      firing budget stops it (missing not-exists-here / \
+                      not-already-pushed atoms)"
+                     e )))
+      | Replicate_into_arms { pred = p; quant = q; box = l } ->
+        check_move ~what:"set-op replicate" p q;
+        check_target ~what:"set-op replicate" q l;
+        check_share l;
+        if not (has (Kind_is (l, K_set_op)) && has (Not_recursive l)) then
+          raise
+            (Reject
+               ( O_boundary,
+                 Printf.sprintf
+                   "set-op replicate: '%s' must be matched as a \
+                    non-recursive set operation; replicating into a \
+                    recursive union changes its fixpoint"
+                   l ));
+        let marked =
+          List.exists
+            (function
+              | Not_marked (p', m) -> p' = p && has_action (Mark_pred (p, m))
+              | _ -> false)
+            r.pattern
+        in
+        if not marked then
+          raise
+            (Reject
+               ( O_termination,
+                 "counterexample — the original predicate is kept, so \
+                  without a not-marked/mark-pred pair the rule fires on it \
+                  again every pass" ))
+      | Remove_pred p ->
+        if not (moved_away p || cluster_removes p) then begin
+          match concretize (shape_of r.pattern p) with
+          | Some ce when Prover.const_truth ce = Some true -> ()
+          | _ ->
+            raise
+              (Reject
+                 ( O_always_true,
+                   Printf.sprintf
+                     "counterexample — a row that fails '%s' passes after \
+                      its removal; removal is only justified for \
+                      predicates provably TRUE, a pushed-down move, or a \
+                      witnessed redundant join"
+                     p ))
+        end
+      | Remove_preds_matching ep -> (
+        (* the pattern must witness the shape it removes, or the
+           condition stays true after the action and the rule spins *)
+        if
+          not
+            (List.exists
+               (function Pred_matches (_, ep') -> ep' = ep | _ -> false)
+               r.pattern)
+        then
+          raise
+            (Reject
+               ( O_termination,
+                 "counterexample — the pattern never matches the removed \
+                  shape, so a firing can make no progress and the \
+                  condition re-enables itself" ));
+        match concretize ep with
+        | Some ce when Prover.const_truth ce = Some true -> ()
+        | Some _ ->
+          raise
+            (Reject
+               ( O_always_true,
+                 "counterexample — the removed shape is not provably TRUE \
+                  (e.g. IS NULL fails on a non-NULL row), so removal adds \
+                  rows" ))
+        | None ->
+          raise
+            (Reject
+               ( O_always_true,
+                 "remove-preds-matching: an unconstrained shape removes \
+                  predicates the verifier cannot bound" )))
+      | Redirect_refs { drop; keep } -> (
+        match eq_col_witness with
+        | Some (_, keep', drop', col) when keep = keep' && drop = drop' ->
+          if not (has (Both_quants_here (keep, drop))) then
+            raise
+              (Reject
+                 ( O_quant_type,
+                   "counterexample — one quantifier could be existential; \
+                    collapsing it multiplies or drops rows (no \
+                    both-quants-here atom)" ));
+          if not (has (Same_input (keep, drop))) then
+            raise
+              (Reject
+                 ( O_key,
+                   "counterexample — the quantifiers range over different \
+                    inputs, so equal key values still name different rows \
+                    (no same-input atom)" ));
+          (* graph-dependent: key coverage and NOT NULL become runtime
+             guards, in the same position (and order) as the hand-written
+             derives_unique / derives_not_null checks *)
+          guard O_key (Guard_unique { quant = keep; col });
+          guard O_strict (Guard_not_null { quant = keep; col })
+        | _ ->
+          raise
+            (Reject
+               ( O_key,
+                 "redirect-refs: no matched equality predicate witnesses \
+                  that the two quantifiers denote the same row" )))
+      | Drop_reflexive_eqs ->
+        if redirect = None then
+          raise
+            (Reject
+               ( O_strict,
+                 "counterexample — e = e is NULL (not TRUE) on a NULL row; \
+                  dropping reflexive equalities is only sound after a \
+                  redirect whose key column is guarded NOT NULL" ))
+      | Remove_quant q -> (
+        match redirect with
+        | Some (drop, _) when drop = q -> ()
+        | _ ->
+          raise
+            (Reject
+               ( O_key,
+                 Printf.sprintf
+                   "counterexample — references to '%s' dangle after \
+                    removal, and dropping an un-redirected quantifier \
+                    changes duplicate counts (no redirect-refs action)"
+                   q )))
+      | Mark_pred _ -> ()
+    in
+    (try
+       List.iter check_action r.actions;
+       if r.actions = [] then
+         raise
+           (Reject
+              (O_termination, "a rule with no actions can never make progress"));
+       let obls =
+         List.fold_left
+           (fun acc (o, _) -> if List.mem o acc then acc else acc @ [ o ])
+           [] !conditional
+       in
+       let guards = List.map snd !conditional in
+       if obls = [] then { v_status = Verified; v_guards = [] }
+       else { v_status = Conditional obls; v_guards = guards }
+     with Reject (obligation, sketch) -> rejected obligation sketch)

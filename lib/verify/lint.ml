@@ -13,7 +13,7 @@ open Sb_qgm
 
 type severity = Info | Warning
 
-type location = Box of Qgm.box_id | Table of string
+type location = Box of Qgm.box_id | Table of string | Rule of string
 
 type diag = {
   d_severity : severity;
@@ -30,7 +30,8 @@ let diag_to_string d =
     d.d_code
     (match d.d_loc with
     | Box id -> Fmt.str "box %d" id
-    | Table t -> Fmt.str "table %s" t)
+    | Table t -> Fmt.str "table %s" t
+    | Rule r -> Fmt.str "rule %s" r)
     d.d_msg
 
 (* Constant truth value of an expression, if decidable without a row.
@@ -219,3 +220,28 @@ let lint_catalog (cat : Catalog.t) : diag list =
             rows)
     (List.sort compare (Catalog.table_names cat));
   List.rev !diags
+
+(* Per-rule fire/attempt accounting (accumulated by Corona across the
+   session) turned into lints.  A rule whose condition has been
+   evaluated many times without ever firing is either dead in this
+   workload or — the interesting case — guarded by a condition that can
+   never hold; either way the DBC should look at it. *)
+let dead_rule_threshold = 50
+
+let lint_rules (stats : (string * (int * int)) list) : diag list =
+  List.filter_map
+    (fun (name, (fires, attempts)) ->
+      if fires = 0 && attempts >= dead_rule_threshold then
+        Some
+          {
+            d_severity = Warning;
+            d_loc = Rule name;
+            d_code = "dead-rule";
+            d_msg =
+              Fmt.str
+                "condition evaluated %d time(s) without ever firing: dead \
+                 in this workload, or unsatisfiable"
+                attempts;
+          }
+      else None)
+    stats

@@ -5,7 +5,7 @@ open Sb_storage
 
 type severity = Info | Warning
 
-type location = Box of Sb_qgm.Qgm.box_id | Table of string
+type location = Box of Sb_qgm.Qgm.box_id | Table of string | Rule of string
 
 type diag = {
   d_severity : severity;
@@ -14,7 +14,7 @@ type diag = {
       (** ["unused-quant"], ["always-false"], ["always-true"],
           ["contradictory-pred"], ["implied-pred"], ["null-join-key"],
           ["shadowed-column"], ["single-choose"], ["unordered-limit"],
-          ["no-stats"], ["stale-stats"] *)
+          ["no-stats"], ["stale-stats"], ["dead-rule"] *)
   d_msg : string;
 }
 
@@ -36,3 +36,13 @@ val lint_qgm : ?catalog:Catalog.t -> Sb_qgm.Qgm.t -> diag list
 
 (** Catalog lints: populated tables with missing or stale statistics. *)
 val lint_catalog : Catalog.t -> diag list
+
+(** Attempts a dead rule must accumulate (with zero fires) before
+    {!lint_rules} reports it. *)
+val dead_rule_threshold : int
+
+(** Rule lints over cumulative per-rule [(fires, attempts)] stats:
+    a rule whose condition has been evaluated at least
+    {!dead_rule_threshold} times without ever firing is flagged
+    [dead-rule] — dead in this workload, or unsatisfiable. *)
+val lint_rules : (string * (int * int)) list -> diag list

@@ -48,13 +48,15 @@ let consistent_or ~moment ~rule g =
 let instrument (rules : Rule.t list) : Rule.t list =
   List.map
     (fun (r : Rule.t) ->
+      (* [dsl]-tagged names attribute breakage to the compiled rule *)
+      let tagged = r.Rule.rule_name ^ Rule.origin_tag r in
       {
         r with
         Rule.action =
           (fun (ctx : Rule.context) ->
-            consistent_or ~moment:"before" ~rule:r.Rule.rule_name ctx.Rule.graph;
+            consistent_or ~moment:"before" ~rule:tagged ctx.Rule.graph;
             r.Rule.action ctx;
-            consistent_or ~moment:"after" ~rule:r.Rule.rule_name ctx.Rule.graph);
+            consistent_or ~moment:"after" ~rule:tagged ctx.Rule.graph);
       })
     rules
 
@@ -87,7 +89,8 @@ let instrument_inference ~catalog
             let after = summarize ctx.Rule.graph in
             List.iter
               (fun what ->
-                on_regression (Fmt.str "%s: %s" r.Rule.rule_name what))
+                on_regression
+                  (Fmt.str "%s%s: %s" r.Rule.rule_name (Rule.origin_tag r) what))
               (Sb_analysis.Infer.regressions ~before ~after));
       })
     rules

@@ -88,7 +88,9 @@ let test_satisfiability () =
       ("x not null, x=x", [ notnull x; eq x x ], Satisfiable);
       (* honestly undecidable -> unknown *)
       ("x>y", [ gt x y ], Sat_unknown);
-      ("x<>1", [ neq x (n 1) ], Sat_unknown);
+      (* disequality tracking: x<>1 forced TRUE once x is in no class
+         with the constant 1, so the refined env exhibits a witness *)
+      ("x<>1", [ neq x (n 1) ], Satisfiable);
     ]
   in
   List.iter

@@ -18,4 +18,5 @@ let () =
       Test_analysis.suite;
       Test_fuzz.suite;
       Test_server.suite;
+      Test_ruledsl.suite;
     ]

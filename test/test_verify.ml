@@ -365,7 +365,7 @@ let test_lint_statement () =
   match Lint.lint_qgm (build_g db "SELECT partno FROM quotations WHERE 1 = 2") with
   | d :: _ ->
     Alcotest.(check bool) "locates a box" true
-      (match d.Lint.d_loc with Lint.Box _ -> true | Lint.Table _ -> false)
+      (match d.Lint.d_loc with Lint.Box _ -> true | Lint.Table _ | Lint.Rule _ -> false)
   | [] -> Alcotest.fail "no diagnostics"
 
 let test_lint_catalog () =
