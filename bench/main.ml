@@ -268,6 +268,58 @@ let fuzz ~cases ~seed =
   if stats.Sb_fuzz.Harness.st_failures <> [] then
     exit (min 125 (List.length stats.Sb_fuzz.Harness.st_failures))
 
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery bench (--crash)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** [--crash]: redo time as the committed log grows.  Recovery replays
+    every record since the last checkpoint, so with checkpointing off
+    the time scales with transaction count, while [SET wal_checkpoint]
+    keeps it flat — the experiment shows both columns side by side. *)
+let crash_bench () =
+  Bench_util.header
+    "Crash recovery: redo time vs committed transactions (WAL replay)";
+  let case ~txns ~checkpoint =
+    let db = Starburst.create () in
+    let run s = ignore (Starburst.run db s) in
+    run "CREATE TABLE account (k INT UNIQUE, balance INT)";
+    if checkpoint > 0 then
+      run (Printf.sprintf "SET wal_checkpoint = %d" checkpoint);
+    for i = 1 to txns do
+      run (Printf.sprintf "INSERT INTO account VALUES (%d, %d)" i (i mod 97))
+    done;
+    let catalog = db.Starburst.Corona.catalog in
+    let stable = (Sb_storage.Wal.stats catalog.Sb_storage.Catalog.wal).Sb_storage.Wal.s_stable in
+    (* one untimed run for the redo counters, then median-of-3 timing *)
+    Sb_storage.Recovery.crash ~catalog;
+    let st = Starburst.Corona.recover db in
+    let ms =
+      Bench_util.time_ms ~reps:3 (fun () ->
+          Sb_storage.Recovery.crash ~catalog;
+          Starburst.Corona.recover db)
+    in
+    (match Starburst.run db "SELECT count(*) FROM account" with
+    | Starburst.Rows { rows = [ [| Sb_storage.Value.Int n |] ]; _ } when n = txns -> ()
+    | _ -> Printf.printf "  [DEVIATION] %d txns: wrong row count after recovery\n" txns);
+    (stable, st.Sb_storage.Recovery.r_redone, ms)
+  in
+  let rows =
+    List.map
+      (fun txns ->
+        let stable, redone, ms = case ~txns ~checkpoint:0 in
+        let _, redone_ck, ms_ck = case ~txns ~checkpoint:256 in
+        [ Bench_util.itos txns; Bench_util.itos stable;
+          Bench_util.itos redone; Bench_util.ms ms;
+          Bench_util.itos redone_ck; Bench_util.ms ms_ck ])
+      [ 200; 800; 3200 ]
+  in
+  Bench_util.table
+    ~cols:[ "txns"; "log records"; "redone"; "recover ms";
+            "redone (ckpt)"; "recover ms (ckpt)" ]
+    rows;
+  print_endline
+    "  (checkpoint every 256 commits bounds redo to the tail of the log)"
+
 let () =
   (* --server [--server-stmts N]: the concurrent multi-session sweep;
      independent of the experiment list, so it dispatches first *)
@@ -284,6 +336,14 @@ let () =
        ?stmts:(intflag_of "--server-stmts" argv)
        ?workers:(intflag_of "--server-workers" argv)
        ();
+     exit 0
+   end);
+  (* --crash: the recovery-time experiment, likewise standalone *)
+  (let argv = Array.to_list Sys.argv |> List.tl in
+   if List.mem "--crash" argv then begin
+     print_endline
+       "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
+     crash_bench ();
      exit 0
    end);
   let rec split_flags acc trace verify_only analyze_only chaos_seed fz sd =

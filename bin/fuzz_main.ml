@@ -4,15 +4,18 @@
     fuzz cases; [--replay PATH] replays one [.sbf] repro file or every
     repro under a directory; [--server N] replays a generated workload
     through N concurrent server sessions and differentially compares
-    every result against a single-caller oracle.  Exit status is the
-    number of discrepancies (capped at 125), so CI can gate on it
-    directly. *)
+    every result against a single-caller oracle; [--crash] injects a
+    simulated crash at every reachable ordinal of every durability
+    fault site, recovers, and compares against a committed-prefix
+    oracle.  Exit status is the number of discrepancies (capped at
+    125), so CI can gate on it directly. *)
 
 let usage () =
   prerr_endline
     "usage: fuzz_main [--fuzz N] [--seed S] [--out DIR] [--metrics]\n\
     \                 [--rules native|dsl|both]\n\
     \       fuzz_main --server N [--fuzz CASES] [--seed S]\n\
+    \       fuzz_main --crash [--fuzz CASES] [--seed S] [--out DIR]\n\
     \       fuzz_main --replay PATH   (a .sbf file or a directory)\n\
     \       fuzz_main --rules-status  (verify the builtin DSL rules; any\n\
     \                                  Rejected builtin is a build failure)";
@@ -27,13 +30,14 @@ type opts = {
   mutable server : int option;
   mutable rules : Sb_fuzz.Oracle.rules_mode;
   mutable rules_status : bool;
+  mutable crash : bool;
 }
 
 let parse_args () =
   let o =
     { cases = 100; seed = 42; out = "_fuzz_failures"; metrics = false;
       replay = None; server = None; rules = Sb_fuzz.Oracle.Native_rules;
-      rules_status = false }
+      rules_status = false; crash = false }
   in
   let rec go = function
     | [] -> o
@@ -68,6 +72,9 @@ let parse_args () =
       go rest
     | "--rules-status" :: rest ->
       o.rules_status <- true;
+      go rest
+    | "--crash" :: rest ->
+      o.crash <- true;
       go rest
     | _ -> usage ()
   in
@@ -203,9 +210,35 @@ let server_differential ~sessions ~cases ~seed =
     cases sessions (cases - !failures) !both_failed !failures;
   !failures
 
+(* --crash: crash-point differential sweep over the durability path.
+   Deterministic in (seed, cases); mismatches are written under --out
+   as runnable .sql repros. *)
+let crash_sweep ~cases ~seed ~out ~metrics:want_metrics =
+  let metrics = Sb_obs.Metrics.create () in
+  let stats =
+    Sb_fuzz.Crash.run ~metrics ~log:print_endline ~seed ~n:cases ()
+  in
+  print_string (Sb_fuzz.Crash.report stats);
+  let mismatches = stats.Sb_fuzz.Crash.cs_mismatches in
+  if mismatches <> [] then begin
+    if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+    List.iteri
+      (fun i m ->
+        let path = Sb_fuzz.Crash.save_repro ~dir:out ~seed i m in
+        Printf.printf "repro written: %s\n" path)
+      mismatches
+  end;
+  if want_metrics then print_string (Sb_obs.Metrics.dump metrics);
+  List.length mismatches + if stats.Sb_fuzz.Crash.cs_wal_off_ok then 0 else 1
+
 let () =
   let o = parse_args () in
   if o.rules_status then exit (min 125 (rules_status ()))
+  else if o.crash then
+    exit
+      (min 125
+         (crash_sweep ~cases:o.cases ~seed:o.seed ~out:o.out
+            ~metrics:o.metrics))
   else
   match o.server with
   | Some sessions ->

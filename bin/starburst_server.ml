@@ -2,11 +2,19 @@
    One connection = one session.  Statements are terminated by a line
    ending in ';' (or a lone ';'); each response is the rendered result
    followed by a line containing a single '.'.  Meta-commands:
-   \cache (shared plan-cache counters), \sessions, \stats, \quit. *)
+   \cache (shared plan-cache counters), \sessions, \stats, \wal, \quit.
+
+   With --wal-file the stable log persists across restarts: the server
+   loads it on boot, runs crash recovery when it holds records, and
+   saves it after every flush/checkpoint — so kill -9 loses nothing
+   that was committed.  SIGINT/SIGTERM shut down gracefully: stop
+   accepting connections, drain in-flight statements, force the log,
+   exit 0. *)
 
 module Server = Sb_server
 module Corona = Starburst.Corona
 module Err = Sb_resil.Err
+module Wal = Sb_storage.Wal
 
 let send out lines =
   List.iter
@@ -41,6 +49,19 @@ let meta server line =
         Fmt.str "sessions %d  inflight %d  admitted %d  shed %d  rejected %d  epoch %d"
           st.Server.st_sessions st.Server.st_inflight st.Server.st_admitted
           st.Server.st_shed st.Server.st_rejected st.Server.st_epoch;
+      ]
+  | "\\wal" ->
+    let s = Server.wal_stats server in
+    Some
+      [
+        Fmt.str "enabled %b  needs_recovery %b" s.Wal.s_enabled
+          s.Wal.s_needs_recovery;
+        Fmt.str "lsn %d  stable %d  pending %d  next_txn %d" s.Wal.s_lsn
+          s.Wal.s_stable s.Wal.s_pending s.Wal.s_next_txn;
+        Fmt.str "appends %d  flushes %d  flushed_records %d  checkpoints %d"
+          s.Wal.s_appends s.Wal.s_flushes s.Wal.s_flushed_records
+          s.Wal.s_checkpoints;
+        Fmt.str "commits %d  aborts %d" s.Wal.s_commits s.Wal.s_aborts;
       ]
   | _ -> None
 
@@ -80,7 +101,19 @@ let handle_connection server fd =
   Server.close_session server session;
   (try Unix.close fd with Unix.Unix_error _ -> ())
 
-let serve ~host ~port ~workers ~once =
+(* wait (bounded) for in-flight statements to finish before exiting *)
+let drain_inflight server =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait () =
+    let st = Server.stats server in
+    if st.Server.st_inflight > 0 && Unix.gettimeofday () < deadline then begin
+      ignore (Unix.select [] [] [] 0.05);
+      wait ()
+    end
+  in
+  wait ()
+
+let serve ~host ~port ~workers ~once ~wal_file =
   let config =
     match workers with
     | None -> Server.default_config ()
@@ -93,6 +126,24 @@ let serve ~host ~port ~workers ~once =
       }
   in
   let server = Server.create ~config () in
+  (* durable log: load + recover on boot, save after every flush *)
+  (match wal_file with
+  | None -> ()
+  | Some path ->
+    let wal = Server.wal server in
+    if Sys.file_exists path then begin
+      let n = Wal.load_file wal path in
+      if n > 0 then begin
+        let st = Server.recover server in
+        Fmt.pr
+          "recovered from %s: %d records (%d truncated), %d committed txns, %d \
+           redone, %d ddl@."
+          path n st.Sb_storage.Recovery.r_truncated
+          st.Sb_storage.Recovery.r_winners st.Sb_storage.Recovery.r_redone
+          st.Sb_storage.Recovery.r_ddl
+      end
+    end;
+    Wal.set_sink wal (Some (fun () -> Wal.save_file wal path)));
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
@@ -109,13 +160,34 @@ let serve ~host ~port ~workers ~once =
     let fd, _ = Unix.accept sock in
     handle_connection server fd;
     Unix.close sock;
+    Server.flush_wal server;
     Server.shutdown server
   end
-  else
-    while true do
-      let fd, _ = Unix.accept sock in
-      ignore (Thread.create (fun () -> handle_connection server fd) ())
-    done
+  else begin
+    (* graceful shutdown: SIGINT/SIGTERM stop the accept loop; in-flight
+       statements drain, the log is forced, and we exit 0 *)
+    let stop = ref false in
+    let request_stop _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not !stop do
+      match Unix.select [ sock ] [] [] 0.2 with
+      | [ _ ], _, _ ->
+        let fd, _ = Unix.accept sock in
+        ignore (Thread.create (fun () -> handle_connection server fd) ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Fmt.pr "shutting down: draining in-flight statements@.";
+    Unix.close sock;
+    drain_inflight server;
+    Server.flush_wal server;
+    (match wal_file with
+    | Some path -> Wal.save_file (Server.wal server) path
+    | None -> ());
+    Server.shutdown server;
+    Fmt.pr "bye@."
+  end
 
 open Cmdliner
 
@@ -136,12 +208,23 @@ let once =
     value & flag
     & info [ "once" ] ~doc:"Serve a single connection, then exit (for tests).")
 
+let wal_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal-file" ]
+        ~doc:
+          "Persist the write-ahead log to $(docv): load and recover on boot, \
+           save after every flush."
+        ~docv:"FILE")
+
 let cmd =
   let doc = "line-protocol TCP front end for Starburst" in
   Cmd.v
     (Cmd.info "starburst-server" ~doc)
     Term.(
-      const (fun host port workers once -> serve ~host ~port ~workers ~once)
-      $ host $ port $ workers $ once)
+      const (fun host port workers once wal_file ->
+          serve ~host ~port ~workers ~once ~wal_file)
+      $ host $ port $ workers $ once $ wal_file)
 
 let () = exit (Cmd.eval cmd)

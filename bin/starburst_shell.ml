@@ -186,6 +186,19 @@ let meta_command backend line =
   | "\\infer" :: rest -> print_infer db rest
   | "\\cache" :: _ -> print_cache backend
   | "\\sessions" :: _ -> print_sessions backend
+  | "\\wal" :: _ ->
+    let s = Starburst.Corona.wal_stats db in
+    Printf.printf "  enabled         %b\n" s.Sb_storage.Wal.s_enabled;
+    Printf.printf "  needs_recovery  %b\n" s.Sb_storage.Wal.s_needs_recovery;
+    Printf.printf "  lsn             %d\n" s.Sb_storage.Wal.s_lsn;
+    Printf.printf "  stable records  %d\n" s.Sb_storage.Wal.s_stable;
+    Printf.printf "  pending records %d\n" s.Sb_storage.Wal.s_pending;
+    Printf.printf "  appends         %d\n" s.Sb_storage.Wal.s_appends;
+    Printf.printf "  flushes         %d\n" s.Sb_storage.Wal.s_flushes;
+    Printf.printf "  checkpoints     %d\n" s.Sb_storage.Wal.s_checkpoints;
+    Printf.printf "  commits         %d\n" s.Sb_storage.Wal.s_commits;
+    Printf.printf "  aborts          %d\n" s.Sb_storage.Wal.s_aborts;
+    Printf.printf "  next txn        %d\n" s.Sb_storage.Wal.s_next_txn
   | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
   | "\\trace" :: rest ->
     let tr = Starburst.tracer db in
@@ -221,7 +234,7 @@ let run_script backend text =
 
 let repl backend =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\rules \\limits \\metrics \\trace \\check \\infer \\cache \\sessions, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\rules \\limits \\metrics \\trace \\check \\infer \\cache \\sessions \\wal, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");
@@ -255,7 +268,7 @@ let connect_repl host port =
   let inp = Unix.in_channel_of_descr fd in
   let out = Unix.out_channel_of_descr fd in
   Printf.printf
-    "connected to %s:%d — end statements with ';', \\cache \\sessions \\stats, \\q to quit.\n"
+    "connected to %s:%d — end statements with ';', \\cache \\sessions \\stats \\wal, \\q to quit.\n"
     host port;
   let read_response () =
     let rec go () =

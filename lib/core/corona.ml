@@ -90,6 +90,18 @@ type t = {
   mutable last_gov : Limits.gov;  (** governor of the current/last query *)
   mutable last_degraded : string option;
       (** why the last statement fell back to a degraded compilation *)
+  (* -- durability: every DML statement is an implicit transaction -- *)
+  mutable txn_current : int;
+      (** transaction id of the in-flight statement; 0 when none *)
+  mutable txn_undo : (string * Tuple.t option * Tuple.t option) list;
+      (** the statement's logged changes, newest first, for rollback *)
+  mutable txn_replaying : bool;
+      (** recovery replay in progress: suppress logging and the
+          needs-recovery gate *)
+  mutable last_txn : int;  (** id of the last committed transaction *)
+  mutable wal_checkpoint_every : int;
+      (** take a fuzzy checkpoint every N commits; 0 disables *)
+  mutable commits_since_checkpoint : int;
 }
 
 type result =
@@ -116,6 +128,7 @@ let create ?(pool_capacity = 256) ?limits ?catalog ?plan_cache () : t =
     | Some pc -> pc
     | None -> Plan_cache.create ~metrics ()
   in
+  Wal.set_metrics catalog.Catalog.wal metrics;
   {
     catalog;
     plan_cache;
@@ -140,6 +153,12 @@ let create ?(pool_capacity = 256) ?limits ?catalog ?plan_cache () : t =
     limits;
     last_gov = Limits.start limits;
     last_degraded = None;
+    txn_current = 0;
+    txn_undo = [];
+    txn_replaying = false;
+    last_txn = 0;
+    wal_checkpoint_every = 0;
+    commits_since_checkpoint = 0;
   }
 
 let bind_host t name value =
@@ -695,6 +714,129 @@ let compile_row_expr t ~(schema : Schema.t) ~alias (e : Ast.expr) : Plan.rexpr =
   in
   go e
 
+(* ------------------------------------------------------------------ *)
+(* Durability: implicit transactions over the WAL                      *)
+(* ------------------------------------------------------------------ *)
+
+let wal t = t.catalog.Catalog.wal
+let wal_stats t = Wal.stats (wal t)
+let last_txn t = t.last_txn
+
+(* Logs one value-based change of the in-flight transaction and keeps
+   its inverse for rollback.  No-op outside a transaction (WAL off or
+   recovery replay). *)
+let log_update t ~table ~before ~after =
+  if t.txn_current <> 0 then begin
+    t.txn_undo <- (table, before, after) :: t.txn_undo;
+    ignore
+      (Wal.append (wal t)
+         (Wal.Update
+            { u_txn = t.txn_current; u_table = table; u_before = before; u_after = after }))
+  end
+
+(* Undoes the statement's logged changes, newest first, through
+   Table_store (so indexes stay consistent).  Compensations are not
+   logged — recovery simply never replays a transaction without a
+   Commit record.  Fault injection is suspended: a rollback must not
+   itself be failed. *)
+let rollback_statement t =
+  match t.txn_undo with
+  | [] -> ()
+  | undo ->
+    t.txn_undo <- [];
+    let saved = Catalog.faults t.catalog in
+    Catalog.set_faults t.catalog Faults.none;
+    Fun.protect ~finally:(fun () -> Catalog.set_faults t.catalog saved)
+    @@ fun () ->
+    List.iter
+      (fun (table, before, after) ->
+        match Catalog.find_table t.catalog table with
+        | None -> ()
+        | Some tab ->
+          let find_rid row =
+            Seq.find_map
+              (fun (rid, r) ->
+                if Tuple.equal ~registry:tab.Table_store.registry r row then
+                  Some rid
+                else None)
+              (Table_store.scan tab)
+          in
+          (match (before, after) with
+          | None, Some row -> (
+            (* inserted: delete it back out *)
+            match find_rid row with
+            | Some rid -> ignore (Table_store.delete tab rid)
+            | None -> ())
+          | Some row, None ->
+            (* deleted: reinsert the before image *)
+            ignore (Table_store.insert tab row)
+          | Some b, Some a -> (
+            (* updated: restore the before image *)
+            match find_rid a with
+            | Some rid -> ignore (Table_store.update tab rid b)
+            | None -> ())
+          | None, None -> ()))
+      undo
+
+let maybe_checkpoint t =
+  if t.wal_checkpoint_every > 0 then begin
+    t.commits_since_checkpoint <- t.commits_since_checkpoint + 1;
+    if t.commits_since_checkpoint >= t.wal_checkpoint_every then begin
+      t.commits_since_checkpoint <- 0;
+      Wal.checkpoint (wal t) ~tables:(Catalog.snapshot_tables t.catalog)
+    end
+  end
+
+(* Brackets one DML statement in an implicit transaction: Begin before,
+   Commit + log force (group commit) on success, rollback + Abort on any
+   error.  A simulated crash propagates untouched — the caller discards
+   all volatile state, so there is nothing to roll back. *)
+let with_txn t (f : unit -> result) : result =
+  let w = wal t in
+  if t.txn_replaying || (not (Wal.enabled w)) || t.txn_current <> 0 then f ()
+  else begin
+    let txn = Wal.begin_txn w in
+    t.txn_current <- txn;
+    t.txn_undo <- [];
+    match f () with
+    | res ->
+      ignore (Wal.append w (Wal.Commit txn));
+      t.txn_current <- 0;
+      t.txn_undo <- [];
+      (* force the log: the commit — and by group commit everything
+         queued before it — becomes durable here *)
+      Wal.flush w;
+      t.last_txn <- txn;
+      if Buffer_pool.force_policy t.catalog.Catalog.pool then
+        ignore (Buffer_pool.flush_all t.catalog.Catalog.pool : int);
+      maybe_checkpoint t;
+      res
+    | exception Faults.Crashed site ->
+      t.txn_current <- 0;
+      t.txn_undo <- [];
+      raise (Faults.Crashed site)
+    | exception exn ->
+      t.txn_current <- 0;
+      (try rollback_statement t
+       with Faults.Crashed _ as c ->
+         t.txn_undo <- [];
+         raise c);
+      ignore (Wal.append w (Wal.Abort txn));
+      raise exn
+  end
+
+(* DDL auto-commits: one Ddl record, forced immediately.  A crash at
+   the append loses the record — and recovery then (correctly) does not
+   replay a statement whose success the client never saw. *)
+let log_ddl t (text : string) =
+  if not t.txn_replaying then begin
+    let w = wal t in
+    if Wal.enabled w then begin
+      ignore (Wal.append w (Wal.Ddl text));
+      Wal.flush w
+    end
+  end
+
 let find_table t name =
   match Catalog.find_table t.catalog name with
   | Some tab -> tab
@@ -726,6 +868,7 @@ let do_insert t ~table ~columns (wq : Ast.with_query) : result =
       (try ignore (Table_store.insert tab tuple) with
       | Invalid_argument msg -> error "%s" msg
       | Table_store.Constraint_violation msg -> error "%s" msg);
+      log_update t ~table ~before:None ~after:(Some tuple);
       incr n)
     rows;
   Affected !n
@@ -739,15 +882,19 @@ let do_delete t ~table ~alias ~where : result =
     Seq.filter_map
       (fun (rid, row) ->
         match pred with
-        | None -> Some rid
+        | None -> Some (rid, row)
         | Some p -> (
           match Exec.eval_row ~hosts:t.hosts t.exec_db ~row p with
-          | Value.Bool true -> Some rid
+          | Value.Bool true -> Some (rid, row)
           | _ -> None))
       (Table_store.scan tab)
     |> List.of_seq
   in
-  List.iter (fun rid -> ignore (Table_store.delete tab rid)) victims;
+  List.iter
+    (fun (rid, row) ->
+      if Table_store.delete tab rid then
+        log_update t ~table ~before:(Some (Array.copy row)) ~after:None)
+    victims;
   Affected (List.length victims)
 
 let do_update t ~table ~alias ~sets ~where : result =
@@ -776,17 +923,18 @@ let do_update t ~table ~alias ~sets ~where : result =
           List.iter
             (fun (i, e) -> row'.(i) <- Exec.eval_row ~hosts:t.hosts t.exec_db ~row e)
             compiled_sets;
-          Some (rid, row')
+          Some (rid, Array.copy row, row')
         end
         else None)
       (Table_store.scan tab)
     |> List.of_seq
   in
   List.iter
-    (fun (rid, row) ->
-      try ignore (Table_store.update tab rid row) with
+    (fun (rid, before, row) ->
+      (try ignore (Table_store.update tab rid row) with
       | Invalid_argument msg -> error "%s" msg
-      | Table_store.Constraint_violation msg -> error "%s" msg)
+      | Table_store.Constraint_violation msg -> error "%s" msg);
+      log_update t ~table ~before:(Some before) ~after:(Some row))
     updates;
   Affected (List.length updates)
 
@@ -850,6 +998,14 @@ let do_set t key value : result =
       | "depth" | "depth_first" -> Engine.Depth_first
       | "breadth" | "breadth_first" -> Engine.Breadth_first
       | v -> error "unknown search strategy %s" v)
+  | "wal" -> Wal.set_enabled t.catalog.Catalog.wal (on_off value)
+  | "wal_checkpoint" ->
+    t.wal_checkpoint_every <-
+      (match int_of_string_opt value with
+      | Some n when n >= 0 -> n
+      | _ -> error "wal_checkpoint expects a commit count (0 = off)")
+  | "wal_force_pages" ->
+    Buffer_pool.set_force_policy t.catalog.Catalog.pool (on_off value)
   | k when String.length k > 6 && String.sub k 0 6 = "limit_" -> (
     match int_of_string_opt value with
     | None -> error "%s expects an integer (0 = unlimited)" k
@@ -1100,16 +1256,26 @@ let explain t mode (wq : Ast.with_query) : string =
    path below), which invalidates cached plans lazily; SET changes the
    settings fingerprint, steering lookups away from stale entries. *)
 let rec run_statement t (stmt : Ast.statement) : result =
+  (* after a (simulated) crash, nothing runs until recovery has: a
+     stale in-memory state must never be served as an answer *)
+  if (not t.txn_replaying) && Wal.needs_recovery (wal t) then
+    raise
+      (Error
+         (Err.make Err.Storage
+            "crash recovery required before statements can run"));
   match stmt with
   | Ast.Stmt_query wq ->
     let columns, rows = query_ast t wq in
     Rows { columns; rows }
   | Ast.Stmt_insert { ins_table; ins_columns; ins_source = Ast.Ins_query wq } ->
-    do_insert t ~table:ins_table ~columns:ins_columns wq
+    with_txn t (fun () -> do_insert t ~table:ins_table ~columns:ins_columns wq)
   | Ast.Stmt_update { upd_table; upd_alias; upd_sets; upd_where } ->
-    do_update t ~table:upd_table ~alias:upd_alias ~sets:upd_sets ~where:upd_where
+    with_txn t (fun () ->
+        do_update t ~table:upd_table ~alias:upd_alias ~sets:upd_sets
+          ~where:upd_where)
   | Ast.Stmt_delete { del_table; del_alias; del_where } ->
-    do_delete t ~table:del_table ~alias:del_alias ~where:del_where
+    with_txn t (fun () ->
+        do_delete t ~table:del_table ~alias:del_alias ~where:del_where)
   | Ast.Stmt_create_table { ct_name; ct_source = Some wq; _ } ->
     (* CREATE TABLE AS: infer the schema from the query's head *)
     let g = build_qgm t wq in
@@ -1123,14 +1289,27 @@ let rec run_statement t (stmt : Ast.statement) : result =
     in
     (try ignore (Catalog.create_table t.catalog ~name:ct_name ~schema () : Table_store.t)
      with Catalog.Catalog_error msg -> error "%s" msg);
+    (* CREATE TABLE AS replays as plain DDL (the inferred schema spelled
+       out) followed by the populating inserts, which log as an ordinary
+       transaction *)
+    log_ddl t
+      (Fmt.str "CREATE TABLE %s (%s)" ct_name
+         (String.concat ", "
+            (List.map
+               (fun col ->
+                 Fmt.str "%s %s" col.Schema.col_name
+                   (Datatype.to_string col.Schema.col_type))
+               (Array.to_list schema))));
     let n =
-      match do_insert t ~table:ct_name ~columns:None wq with
+      match with_txn t (fun () -> do_insert t ~table:ct_name ~columns:None wq) with
       | Affected n -> n
       | _ -> 0
     in
     Message (Fmt.str "table %s created (%d rows)" ct_name n)
   | Ast.Stmt_create_table { ct_name; ct_columns; ct_storage; ct_source = None } ->
-    do_create_table t ~name:ct_name ~columns:ct_columns ~storage:ct_storage
+    let res = do_create_table t ~name:ct_name ~columns:ct_columns ~storage:ct_storage in
+    log_ddl t (Pretty.statement_to_string stmt);
+    res
   | Ast.Stmt_create_index { ci_name; ci_table; ci_kind; ci_columns } ->
     (try
        ignore
@@ -1138,6 +1317,7 @@ let rec run_statement t (stmt : Ast.statement) : result =
             ~kind:(Option.value ~default:"btree" ci_kind)
             ~columns:ci_columns)
      with Catalog.Catalog_error msg -> error "%s" msg);
+    log_ddl t (Pretty.statement_to_string stmt);
     Message (Fmt.str "index %s created" ci_name)
   | Ast.Stmt_create_view { cv_name; cv_columns; cv_text } ->
     (* validate the definition now, as DDL should *)
@@ -1147,18 +1327,22 @@ let rec run_statement t (stmt : Ast.statement) : result =
     in
     (try Catalog.create_view t.catalog ~name:cv_name ~text:cv_text ?columns:cv_columns ()
      with Catalog.Catalog_error msg -> error "%s" msg);
+    log_ddl t (Pretty.statement_to_string stmt);
     Message (Fmt.str "view %s created" cv_name)
   | Ast.Stmt_drop_table name ->
     (try Catalog.drop_table t.catalog name
      with Catalog.Catalog_error msg -> error "%s" msg);
+    log_ddl t (Pretty.statement_to_string stmt);
     Message (Fmt.str "table %s dropped" name)
   | Ast.Stmt_drop_view name ->
     (try Catalog.drop_view t.catalog name
      with Catalog.Catalog_error msg -> error "%s" msg);
+    log_ddl t (Pretty.statement_to_string stmt);
     Message (Fmt.str "view %s dropped" name)
   | Ast.Stmt_drop_index { di_table; di_name } ->
     (try Catalog.drop_index t.catalog ~table:di_table ~name:di_name
      with Catalog.Catalog_error msg -> error "%s" msg);
+    log_ddl t (Pretty.statement_to_string stmt);
     Message (Fmt.str "index %s dropped" di_name)
   | Ast.Stmt_analyze None ->
     Catalog.analyze_all t.catalog;
@@ -1170,6 +1354,17 @@ let rec run_statement t (stmt : Ast.statement) : result =
   | Ast.Stmt_set (key, value) -> do_set t key value
   | Ast.Stmt_explain (Ast.Explain_rules, _) -> Message (rules_report t)
   | Ast.Stmt_explain (mode, Ast.Stmt_query wq) -> Message (explain t mode wq)
+  | Ast.Stmt_explain
+      (_, (Ast.Stmt_insert _ | Ast.Stmt_update _ | Ast.Stmt_delete _ as inner))
+    ->
+    (* DML under EXPLAIN runs as usual but reports its transaction *)
+    let res = run_statement t inner in
+    let n = match res with Affected n -> n | _ -> 0 in
+    let w = wal t in
+    Message
+      (Fmt.str "txn %d: %d row(s) affected (wal %s, lsn %d)" t.last_txn n
+         (if Wal.enabled w then "on" else "off")
+         (Wal.current_lsn w))
   | Ast.Stmt_explain (_, inner) -> run_statement t inner
 
 (* exception classification at the pipeline boundary: every failure
@@ -1198,21 +1393,61 @@ let classify_exn (text : string) (exn : exn) : exn option =
   | Invalid_argument msg -> mk Err.Internal msg
   | _ -> None
 
+(* A simulated crash escaping a statement IS the process death: all
+   volatile state — tables, views, buffered pages, the WAL's unflushed
+   tail — is discarded atomically, and the failure surfaces as a
+   structured Storage error.  Only recovery can bring the instance
+   back. *)
+let handle_crash t (text : string) (site : string) : exn =
+  t.txn_current <- 0;
+  t.txn_undo <- [];
+  Recovery.crash ~catalog:t.catalog;
+  Metrics.incr (Metrics.counter t.metrics "sb_wal_crashes_total");
+  Error
+    (Err.make ~query:text Err.Storage
+       (Fmt.str "simulated crash at %s: volatile state lost, recovery required"
+          site))
+
 (** Parses and runs one statement. *)
 let run t (text : string) : result =
-  try run_statement t (stage t "parse" (fun () -> Parser.statement text))
-  with exn -> (
+  try run_statement t (stage t "parse" (fun () -> Parser.statement text)) with
+  | Faults.Crashed site -> raise (handle_crash t text site)
+  | exn -> (
     match classify_exn text exn with
     | Some classified -> raise classified
     | None -> raise exn)
 
 (** Parses and runs a [;]-separated script, returning each result. *)
 let run_script t (text : string) : result list =
-  try List.map (run_statement t) (Parser.script text)
-  with exn -> (
+  try List.map (run_statement t) (Parser.script text) with
+  | Faults.Crashed site -> raise (handle_crash t text site)
+  | exn -> (
     match classify_exn text exn with
     | Some classified -> raise classified
     | None -> raise exn)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebuilds the database from the stable log: analysis finds the
+    committed transactions, redo replays the checkpoint + DDL + their
+    updates, and a final ANALYZE refreshes statistics and bumps the
+    epoch (cached plans cannot survive a crash).  Logging is suppressed
+    for the duration — recovery must not write the history it reads.
+    @raise Error (stage [Storage]) when the WAL is disabled: recovery
+    without a log is reported, never guessed at. *)
+let recover t : Recovery.stats =
+  t.txn_current <- 0;
+  t.txn_undo <- [];
+  t.txn_replaying <- true;
+  Fun.protect ~finally:(fun () -> t.txn_replaying <- false) @@ fun () ->
+  try
+    Recovery.run ~metrics:t.metrics ~catalog:t.catalog
+      ~replay_ddl:(fun text ->
+        ignore (run_statement t (Parser.statement text)))
+      ()
+  with Err.Error e -> raise (Error e)
 
 (** Renders a [Rows] result as an aligned table. *)
 let render_result ?registry (r : result) : string =

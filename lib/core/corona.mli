@@ -84,6 +84,19 @@ type t = {
   mutable last_gov : Limits.gov;  (** governor of the current/last query *)
   mutable last_degraded : string option;
       (** why the last statement fell back to a degraded compilation *)
+  (* -- durability: every DML statement is an implicit transaction -- *)
+  mutable txn_current : int;
+      (** transaction id of the in-flight statement; 0 when none *)
+  mutable txn_undo : (string * Tuple.t option * Tuple.t option) list;
+      (** the statement's logged changes, newest first, for rollback *)
+  mutable txn_replaying : bool;
+      (** recovery replay in progress: suppress logging and the
+          needs-recovery gate *)
+  mutable last_txn : int;  (** id of the last committed transaction *)
+  mutable wal_checkpoint_every : int;
+      (** take a fuzzy checkpoint every N commits ([SET wal_checkpoint]);
+          0 disables *)
+  mutable commits_since_checkpoint : int;
 }
 
 (** Execution outcome of one statement. *)
@@ -287,6 +300,31 @@ val run : t -> string -> result
 
 (** Parses and runs a [;]-separated script. *)
 val run_script : t -> string -> result list
+
+(** {1 Durability}
+
+    Every DML statement runs as an implicit transaction over the
+    instance's write-ahead log ({!Catalog.t.wal}): value-based
+    before/after images per changed row, Commit + log force on success
+    (group commit — one force covers everything queued before it),
+    rollback + Abort on failure.  DDL auto-commits as logged statement
+    text.  A simulated crash ({!Faults.Crashed} escaping a statement)
+    atomically discards all volatile state; {!recover} rebuilds exactly
+    the committed prefix.  [SET wal = off] disables logging,
+    [SET wal_checkpoint = n] checkpoints every n commits,
+    [SET wal_force_pages = on] flushes dirty pages at commit. *)
+
+(** The WAL's counters and state, backing the shell's [\wal]. *)
+val wal_stats : t -> Wal.stats
+
+(** Id of the most recently committed transaction (0 if none). *)
+val last_txn : t -> int
+
+(** Rebuilds the database from the stable log (analysis + redo of
+    committed transactions), refreshes statistics, bumps the catalog
+    epoch and clears the needs-recovery flag.
+    @raise Error (stage [Storage]) when the WAL is disabled. *)
+val recover : t -> Recovery.stats
 
 (** Renders a result as an aligned text table. *)
 val render_result : ?registry:Datatype.registry -> result -> string

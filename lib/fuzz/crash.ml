@@ -1,0 +1,305 @@
+(** Crash-point differential fuzzing.  See crash.mli. *)
+
+open Sb_storage
+module Err = Sb_resil.Err
+module Faults = Sb_resil.Faults
+module Rule_audit = Sb_verify.Rule_audit
+module Metrics = Sb_obs.Metrics
+
+let sites = [ "wal.append"; "wal.flush"; "buffer.flush"; "checkpoint" ]
+
+(* knobs every database under test runs with: force dirty pages at
+   commit and checkpoint every few transactions, so the buffer.flush
+   and checkpoint crash sites are actually reachable *)
+let knobs = [ "SET wal_force_pages = on"; "SET wal_checkpoint = 4" ]
+
+type mismatch = {
+  m_round : int;
+  m_site : string;
+  m_ordinal : int;
+  m_stmt : string;  (** the statement in flight when the crash fired *)
+  m_committed : bool;  (** its Commit record was already stable *)
+  m_detail : string;
+  m_script : string list;  (** DDL + knobs + workload: a full repro *)
+}
+
+type stats = {
+  cs_seed : int;
+  cs_rounds : int;
+  cs_cases : int;
+  cs_unfired : int;
+  cs_committed : int;
+  cs_by_site : (string * int) list;
+  cs_mismatches : mismatch list;
+  cs_wal_off_ok : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Databases under test                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_db ~(ddl : string list) : Starburst.t =
+  let db = Starburst.create () in
+  Sb_extensions.Outer_join.install db;
+  ignore (Starburst.run_script db (String.concat ";\n" (ddl @ knobs)));
+  db
+
+let snapshot (db : Starburst.t) =
+  Catalog.snapshot_tables db.Starburst.Corona.catalog
+
+let wal_of (db : Starburst.t) = db.Starburst.Corona.catalog.Catalog.wal
+
+(* attempt one statement; [Ok ()] means it ran — and, for DML, that
+   its implicit transaction committed (even when 0 rows changed) *)
+let attempt db text =
+  match Starburst.run db text with
+  | Starburst.Affected _ | Starburst.Rows _ | Starburst.Message _ -> Ok ()
+  | exception Starburst.Error e -> Error e
+  | exception Err.Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* State comparison                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* both snapshots are sorted by table name *)
+let state_diff (expected : (string * Tuple.t list) list)
+    (got : (string * Tuple.t list) list) : string option =
+  if List.length expected <> List.length got then
+    Some
+      (Printf.sprintf "table count: expected %d, got %d"
+         (List.length expected) (List.length got))
+  else
+    List.fold_left2
+      (fun acc (ne, re) (ng, rg) ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if ne <> ng then Some (Printf.sprintf "table %s vs %s" ne ng)
+          else (
+            match Rule_audit.compare_results ~ordered:false re rg with
+            | Ok () -> None
+            | Error msg -> Some (Printf.sprintf "table %s: %s" ne msg)))
+      None expected got
+
+(* ------------------------------------------------------------------ *)
+(* One crash case                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type case_result =
+  | Consistent of { committed : bool }
+  | Unfired  (** the armed ordinal was never reached — a scout bug *)
+  | Mismatch of mismatch
+
+let run_case ~round ~seed ~(ddl : string list) ~(dml : string list)
+    ~(oracle : (string * Tuple.t list) list array) ~site ~ordinal : case_result
+    =
+  let db = fresh_db ~ddl in
+  let wal = wal_of db in
+  let base_commits = List.length (Wal.committed_txns wal) in
+  let faults = Faults.create ~seed () in
+  Faults.fail_nth faults ~outcome:Faults.Crash ~site [ ordinal ];
+  Starburst.set_faults db faults;
+  (* run the workload until the crash fires *)
+  let crashed_at = ref (-1) in
+  let prefix_commits = ref 0 in
+  List.iteri
+    (fun i text ->
+      if !crashed_at < 0 then begin
+        (match attempt db text with
+        | Ok () -> incr prefix_commits
+        | Error _ -> ());
+        if Wal.needs_recovery wal then crashed_at := i
+      end)
+    dml;
+  if !crashed_at < 0 then Unfired
+  else begin
+    let i = !crashed_at in
+    (* everything stable before recovery: did the in-flight statement's
+       Commit record make it to the stable log? *)
+    let stable_commits = List.length (Wal.committed_txns wal) in
+    let committed = stable_commits > base_commits + !prefix_commits in
+    Starburst.set_faults db Faults.none;
+    match Starburst.Corona.recover db with
+    | exception (Starburst.Error e | Err.Error e) ->
+      Mismatch
+        {
+          m_round = round;
+          m_site = site;
+          m_ordinal = ordinal;
+          m_stmt = List.nth dml i;
+          m_committed = committed;
+          m_detail = "recovery failed: " ^ Err.to_string e;
+          m_script = ddl @ knobs @ dml;
+        }
+    | _ ->
+      let got = snapshot db in
+      let without = oracle.(i) and with_ = oracle.(i + 1) in
+      (* the client never saw the in-flight statement succeed, so the
+         recovered state may equal the oracle either without it or with
+         it — but once its Commit is stable, only "with" is honest *)
+      let verdict =
+        if committed then state_diff with_ got
+        else
+          match state_diff without got with
+          | None -> None
+          | Some _ -> state_diff with_ got
+      in
+      (match verdict with
+      | None -> Consistent { committed }
+      | Some detail ->
+        Mismatch
+          {
+            m_round = round;
+            m_site = site;
+            m_ordinal = ordinal;
+            m_stmt = List.nth dml i;
+            m_committed = committed;
+            m_detail =
+              (if committed then "committed statement lost: " ^ detail
+               else "neither prefix state matches: " ^ detail);
+            m_script = ddl @ knobs @ dml;
+          })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* oracle pass: snapshots after each statement prefix, no faults *)
+let oracle_states ~ddl ~dml =
+  let db = fresh_db ~ddl in
+  let n = List.length dml in
+  let states = Array.make (n + 1) (snapshot db) in
+  List.iteri
+    (fun i text ->
+      ignore (attempt db text);
+      states.(i + 1) <- snapshot db)
+    dml;
+  states
+
+(* scout pass: an armed-but-ruleless plan counts consults per site,
+   which enumerates every reachable crash ordinal *)
+let scout ~seed ~ddl ~dml =
+  let db = fresh_db ~ddl in
+  let faults = Faults.create ~seed () in
+  Starburst.set_faults db faults;
+  List.iter (fun text -> ignore (attempt db text)) dml;
+  List.filter_map
+    (fun site ->
+      match Faults.calls faults site with
+      | 0 -> None
+      | n -> Some (site, n))
+    sites
+
+(* recovery with the WAL off must be a structured Storage error *)
+let wal_off_check () =
+  let db = fresh_db ~ddl:[ "CREATE TABLE woff (a INT)" ] in
+  ignore (Starburst.run db "SET wal = off");
+  match Starburst.Corona.recover db with
+  | _ -> false
+  | exception Starburst.Error e | exception Err.Error e ->
+    e.Err.err_stage = Err.Storage
+
+let run ?metrics ?(log = fun _ -> ()) ~seed ~n () : stats =
+  let master = Sprng.create seed in
+  let rounds = ref 0 in
+  let cases = ref 0 in
+  let unfired = ref 0 in
+  let committed = ref 0 in
+  let by_site = Hashtbl.create 8 in
+  let mismatches = ref [] in
+  while !cases < n do
+    let round = !rounds in
+    incr rounds;
+    let rng = Sprng.split master in
+    let cat = Gen.gen_catalog rng in
+    let ddl = Gen.ddl_of_catalog cat in
+    let dml = Gen.gen_dml_workload rng cat ~n:12 in
+    let oracle = oracle_states ~ddl ~dml in
+    let reachable = scout ~seed ~ddl ~dml in
+    List.iter
+      (fun (site, total) ->
+        for ordinal = 1 to total do
+          if !cases < n then begin
+            incr cases;
+            Hashtbl.replace by_site site
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_site site));
+            match run_case ~round ~seed ~ddl ~dml ~oracle ~site ~ordinal with
+            | Consistent { committed = c } -> if c then incr committed
+            | Unfired -> incr unfired
+            | Mismatch m ->
+              log
+                (Printf.sprintf "MISMATCH round %d %s#%d: %s" m.m_round
+                   m.m_site m.m_ordinal m.m_detail);
+              mismatches := m :: !mismatches
+          end
+        done)
+      reachable
+  done;
+  let wal_off_ok = wal_off_check () in
+  let stats =
+    {
+      cs_seed = seed;
+      cs_rounds = !rounds;
+      cs_cases = !cases;
+      cs_unfired = !unfired;
+      cs_committed = !committed;
+      cs_by_site =
+        List.filter_map
+          (fun s ->
+            Option.map (fun n -> (s, n)) (Hashtbl.find_opt by_site s))
+          sites;
+      cs_mismatches = List.rev !mismatches;
+      cs_wal_off_ok = wal_off_ok;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+    Metrics.incr ~by:stats.cs_cases (Metrics.counter m "sb_crash_cases_total");
+    Metrics.incr
+      ~by:(List.length stats.cs_mismatches)
+      (Metrics.counter m "sb_crash_mismatches_total"));
+  stats
+
+let report (s : stats) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "crash fuzz: seed=%d cases=%d rounds=%d\n" s.cs_seed
+       s.cs_cases s.cs_rounds);
+  List.iter
+    (fun (site, n) ->
+      Buffer.add_string b (Printf.sprintf "  %-12s %d cases\n" site n))
+    s.cs_by_site;
+  Buffer.add_string b
+    (Printf.sprintf "  committed-at-crash %d, unfired %d\n" s.cs_committed
+       s.cs_unfired);
+  Buffer.add_string b
+    (Printf.sprintf "  wal-off recovery: %s\n"
+       (if s.cs_wal_off_ok then "structured error (ok)"
+        else "NOT a structured error"));
+  (match s.cs_mismatches with
+  | [] -> Buffer.add_string b "  mismatches: 0\n"
+  | ms ->
+    Buffer.add_string b (Printf.sprintf "  mismatches: %d\n" (List.length ms));
+    List.iter
+      (fun m ->
+        Buffer.add_string b
+          (Printf.sprintf "  round %d %s#%d (%s) stmt [%s]: %s\n" m.m_round
+             m.m_site m.m_ordinal
+             (if m.m_committed then "committed" else "in-flight")
+             m.m_stmt m.m_detail))
+      ms);
+  Buffer.contents b
+
+let save_repro ~dir ~seed (i : int) (m : mismatch) : string =
+  let path =
+    Filename.concat dir (Printf.sprintf "crash_seed%d_%d.sql" seed i)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "-- crash repro: seed %d, round %d, %s ordinal %d\n" seed
+    m.m_round m.m_site m.m_ordinal;
+  Printf.fprintf oc "-- in-flight: %s\n-- %s\n" m.m_stmt m.m_detail;
+  List.iter (fun s -> Printf.fprintf oc "%s;\n" s) m.m_script;
+  close_out oc;
+  path

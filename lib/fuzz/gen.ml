@@ -663,3 +663,64 @@ and query_quants (q : Ast.query) =
 let quantifier_count (wq : Ast.with_query) =
   List.fold_left (fun n (_, _, q) -> n + query_quants q) 0 wq.Ast.with_defs
   + query_quants wq.Ast.with_body
+
+(* ------------------------------------------------------------------ *)
+(* DML workloads (crash fuzzing)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let gen_dml_workload rng (cat : catalog) ~n : string list =
+  (* unique keys from a monotone counter well above the seed rows
+     (which use small base+row values), so inserts rarely collide *)
+  let next_key = ref 1000 in
+  let fresh_key () =
+    incr next_key;
+    !next_key
+  in
+  let literal (c : col) =
+    if c.c_unique then Value.Int (fresh_key ())
+    else if c.c_nullable && Sprng.chance rng 0.2 then Value.Null
+    else
+      match c.c_type with
+      | Datatype.Int -> Value.Int (Sprng.skewed rng 16 - 3)
+      | Datatype.Float ->
+        Value.Float (float_of_int (Sprng.range rng (-8) 40) *. 0.5)
+      | Datatype.Bool -> Value.Bool (Sprng.bool rng)
+      | Datatype.String ->
+        Value.String (List.nth string_pool (Sprng.skewed rng 10))
+      | Datatype.Ext _ -> Value.Null
+  in
+  let key_pred t =
+    let k = (List.hd t.t_cols).c_name in
+    let v = Sprng.range rng (-3) 34 in
+    match Sprng.weighted rng [ (3, `Lt); (3, `Eq); (2, `Ge) ] with
+    | `Lt -> Printf.sprintf "%s < %d" k v
+    | `Eq -> Printf.sprintf "%s = %d" k v
+    | `Ge -> Printf.sprintf "%s >= %d" k v
+  in
+  let gen_stmt () =
+    let t = Sprng.choose rng cat in
+    match Sprng.weighted rng [ (5, `Insert); (3, `Update); (2, `Delete) ] with
+    | `Insert ->
+      let n_rows = Sprng.range rng 1 3 in
+      let rows =
+        List.init n_rows (fun _ ->
+            Printf.sprintf "(%s)"
+              (String.concat ", "
+                 (List.map (fun c -> Value.to_literal (literal c)) t.t_cols)))
+      in
+      Printf.sprintf "INSERT INTO %s VALUES %s" t.t_name
+        (String.concat ", " rows)
+    | `Update -> (
+      (* never SET a unique column: assigning one constant to several
+         rows would fail for reasons unrelated to durability *)
+      match List.filter (fun c -> not c.c_unique) t.t_cols with
+      | [] ->
+        Printf.sprintf "DELETE FROM %s WHERE %s" t.t_name (key_pred t)
+      | cols ->
+        let c = Sprng.choose rng cols in
+        Printf.sprintf "UPDATE %s SET %s = %s WHERE %s" t.t_name c.c_name
+          (Value.to_literal (literal c)) (key_pred t))
+    | `Delete ->
+      Printf.sprintf "DELETE FROM %s WHERE %s" t.t_name (key_pred t)
+  in
+  List.init n (fun _ -> gen_stmt ())

@@ -62,3 +62,10 @@ val query_text : Ast.with_query -> string
     subquery predicates, counted recursively (the shrinker's size
     measure, and the acceptance bound for shrunk repros). *)
 val quantifier_count : Ast.with_query -> int
+
+(** [n] mostly-valid INSERT / UPDATE / DELETE statements over the
+    catalog's tables.  Unique key columns draw fresh monotone values so
+    inserts rarely collide with the seed rows; UPDATE never SETs a
+    unique column.  The crash fuzzer runs each statement as one
+    implicit transaction. *)
+val gen_dml_workload : Sprng.t -> catalog -> n:int -> string list

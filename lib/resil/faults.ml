@@ -1,4 +1,6 @@
-type outcome = Transient | Permanent
+type outcome = Transient | Permanent | Crash
+
+exception Crashed of string
 
 type site = {
   mutable s_calls : int;
@@ -53,6 +55,15 @@ let create ?(seed = 42) ?(max_retries = 5) ?(backoff_base_ns = 1_000_000L)
 
 let enabled t = t.f_on
 let seed t = t.f_seed
+
+(* consults observed so far at [site] (the crash fuzzer's scout pass
+   reads these to enumerate every reachable crash ordinal) *)
+let calls t site =
+  Mutex.lock t.f_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.f_lock) @@ fun () ->
+  match Hashtbl.find_opt t.f_sites site with
+  | Some s -> s.s_calls
+  | None -> 0
 let injected t = t.f_injected
 let retried t = t.f_retried
 let vclock_ns t = t.f_vclock_ns
@@ -122,6 +133,11 @@ let guard t ~site f =
           counted (fun () -> t.f_injected <- t.f_injected + 1);
           bump t "sb_faults_injected_total" site;
           match o with
+          | Crash ->
+              (* a simulated process death: the caller must atomically
+                 discard all volatile state before surfacing an error *)
+              bump t "sb_faults_crashes_total" site;
+              raise (Crashed site)
           | Permanent ->
               Err.fail Storage "injected permanent fault at %s" site
           | Transient ->

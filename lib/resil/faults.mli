@@ -13,8 +13,15 @@
     transient fault that persists past [max_retries], or any permanent
     fault, raises a structured {!Err.Storage} error. *)
 
-type outcome = Transient | Permanent
+type outcome = Transient | Permanent | Crash
 type t
+
+(** A [Crash] outcome simulates process death at the consulted site: the
+    guard raises this instead of a structured error, and the caller must
+    atomically discard all volatile state (tables, buffer pool, the
+    unflushed WAL tail) before surfacing anything — recovery then
+    rebuilds exactly the committed prefix from the stable log. *)
+exception Crashed of string
 
 (** The disabled plan: {!guard} is a direct call. *)
 val none : t
@@ -50,3 +57,8 @@ val guard : t -> site:string -> (unit -> 'a) -> 'a
 val injected : t -> int
 val retried : t -> int
 val vclock_ns : t -> int64
+
+(** Consults observed so far at [site] (0 for an unknown site).  The
+    crash fuzzer's scout pass reads these after a fault-free replay to
+    enumerate every reachable ordinal of every crash site. *)
+val calls : t -> string -> int

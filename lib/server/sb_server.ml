@@ -548,3 +548,28 @@ let submit t s text = await_helping t.pool (submit_with ~quiet:true t s text)
 let shutdown t =
   locked t (fun () -> t.closed <- true);
   pool_shutdown t.pool
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wal t = t.catalog.Catalog.wal
+let wal_stats t = Sb_storage.Wal.stats (wal t)
+
+(** Forces the shared log: everything any session has queued becomes
+    durable (one group commit).  Called by the TCP server on graceful
+    shutdown so no acknowledged work is lost. *)
+let flush_wal t = Sb_storage.Wal.flush (wal t)
+
+(** Runs crash recovery under the writer lock — no session can observe
+    the half-rebuilt database.  A scratch session replays the logged
+    DDL, so extensions installed by [install] are available to it.
+    @raise Corona.Error (stage [Storage]) when the WAL is disabled. *)
+let recover t : Sb_storage.Recovery.stats =
+  Rwlock.with_write t.rw @@ fun () ->
+  let db =
+    Corona.create ~catalog:t.catalog ~plan_cache:t.cache
+      ~limits:(Limits.copy t.limits_template) ()
+  in
+  Option.iter (fun f -> f db) t.install;
+  Corona.recover db

@@ -104,3 +104,24 @@ val catalog : t -> Sb_storage.Catalog.t
 
 (** Stops accepting work and joins the worker domains. *)
 val shutdown : t -> unit
+
+(** {1 Durability}
+
+    All sessions share the catalog's write-ahead log, so a commit that
+    forces the log makes every earlier queued record durable with it
+    (group commit). *)
+
+(** The shared write-ahead log. *)
+val wal : t -> Sb_storage.Wal.t
+
+val wal_stats : t -> Sb_storage.Wal.stats
+
+(** Forces the shared log (one group commit); called on graceful
+    shutdown so no acknowledged work is lost. *)
+val flush_wal : t -> unit
+
+(** Runs crash recovery under the writer lock — no session observes the
+    half-rebuilt database.
+    @raise Starburst.Corona.Error (stage [Storage]) when the WAL is
+    disabled. *)
+val recover : t -> Sb_storage.Recovery.stats

@@ -67,7 +67,8 @@ let create_registry () : registry = Hashtbl.create 4
 
 let register (reg : registry) (k : kind) =
   if Hashtbl.mem reg k.kind_name then
-    invalid_arg ("Access_method.register: duplicate kind " ^ k.kind_name);
+    Sb_resil.Err.fail Sb_resil.Err.Storage
+      "Access_method.register: duplicate kind %s" k.kind_name;
   Hashtbl.add reg k.kind_name k
 
 let find (reg : registry) name = Hashtbl.find_opt reg name
@@ -168,7 +169,9 @@ let rtree_kind : kind =
     let col =
       match columns with
       | [ c ] -> c
-      | _ -> invalid_arg "rtree attachment: exactly one key column required"
+      | _ ->
+        Sb_resil.Err.fail Sb_resil.Err.Storage
+          "rtree attachment: exactly one key column required"
     in
     let tree = Rtree.create () in
     let rect_of tuple =

@@ -59,7 +59,7 @@ type registry
 
 val create_registry : unit -> registry
 
-(** @raise Invalid_argument on duplicate kind names. *)
+(** @raise Sb_resil.Err.Error (stage [Storage]) on duplicate kind names. *)
 val register : registry -> kind -> unit
 
 val find : registry -> string -> kind option

@@ -45,6 +45,15 @@ type t = {
   mutable tick : int;
   stats : stats;
   mutable faults : Sb_resil.Faults.t;
+  mutable lsn_source : unit -> int;
+      (** current WAL LSN; stamped onto dirty pages at unpin time *)
+  mutable stable_lsn : unit -> int;
+      (** highest LSN known stable; {!flush_all} honors the WAL rule
+          (never write a page whose LSN is ahead of the stable log) *)
+  mutable force_policy : bool;
+      (** force-on-commit: when set, the language processor flushes all
+          dirty pages at each commit; the default is no-force (pages
+          are written back at eviction and at checkpoints) *)
 }
 
 let create ?(capacity = 256) () =
@@ -57,6 +66,9 @@ let create ?(capacity = 256) () =
     tick = 0;
     stats = { logical_reads = 0; physical_reads = 0; physical_writes = 0; evictions = 0 };
     faults = Sb_resil.Faults.none;
+    lsn_source = (fun () -> 0);
+    stable_lsn = (fun () -> max_int);
+    force_policy = false;
   }
 
 let locked t f =
@@ -65,6 +77,10 @@ let locked t f =
 
 let set_faults t f = t.faults <- f
 let faults t = t.faults
+let set_lsn_source t f = t.lsn_source <- f
+let set_stable_lsn t f = t.stable_lsn <- f
+let force_policy t = t.force_policy
+let set_force_policy t b = t.force_policy <- b
 
 let stats t = t.stats
 
@@ -93,7 +109,8 @@ let drop_file t id =
 let get_file t id =
   match Hashtbl.find_opt t.files id with
   | Some f -> f
-  | None -> invalid_arg (Fmt.str "Buffer_pool: unknown file %d" id)
+  | None ->
+    Sb_resil.Err.fail Sb_resil.Err.Storage "Buffer_pool: unknown file %d" id
 
 let page_count t id = locked t (fun () -> (get_file t id).npages)
 
@@ -136,7 +153,8 @@ let pin_raw t file_id page_no =
   | None ->
     let f = get_file t file_id in
     if page_no < 0 || page_no >= f.npages then
-      invalid_arg (Fmt.str "Buffer_pool.pin: page %d/%d out of range" file_id page_no);
+      Sb_resil.Err.fail Sb_resil.Err.Storage
+        "Buffer_pool.pin: page %d/%d out of range" file_id page_no;
     t.stats.physical_reads <- t.stats.physical_reads + 1;
     let frame =
       { page = f.pages.(page_no); f_file = file_id; pins = 1; last_used = t.tick }
@@ -152,12 +170,60 @@ let pin t file_id page_no =
 let unpin t file_id page_no =
   locked t @@ fun () ->
   match Hashtbl.find_opt t.cache (file_id, page_no) with
-  | Some frame when frame.pins > 0 -> frame.pins <- frame.pins - 1
+  | Some frame when frame.pins > 0 ->
+    frame.pins <- frame.pins - 1;
+    (* WAL honesty: a page released dirty carries the LSN of the log
+       record covering its latest change, so a flush can refuse to
+       write it ahead of the stable log. *)
+    if frame.page.Page.dirty then frame.page.Page.lsn <- t.lsn_source ()
   | _ -> ()
 
 let with_page t file_id page_no f =
   let page = pin t file_id page_no in
   Fun.protect ~finally:(fun () -> unpin t file_id page_no) (fun () -> f page)
+
+(** Writes back every dirty page whose LSN does not run ahead of the
+    stable log (the WAL rule); returns how many pages were written.
+    Consults fault site [buffer.flush] once, before any write, so a
+    crash there loses the entire write-back. *)
+let flush_all t =
+  Sb_resil.Faults.guard t.faults ~site:"buffer.flush" (fun () -> ());
+  locked t @@ fun () ->
+  let stable = t.stable_lsn () in
+  let written = ref 0 in
+  Hashtbl.iter
+    (fun _ f ->
+      for i = 0 to f.npages - 1 do
+        let page = f.pages.(i) in
+        if page.Page.dirty && page.Page.lsn <= stable then begin
+          t.stats.physical_writes <- t.stats.physical_writes + 1;
+          page.Page.dirty <- false;
+          incr written
+        end
+      done)
+    t.files;
+  !written
+
+let dirty_pages t =
+  locked t @@ fun () ->
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ f ->
+      for i = 0 to f.npages - 1 do
+        if f.pages.(i).Page.dirty then incr n
+      done)
+    t.files;
+  !n
+
+(** Simulated process death: every file and cached frame vanishes (the
+    "disk" here is volatile memory — durability comes from the WAL).
+    File ids stay monotonic so stale handles can never alias a new
+    file. *)
+let discard_all t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.files;
+  Hashtbl.reset t.cache;
+  t.tick <- 0
 
 (** Appends a fresh page to [file_id] and returns its page number. *)
 let alloc_page t file_id =

@@ -32,6 +32,9 @@ type t = {
   mutable site_of : string -> string;
       (** simulated-distribution hook: site where a table lives *)
   mutable faults : Sb_resil.Faults.t;
+  wal : Wal.t;
+      (** the instance's write-ahead log; sessions sharing a catalog
+          share the log, which is what makes group commit work *)
 }
 
 let norm = String.lowercase_ascii
@@ -49,12 +52,18 @@ let create ?(pool_capacity = 256) () =
       epoch = 0;
       site_of = (fun _ -> "local");
       faults = Sb_resil.Faults.none;
+      wal = Wal.create ();
     }
   in
   Storage_manager.register t.storage_managers Heap_file.factory;
   Storage_manager.register t.storage_managers Fixed_file.factory;
   Access_method.register t.access_methods Access_method.btree_kind;
   Access_method.register t.access_methods Access_method.unique_constraint_kind;
+  (* page-LSN honesty: dirty pages are stamped with the current log LSN
+     at unpin, and a flush never writes a page ahead of the stable log *)
+  Buffer_pool.set_lsn_source t.pool (fun () ->
+      if Wal.enabled t.wal then Wal.current_lsn t.wal else 0);
+  Buffer_pool.set_stable_lsn t.pool (fun () -> Wal.stable_lsn t.wal);
   t
 
 let locked t f =
@@ -66,7 +75,8 @@ let bump_epoch t = locked t (fun () -> t.epoch <- t.epoch + 1)
 
 let set_faults t f =
   t.faults <- f;
-  Buffer_pool.set_faults t.pool f
+  Buffer_pool.set_faults t.pool f;
+  Wal.set_faults t.wal f
 
 let faults t = t.faults
 
@@ -208,3 +218,24 @@ let analyze_all t =
   locked t (fun () ->
       Hashtbl.iter (fun _ tab -> ignore (Table_store.analyze tab)) t.tables;
       t.epoch <- t.epoch + 1)
+
+(** A consistent snapshot of every table's contents (sorted by name),
+    the payload of a fuzzy checkpoint. *)
+let snapshot_tables t : (string * Tuple.t list) list =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ tab acc ->
+          let rows = Table_store.scan tab |> Seq.map snd |> List.of_seq in
+          (tab.Table_store.name, rows) :: acc)
+        t.tables [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Simulated process death: every table, view and buffered page
+    vanishes.  The WAL's stable region is all that survives; recovery
+    rebuilds the instance from it. *)
+let reset_storage t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.tables;
+  Hashtbl.reset t.views;
+  Buffer_pool.discard_all t.pool;
+  t.epoch <- t.epoch + 1

@@ -28,7 +28,10 @@ type t = {
           (default: every table is ["local"]) *)
   mutable faults : Sb_resil.Faults.t;
       (** fault-injection plan; {!set_faults} also installs it on the
-          buffer pool *)
+          buffer pool and the WAL *)
+  wal : Wal.t;
+      (** the instance's write-ahead log; sessions sharing a catalog
+          share the log (group commit) *)
 }
 
 exception Catalog_error of string
@@ -84,3 +87,11 @@ val create_index :
 val drop_index : t -> table:string -> name:string -> unit
 
 val analyze_all : t -> unit
+
+(** A consistent snapshot of every table's contents (sorted by name),
+    the payload of a fuzzy checkpoint. *)
+val snapshot_tables : t -> (string * Tuple.t list) list
+
+(** Simulated process death: every table, view and buffered page
+    vanishes; only the WAL's stable region survives. *)
+val reset_storage : t -> unit

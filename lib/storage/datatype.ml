@@ -47,7 +47,8 @@ let create_registry () : registry = Hashtbl.create 8
 
 let register (reg : registry) (ops : ext_ops) =
   if Hashtbl.mem reg ops.ext_name then
-    invalid_arg ("Datatype.register: duplicate external type " ^ ops.ext_name);
+    Sb_resil.Err.fail Sb_resil.Err.Storage
+      "Datatype.register: duplicate external type %s" ops.ext_name;
   Hashtbl.add reg ops.ext_name ops
 
 let find (reg : registry) name = Hashtbl.find_opt reg name

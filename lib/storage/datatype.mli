@@ -32,7 +32,7 @@ type registry
 
 val create_registry : unit -> registry
 
-(** @raise Invalid_argument on duplicate type names. *)
+(** @raise Sb_resil.Err.Error (stage [Storage]) on duplicate type names. *)
 val register : registry -> ext_ops -> unit
 
 val find : registry -> string -> ext_ops option

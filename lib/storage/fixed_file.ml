@@ -12,11 +12,14 @@ let make ~(pool : Buffer_pool.t) ~(schema : Schema.t) : instance =
   let width =
     match Row_codec.fixed_width schema with
     | Some w -> w
-    | None -> invalid_arg "fixed: schema has variable-length columns"
+    | None ->
+      Sb_resil.Err.fail Sb_resil.Err.Storage
+        "fixed: schema has variable-length columns"
   in
   let cell = width + 1 (* liveness byte *) in
   let per_page = (Page.default_size - 64) / cell in
-  if per_page < 1 then invalid_arg "fixed: record wider than a page";
+  if per_page < 1 then
+    Sb_resil.Err.fail Sb_resil.Err.Storage "fixed: record wider than a page";
   let file = Buffer_pool.create_file pool in
   let tuples = ref 0 in
   (* Within each Page.t we store exactly one record (the whole cell

@@ -3,7 +3,7 @@
     cells whose position follows from the slot number, so fetch is O(1)
     arithmetic. *)
 
-(** @raise Invalid_argument on schemas with variable-length columns. *)
+(** @raise Sb_resil.Err.Error (stage [Storage]) on schemas with variable-length columns. *)
 val make : pool:Buffer_pool.t -> schema:Schema.t -> Storage_manager.instance
 
 (** Registered as ["fixed"]; supports INT/FLOAT/BOOL schemas. *)

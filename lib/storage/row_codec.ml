@@ -147,7 +147,8 @@ let encode_fixed ~(schema : Schema.t) (t : Tuple.t) : string =
         Buffer.add_char buf
           (if (not (Value.is_null v)) && Value.as_bool v then '\001' else '\000')
       | Datatype.String | Datatype.Ext _ ->
-        invalid_arg "Row_codec.encode_fixed: variable-length column")
+        Sb_resil.Err.fail Sb_resil.Err.Storage
+          "Row_codec.encode_fixed: variable-length column")
     schema;
   Buffer.contents buf
 
@@ -171,4 +172,5 @@ let decode_fixed ~(schema : Schema.t) (s : string) : Tuple.t =
         incr off;
         if null then Value.Null else Value.Bool (c = '\001')
       | Datatype.String | Datatype.Ext _ ->
-        invalid_arg "Row_codec.decode_fixed: variable-length column")
+        Sb_resil.Err.fail Sb_resil.Err.Storage
+          "Row_codec.decode_fixed: variable-length column")

@@ -14,7 +14,7 @@ val decode : string -> Tuple.t
     the schema contains variable-length columns. *)
 val fixed_width : Schema.t -> int option
 
-(** @raise Invalid_argument on variable-length columns. *)
+(** @raise Sb_resil.Err.Error (stage [Storage]) on variable-length columns. *)
 val encode_fixed : schema:Schema.t -> Tuple.t -> string
 
 val decode_fixed : schema:Schema.t -> string -> Tuple.t

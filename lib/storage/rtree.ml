@@ -150,7 +150,9 @@ let rec insert_node t node (e : entry) : (entry * entry) option =
       let chosen_node =
         match chosen.child with
         | Node n -> n
-        | Record _ -> assert false
+        | Record _ ->
+          Sb_resil.Err.fail Sb_resil.Err.Storage
+            "Rtree.insert: interior entry holds a record"
       in
       (match insert_node t chosen_node e with
       | None ->

@@ -42,7 +42,8 @@ let create_registry () : registry = Hashtbl.create 4
 
 let register (reg : registry) (f : factory) =
   if Hashtbl.mem reg f.factory_name then
-    invalid_arg ("Storage_manager.register: duplicate " ^ f.factory_name);
+    Sb_resil.Err.fail Sb_resil.Err.Storage
+      "Storage_manager.register: duplicate %s" f.factory_name;
   Hashtbl.add reg f.factory_name f
 
 let find (reg : registry) name = Hashtbl.find_opt reg name

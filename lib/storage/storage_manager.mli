@@ -38,7 +38,7 @@ type registry
 
 val create_registry : unit -> registry
 
-(** @raise Invalid_argument on duplicate factory names. *)
+(** @raise Sb_resil.Err.Error (stage [Storage]) on duplicate factory names. *)
 val register : registry -> factory -> unit
 
 val find : registry -> string -> factory option

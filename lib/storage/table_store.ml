@@ -30,7 +30,7 @@ let run_checks t tuple ~exclude =
 let insert t (tuple : Tuple.t) =
   (match Schema.validate ~schema:t.schema tuple with
   | Ok () -> ()
-  | Error msg -> invalid_arg (Fmt.str "%s: %s" t.name msg));
+  | Error msg -> Sb_resil.Err.fail Sb_resil.Err.Storage "%s: %s" t.name msg);
   run_checks t tuple ~exclude:None;
   let rid = t.storage.Storage_manager.insert tuple in
   List.iter (fun am -> am.Access_method.am_insert tuple rid) t.attachments;
@@ -48,7 +48,7 @@ let delete t rid =
 let update t rid (tuple : Tuple.t) =
   (match Schema.validate ~schema:t.schema tuple with
   | Ok () -> ()
-  | Error msg -> invalid_arg (Fmt.str "%s: %s" t.name msg));
+  | Error msg -> Sb_resil.Err.fail Sb_resil.Err.Storage "%s: %s" t.name msg);
   run_checks t tuple ~exclude:(Some rid);
   match t.storage.Storage_manager.fetch rid with
   | None -> false
@@ -76,19 +76,20 @@ let tuple_count t = t.storage.Storage_manager.tuple_count ()
 let page_count t = t.storage.Storage_manager.page_count ()
 
 let truncate t =
-  t.storage.Storage_manager.truncate ();
-  (* rebuild attachments from the (now empty) table *)
-  t.attachments <-
-    List.map
-      (fun am ->
-        ignore am;
-        am)
-      t.attachments
+  (* purge attachments of every live entry before dropping the base
+     records, else stale index entries would point at reused rids *)
+  Seq.iter
+    (fun (rid, tuple) ->
+      List.iter (fun am -> am.Access_method.am_delete tuple rid) t.attachments)
+    (scan t);
+  t.storage.Storage_manager.truncate ()
 
 (** Attaches an access method and back-fills it from existing records. *)
 let attach t (am : Access_method.instance) =
   if List.exists (fun a -> a.Access_method.am_name = am.Access_method.am_name) t.attachments
-  then invalid_arg (Fmt.str "attachment %s already exists on %s" am.Access_method.am_name t.name);
+  then
+    Sb_resil.Err.fail Sb_resil.Err.Storage "attachment %s already exists on %s"
+      am.Access_method.am_name t.name;
   Seq.iter (fun (rid, tuple) -> am.Access_method.am_insert tuple rid) (scan t);
   t.attachments <- am :: t.attachments
 

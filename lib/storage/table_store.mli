@@ -24,7 +24,7 @@ val create :
 
 exception Constraint_violation of string
 
-(** @raise Invalid_argument on schema violations.
+(** @raise Sb_resil.Err.Error (stage [Storage]) on schema violations.
     @raise Constraint_violation when an attachment's check rejects the
     tuple (e.g. a UNIQUE constraint). *)
 val insert : t -> Tuple.t -> Storage_manager.rid
@@ -42,7 +42,8 @@ val page_count : t -> int
 val truncate : t -> unit
 
 (** Attaches an access method and back-fills it from existing records.
-    @raise Invalid_argument on duplicate attachment names. *)
+    @raise Sb_resil.Err.Error (stage [Storage]) on duplicate attachment
+    names. *)
 val attach : t -> Access_method.instance -> unit
 
 val detach : t -> string -> unit

@@ -1,0 +1,122 @@
+(** The write-ahead log: an append-only, LSN-stamped, CRC-checked log of
+    value-based records with a volatile tail and a stable (crash-
+    surviving) prefix.
+
+    {!append} queues a record in the volatile tail; {!flush} forces the
+    whole tail to the stable region in one step (group commit: a commit
+    that forces the log also forces every record queued before it by
+    any session sharing the log).  {!crash} simulates process death —
+    the volatile tail vanishes — after which {!Recovery.run} rebuilds
+    exactly the committed prefix from {!stable_records}.
+
+    Crash injection sites (via the {!Sb_resil.Faults} plan installed
+    with {!set_faults}): [wal.append] (the in-flight record is lost),
+    [wal.flush] (a {e torn write} — the oldest pending record reaches
+    stable storage with a corrupted CRC), and [checkpoint] (consulted
+    before anything durable happens). *)
+
+type record =
+  | Begin of int  (** transaction id *)
+  | Commit of int
+  | Abort of int
+  | Update of {
+      u_txn : int;
+      u_table : string;
+      u_before : Tuple.t option;  (** [None] for an insert *)
+      u_after : Tuple.t option;  (** [None] for a delete *)
+    }
+  | Ddl of string  (** an auto-committed DDL statement, as Hydrogen text *)
+  | Checkpoint of {
+      ck_ddl : string list;  (** full DDL history, in execution order *)
+      ck_tables : (string * Tuple.t list) list;  (** table snapshots *)
+    }
+
+type t
+
+(** A fresh, enabled, empty log. *)
+val create : unit -> t
+
+val set_faults : t -> Sb_resil.Faults.t -> unit
+
+(** Counters land as [sb_wal_appends_total], [sb_wal_flushes_total],
+    [sb_wal_records_flushed_total], [sb_wal_checkpoints_total],
+    [sb_wal_commits_total], [sb_wal_aborts_total]. *)
+val set_metrics : t -> Sb_obs.Metrics.t -> unit
+
+(** Persistence hook, called after every successful flush or checkpoint
+    (outside the log's lock); the TCP server points it at
+    {!save_file}. *)
+val set_sink : t -> (unit -> unit) option -> unit
+
+(** [SET wal = off] disables logging: appends and flushes become no-ops
+    and recovery refuses to run (a structured [Storage] error). *)
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+(** True between a {!crash} (or a {!load_file} that read records) and a
+    successful recovery; the language processor refuses statements while
+    set. *)
+val needs_recovery : t -> bool
+
+val set_needs_recovery : t -> bool -> unit
+
+(** Highest LSN assigned so far (page LSN stamping reads this). *)
+val current_lsn : t -> int
+
+(** Highest LSN in the stable region ([max_int] when disabled) — the
+    buffer pool's WAL-rule bound. *)
+val stable_lsn : t -> int
+
+(** Appends one record, returning its LSN (0 when disabled).
+    Consults site [wal.append]. *)
+val append : t -> record -> int
+
+(** A fresh transaction id; its [Begin] record is appended. *)
+val begin_txn : t -> int
+
+(** Forces the volatile tail to the stable region.  Consults site
+    [wal.flush]; a crash there leaves a torn (CRC-corrupt) record. *)
+val flush : t -> unit
+
+(** Simulated process death: discards the volatile tail and flags
+    recovery as required. *)
+val crash : t -> unit
+
+(** The stable region, oldest first, truncated at the first CRC
+    mismatch; also returns how many records were truncated. *)
+val stable_records : t -> (int * record) list * int
+
+(** Transactions whose [Commit] reached the readable stable prefix. *)
+val committed_txns : t -> int list
+
+(** Takes a checkpoint (DDL history + the caller's table snapshots),
+    forces the log, then compacts the stable region down to the
+    checkpoint record.  Consults site [checkpoint] first. *)
+val checkpoint : t -> tables:(string * Tuple.t list) list -> unit
+
+type stats = {
+  s_enabled : bool;
+  s_lsn : int;  (** highest LSN assigned *)
+  s_stable : int;  (** records in the stable region *)
+  s_pending : int;  (** records in the volatile tail *)
+  s_appends : int;
+  s_flushes : int;
+  s_flushed_records : int;
+  s_checkpoints : int;
+  s_commits : int;
+  s_aborts : int;
+  s_needs_recovery : bool;
+  s_next_txn : int;
+}
+
+val stats : t -> stats
+
+(** Writes the stable region to [path] (atomic rename), so a restarted
+    process can {!load_file} it and recover. *)
+val save_file : t -> string -> unit
+
+(** Replaces the stable region with a previously saved log; returns the
+    number of records read and flags recovery as required when
+    non-zero. *)
+val load_file : t -> string -> int

@@ -442,6 +442,224 @@ let test_stats () =
   let lt5 = Stats.range_selectivity st 0 ~op:`Lt (i 5) in
   Alcotest.(check bool) "range sel" true (lt5 > 0.3 && lt5 < 0.7)
 
+(* ------------------------------------------------------------------ *)
+(* Write-ahead log and crash recovery                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_basics () =
+  let w = Wal.create () in
+  let txn = Wal.begin_txn w in
+  let l1 =
+    Wal.append w
+      (Wal.Update { u_txn = txn; u_table = "t"; u_before = None;
+                    u_after = Some (row [ i 1 ]) })
+  in
+  let l2 = Wal.append w (Wal.Commit txn) in
+  Alcotest.(check bool) "LSNs monotonic" true (0 < l1 && l1 < l2);
+  let st = Wal.stats w in
+  Alcotest.(check int) "pending tail" 3 st.Wal.s_pending;
+  Alcotest.(check int) "nothing stable yet" 0 st.Wal.s_stable;
+  Wal.flush w;
+  let st = Wal.stats w in
+  Alcotest.(check int) "tail drained" 0 st.Wal.s_pending;
+  Alcotest.(check int) "stable" 3 st.Wal.s_stable;
+  let records, truncated = Wal.stable_records w in
+  Alcotest.(check int) "readable" 3 (List.length records);
+  Alcotest.(check int) "no torn records" 0 truncated;
+  Alcotest.(check (list int)) "committed" [ txn ] (Wal.committed_txns w);
+  (* volatile tail vanishes at a crash; the stable prefix survives *)
+  let txn2 = Wal.begin_txn w in
+  ignore (Wal.append w (Wal.Commit txn2));
+  Wal.crash w;
+  Alcotest.(check bool) "needs recovery" true (Wal.needs_recovery w);
+  Alcotest.(check (list int)) "tail lost" [ txn ] (Wal.committed_txns w)
+
+let test_wal_torn_record () =
+  let w = Wal.create () in
+  let faults = Sb_resil.Faults.create ~seed:1 () in
+  Sb_resil.Faults.fail_nth faults ~outcome:Sb_resil.Faults.Crash
+    ~site:"wal.flush" [ 2 ];
+  Wal.set_faults w faults;
+  let txn = Wal.begin_txn w in
+  ignore (Wal.append w (Wal.Commit txn));
+  Wal.flush w;
+  let txn2 = Wal.begin_txn w in
+  ignore (Wal.append w (Wal.Commit txn2));
+  (match Wal.flush w with
+  | () -> Alcotest.fail "expected a crash at wal.flush"
+  | exception Sb_resil.Faults.Crashed site ->
+    Alcotest.(check string) "site" "wal.flush" site);
+  Wal.crash w;
+  (* the torn write left txn2's Begin with a corrupt CRC: the readable
+     prefix stops before it, so txn2 never committed *)
+  let records, truncated = Wal.stable_records w in
+  Alcotest.(check int) "torn" 1 truncated;
+  Alcotest.(check int) "prefix readable" 2 (List.length records);
+  Alcotest.(check (list int)) "only txn1" [ txn ] (Wal.committed_txns w)
+
+let test_wal_checkpoint_compaction () =
+  let w = Wal.create () in
+  for _ = 1 to 5 do
+    let txn = Wal.begin_txn w in
+    ignore (Wal.append w (Wal.Commit txn));
+    Wal.flush w
+  done;
+  Alcotest.(check int) "before" 10 (Wal.stats w).Wal.s_stable;
+  Wal.checkpoint w ~tables:[ ("t", [ row [ i 1 ] ]) ];
+  Alcotest.(check int) "compacted to the checkpoint" 1
+    (Wal.stats w).Wal.s_stable;
+  let txn = Wal.begin_txn w in
+  ignore (Wal.append w (Wal.Commit txn));
+  Wal.flush w;
+  Alcotest.(check int) "tail grows past it" 3 (Wal.stats w).Wal.s_stable
+
+let test_wal_save_load () =
+  let w = Wal.create () in
+  let txn = Wal.begin_txn w in
+  ignore
+    (Wal.append w
+       (Wal.Update { u_txn = txn; u_table = "t"; u_before = None;
+                     u_after = Some (row [ i 7; s "x"; nul ]) }));
+  ignore (Wal.append w (Wal.Commit txn));
+  Wal.flush w;
+  let path = Filename.temp_file "sbwal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Wal.save_file w path;
+      let w2 = Wal.create () in
+      Alcotest.(check int) "records read" 3 (Wal.load_file w2 path);
+      Alcotest.(check bool) "recovery flagged" true (Wal.needs_recovery w2);
+      let a, _ = Wal.stable_records w and b, _ = Wal.stable_records w2 in
+      Alcotest.(check bool) "round-trip" true (a = b))
+
+(* a crash during one DML statement, at each injection site in turn.
+   The first three statements committed before the crash, so recovery
+   must rebuild them; the in-flight DELETE survives only when its
+   Commit record reached the stable log before the crash fired
+   (post-commit sites: buffer.flush, checkpoint). *)
+let crash_matrix =
+  [ ("wal.append", 3); ("wal.flush", 3); ("buffer.flush", 2); ("checkpoint", 2) ]
+
+let test_crash_matrix () =
+  List.iter
+    (fun (site, rows_after) ->
+      let db = Starburst.create () in
+      let run t = ignore (Starburst.run db t) in
+      run "CREATE TABLE acct (k INT UNIQUE, v INT)";
+      run "SET wal_force_pages = on";
+      run "SET wal_checkpoint = 1";
+      run "INSERT INTO acct VALUES (1, 10), (2, 20)";
+      run "UPDATE acct SET v = 11 WHERE k = 1";
+      run "INSERT INTO acct VALUES (3, 30)";
+      let epoch_before = db.Starburst.Corona.catalog.Catalog.epoch in
+      let faults = Sb_resil.Faults.create ~seed:1 () in
+      Sb_resil.Faults.fail_nth faults ~outcome:Sb_resil.Faults.Crash ~site [ 1 ];
+      Starburst.Corona.set_faults db faults;
+      (match Starburst.run db "DELETE FROM acct WHERE k = 2" with
+      | _ -> Alcotest.failf "%s: expected a simulated crash" site
+      | exception Starburst.Error e ->
+        Alcotest.(check bool)
+          (site ^ ": crash is a Storage error")
+          true
+          (e.Sb_resil.Err.err_stage = Sb_resil.Err.Storage));
+      (* the processor refuses statements until recovery runs *)
+      (match Starburst.run db "SELECT count(*) FROM acct" with
+      | _ -> Alcotest.failf "%s: statements must be gated" site
+      | exception Starburst.Error _ -> ());
+      Starburst.Corona.set_faults db Sb_resil.Faults.none;
+      ignore (Starburst.Corona.recover db);
+      let rows = q db "SELECT k, v FROM acct ORDER BY k" in
+      Alcotest.(check int) (site ^ ": row count") rows_after (List.length rows);
+      (* committed effects are always visible after recovery *)
+      Alcotest.(check bool)
+        (site ^ ": committed update survives")
+        true
+        (List.exists (fun r -> r = row [ i 1; i 11 ]) rows);
+      Alcotest.(check bool)
+        (site ^ ": committed insert survives")
+        true
+        (List.exists (fun r -> r = row [ i 3; i 30 ]) rows);
+      (* the epoch moved and new statements run normally *)
+      Alcotest.(check bool)
+        (site ^ ": epoch bumped")
+        true
+        (db.Starburst.Corona.catalog.Catalog.epoch > epoch_before);
+      run "INSERT INTO acct VALUES (9, 90)";
+      Alcotest.(check int)
+        (site ^ ": db usable after recovery")
+        (rows_after + 1)
+        (List.length (q db "SELECT k FROM acct")))
+    crash_matrix
+
+let test_recovery_requires_wal () =
+  let db = Starburst.create () in
+  ignore (Starburst.run db "CREATE TABLE t (a INT)");
+  ignore (Starburst.run db "SET wal = off");
+  match Starburst.Corona.recover db with
+  | _ -> Alcotest.fail "recovery with the WAL off must be an error"
+  | exception Starburst.Error e ->
+    Alcotest.(check bool) "storage stage" true
+      (e.Sb_resil.Err.err_stage = Sb_resil.Err.Storage)
+
+let test_statement_atomicity () =
+  let db = Starburst.create () in
+  ignore (Starburst.run db "CREATE TABLE t (a INT UNIQUE, b STRING)");
+  ignore (Starburst.run db "INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+  (* the third row violates UNIQUE: the whole statement must roll back *)
+  (match Starburst.run db "INSERT INTO t VALUES (3, 'z'), (1, 'dup')" with
+  | _ -> Alcotest.fail "expected a unique violation"
+  | exception Starburst.Error _ -> ());
+  check_bag "no partial insert"
+    [ row [ i 1; s "x" ]; row [ i 2; s "y" ] ]
+    (q db "SELECT a, b FROM t");
+  (* same for a multi-row UPDATE that collides mid-way *)
+  (match Starburst.run db "UPDATE t SET a = 5 WHERE a >= 1" with
+  | _ -> Alcotest.fail "expected a unique violation"
+  | exception Starburst.Error _ -> ());
+  check_bag "update rolled back"
+    [ row [ i 1 ]; row [ i 2 ] ]
+    (q db "SELECT a FROM t")
+
+let test_buffer_pool_wal_rule () =
+  let pool = Buffer_pool.create ~capacity:8 () in
+  let lsn = ref 10 in
+  let stable = ref 0 in
+  Buffer_pool.set_lsn_source pool (fun () -> !lsn);
+  Buffer_pool.set_stable_lsn pool (fun () -> !stable);
+  let file = Buffer_pool.create_file pool in
+  ignore (Buffer_pool.alloc_page pool file);
+  ignore (Buffer_pool.alloc_page pool file);
+  Buffer_pool.with_page pool file 0 (fun page -> ignore (Page.insert page "a"));
+  Buffer_pool.with_page pool file 1 (fun page -> ignore (Page.insert page "b"));
+  Alcotest.(check int) "dirty pages tracked" 2 (Buffer_pool.dirty_pages pool);
+  (* WAL rule: a dirty page may not reach disk ahead of its log tail *)
+  Alcotest.(check int) "nothing stable, nothing written" 0
+    (Buffer_pool.flush_all pool);
+  stable := 10;
+  Alcotest.(check int) "stable log unlocks the flush" 2
+    (Buffer_pool.flush_all pool);
+  Alcotest.(check int) "all clean" 0 (Buffer_pool.dirty_pages pool)
+
+let test_truncate_maintains_attachments () =
+  let cat = Catalog.create () in
+  let schema =
+    [| Schema.column "k" Datatype.Int; Schema.column "v" Datatype.String |]
+  in
+  let tab = Catalog.create_table cat ~name:"t" ~schema () in
+  let am =
+    Catalog.create_index cat ~name:"t_k" ~table:"t" ~kind:"btree"
+      ~columns:[ "k" ]
+  in
+  List.iter
+    (fun k -> ignore (Table_store.insert tab (row [ i k; s "x" ])))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "filled" 3 (am.Access_method.am_entry_count ());
+  Table_store.truncate tab;
+  Alcotest.(check int) "no stale index entries" 0
+    (am.Access_method.am_entry_count ());
+  Alcotest.(check int) "no rows" 0 (Table_store.tuple_count tab)
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let suite =
@@ -466,4 +684,13 @@ let suite =
       case "attachment maintenance" test_attachment_maintenance;
       case "catalog errors" test_catalog_errors;
       case "statistics" test_stats;
+      case "wal basics" test_wal_basics;
+      case "wal torn record" test_wal_torn_record;
+      case "wal checkpoint compaction" test_wal_checkpoint_compaction;
+      case "wal save/load round-trip" test_wal_save_load;
+      case "crash matrix" test_crash_matrix;
+      case "recovery requires the wal" test_recovery_requires_wal;
+      case "statement atomicity" test_statement_atomicity;
+      case "buffer pool wal rule" test_buffer_pool_wal_rule;
+      case "truncate maintains attachments" test_truncate_maintains_attachments;
     ] )
