@@ -7,8 +7,10 @@
     every result against a single-caller oracle; [--crash] injects a
     simulated crash at every reachable ordinal of every durability
     fault site, recovers, and compares against a committed-prefix
-    oracle.  Exit status is the number of discrepancies (capped at
-    125), so CI can gate on it directly. *)
+    oracle; [--races N] hammers N concurrent sessions with a mixed
+    DML / DDL / ANALYZE workload under the armed lock-discipline
+    checker and fails on any diagnosis.  Exit status is the number of
+    discrepancies (capped at 125), so CI can gate on it directly. *)
 
 let usage () =
   prerr_endline
@@ -16,6 +18,7 @@ let usage () =
     \                 [--rules native|dsl|both]\n\
     \       fuzz_main --server N [--fuzz CASES] [--seed S]\n\
     \       fuzz_main --crash [--fuzz CASES] [--seed S] [--out DIR]\n\
+    \       fuzz_main --races N [--fuzz CASES] [--seed S] [--graph FILE]\n\
     \       fuzz_main --replay PATH   (a .sbf file or a directory)\n\
     \       fuzz_main --rules-status  (verify the builtin DSL rules; any\n\
     \                                  Rejected builtin is a build failure)";
@@ -31,13 +34,15 @@ type opts = {
   mutable rules : Sb_fuzz.Oracle.rules_mode;
   mutable rules_status : bool;
   mutable crash : bool;
+  mutable races : int option;
+  mutable graph : string option;
 }
 
 let parse_args () =
   let o =
     { cases = 100; seed = 42; out = "_fuzz_failures"; metrics = false;
       replay = None; server = None; rules = Sb_fuzz.Oracle.Native_rules;
-      rules_status = false; crash = false }
+      rules_status = false; crash = false; races = None; graph = None }
   in
   let rec go = function
     | [] -> o
@@ -75,6 +80,14 @@ let parse_args () =
       go rest
     | "--crash" :: rest ->
       o.crash <- true;
+      go rest
+    | "--races" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> o.races <- Some n
+      | _ -> usage ());
+      go rest
+    | "--graph" :: path :: rest ->
+      o.graph <- Some path;
       go rest
     | _ -> usage ()
   in
@@ -210,6 +223,95 @@ let server_differential ~sessions ~cases ~seed =
     cases sessions (cases - !failures) !both_failed !failures;
   !failures
 
+(* --races N: the lock-discipline stress mode.  One generated catalog,
+   N sessions on N domains, each driving a deterministic per-session
+   mix of DML, per-session index churn (DDL, so the catalog epoch
+   moves under concurrent lookups) and ANALYZE, with the discipline
+   checker armed.  Any diagnosis — a lock-order violation,
+   re-entrancy, unlock-without-lock, or a lockset race on an
+   instrumented shared field — fails the sweep.  Statement outcomes
+   are not compared (that is [--server]'s job); what must hold is that
+   the armed checker stays silent, and its report is deterministic so
+   CI can run the sweep twice and byte-diff the output. *)
+let races_sweep ~sessions ~cases ~seed ~graph =
+  let module Gen = Sb_fuzz.Gen in
+  let module Sprng = Sb_fuzz.Sprng in
+  let module Server = Sb_server in
+  let module D = Sb_conc.Discipline in
+  D.reset ();
+  D.arm ();
+  let rng = Sprng.create seed in
+  let catalog = Gen.gen_catalog (Sprng.split rng) in
+  let ddl = Gen.ddl_of_catalog catalog in
+  let streams =
+    Array.init sessions (fun d ->
+        let srng = Sprng.create (seed + (1000 * (d + 1))) in
+        let dml =
+          Array.of_list
+            (Gen.gen_dml_workload (Sprng.split srng) catalog ~n:(max 1 cases))
+        in
+        (* every generated table has an int key column [k] *)
+        let table = (List.nth catalog (d mod List.length catalog)).Gen.t_name in
+        Array.init cases (fun i ->
+            if i mod 8 = 5 then Printf.sprintf "ANALYZE %s" table
+            else if i mod 8 = 2 then begin
+              (* churn a private index name: CREATE on even rounds,
+                 DROP it again on odd ones *)
+              let k = i / 8 in
+              if k mod 2 = 0 then
+                Printf.sprintf "CREATE INDEX rix_%d_%d ON %s (k) USING btree"
+                  d (k / 2) table
+              else Printf.sprintf "DROP INDEX rix_%d_%d ON %s" d (k / 2) table
+            end
+            else if i mod 2 = 0 then dml.(i mod Array.length dml)
+            else Gen.query_text (Gen.gen_query (Sprng.split srng) catalog)))
+  in
+  (* generous admission: shedding is irrelevant here and rejections
+     would just thin the interleavings the detector is meant to see *)
+  let config =
+    {
+      (Server.default_config ()) with
+      Server.max_inflight = max 32 (4 * sessions);
+      degrade_inflight = max 32 (4 * sessions);
+      session_inflight = 4;
+    }
+  in
+  let server = Server.create ~config () in
+  let boot = Server.session server in
+  List.iter (fun stmt -> ignore (Server.submit server boot stmt)) ddl;
+  Server.close_session server boot;
+  let worker d () =
+    let s = Server.session server in
+    Array.iter
+      (fun text ->
+        let rec go attempts =
+          match Server.submit server s text with
+          | Ok _ -> ()
+          | Error e when e.Sb_resil.Err.err_retryable && attempts < 5 ->
+            go (attempts + 1)
+          | Error _ -> ()
+        in
+        go 0)
+      streams.(d);
+    Server.close_session server s
+  in
+  let domains = Array.init sessions (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join domains;
+  Server.shutdown server;
+  (match graph with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (D.graph_dot ());
+    close_out oc;
+    Printf.eprintf "lock-acquisition graph written: %s\n" path);
+  print_string (D.report_text ());
+  let diags = List.length (D.diags ()) in
+  Printf.printf "races: %d cases x %d sessions, %d diagnostics\n" cases
+    sessions diags;
+  D.disarm ();
+  diags
+
 (* --crash: crash-point differential sweep over the durability path.
    Deterministic in (seed, cases); mismatches are written under --out
    as runnable .sql repros. *)
@@ -232,6 +334,9 @@ let crash_sweep ~cases ~seed ~out ~metrics:want_metrics =
   List.length mismatches + if stats.Sb_fuzz.Crash.cs_wal_off_ok then 0 else 1
 
 let () =
+  (* STARBURST_LOCKCHECK=1 arms the lock-discipline checker for any
+     mode (--races always arms it itself) *)
+  Sb_conc.Discipline.arm_from_env ();
   let o = parse_args () in
   if o.rules_status then exit (min 125 (rules_status ()))
   else if o.crash then
@@ -240,6 +345,12 @@ let () =
          (crash_sweep ~cases:o.cases ~seed:o.seed ~out:o.out
             ~metrics:o.metrics))
   else
+  match o.races with
+  | Some sessions ->
+    exit
+      (min 125
+         (races_sweep ~sessions ~cases:o.cases ~seed:o.seed ~graph:o.graph))
+  | None ->
   match o.server with
   | Some sessions ->
     exit (min 125 (server_differential ~sessions ~cases:o.cases ~seed:o.seed))

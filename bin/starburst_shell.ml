@@ -199,7 +199,22 @@ let meta_command backend line =
     Printf.printf "  commits         %d\n" s.Sb_storage.Wal.s_commits;
     Printf.printf "  aborts          %d\n" s.Sb_storage.Wal.s_aborts;
     Printf.printf "  next txn        %d\n" s.Sb_storage.Wal.s_next_txn
-  | "\\metrics" :: _ -> print_string (Starburst.metrics_dump db)
+  | "\\metrics" :: _ ->
+    print_string (Starburst.metrics_dump db);
+    (match backend with
+    | Server (server, _) ->
+      (* the server keeps its own registry (admission, plan cache, and
+         the sb_lock / sb_race counters) separate from the session's *)
+      Sb_server.sync_lock_metrics server;
+      print_string (Sb_obs.Metrics.dump (Sb_server.metrics server))
+    | Local _ -> ())
+  | "\\locks" :: _ ->
+    (match backend with
+    | Server (server, _) -> Sb_server.sync_lock_metrics server
+    | Local _ -> ());
+    print_string (Sb_conc.Discipline.report_text ());
+    if not (Sb_conc.Discipline.armed ()) then
+      print_endline "  (checker disarmed; arm with STARBURST_LOCKCHECK=1)"
   | "\\trace" :: rest ->
     let tr = Starburst.tracer db in
     if not (Sb_obs.Trace.enabled tr) then
@@ -234,7 +249,7 @@ let run_script backend text =
 
 let repl backend =
   print_endline
-    "Starburst shell — end statements with ';', \\stats \\rules \\limits \\metrics \\trace \\check \\infer \\cache \\sessions \\wal, \\q to quit.";
+    "Starburst shell — end statements with ';', \\stats \\rules \\limits \\metrics \\trace \\check \\infer \\cache \\sessions \\wal \\locks, \\q to quit.";
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "starburst> " else "       ...> ");
@@ -306,6 +321,9 @@ let connect_repl host port =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let () =
+  (* STARBURST_LOCKCHECK=1 arms the lock-discipline checker for the
+     whole process; \locks renders what it has seen *)
+  Sb_conc.Discipline.arm_from_env ();
   let args = Array.to_list Sys.argv |> List.tl in
   let bare = List.mem "--bare" args in
   let args = List.filter (fun a -> a <> "--bare") args in

@@ -1,0 +1,57 @@
+(** A single-assignment cell with blocking [await], extracted from
+    [sb_server.ml] so the server and its tests share one
+    implementation.
+
+    The internal mutex is a strict leaf — no code runs under it beyond
+    reading/writing the cell — so it is deliberately {e not} registered
+    with the discipline checker: promises are resolved from arbitrary
+    lock contexts (worker domains finishing a job while the submitter
+    holds session locks), and a leaf that never nests cannot invert. *)
+
+type 'a t = {
+  p_lock : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_value : 'a option;
+}
+
+let create () =
+  { p_lock = Mutex.create (); p_cond = Condition.create (); p_value = None }
+
+(** [resolve p v] fulfils the promise; subsequent resolves are ignored
+    (first writer wins). *)
+let resolve p v =
+  Mutex.lock p.p_lock;
+  (match p.p_value with
+  | None ->
+    p.p_value <- Some v;
+    Condition.broadcast p.p_cond
+  | Some _ -> ());
+  Mutex.unlock p.p_lock
+
+let resolved v =
+  {
+    p_lock = Mutex.create ();
+    p_cond = Condition.create ();
+    p_value = Some v;
+  }
+
+(** Non-blocking read: [Some v] once resolved. *)
+let peek p =
+  Mutex.lock p.p_lock;
+  let v = p.p_value in
+  Mutex.unlock p.p_lock;
+  v
+
+(** Blocks until the promise is resolved and returns its value. *)
+let await p =
+  Mutex.lock p.p_lock;
+  let rec loop () =
+    match p.p_value with
+    | Some v ->
+      Mutex.unlock p.p_lock;
+      v
+    | None ->
+      Condition.wait p.p_cond p.p_lock;
+      loop ()
+  in
+  loop ()

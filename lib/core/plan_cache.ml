@@ -12,7 +12,16 @@
 
     The table is split into shards, each with its own lock and LRU list,
     so concurrent sessions on different domains rarely contend.  Within
-    a shard, eviction is strict LRU — no wholesale reset. *)
+    a shard, eviction is strict LRU — no wholesale reset.
+
+    Every shard lock is a leveled {!Sb_conc.Lock} at
+    {!Sb_conc.Level.plan_cache} (all sharing one name — the hierarchy
+    cares about the class, not the instance; shard locks never nest).
+    Each shard's table + LRU list is its own instrumented field
+    ([plan_cache.shard<i>]) so the race detector's lockset refinement
+    is per shard — one field for the whole cache would empty its
+    candidate set the first time two shards are touched under their
+    own (different) locks. *)
 
 module Metrics = Sb_obs.Metrics
 
@@ -25,7 +34,8 @@ type 'a node = {
 }
 
 type 'a shard = {
-  s_lock : Mutex.t;
+  s_lock : Sb_conc.Lock.t;
+  s_field : string;  (** this shard's race-detector field name *)
   s_tbl : (string, 'a node) Hashtbl.t;
   mutable s_mru : 'a node option;
   mutable s_lru : 'a node option;
@@ -52,9 +62,12 @@ let create ?(shards = 8) ?(capacity = 256) ?metrics () : 'a t =
   let per_shard = max 1 (capacity / shards) in
   {
     shards =
-      Array.init shards (fun _ ->
+      Array.init shards (fun i ->
           {
-            s_lock = Mutex.create ();
+            s_lock =
+              Sb_conc.Lock.create ~name:"core.plan_cache"
+                ~level:Sb_conc.Level.plan_cache;
+            s_field = Printf.sprintf "plan_cache.shard%d" i;
             s_tbl = Hashtbl.create (2 * per_shard);
             s_mru = None;
             s_lru = None;
@@ -130,9 +143,10 @@ let push_front sh node =
   | None -> sh.s_lru <- Some node);
   sh.s_mru <- Some node
 
-let locked sh f =
-  Mutex.lock sh.s_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock sh.s_lock) f
+let locked sh f = Sb_conc.Lock.with_lock sh.s_lock f
+
+let watch sh ~site ~write =
+  Sb_conc.Discipline.access ~field:sh.s_field ~site ~write
 
 let shard_of t key =
   t.shards.(Hashtbl.hash key mod Array.length t.shards)
@@ -153,6 +167,7 @@ let find (t : 'a t) ~(epoch : int) (key : string) : 'a option =
   let sh = shard_of t key in
   let outcome =
     locked sh (fun () ->
+        watch sh ~site:"Plan_cache.find" ~write:true;
         match Hashtbl.find_opt sh.s_tbl key with
         | Some node when node.n_epoch = epoch ->
           unlink sh node;
@@ -187,6 +202,7 @@ let add (t : 'a t) ~(epoch : int) (key : string) (value : 'a) : unit =
   let sh = shard_of t key in
   let evicted =
     locked sh (fun () ->
+        watch sh ~site:"Plan_cache.add" ~write:true;
         (match Hashtbl.find_opt sh.s_tbl key with
         | Some node ->
           (* a concurrent compiler won the race: keep one entry *)
@@ -221,6 +237,7 @@ let clear (t : 'a t) =
   Array.iter
     (fun sh ->
       locked sh (fun () ->
+          watch sh ~site:"Plan_cache.clear" ~write:true;
           Hashtbl.reset sh.s_tbl;
           sh.s_mru <- None;
           sh.s_lru <- None))
@@ -230,6 +247,7 @@ let stats (t : 'a t) : stats =
   Array.fold_left
     (fun acc sh ->
       locked sh (fun () ->
+          watch sh ~site:"Plan_cache.stats" ~write:false;
           {
             hits = acc.hits + sh.s_hits;
             misses = acc.misses + sh.s_misses;

@@ -31,12 +31,11 @@ type t = {
    multi-session server, by statements running on several domains at
    once.  Mutation volume is a handful of updates per statement, so a
    single module-level lock keeps every registry domain-safe without
-   per-metric overhead. *)
-let lock = Mutex.create ()
-
-let locked f =
-  Mutex.lock lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+   per-metric overhead.  Level {!Sb_conc.Level.metrics} is the top of
+   the hierarchy: any subsystem may bump a counter while holding its
+   own lock, and nothing nests inside this one. *)
+let lock = Sb_conc.Lock.create ~name:"obs.metrics" ~level:Sb_conc.Level.metrics
+let locked f = Sb_conc.Lock.with_lock lock f
 
 let create ?(n_buckets = 32) () =
   if n_buckets < 2 then invalid_arg "Metrics.create: need at least 2 buckets";
@@ -56,6 +55,11 @@ let counter ?label t name : counter =
     c
 
 let incr ?(by = 1) c = locked (fun () -> c.c_value <- c.c_value + by)
+
+(** Sets a counter to an absolute value — for mirroring an externally
+    maintained monotone count (e.g. the lock-discipline counters). *)
+let set c v = locked (fun () -> c.c_value <- v)
+
 let counter_value c = c.c_value
 
 let histogram ?label t name : histogram =

@@ -16,6 +16,11 @@ val create : ?n_buckets:int -> unit -> t
 val counter : ?label:string * string -> t -> string -> counter
 
 val incr : ?by:int -> counter -> unit
+
+(** Sets a counter to an absolute value — for mirroring an externally
+    maintained monotone count (e.g. the lock-discipline counters). *)
+val set : counter -> int -> unit
+
 val counter_value : counter -> int
 
 (** Get-or-create a log-scale (base 2) histogram. *)

@@ -32,10 +32,12 @@ type t = {
   enabled : bool;
   capacity : int;
   ring : span option array;  (** ring buffer of finished spans *)
-  lock : Mutex.t;
+  lock : Sb_conc.Lock.t;
       (** guards ring/stack/id mutation — a tracer shared across domains
           stays memory-safe (span parentage is only meaningful within
-          one domain; give each session its own tracer for clean trees) *)
+          one domain; give each session its own tracer for clean trees).
+          Level {!Sb_conc.Level.trace}: tracing may run under any
+          engine lock, so only the metrics registry may nest inside. *)
   mutable next_slot : int;
   mutable finished : int;  (** total spans ever finished *)
   mutable next_id : int;
@@ -47,7 +49,7 @@ let noop =
     enabled = false;
     capacity = 0;
     ring = [||];
-    lock = Mutex.create ();
+    lock = Sb_conc.Lock.create ~name:"obs.trace" ~level:Sb_conc.Level.trace;
     next_slot = 0;
     finished = 0;
     next_id = 0;
@@ -60,7 +62,7 @@ let create ?(capacity = 4096) () =
     enabled = true;
     capacity;
     ring = Array.make capacity None;
-    lock = Mutex.create ();
+    lock = Sb_conc.Lock.create ~name:"obs.trace" ~level:Sb_conc.Level.trace;
     next_slot = 0;
     finished = 0;
     next_id = 0;
@@ -70,9 +72,7 @@ let create ?(capacity = 4096) () =
 let enabled t = t.enabled
 let now_ns () : int64 = Monotonic_clock.now ()
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sb_conc.Lock.with_lock t.lock f
 
 let push_finished t sp =
   t.ring.(t.next_slot) <- Some sp;

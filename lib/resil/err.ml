@@ -6,6 +6,7 @@ type stage =
   | Exec
   | Storage
   | Resource
+  | Concurrency
   | Internal
 
 type t = {
@@ -25,6 +26,7 @@ let stage_name = function
   | Exec -> "exec"
   | Storage -> "storage"
   | Resource -> "resource"
+  | Concurrency -> "concurrency"
   | Internal -> "internal"
 
 let make ?query ?(retryable = false) stage msg =
@@ -39,3 +41,12 @@ let with_query q e =
 let to_string e =
   Fmt.str "%s: %s%s" (stage_name e.err_stage) e.err_msg
     (if e.err_retryable then " (retryable)" else "")
+
+(** A lock-discipline diagnosis ({!Sb_conc.Discipline.diag}) as a
+    structured error.  Never retryable: an ordering inversion or a
+    lockset race is a bug in the engine, not a transient condition. *)
+let of_lock_diag (d : Sb_conc.Discipline.diag) =
+  make Concurrency
+    (Fmt.str "%s [%s]: %s"
+       (Sb_conc.Discipline.kind_name d.d_kind)
+       d.d_subject d.d_msg)

@@ -14,6 +14,7 @@ type stage =
   | Exec  (** QES runtime *)
   | Storage  (** buffer pool, heap, access methods *)
   | Resource  (** a governor limit was exceeded *)
+  | Concurrency  (** a lock-discipline or lockset-race diagnosis *)
   | Internal  (** invariant violation; a bug, not a user error *)
 
 type t = {
@@ -42,3 +43,7 @@ val with_query : string -> t -> t
 (** ["exec: division by zero"], with [" (retryable)"] appended when
     the flag is set.  Query text is not included. *)
 val to_string : t -> string
+
+(** A lock-discipline diagnosis as a (non-retryable) {!Concurrency}
+    error carrying the lock or field name and the full message. *)
+val of_lock_diag : Sb_conc.Discipline.diag -> t

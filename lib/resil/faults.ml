@@ -12,10 +12,12 @@ type site = {
 type t = {
   f_on : bool;
   f_seed : int;
-  f_lock : Mutex.t;
+  f_lock : Sb_conc.Lock.t;
       (** one fault plan may be consulted from several domains at once
           (the plan is installed on a shared catalog); the lock keeps
-          per-site ordinals and the PRNG coherent *)
+          per-site ordinals and the PRNG coherent.  Level
+          {!Sb_conc.Level.faults}: consulted from inside the WAL and
+          buffer-pool locks, holds nothing further itself *)
   f_rng : Random.State.t;
   f_sites : (string, site) Hashtbl.t;
   mutable f_prob : float;
@@ -33,7 +35,7 @@ let make ~on ~seed ~max_retries ~base ~cap =
   {
     f_on = on;
     f_seed = seed;
-    f_lock = Mutex.create ();
+    f_lock = Sb_conc.Lock.create ~name:"resil.faults" ~level:Sb_conc.Level.faults;
     f_rng = Random.State.make [| seed |];
     f_sites = Hashtbl.create 16;
     f_prob = 0.;
@@ -59,8 +61,7 @@ let seed t = t.f_seed
 (* consults observed so far at [site] (the crash fuzzer's scout pass
    reads these to enumerate every reachable crash ordinal) *)
 let calls t site =
-  Mutex.lock t.f_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.f_lock) @@ fun () ->
+  Sb_conc.Lock.with_lock t.f_lock @@ fun () ->
   match Hashtbl.find_opt t.f_sites site with
   | Some s -> s.s_calls
   | None -> 0
@@ -103,8 +104,7 @@ let bump t name site =
    fresh consult: a probability plan can fail the retry again, and an
    ordinal plan trips once. *)
 let should_fail t name =
-  Mutex.lock t.f_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.f_lock) @@ fun () ->
+  Sb_conc.Lock.with_lock t.f_lock @@ fun () ->
   let s = site_of t name in
   s.s_calls <- s.s_calls + 1;
   match List.assoc_opt s.s_calls s.s_fail_on with
@@ -122,10 +122,7 @@ let backoff_ns t attempt =
 let guard t ~site f =
   if not t.f_on then f ()
   else
-    let counted g =
-      Mutex.lock t.f_lock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock t.f_lock) g
-    in
+    let counted g = Sb_conc.Lock.with_lock t.f_lock g in
     let rec attempt n =
       match should_fail t site with
       | None -> f ()

@@ -33,108 +33,31 @@ module Limits = Sb_resil.Limits
 module Metrics = Sb_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
-(* Promises                                                            *)
+(* Promises and the statement rwlock (now in lib/conc)                 *)
 (* ------------------------------------------------------------------ *)
 
-type 'a promise = {
-  p_lock : Mutex.t;
-  p_cond : Condition.t;
-  mutable p_value : 'a option;
-}
+module Promise = Sb_conc.Promise
+module Rwlock = Sb_conc.Rwlock
+module Lock = Sb_conc.Lock
 
-let promise () =
-  { p_lock = Mutex.create (); p_cond = Condition.create (); p_value = None }
+type 'a promise = 'a Promise.t
 
-let resolve p v =
-  Mutex.lock p.p_lock;
-  p.p_value <- Some v;
-  Condition.broadcast p.p_cond;
-  Mutex.unlock p.p_lock
+let promise = Promise.create
+let resolve = Promise.resolve
+let resolved = Promise.resolved
+let await = Promise.await
 
-let resolved v =
-  let p = promise () in
-  p.p_value <- Some v;
-  p
-
-let await p =
-  Mutex.lock p.p_lock;
-  while p.p_value = None do
-    Condition.wait p.p_cond p.p_lock
-  done;
-  let v = Option.get p.p_value in
-  Mutex.unlock p.p_lock;
-  v
-
-(* ------------------------------------------------------------------ *)
-(* A writer-preferring readers/writer lock                             *)
-(* ------------------------------------------------------------------ *)
-
-module Rwlock = struct
-  type t = {
-    m : Mutex.t;
-    c : Condition.t;
-    mutable readers : int;
-    mutable writer : bool;
-    mutable waiting_writers : int;
-  }
-
-  let create () =
-    {
-      m = Mutex.create ();
-      c = Condition.create ();
-      readers = 0;
-      writer = false;
-      waiting_writers = 0;
-    }
-
-  (* writers are preferred so a DDL stream cannot be starved by a
-     steady read load *)
-  let rd_lock t =
-    Mutex.lock t.m;
-    while t.writer || t.waiting_writers > 0 do
-      Condition.wait t.c t.m
-    done;
-    t.readers <- t.readers + 1;
-    Mutex.unlock t.m
-
-  let rd_unlock t =
-    Mutex.lock t.m;
-    t.readers <- t.readers - 1;
-    if t.readers = 0 then Condition.broadcast t.c;
-    Mutex.unlock t.m
-
-  let wr_lock t =
-    Mutex.lock t.m;
-    t.waiting_writers <- t.waiting_writers + 1;
-    while t.writer || t.readers > 0 do
-      Condition.wait t.c t.m
-    done;
-    t.waiting_writers <- t.waiting_writers - 1;
-    t.writer <- true;
-    Mutex.unlock t.m
-
-  let wr_unlock t =
-    Mutex.lock t.m;
-    t.writer <- false;
-    Condition.broadcast t.c;
-    Mutex.unlock t.m
-
-  let with_read t f =
-    rd_lock t;
-    Fun.protect ~finally:(fun () -> rd_unlock t) f
-
-  let with_write t f =
-    wr_lock t;
-    Fun.protect ~finally:(fun () -> wr_unlock t) f
-end
+(* the race detector's view of the admission counters + session table *)
+let watch_state ~site ~write =
+  Sb_conc.Discipline.access ~field:"server.state" ~site ~write
 
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
 (* ------------------------------------------------------------------ *)
 
 type pool = {
-  q_lock : Mutex.t;
-  q_cond : Condition.t;
+  q_lock : Lock.t;
+  q_cond : Lock.Cond.cond;
   jobs : (unit -> unit) Queue.t;
   mutable q_stop : bool;
   mutable domains : unit Domain.t array;
@@ -142,16 +65,16 @@ type pool = {
 
 let worker_loop pool () =
   let rec next () =
-    Mutex.lock pool.q_lock;
+    Lock.lock pool.q_lock;
     while Queue.is_empty pool.jobs && not pool.q_stop do
-      Condition.wait pool.q_cond pool.q_lock
+      Lock.Cond.wait pool.q_cond pool.q_lock
     done;
     if Queue.is_empty pool.jobs then (
       (* stopping, queue drained *)
-      Mutex.unlock pool.q_lock)
+      Lock.unlock pool.q_lock)
     else begin
       let job = Queue.pop pool.jobs in
-      Mutex.unlock pool.q_lock;
+      Lock.unlock pool.q_lock;
       (try job () with _ -> () (* jobs resolve their own promises *));
       next ()
     end
@@ -161,8 +84,9 @@ let worker_loop pool () =
 let pool_create n =
   let pool =
     {
-      q_lock = Mutex.create ();
-      q_cond = Condition.create ();
+      q_lock =
+        Lock.create ~name:"server.pool" ~level:Sb_conc.Level.server_pool;
+      q_cond = Lock.Cond.create ();
       jobs = Queue.create ();
       q_stop = false;
       domains = [||];
@@ -180,18 +104,18 @@ let pool_push ?(quiet = false) pool job =
        running the statement on the submitting domain *)
     try job () with _ -> () (* jobs resolve their own promises *)
   else begin
-    Mutex.lock pool.q_lock;
+    Lock.lock pool.q_lock;
     Queue.push job pool.jobs;
-    if not quiet then Condition.signal pool.q_cond;
-    Mutex.unlock pool.q_lock
+    if not quiet then Lock.Cond.signal pool.q_cond;
+    Lock.unlock pool.q_lock
   end
 
 let pool_try_pop pool =
-  Mutex.lock pool.q_lock;
+  Lock.lock pool.q_lock;
   let job =
     if Queue.is_empty pool.jobs then None else Some (Queue.pop pool.jobs)
   in
-  Mutex.unlock pool.q_lock;
+  Lock.unlock pool.q_lock;
   job
 
 (* Help-first await: while the promise is unresolved, the blocking
@@ -202,13 +126,9 @@ let pool_try_pop pool =
    pool for exactly as long as it would otherwise idle. *)
 let await_helping pool p =
   let rec loop () =
-    Mutex.lock p.p_lock;
-    match p.p_value with
-    | Some v ->
-      Mutex.unlock p.p_lock;
-      v
+    match Promise.peek p with
+    | Some v -> v
     | None -> (
-      Mutex.unlock p.p_lock;
       match pool_try_pop pool with
       | Some job ->
         (try job () with _ -> () (* jobs resolve their own promises *));
@@ -218,10 +138,10 @@ let await_helping pool p =
   loop ()
 
 let pool_shutdown pool =
-  Mutex.lock pool.q_lock;
+  Lock.lock pool.q_lock;
   pool.q_stop <- true;
-  Condition.broadcast pool.q_cond;
-  Mutex.unlock pool.q_lock;
+  Lock.Cond.broadcast pool.q_cond;
+  Lock.unlock pool.q_lock;
   Array.iter Domain.join pool.domains;
   pool.domains <- [||]
 
@@ -261,7 +181,7 @@ let default_config () =
 type session = {
   s_id : int;
   s_db : Corona.t;
-  s_lock : Mutex.t;  (** statements of one session run in order *)
+  s_lock : Lock.t;  (** statements of one session run in order *)
   mutable s_inflight : int;
   mutable s_closed : bool;
 }
@@ -274,7 +194,7 @@ type t = {
   limits_template : Limits.t;  (** copied into each new session *)
   install : (Corona.t -> unit) option;
       (** per-session extension installer (runs on every new session) *)
-  lock : Mutex.t;  (** guards sessions, counters, admission decisions *)
+  lock : Lock.t;  (** guards sessions, counters, admission decisions *)
   sessions : (int, session) Hashtbl.t;
   mutable next_session : int;
   mutable inflight : int;
@@ -297,9 +217,7 @@ type stats = {
   st_cache : Plan_cache.stats;
 }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Lock.with_lock t.lock f
 
 let create ?config ?limits ?install () =
   let config = match config with Some c -> c | None -> default_config () in
@@ -316,7 +234,9 @@ let create ?config ?limits ?install () =
     config;
     limits_template;
     install;
-    lock = Mutex.create ();
+    lock =
+      Lock.create ~name:"server.admission"
+        ~level:Sb_conc.Level.server_admission;
     sessions = Hashtbl.create 16;
     next_session = 0;
     inflight = 0;
@@ -325,13 +245,18 @@ let create ?config ?limits ?install () =
     rejected = 0;
     cache_enabled = true;
     closed = false;
-    rw = Rwlock.create ();
+    rw =
+      Rwlock.create ~name:"server.statements"
+        ~level:Sb_conc.Level.server_statements;
     pool = pool_create config.workers;
   }
 
 let metrics t = t.metrics
 let catalog t = t.catalog
-let set_cache_enabled t on = locked t (fun () -> t.cache_enabled <- on)
+let set_cache_enabled t on =
+  locked t (fun () ->
+      watch_state ~site:"Sb_server.set_cache_enabled" ~write:true;
+      t.cache_enabled <- on)
 let cache_stats t = Plan_cache.stats t.cache
 let clear_cache t = Plan_cache.clear t.cache
 
@@ -342,12 +267,20 @@ let session t =
   in
   Option.iter (fun f -> f db) t.install;
   locked t (fun () ->
+      watch_state ~site:"Sb_server.session" ~write:true;
       if t.closed then failwith "Sb_server.session: server is shut down";
       let id = t.next_session in
       t.next_session <- id + 1;
       let s =
-        { s_id = id; s_db = db; s_lock = Mutex.create ();
-          s_inflight = 0; s_closed = false }
+        {
+          s_id = id;
+          s_db = db;
+          s_lock =
+            Lock.create ~name:"server.session"
+              ~level:Sb_conc.Level.server_session;
+          s_inflight = 0;
+          s_closed = false;
+        }
       in
       Hashtbl.replace t.sessions id s;
       s)
@@ -357,17 +290,20 @@ let session_db s = s.s_db
 
 let close_session t s =
   locked t (fun () ->
+      watch_state ~site:"Sb_server.close_session" ~write:true;
       s.s_closed <- true;
       Hashtbl.remove t.sessions s.s_id)
 
 let list_sessions t =
   locked t (fun () ->
+      watch_state ~site:"Sb_server.list_sessions" ~write:false;
       Hashtbl.fold (fun id s acc -> (id, s.s_inflight) :: acc) t.sessions [])
   |> List.sort compare
 
 let stats t =
   let sessions, inflight, admitted, shed, rejected =
     locked t (fun () ->
+        watch_state ~site:"Sb_server.stats" ~write:false;
         (Hashtbl.length t.sessions, t.inflight, t.admitted, t.shed, t.rejected))
   in
   {
@@ -413,6 +349,8 @@ let classify_error text exn : Err.t =
   | _ -> (
     match exn with
     | Corona.Error e | Err.Error e -> e
+    | Sb_conc.Discipline.Violation d ->
+      Err.with_query text (Err.of_lock_diag d)
     | exn -> Err.make ~query:text Err.Internal (Printexc.to_string exn))
 
 (* the cached fast path: like [Corona.cached_query], but returning a
@@ -455,10 +393,7 @@ let bump t name = Metrics.incr (Metrics.counter t.metrics name)
 let execute t s ~shed ~use_cache text : (Corona.result, Err.t) result =
   let kind = classify text in
   let run () =
-    Mutex.lock s.s_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock s.s_lock)
-      (fun () ->
+    Lock.with_lock s.s_lock (fun () ->
         let go () =
           match kind with
           | `Query when use_cache -> run_query_cached s.s_db text
@@ -480,7 +415,9 @@ let execute t s ~shed ~use_cache text : (Corona.result, Err.t) result =
 (* ------------------------------------------------------------------ *)
 
 let reject t ~msg text =
-  locked t (fun () -> t.rejected <- t.rejected + 1);
+  locked t (fun () ->
+      watch_state ~site:"Sb_server.reject" ~write:true;
+      t.rejected <- t.rejected + 1);
   bump t "sb_server_rejected_total";
   Error (Err.make ~query:text ~retryable:true Err.Resource msg)
 
@@ -490,6 +427,7 @@ let submit_with ~quiet t s (text : string) :
     (Corona.result, Err.t) result promise =
   let decision =
     locked t (fun () ->
+        watch_state ~site:"Sb_server.submit" ~write:true;
         if t.closed then `Closed
         else if s.s_closed then `Session_closed
         else if t.inflight >= t.config.max_inflight then `Reject
@@ -498,11 +436,15 @@ let submit_with ~quiet t s (text : string) :
           t.inflight <- t.inflight + 1;
           s.s_inflight <- s.s_inflight + 1;
           t.admitted <- t.admitted + 1;
+          (* the cache flag is sampled here, under the lock, not in the
+             job closure — a concurrent [set_cache_enabled] must not
+             race the statement's own read of it *)
+          let use_cache = t.cache_enabled in
           if t.inflight > t.config.degrade_inflight then begin
             t.shed <- t.shed + 1;
-            `Admit_shed
+            `Admit (true, use_cache)
           end
-          else `Admit
+          else `Admit (false, use_cache)
         end)
   in
   match decision with
@@ -522,17 +464,17 @@ let submit_with ~quiet t s (text : string) :
          ~msg:
            (Fmt.str "session over its concurrency limit (%d); retry"
               t.config.session_inflight))
-  | (`Admit | `Admit_shed) as adm ->
-    let shed = adm = `Admit_shed in
+  | `Admit (shed, use_cache) ->
     bump t "sb_server_admitted_total";
     if shed then bump t "sb_server_shed_total";
     let p = promise () in
     pool_push ~quiet t.pool (fun () ->
         let outcome =
-          try execute t s ~shed ~use_cache:t.cache_enabled text
+          try execute t s ~shed ~use_cache text
           with exn -> Error (classify_error text exn)
         in
         locked t (fun () ->
+            watch_state ~site:"Sb_server.statement_done" ~write:true;
             t.inflight <- t.inflight - 1;
             s.s_inflight <- s.s_inflight - 1);
         resolve p outcome);
@@ -546,7 +488,9 @@ let submit_async t s text = submit_with ~quiet:false t s text
 let submit t s text = await_helping t.pool (submit_with ~quiet:true t s text)
 
 let shutdown t =
-  locked t (fun () -> t.closed <- true);
+  locked t (fun () ->
+      watch_state ~site:"Sb_server.shutdown" ~write:true;
+      t.closed <- true);
   pool_shutdown t.pool
 
 (* ------------------------------------------------------------------ *)
@@ -573,3 +517,27 @@ let recover t : Sb_storage.Recovery.stats =
   in
   Option.iter (fun f -> f db) t.install;
   Corona.recover db
+
+(* ------------------------------------------------------------------ *)
+(* Lock discipline                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Mirrors the discipline checker's counters ([sb_lock_*] /
+    [sb_race_*]) into this server's metrics registry, so [\metrics]
+    and the Prometheus dump include them. *)
+let sync_lock_metrics t =
+  List.iter
+    (fun (name, v) -> Metrics.set (Metrics.counter t.metrics name) v)
+    (Sb_conc.Discipline.metric_counters ())
+
+(** Every diagnosis the checker has recorded, as structured errors. *)
+let lock_diags () =
+  List.map Err.of_lock_diag (Sb_conc.Discipline.diags ())
+
+(** The deterministic lock-discipline report (hierarchy, acquisition
+    graph, cycles, instrumented fields, diagnoses) — the shell's
+    [\locks].  Also syncs the checker's counters into the metrics
+    registry. *)
+let lock_report t =
+  sync_lock_metrics t;
+  Sb_conc.Discipline.report_text ()

@@ -125,3 +125,25 @@ val flush_wal : t -> unit
     @raise Starburst.Corona.Error (stage [Storage]) when the WAL is
     disabled. *)
 val recover : t -> Sb_storage.Recovery.stats
+
+(** {1 Lock discipline}
+
+    Every lock of the server and its shared storage is a named,
+    leveled {!Sb_conc.Lock}/{!Sb_conc.Rwlock}; when the discipline
+    checker is armed ([STARBURST_LOCKCHECK=1], tests, [fuzz_main
+    --races]) it enforces level ordering, flags re-entrancy and
+    unlock-without-lock, runs Eraser-style lockset race detection over
+    the instrumented shared fields, and reports cycles in the observed
+    lock-acquisition graph. *)
+
+(** Mirrors the checker's [sb_lock_*]/[sb_race_*] counters into this
+    server's metrics registry. *)
+val sync_lock_metrics : t -> unit
+
+(** Every diagnosis recorded so far, as structured [Concurrency]
+    errors. *)
+val lock_diags : unit -> Sb_resil.Err.t list
+
+(** The deterministic discipline report (the shell's [\locks]); also
+    syncs the checker's counters into the metrics registry. *)
+val lock_report : t -> string

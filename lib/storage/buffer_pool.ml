@@ -9,8 +9,13 @@
 
     Concurrency contract (the multi-session server relies on it): every
     operation that touches the frame cache, the file table or the stats
-    runs under the pool lock, so any number of domains may pin/unpin
-    concurrently.  Page {e contents} are not protected here — writers
+    runs under the pool lock — a leveled {!Sb_conc.Lock} at
+    {!Sb_conc.Level.buffer_pool}, checked by the discipline layer: it
+    may be taken under the catalog lock (DDL), and the WAL lock may be
+    taken under it ({!unpin} consults the log's LSN), never the
+    reverse.  The frame cache and the stats are instrumented shared
+    fields ([buffer_pool.frames] / [buffer_pool.stats]) for lockset
+    race detection.  Page {e contents} are not protected here — writers
     must be serialized above (the server takes its writer lock around
     DML/DDL statements). *)
 
@@ -38,7 +43,7 @@ type file = {
 
 type t = {
   capacity : int;
-  lock : Mutex.t;  (** guards files, cache, tick and stats *)
+  lock : Sb_conc.Lock.t;  (** guards files, cache, tick and stats *)
   files : (file_id, file) Hashtbl.t;
   cache : (file_id * int, frame) Hashtbl.t;
   mutable next_file : file_id;
@@ -59,7 +64,9 @@ type t = {
 let create ?(capacity = 256) () =
   {
     capacity;
-    lock = Mutex.create ();
+    lock =
+      Sb_conc.Lock.create ~name:"storage.buffer_pool"
+        ~level:Sb_conc.Level.buffer_pool;
     files = Hashtbl.create 16;
     cache = Hashtbl.create (2 * capacity);
     next_file = 0;
@@ -71,21 +78,27 @@ let create ?(capacity = 256) () =
     force_policy = false;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sb_conc.Lock.with_lock t.lock f
 
-let set_faults t f = t.faults <- f
-let faults t = t.faults
-let set_lsn_source t f = t.lsn_source <- f
-let set_stable_lsn t f = t.stable_lsn <- f
-let force_policy t = t.force_policy
-let set_force_policy t b = t.force_policy <- b
+(* the pool's instrumented shared fields *)
+let watch_frames ~site ~write =
+  Sb_conc.Discipline.access ~field:"buffer_pool.frames" ~site ~write
+
+let watch_stats ~site ~write =
+  Sb_conc.Discipline.access ~field:"buffer_pool.stats" ~site ~write
+
+let set_faults t f = locked t (fun () -> t.faults <- f)
+let faults t = locked t (fun () -> t.faults)
+let set_lsn_source t f = locked t (fun () -> t.lsn_source <- f)
+let set_stable_lsn t f = locked t (fun () -> t.stable_lsn <- f)
+let force_policy t = locked t (fun () -> t.force_policy)
+let set_force_policy t b = locked t (fun () -> t.force_policy <- b)
 
 let stats t = t.stats
 
 let reset_stats t =
   locked t @@ fun () ->
+  watch_stats ~site:"Buffer_pool.reset_stats" ~write:true;
   t.stats.logical_reads <- 0;
   t.stats.physical_reads <- 0;
   t.stats.physical_writes <- 0;
@@ -93,6 +106,7 @@ let reset_stats t =
 
 let create_file ?(page_size = Page.default_size) t =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.create_file" ~write:true;
   let id = t.next_file in
   t.next_file <- id + 1;
   Hashtbl.replace t.files id { pages = [||]; npages = 0; page_size };
@@ -100,6 +114,7 @@ let create_file ?(page_size = Page.default_size) t =
 
 let drop_file t id =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.drop_file" ~write:true;
   Hashtbl.remove t.files id;
   Hashtbl.iter
     (fun key frame -> if frame.f_file = id then Hashtbl.remove t.cache key)
@@ -112,7 +127,10 @@ let get_file t id =
   | None ->
     Sb_resil.Err.fail Sb_resil.Err.Storage "Buffer_pool: unknown file %d" id
 
-let page_count t id = locked t (fun () -> (get_file t id).npages)
+let page_count t id =
+  locked t (fun () ->
+      watch_frames ~site:"Buffer_pool.page_count" ~write:false;
+      (get_file t id).npages)
 
 (* Evict the least-recently-used unpinned frame, if the pool is over
    capacity.  Dirty pages are "written back" (they already live in the
@@ -143,6 +161,8 @@ let maybe_evict t = try maybe_evict t with Exit -> ()
 
 let pin_raw t file_id page_no =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.pin" ~write:true;
+  watch_stats ~site:"Buffer_pool.pin" ~write:true;
   t.tick <- t.tick + 1;
   t.stats.logical_reads <- t.stats.logical_reads + 1;
   match Hashtbl.find_opt t.cache (file_id, page_no) with
@@ -169,6 +189,7 @@ let pin t file_id page_no =
 
 let unpin t file_id page_no =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.unpin" ~write:true;
   match Hashtbl.find_opt t.cache (file_id, page_no) with
   | Some frame when frame.pins > 0 ->
     frame.pins <- frame.pins - 1;
@@ -189,6 +210,8 @@ let with_page t file_id page_no f =
 let flush_all t =
   Sb_resil.Faults.guard t.faults ~site:"buffer.flush" (fun () -> ());
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.flush_all" ~write:true;
+  watch_stats ~site:"Buffer_pool.flush_all" ~write:true;
   let stable = t.stable_lsn () in
   let written = ref 0 in
   Hashtbl.iter
@@ -206,6 +229,7 @@ let flush_all t =
 
 let dirty_pages t =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.dirty_pages" ~write:false;
   let n = ref 0 in
   Hashtbl.iter
     (fun _ f ->
@@ -221,6 +245,7 @@ let dirty_pages t =
     file. *)
 let discard_all t =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.discard_all" ~write:true;
   Hashtbl.reset t.files;
   Hashtbl.reset t.cache;
   t.tick <- 0
@@ -228,6 +253,7 @@ let discard_all t =
 (** Appends a fresh page to [file_id] and returns its page number. *)
 let alloc_page t file_id =
   locked t @@ fun () ->
+  watch_frames ~site:"Buffer_pool.alloc_page" ~write:true;
   let f = get_file t file_id in
   let page_no = f.npages in
   let page = Page.create ~size:f.page_size page_no in

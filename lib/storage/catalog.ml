@@ -7,11 +7,16 @@
     the paper's layering.
 
     Concurrency contract: lookups and DDL both run under the catalog
-    lock, so any number of domains may resolve names while one performs
-    DDL.  Every definition change (and every statistics refresh) bumps
-    the {e epoch} counter; the plan cache compares a cached plan's
+    lock — a leveled {!Sb_conc.Lock} at {!Sb_conc.Level.catalog}, which
+    the discipline checker enforces: the buffer pool ({!Sb_conc.Level.buffer_pool})
+    and the WAL ({!Sb_conc.Level.wal}) may be acquired {e under} it
+    (DDL touches storage while holding the catalog), never the other
+    way around.  Every definition change (and every statistics refresh)
+    bumps the {e epoch} counter; the plan cache compares a cached plan's
     compile-time epoch against the current one, so DDL invalidates
-    shared plans without the catalog knowing the cache exists. *)
+    shared plans without the catalog knowing the cache exists.  The
+    epoch and the definition maps are instrumented shared fields
+    ([catalog.epoch] / [catalog.defs]) for lockset race detection. *)
 
 type view_def = {
   view_name : string;
@@ -21,7 +26,7 @@ type view_def = {
 
 type t = {
   pool : Buffer_pool.t;
-  lock : Mutex.t;  (** guards tables/views maps and the epoch *)
+  lock : Sb_conc.Lock.t;  (** guards tables/views maps and the epoch *)
   datatypes : Datatype.registry;
   storage_managers : Storage_manager.registry;
   access_methods : Access_method.registry;
@@ -43,7 +48,7 @@ let create ?(pool_capacity = 256) () =
   let t =
     {
       pool = Buffer_pool.create ~capacity:pool_capacity ();
-      lock = Mutex.create ();
+      lock = Sb_conc.Lock.create ~name:"storage.catalog" ~level:Sb_conc.Level.catalog;
       datatypes = Datatype.create_registry ();
       storage_managers = Storage_manager.create_registry ();
       access_methods = Access_method.create_registry ();
@@ -66,19 +71,31 @@ let create ?(pool_capacity = 256) () =
   Buffer_pool.set_stable_lsn t.pool (fun () -> Wal.stable_lsn t.wal);
   t
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sb_conc.Lock.with_lock t.lock f
 
-let epoch t = locked t (fun () -> t.epoch)
-let bump_epoch t = locked t (fun () -> t.epoch <- t.epoch + 1)
+(* the two instrumented shared fields of the catalog *)
+let watch_epoch ~site ~write =
+  Sb_conc.Discipline.access ~field:"catalog.epoch" ~site ~write
+
+let watch_defs ~site ~write =
+  Sb_conc.Discipline.access ~field:"catalog.defs" ~site ~write
+
+let epoch t =
+  locked t (fun () ->
+      watch_epoch ~site:"Catalog.epoch" ~write:false;
+      t.epoch)
+
+let bump_epoch t =
+  locked t (fun () ->
+      watch_epoch ~site:"Catalog.bump_epoch" ~write:true;
+      t.epoch <- t.epoch + 1)
 
 let set_faults t f =
-  t.faults <- f;
+  locked t (fun () -> t.faults <- f);
   Buffer_pool.set_faults t.pool f;
   Wal.set_faults t.wal f
 
-let faults t = t.faults
+let faults t = locked t (fun () -> t.faults)
 
 (* unlocked internals, shared by the locked public operations *)
 let find_table_u t name = Hashtbl.find_opt t.tables (norm name)
@@ -88,20 +105,34 @@ let view_exists_u t name = Hashtbl.mem t.views (norm name)
 
 let find_table t name =
   Sb_resil.Faults.guard t.faults ~site:"catalog.lookup" (fun () ->
-      locked t (fun () -> find_table_u t name))
+      locked t (fun () ->
+          watch_defs ~site:"Catalog.find_table" ~write:false;
+          find_table_u t name))
 
-let find_view t name = locked t (fun () -> find_view_u t name)
+let find_view t name =
+  locked t (fun () ->
+      watch_defs ~site:"Catalog.find_view" ~write:false;
+      find_view_u t name)
 
-let table_exists t name = locked t (fun () -> table_exists_u t name)
-let view_exists t name = locked t (fun () -> view_exists_u t name)
+let table_exists t name =
+  locked t (fun () ->
+      watch_defs ~site:"Catalog.table_exists" ~write:false;
+      table_exists_u t name)
+
+let view_exists t name =
+  locked t (fun () ->
+      watch_defs ~site:"Catalog.view_exists" ~write:false;
+      view_exists_u t name)
 
 let table_names t =
   locked t (fun () ->
+      watch_defs ~site:"Catalog.table_names" ~write:false;
       Hashtbl.fold (fun _ tab acc -> tab.Table_store.name :: acc) t.tables [])
   |> List.sort String.compare
 
 let view_names t =
   locked t (fun () ->
+      watch_defs ~site:"Catalog.view_names" ~write:false;
       Hashtbl.fold (fun _ v acc -> v.view_name :: acc) t.views [])
   |> List.sort String.compare
 
@@ -113,6 +144,8 @@ let error fmt = Fmt.kstr (fun s -> raise (Catalog_error s)) fmt
     (default ["heap"]). *)
 let create_table t ?(storage = "heap") ~name ~(schema : Schema.t) () =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.create_table" ~write:true;
+  watch_epoch ~site:"Catalog.create_table" ~write:true;
   if table_exists_u t name || view_exists_u t name then
     error "table or view %s already exists" name;
   let factory =
@@ -146,6 +179,8 @@ let create_table t ?(storage = "heap") ~name ~(schema : Schema.t) () =
 
 let drop_table t name =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.drop_table" ~write:true;
+  watch_epoch ~site:"Catalog.drop_table" ~write:true;
   match find_table_u t name with
   | None -> error "no such table %s" name
   | Some _ ->
@@ -154,6 +189,8 @@ let drop_table t name =
 
 let create_view t ~name ~text ?columns () =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.create_view" ~write:true;
+  watch_epoch ~site:"Catalog.create_view" ~write:true;
   if table_exists_u t name || view_exists_u t name then
     error "table or view %s already exists" name;
   Hashtbl.replace t.views (norm name)
@@ -162,6 +199,8 @@ let create_view t ~name ~text ?columns () =
 
 let drop_view t name =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.drop_view" ~write:true;
+  watch_epoch ~site:"Catalog.drop_view" ~write:true;
   if not (view_exists_u t name) then error "no such view %s" name;
   Hashtbl.remove t.views (norm name);
   t.epoch <- t.epoch + 1
@@ -169,6 +208,8 @@ let drop_view t name =
 (** Creates an index (attachment) of a registered [kind] on [table]. *)
 let create_index t ~name ~table ~kind ~columns =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.create_index" ~write:true;
+  watch_epoch ~site:"Catalog.create_index" ~write:true;
   let tab =
     match find_table_u t table with
     | Some tab -> tab
@@ -208,6 +249,8 @@ let create_index t ~name ~table ~kind ~columns =
 
 let drop_index t ~table ~name =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.drop_index" ~write:true;
+  watch_epoch ~site:"Catalog.drop_index" ~write:true;
   match find_table_u t table with
   | None -> error "no such table %s" table
   | Some tab ->
@@ -216,6 +259,8 @@ let drop_index t ~table ~name =
 
 let analyze_all t =
   locked t (fun () ->
+      watch_defs ~site:"Catalog.analyze_all" ~write:false;
+      watch_epoch ~site:"Catalog.analyze_all" ~write:true;
       Hashtbl.iter (fun _ tab -> ignore (Table_store.analyze tab)) t.tables;
       t.epoch <- t.epoch + 1)
 
@@ -223,6 +268,7 @@ let analyze_all t =
     the payload of a fuzzy checkpoint. *)
 let snapshot_tables t : (string * Tuple.t list) list =
   locked t (fun () ->
+      watch_defs ~site:"Catalog.snapshot_tables" ~write:false;
       Hashtbl.fold
         (fun _ tab acc ->
           let rows = Table_store.scan tab |> Seq.map snd |> List.of_seq in
@@ -235,6 +281,8 @@ let snapshot_tables t : (string * Tuple.t list) list =
     rebuilds the instance from it. *)
 let reset_storage t =
   locked t @@ fun () ->
+  watch_defs ~site:"Catalog.reset_storage" ~write:true;
+  watch_epoch ~site:"Catalog.reset_storage" ~write:true;
   Hashtbl.reset t.tables;
   Hashtbl.reset t.views;
   Buffer_pool.discard_all t.pool;

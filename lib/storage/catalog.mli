@@ -14,7 +14,7 @@ type view_def = {
 
 type t = {
   pool : Buffer_pool.t;
-  lock : Mutex.t;  (** guards the table/view maps and the epoch *)
+  lock : Sb_conc.Lock.t;  (** guards the table/view maps and the epoch *)
   datatypes : Datatype.registry;
   storage_managers : Storage_manager.registry;
   access_methods : Access_method.registry;

@@ -75,7 +75,10 @@ let encode (r : record) : string = Marshal.to_string r []
 let decode (bytes : string) : record = Marshal.from_string bytes 0
 
 type t = {
-  lock : Mutex.t;
+  lock : Sb_conc.Lock.t;
+      (** level {!Sb_conc.Level.wal}: taken from under the buffer pool's
+          lock (the WAL-rule bound in {!Buffer_pool.unpin}) and never
+          the other way around; only the metrics lock nests inside *)
   mutable enabled : bool;
   mutable next_lsn : int;
   mutable next_txn : int;
@@ -98,7 +101,7 @@ type t = {
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = Sb_conc.Lock.create ~name:"storage.wal" ~level:Sb_conc.Level.wal;
     enabled = true;
     next_lsn = 1;
     next_txn = 1;
@@ -117,24 +120,47 @@ let create () =
     n_aborts = 0;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Sb_conc.Lock.with_lock t.lock f
 
-let set_faults t f = t.faults <- f
-let set_metrics t m = t.metrics <- Some m
-let set_sink t sink = t.sink <- sink
-let enabled t = t.enabled
-let set_enabled t on = locked t (fun () -> t.enabled <- on)
-let needs_recovery t = t.needs_recovery
-let set_needs_recovery t v = locked t (fun () -> t.needs_recovery <- v)
-let current_lsn t = t.next_lsn - 1
+(* The race detector watches the log state as one instrumented field:
+   every read or write of the LSN counters / regions records the locks
+   held at the access site. *)
+let watch ~site ~write = Sb_conc.Discipline.access ~field:"wal.log" ~site ~write
+let set_faults t f = locked t (fun () -> t.faults <- f)
+let set_metrics t m = locked t (fun () -> t.metrics <- Some m)
+let set_sink t sink = locked t (fun () -> t.sink <- sink)
+
+let enabled t =
+  locked t (fun () ->
+      watch ~site:"Wal.enabled" ~write:false;
+      t.enabled)
+
+let set_enabled t on =
+  locked t (fun () ->
+      watch ~site:"Wal.set_enabled" ~write:true;
+      t.enabled <- on)
+
+let needs_recovery t =
+  locked t (fun () ->
+      watch ~site:"Wal.needs_recovery" ~write:false;
+      t.needs_recovery)
+
+let set_needs_recovery t v =
+  locked t (fun () ->
+      watch ~site:"Wal.set_needs_recovery" ~write:true;
+      t.needs_recovery <- v)
+
+let current_lsn t =
+  locked t (fun () ->
+      watch ~site:"Wal.current_lsn" ~write:false;
+      t.next_lsn - 1)
 
 (** Highest LSN in the stable region — the buffer pool's WAL-rule bound
     (a page may only be written once its covering record is stable).
     [max_int] when the log is disabled: no rule to honor. *)
 let stable_lsn t =
   locked t @@ fun () ->
+  watch ~site:"Wal.stable_lsn" ~write:false;
   if not t.enabled then max_int
   else List.fold_left (fun m l -> max m l.l_lsn) 0 t.stable
 
@@ -152,9 +178,10 @@ let bump_by t name n =
     the log is disabled).  Site [wal.append]: a crash here loses the
     record — it was never serialized. *)
 let append t (r : record) : int =
+  locked t @@ fun () ->
+  watch ~site:"Wal.append" ~write:true;
   if not t.enabled then 0
-  else
-    locked t @@ fun () ->
+  else begin
     Faults.guard t.faults ~site:"wal.append" (fun () -> ());
     let bytes = encode r in
     let lsn = t.next_lsn in
@@ -173,11 +200,13 @@ let append t (r : record) : int =
     | Checkpoint { ck_ddl; _ } -> t.ddl_history <- List.rev ck_ddl
     | Begin _ | Update _ -> ());
     lsn
+  end
 
 (** A fresh transaction id (its [Begin] record is appended). *)
 let begin_txn t : int =
   let txn =
     locked t (fun () ->
+        watch ~site:"Wal.begin_txn" ~write:true;
         let txn = t.next_txn in
         t.next_txn <- txn + 1;
         txn)
@@ -194,36 +223,36 @@ let torn l = { l with l_crc = Int32.lognot l.l_crc }
     stable region with a corrupted CRC and everything behind it is
     lost. *)
 let flush t : unit =
-  if not t.enabled then ()
-  else begin
-    let flushed =
-      locked t @@ fun () ->
-      if t.volatile = [] then false
-      else begin
-        (match Faults.guard t.faults ~site:"wal.flush" (fun () -> ()) with
-        | () -> ()
-        | exception Faults.Crashed site ->
-          (match List.rev t.volatile with
-          | oldest :: _ -> t.stable <- torn oldest :: t.stable
-          | [] -> ());
-          raise (Faults.Crashed site));
-        let n = List.length t.volatile in
-        t.stable <- t.volatile @ t.stable;
-        t.volatile <- [];
-        t.n_flushes <- t.n_flushes + 1;
-        t.n_flushed_records <- t.n_flushed_records + n;
-        bump t "sb_wal_flushes_total";
-        bump_by t "sb_wal_records_flushed_total" n;
-        true
-      end
-    in
-    if flushed then Option.iter (fun sink -> sink ()) t.sink
-  end
+  let sink =
+    locked t @@ fun () ->
+    watch ~site:"Wal.flush" ~write:true;
+    if (not t.enabled) || t.volatile = [] then None
+    else begin
+      (match Faults.guard t.faults ~site:"wal.flush" (fun () -> ()) with
+      | () -> ()
+      | exception Faults.Crashed site ->
+        (match List.rev t.volatile with
+        | oldest :: _ -> t.stable <- torn oldest :: t.stable
+        | [] -> ());
+        raise (Faults.Crashed site));
+      let n = List.length t.volatile in
+      t.stable <- t.volatile @ t.stable;
+      t.volatile <- [];
+      t.n_flushes <- t.n_flushes + 1;
+      t.n_flushed_records <- t.n_flushed_records + n;
+      bump t "sb_wal_flushes_total";
+      bump_by t "sb_wal_records_flushed_total" n;
+      t.sink
+    end
+  in
+  (* the persistence sink runs outside the log's lock *)
+  Option.iter (fun sink -> sink ()) sink
 
 (** The crash itself: the volatile tail vanishes; the stable region is
     all that survives.  Recovery is required before further use. *)
 let crash t : unit =
   locked t @@ fun () ->
+  watch ~site:"Wal.crash" ~write:true;
   t.volatile <- [];
   t.needs_recovery <- true
 
@@ -232,6 +261,7 @@ let crash t : unit =
     records and the number of truncated entries. *)
 let stable_records t : (int * record) list * int =
   locked t @@ fun () ->
+  watch ~site:"Wal.stable_records" ~write:false;
   let all = List.rev t.stable in
   let rec go acc = function
     | [] -> (List.rev acc, 0)
@@ -254,17 +284,21 @@ let committed_txns t : int list =
     before anything durable happens, so a crash there leaves the old
     log fully intact. *)
 let checkpoint t ~(tables : (string * Tuple.t list) list) : unit =
-  if not t.enabled then ()
+  if not (enabled t) then ()
   else begin
     locked t (fun () -> Faults.guard t.faults ~site:"checkpoint" (fun () -> ()));
     let ck_ddl = locked t (fun () -> List.rev t.ddl_history) in
     let lsn = append t (Checkpoint { ck_ddl; ck_tables = tables }) in
     flush t;
-    locked t (fun () ->
-        t.stable <- List.filter (fun l -> l.l_lsn >= lsn) t.stable;
-        t.n_checkpoints <- t.n_checkpoints + 1;
-        bump t "sb_wal_checkpoints_total");
-    Option.iter (fun sink -> sink ()) t.sink
+    let sink =
+      locked t (fun () ->
+          watch ~site:"Wal.checkpoint" ~write:true;
+          t.stable <- List.filter (fun l -> l.l_lsn >= lsn) t.stable;
+          t.n_checkpoints <- t.n_checkpoints + 1;
+          bump t "sb_wal_checkpoints_total";
+          t.sink)
+    in
+    Option.iter (fun sink -> sink ()) sink
   end
 
 (* --- introspection (the shell's \wal, tests, metrics) --- *)
@@ -286,6 +320,7 @@ type stats = {
 
 let stats t : stats =
   locked t @@ fun () ->
+  watch ~site:"Wal.stats" ~write:false;
   {
     s_enabled = t.enabled;
     s_lsn = t.next_lsn - 1;

@@ -1,4 +1,7 @@
 let () =
+  (* STARBURST_LOCKCHECK=1 runs the whole suite with the lock-discipline
+     checker armed (the CI races job does) *)
+  Sb_conc.Discipline.arm_from_env ();
   Alcotest.run "starburst"
     [
       Test_storage.suite;
@@ -19,4 +22,5 @@ let () =
       Test_fuzz.suite;
       Test_server.suite;
       Test_ruledsl.suite;
+      Test_conc.suite;
     ]

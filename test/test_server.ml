@@ -9,6 +9,7 @@
 
 open Test_util
 module Server = Sb_server
+module Lock = Sb_conc.Lock
 module Err = Sb_resil.Err
 module Faults = Sb_resil.Faults
 module Plan_cache = Starburst.Plan_cache
@@ -294,7 +295,10 @@ let test_concurrent_invalidation () =
    the test can observe the server with a statement genuinely in
    flight *)
 let test_admission_rejects_at_high_water () =
-  let gate = Mutex.create () and turn = Condition.create () in
+  (* level 95: the latch is taken from inside statement evaluation,
+     below every product lock in the hierarchy *)
+  let gate = Lock.create ~name:"test.gate" ~level:95 in
+  let turn = Lock.Cond.create () in
   let entered = ref false and released = ref false in
   let latch_fn =
     {
@@ -303,13 +307,12 @@ let test_admission_rejects_at_high_water () =
       sf_type = (fun _ -> Ok (Some Datatype.Int));
       sf_eval =
         (fun args ->
-          Mutex.lock gate;
-          entered := true;
-          Condition.broadcast turn;
-          while not !released do
-            Condition.wait turn gate
-          done;
-          Mutex.unlock gate;
+          Lock.with_lock gate (fun () ->
+              entered := true;
+              Lock.Cond.broadcast turn;
+              while not !released do
+                Lock.Cond.wait turn gate
+              done);
           List.hd args);
     }
   in
@@ -333,11 +336,10 @@ let test_admission_rejects_at_high_water () =
   ignore (ok_exn (Server.submit server boot "INSERT INTO one VALUES (1)"));
   let s1 = Server.session server and s2 = Server.session server in
   let p = Server.submit_async server s1 "SELECT latch(x) FROM one" in
-  Mutex.lock gate;
-  while not !entered do
-    Condition.wait turn gate
-  done;
-  Mutex.unlock gate;
+  Lock.with_lock gate (fun () ->
+      while not !entered do
+        Lock.Cond.wait turn gate
+      done);
   (* one statement is parked in flight: the next must bounce *)
   (match Server.submit server s2 "SELECT x FROM one" with
   | Error e ->
@@ -345,10 +347,9 @@ let test_admission_rejects_at_high_water () =
     Alcotest.(check string) "rejection is a resource error" "resource"
       (Err.stage_name e.Err.err_stage)
   | Ok _ -> Alcotest.fail "expected a rejection at the high-water mark");
-  Mutex.lock gate;
-  released := true;
-  Condition.broadcast turn;
-  Mutex.unlock gate;
+  Lock.with_lock gate (fun () ->
+      released := true;
+      Lock.Cond.broadcast turn);
   Alcotest.(check int) "the parked statement completes" 1
     (List.length (rows_exn (Server.await p)));
   (* capacity freed: the bounced statement is admitted on retry *)
