@@ -346,6 +346,14 @@ let () =
      crash_bench ();
      exit 0
    end);
+  (* --qes: the tuple-vs-vectorized engine sweep, likewise standalone *)
+  (let argv = Array.to_list Sys.argv |> List.tl in
+   if List.mem "--qes" argv then begin
+     print_endline
+       "Starburst experiment harness (paper: SIGMOD 1989, pp. 377-388)";
+     Bench_qes.run ();
+     exit 0
+   end);
   let rec split_flags acc trace verify_only analyze_only chaos_seed fz sd =
     function
     | [] -> (List.rev acc, trace, verify_only, analyze_only, chaos_seed, fz, sd)

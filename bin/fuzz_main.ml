@@ -9,13 +9,16 @@
     fault site, recovers, and compares against a committed-prefix
     oracle; [--races N] hammers N concurrent sessions with a mixed
     DML / DDL / ANALYZE workload under the armed lock-discipline
-    checker and fails on any diagnosis.  Exit status is the number of
-    discrepancies (capped at 125), so CI can gate on it directly. *)
+    checker and fails on any diagnosis; [--qes] narrows the oracle
+    matrix to the vectorized-engine differential (budget-0
+    tuple-at-a-time reference vs. the batch-at-a-time engine on the
+    same plans).  Exit status is the number of discrepancies (capped
+    at 125), so CI can gate on it directly. *)
 
 let usage () =
   prerr_endline
     "usage: fuzz_main [--fuzz N] [--seed S] [--out DIR] [--metrics]\n\
-    \                 [--rules native|dsl|both]\n\
+    \                 [--rules native|dsl|both] [--qes]\n\
     \       fuzz_main --server N [--fuzz CASES] [--seed S]\n\
     \       fuzz_main --crash [--fuzz CASES] [--seed S] [--out DIR]\n\
     \       fuzz_main --races N [--fuzz CASES] [--seed S] [--graph FILE]\n\
@@ -32,6 +35,7 @@ type opts = {
   mutable replay : string option;
   mutable server : int option;
   mutable rules : Sb_fuzz.Oracle.rules_mode;
+  mutable qes : bool;
   mutable rules_status : bool;
   mutable crash : bool;
   mutable races : int option;
@@ -42,7 +46,8 @@ let parse_args () =
   let o =
     { cases = 100; seed = 42; out = "_fuzz_failures"; metrics = false;
       replay = None; server = None; rules = Sb_fuzz.Oracle.Native_rules;
-      rules_status = false; crash = false; races = None; graph = None }
+      qes = false; rules_status = false; crash = false; races = None;
+      graph = None }
   in
   let rec go = function
     | [] -> o
@@ -74,6 +79,9 @@ let parse_args () =
       | "dsl" -> o.rules <- Sb_fuzz.Oracle.Dsl_rules
       | "both" -> o.rules <- Sb_fuzz.Oracle.Both_rules
       | _ -> usage ());
+      go rest
+    | "--qes" :: rest ->
+      o.qes <- true;
       go rest
     | "--rules-status" :: rest ->
       o.rules_status <- true;
@@ -366,8 +374,11 @@ let () =
     let metrics = Sb_obs.Metrics.create () in
     if o.rules <> Sb_fuzz.Oracle.Native_rules then
       Printf.printf "rules mode: %s\n" (Sb_fuzz.Oracle.rules_mode_name o.rules);
+    if o.qes then
+      print_endline
+        "qes differential: tuple-at-a-time reference vs vectorized engine";
     let stats =
-      Sb_fuzz.Harness.run ~rules:o.rules ~metrics ~out_dir:o.out
+      Sb_fuzz.Harness.run ~rules:o.rules ~qes:o.qes ~metrics ~out_dir:o.out
         ~log:print_endline ~seed:o.seed ~n:o.cases ()
     in
     print_string (Sb_fuzz.Harness.report stats);

@@ -101,8 +101,7 @@ let print_check db rest =
         Printf.printf "error: %s\n" (Starburst.Err.to_string e)
       | Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
       | Sb_optimizer.Generator.Unsupported msg ->
-        Printf.printf "unsupported: %s\n" msg
-      | Sb_qes.Exec.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg)
+        Printf.printf "unsupported: %s\n" msg)
     | exception Sb_hydrogen.Parser.Parse_error (msg, _) ->
       Printf.printf "parse error: %s\n" msg
     | exception Sb_hydrogen.Lexer.Lex_error (msg, _) ->
@@ -239,7 +238,6 @@ let run_one backend text =
     | exception Sb_qgm.Builder.Semantic_error msg -> Printf.printf "error: %s\n" msg
     | exception Sb_optimizer.Generator.Unsupported msg ->
       Printf.printf "unsupported: %s\n" msg
-    | exception Sb_qes.Exec.Runtime_error msg -> Printf.printf "runtime error: %s\n" msg
     | exception Sb_storage.Value.Type_error msg -> Printf.printf "type error: %s\n" msg)
 
 let run_script backend text =

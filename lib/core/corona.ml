@@ -244,6 +244,7 @@ let record_exec_counters t (c : Exec.counters) =
   add "sb_exec_sub_cache_hits_total" c.Exec.c_sub_cache_hits;
   add "sb_exec_or_branch_evals_total" c.Exec.c_or_branch_evals;
   add "sb_exec_fixpoint_rounds_total" c.Exec.c_fixpoint_rounds;
+  add "sb_exec_batches_total" c.Exec.c_batches;
   add "sb_exec_output_total" c.Exec.c_output
 
 let record_rewrite_stats t (stats : Engine.stats) =
@@ -867,7 +868,10 @@ let do_insert t ~table ~columns (wq : Ast.with_query) : result =
       List.iteri (fun i pos -> tuple.(pos) <- row.(i)) positions;
       (try ignore (Table_store.insert tab tuple) with
       | Invalid_argument msg -> error "%s" msg
-      | Table_store.Constraint_violation msg -> error "%s" msg);
+      (* a constraint violation is a runtime (Exec-stage) failure, like
+         the boundary classifier stamps it when it escapes raw *)
+      | Table_store.Constraint_violation msg ->
+        raise (Error (Err.make Err.Exec msg)));
       log_update t ~table ~before:None ~after:(Some tuple);
       incr n)
     rows;
@@ -933,7 +937,10 @@ let do_update t ~table ~alias ~sets ~where : result =
     (fun (rid, before, row) ->
       (try ignore (Table_store.update tab rid row) with
       | Invalid_argument msg -> error "%s" msg
-      | Table_store.Constraint_violation msg -> error "%s" msg);
+      (* a constraint violation is a runtime (Exec-stage) failure, like
+         the boundary classifier stamps it when it escapes raw *)
+      | Table_store.Constraint_violation msg ->
+        raise (Error (Err.make Err.Exec msg)));
       log_update t ~table ~before:(Some before) ~after:(Some row))
     updates;
   Affected (List.length updates)
@@ -1006,6 +1013,8 @@ let do_set t key value : result =
       | _ -> error "wal_checkpoint expects a commit count (0 = off)")
   | "wal_force_pages" ->
     Buffer_pool.set_force_policy t.catalog.Catalog.pool (on_off value)
+  | "vectorized" -> t.exec_db.Exec.x_vectorized <- on_off value
+  | "demand_cache" -> t.exec_db.Exec.x_demand_cache <- on_off value
   | k when String.length k > 6 && String.sub k 0 6 = "limit_" -> (
     match int_of_string_opt value with
     | None -> error "%s expects an integer (0 = unlimited)" k
@@ -1030,7 +1039,10 @@ let pp_analyzed_plan buf (lookup : Plan.plan -> Exec.op_stats option) plan =
     let actual =
       match lookup p with
       | Some st ->
-        Fmt.str "rows=%d time=%s" st.Exec.os_rows
+        Fmt.str "rows=%d%s time=%s" st.Exec.os_rows
+          (if st.Exec.os_batches > 0 then
+             Fmt.str " batches=%d" st.Exec.os_batches
+           else "")
           (Trace.dur_string st.Exec.os_ns)
       | None -> "never executed"
     in
@@ -1384,8 +1396,7 @@ let classify_exn (text : string) (exn : exn) : exn option =
     mk Err.Semantic msg
   | Qgm.Qgm_error msg -> mk Err.Rewrite msg
   | Generator.Unsupported msg | Star.Opt_error msg -> mk Err.Optimize msg
-  | Exec.Runtime_error msg | Value.Type_error msg
-  | Table_store.Constraint_violation msg ->
+  | Value.Type_error msg | Table_store.Constraint_violation msg ->
     mk Err.Exec msg
   | Rule_audit.Unsound msg -> mk Err.Internal ("rule audit: " ^ msg)
   | Plan_check.Invalid_plan msg -> mk Err.Internal ("plan check: " ^ msg)

@@ -29,10 +29,12 @@ type stats = {
     [sb_fuzz_discrepancies_total] and [sb_fuzz_shrink_steps_total].
     [log] receives one line per failure as it is found.  [rules]
     selects the rewrite-rule implementation under test
-    ({!Oracle.rules_mode}; default native). *)
+    ({!Oracle.rules_mode}; default native); [qes] narrows the oracle
+    matrix to the vectorized-engine differential ([fuzz_main --qes]). *)
 val run :
   ?inject:(Starburst.t -> unit) ->
   ?rules:Oracle.rules_mode ->
+  ?qes:bool ->
   ?metrics:Metrics.t ->
   ?out_dir:string ->
   ?log:(string -> unit) ->

@@ -16,6 +16,7 @@ type config =
   | Greedy
   | Paranoid
   | Chaos of int
+  | Vectorized
 
 let config_name = function
   | Reference -> "reference"
@@ -23,9 +24,10 @@ let config_name = function
   | Greedy -> "greedy"
   | Paranoid -> "paranoid"
   | Chaos seed -> Printf.sprintf "chaos[%d]" seed
+  | Vectorized -> "vectorized"
 
 let configs ~chaos_seed =
-  [ Reference; Rewritten; Greedy; Paranoid; Chaos chaos_seed ]
+  [ Reference; Rewritten; Greedy; Paranoid; Chaos chaos_seed; Vectorized ]
 
 type outcome = Rows of Tuple.t list | Failed of Err.t
 
@@ -47,7 +49,16 @@ let fresh_db ?inject ?(dsl = false) ~(ddl : string list) (config : config) :
   if dsl then Starburst.use_dsl_builtins db;
   ignore (Starburst.run_script db (String.concat ";\n" ddl));
   (match config with
-  | Reference -> db.Starburst.rewrite_budget <- Some 0
+  | Reference ->
+    (* budget 0 *and* the tuple-at-a-time engine: neither rewrite bugs
+       nor vectorization bugs can reach the reference answer *)
+    db.Starburst.rewrite_budget <- Some 0;
+    db.Starburst.exec_db.Starburst.Exec.x_vectorized <- false
+  | Vectorized ->
+    (* same budget-0 plan as the reference; the only moving part is the
+       batch-at-a-time engine, so a divergence is an engine bug *)
+    db.Starburst.rewrite_budget <- Some 0;
+    db.Starburst.exec_db.Starburst.Exec.x_vectorized <- true
   | Rewritten -> ()
   | Greedy ->
     db.Starburst.optimizer.Generator.sctx.Star.strategy <-
@@ -189,8 +200,17 @@ let lenient_vs_rows (config : config) (e : Err.t) =
   | _, Err.Resource -> true
   | _ -> false
 
-let check_case ?inject ?(rules = Native_rules) ~(ddl : string list)
-    ~chaos_seed (query : Ast.with_query) : verdict =
+let check_case ?inject ?(rules = Native_rules) ?(qes = false)
+    ~(ddl : string list) ~chaos_seed (query : Ast.with_query) : verdict =
+  (* --qes: a focused engine differential — only the vectorized leg
+     (and the metamorphic checks, re-run on it) against the tuple
+     reference, both at rewrite budget 0, so every divergence is an
+     executor bug rather than a rewrite or planning one *)
+  let matrix =
+    if qes then [ Vectorized ]
+    else [ Rewritten; Greedy; Paranoid; Chaos chaos_seed; Vectorized ]
+  in
+  let meta_config = if qes then Vectorized else Rewritten in
   let core, limit = strip_limit query in
   let core_text = Gen.query_text core in
   (* Dsl_rules runs the whole matrix on DSL-compiled rule sets (the
@@ -279,9 +299,7 @@ let check_case ?inject ?(rules = Native_rules) ~(ddl : string list)
       | c :: rest -> (
         match check_config c with Some f -> Some f | None -> first_failure rest)
     in
-    match
-      first_failure [ Rewritten; Greedy; Paranoid; Chaos chaos_seed ]
-    with
+    match first_failure matrix with
     | Some f -> f
     | None -> (
       match dsl_check () with
@@ -292,9 +310,9 @@ let check_case ?inject ?(rules = Native_rules) ~(ddl : string list)
       let limit_check =
         match (limit, reference) with
         | Some n, Rows unlimited -> (
-          match run Rewritten (Gen.query_text query) with
+          match run meta_config (Gen.query_text query) with
           | Failed e ->
-            if lenient_vs_rows Rewritten e then None
+            if lenient_vs_rows meta_config e then None
             else
               Some
                 (Fail
@@ -330,9 +348,9 @@ let check_case ?inject ?(rules = Native_rules) ~(ddl : string list)
         in
         match (reference, with_tautology core taut) with
         | Rows expected, Some mutated when proved_tautology taut -> (
-          match run Rewritten (Gen.query_text mutated) with
+          match run meta_config (Gen.query_text mutated) with
           | Failed e ->
-            if lenient_vs_rows Rewritten e then Pass
+            if lenient_vs_rows meta_config e then Pass
             else
               Fail
                 {

@@ -14,7 +14,14 @@
       silent;
     - {e chaos}: a seeded fault-injection plan on storage; the run must
       either match the reference or fail with a structured, retryable
-      {!Sb_resil.Err.t} — never a wrong answer, never a raw exception.
+      {!Sb_resil.Err.t} — never a wrong answer, never a raw exception;
+    - {e vectorized}: rewrite budget 0 with the batch-at-a-time engine,
+      against the reference's budget-0 {e tuple-at-a-time} engine — the
+      same plan on both sides, so a divergence (row bags, NULL
+      semantics, the LIMIT sub-bag oracle) is an executor bug.  The
+      [qes] flag of {!check_case} narrows the matrix to this leg (plus
+      the metamorphic checks, re-run on it) for a fast engine-focused
+      sweep ([fuzz_main --qes]).
 
     Results are compared as bags ({!Sb_verify.Rule_audit.compare_results}),
     so plan-dependent row order is never a false positive.  Queries with
@@ -34,6 +41,7 @@ type config =
   | Greedy  (** full rewrite, forced degraded greedy strategy *)
   | Paranoid  (** sanitizer mode: audits + plan checks + differential *)
   | Chaos of int  (** fault injection at the given seed *)
+  | Vectorized  (** rewrite budget 0, batch-at-a-time engine *)
 
 val config_name : config -> string
 
@@ -59,7 +67,7 @@ val rules_mode_name : rules_mode -> string
     script for corpus cases) and configured as [config]; [inject] (used
     by the rule-soundness acceptance test to plant a deliberately broken
     rewrite rule) is applied to every configuration {e except}
-    [Reference], whose budget of 0 keeps it sound.  [dsl] swaps the
+    [Reference] and [Vectorized], whose budgets of 0 keep them sound.  [dsl] swaps the
     predicate/redundant rule families for their DSL-compiled ports
     before the DDL replays. *)
 val fresh_db :
@@ -81,10 +89,12 @@ type verdict =
   | Fail of { config : string; detail : string }
 
 (** Runs the full matrix plus the metamorphic checks for one case.
+    [qes] narrows the matrix to the vectorized engine differential.
     Pure in its arguments — the shrinker re-invokes it verbatim. *)
 val check_case :
   ?inject:(Starburst.t -> unit) ->
   ?rules:rules_mode ->
+  ?qes:bool ->
   ddl:string list ->
   chaos_seed:int ->
   Ast.with_query ->

@@ -1,29 +1,41 @@
 (** The Query Evaluation System (section 7).
 
     Plans are interpreted against the database through an algebraic,
-    stream-based interface: each operator consumes and produces streams
-    of tuples, implemented by lazy evaluation so intermediate results
-    stay as small as one tuple.
+    stream-based interface.  The hot operators — base scans, filters,
+    projections, sorts, hash aggregation, set operations and hash/merge
+    joins — execute {e batch-at-a-time}: they exchange columnar row
+    batches of up to {!Batch.capacity} rows with per-batch selection
+    vectors (see {!Batch}), charged to the governor and accounted at
+    batch granularity.  Operators without a vectorized body — and the
+    plan root — keep the original lazy [Tuple.t Seq.t] interface;
+    {!Batch.of_seq} / {!Batch.to_seq} adapt at every boundary, chosen
+    node by node via {!Sb_optimizer.Plan.batch_capable}, so the two
+    engines compose freely within one plan and the tuple-at-a-time
+    engine survives as a differential oracle ([SET vectorized = off]).
 
     Join {e methods} (nested-loop, sort-merge, hash) are control
     structures; join {e kinds} (regular, exists, op-ALL, scalar,
     DBC set-predicates, and extension kinds such as left-outer) are the
     functions performed during the join — a single operator handles many
-    kinds, and new kinds register in {!register_join_kind}.
+    kinds, and new kinds register in {!register_join_kind}.  Extension
+    kinds see materialized [Tuple.t]s under both engines, so existing
+    registrations run unchanged.
 
     Subqueries — correlated or not — run through a single uniform
     {e evaluate-on-demand} mechanism: an inner plan is (re)evaluated
     only when its correlation parameters change, with a cache keyed on
-    the parameter values. *)
+    the parameter values.
+
+    Runtime failures raise structured {!Sb_resil.Err} values with stage
+    [Exec]. *)
 
 open Sb_storage
 module Ast = Sb_hydrogen.Ast
 module Functions = Sb_hydrogen.Functions
+module Err = Sb_resil.Err
 open Sb_optimizer.Plan
 
-exception Runtime_error of string
-
-let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+let error fmt = Fmt.kstr (fun s -> raise (Err.Error (Err.make Err.Exec s))) fmt
 
 (* ------------------------------------------------------------------ *)
 (* Execution context                                                   *)
@@ -38,6 +50,7 @@ type counters = {
   mutable c_sub_cache_hits : int;
   mutable c_or_branch_evals : int;
   mutable c_fixpoint_rounds : int;
+  mutable c_batches : int;  (** batches emitted by vectorized operators *)
   mutable c_output : int;
 }
 
@@ -51,6 +64,7 @@ let fresh_counters () =
     c_sub_cache_hits = 0;
     c_or_branch_evals = 0;
     c_fixpoint_rounds = 0;
+    c_batches = 0;
     c_output = 0;
   }
 
@@ -71,11 +85,15 @@ type db = {
   mutable x_demand_cache : bool;
       (** evaluate-on-demand correlation caching (on by default; the
           bench harness turns it off to measure its effect) *)
+  mutable x_vectorized : bool;
+      (** batch-at-a-time execution of capable operators (on by
+          default; [SET vectorized = off] selects the tuple-at-a-time
+          engine, the differential-testing oracle) *)
 }
 
 let make_db ~catalog ~functions =
   { x_cat = catalog; x_fns = functions; x_kinds = Hashtbl.create 4;
-    x_demand_cache = true }
+    x_demand_cache = true; x_vectorized = true }
 
 let register_join_kind db name impl = Hashtbl.replace db.x_kinds name impl
 
@@ -86,13 +104,44 @@ type cache_entry = {
 }
 
 (** Per-operator runtime accounting for EXPLAIN ANALYZE: rows produced
-    (across all re-evaluations, e.g. of a join's inner) and inclusive
-    elapsed time. *)
-type op_stats = { mutable os_rows : int; mutable os_ns : int64 }
+    (across all re-evaluations, e.g. of a join's inner), batches
+    emitted (0 for tuple-at-a-time operators), and inclusive elapsed
+    time.  Row counts are exact under both engines. *)
+type op_stats = {
+  mutable os_rows : int;
+  mutable os_batches : int;
+  mutable os_ns : int64;
+}
 
 (* op_stats per plan node, keyed by physical identity; allocated on
    demand so subplans embedded in expressions are covered too *)
 type analysis = (Sb_optimizer.Plan.plan * op_stats) list ref
+
+(* The build side of a vectorized hash/merge join: every inner row in
+   build order, its key prehashed into a flat int array, and bucket
+   chains threaded through a power-of-two partition directory.  Two
+   passes, a fixed number of allocations, no per-key boxing. *)
+type hash_side = {
+  hs_rows : Tuple.t array;  (* inner rows, build order *)
+  hs_hashes : int array;  (* prehashed keys; -1 = NULL key, never matches *)
+  hs_next : int array;  (* bucket chain links (reverse build order) *)
+  hs_heads : int array;  (* partition directory *)
+  hs_mask : int;
+}
+
+(* combined hash of one row's key columns; -1 when any column is NULL
+   (SQL: NULL never joins).  Equal ints and floats hash alike, matching
+   [Value.compare] equality on the probe. *)
+let join_key_hash (row : Tuple.t) (slots : int array) =
+  let acc = ref 0x331 and ok = ref true in
+  for k = 0 to Array.length slots - 1 do
+    let v = row.(slots.(k)) in
+    if Value.is_null v then ok := false
+    else
+      (* FNV-style mix: no tuple allocation per combine step *)
+      acc := (!acc * 0x01000193) lxor Value.hash v
+  done;
+  if !ok then !acc land max_int else -1
 
 type ectx = {
   db : db;
@@ -108,7 +157,7 @@ let stats_for (tbl : analysis) p =
   match List.find_opt (fun (q, _) -> q == p) !tbl with
   | Some (_, st) -> st
   | None ->
-    let st = { os_rows = 0; os_ns = 0L } in
+    let st = { os_rows = 0; os_batches = 0; os_ns = 0L } in
     tbl := (p, st) :: !tbl;
     st
 
@@ -337,20 +386,61 @@ and demand_rows ectx (key : Obj.t) (plan : plan) (bound : Value.t list) :
 and collect ectx ~params (plan : plan) : Tuple.t list =
   List.of_seq (stream ectx ~params plan)
 
-(** Interprets [plan] as a lazy tuple sequence; when analyzing, every
-    operator's stream is wrapped to count rows and accumulate inclusive
-    elapsed time. *)
+(** Interprets [plan] as a lazy tuple sequence — the engine boundary.
+    Batch-capable nodes route through the vectorized engine (their
+    whole capable subtree runs batched; this adapter unchunks at the
+    top); the rest take the tuple-at-a-time path, whose {e inputs}
+    recurse through here and so vectorize again where they can.  When
+    analyzing, every operator is wrapped to count rows (and batches)
+    and accumulate inclusive elapsed time. *)
 and stream ectx ~params (p : plan) : Tuple.t Seq.t =
-  (* cooperative governor checks: one operator-invocation charge per
-     stream instantiation, one intermediate-row charge per tuple any
-     operator produces *)
+  if ectx.db.x_vectorized && Sb_optimizer.Plan.batch_capable p then
+    Batch.to_seq (batches ectx ~params p)
+  else begin
+    (* cooperative governor checks: one operator-invocation charge per
+       stream instantiation, one intermediate-row charge per tuple any
+       operator produces *)
+    Sb_resil.Limits.charge_op ectx.gov;
+    let s = instr_stream ectx ~params p in
+    Seq.map
+      (fun row ->
+        Sb_resil.Limits.charge_row ectx.gov;
+        row)
+      s
+  end
+
+(** The batch-granularity face of {!stream}: one operator-invocation
+    charge per instantiation, one bulk intermediate-row charge per
+    batch. *)
+and batches ectx ~params (p : plan) : Batch.t Seq.t =
   Sb_resil.Limits.charge_op ectx.gov;
-  let s = instr_stream ectx ~params p in
   Seq.map
-    (fun row ->
-      Sb_resil.Limits.charge_row ectx.gov;
-      row)
-    s
+    (fun b ->
+      ectx.counters.c_batches <- ectx.counters.c_batches + 1;
+      Sb_resil.Limits.charge_rows ectx.gov (Batch.count b);
+      b)
+    (instr_batches ectx ~params p)
+
+and instr_batches ectx ~params (p : plan) : Batch.t Seq.t =
+  match ectx.instr with
+  | None -> op_batches ectx ~params p
+  | Some tbl ->
+    let st = stats_for tbl p in
+    let t0 = Sb_obs.Trace.now_ns () in
+    let s = op_batches ectx ~params p in
+    st.os_ns <- Int64.add st.os_ns (Int64.sub (Sb_obs.Trace.now_ns ()) t0);
+    let rec timed s () =
+      let t0 = Sb_obs.Trace.now_ns () in
+      let node = s () in
+      st.os_ns <- Int64.add st.os_ns (Int64.sub (Sb_obs.Trace.now_ns ()) t0);
+      match node with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (b, rest) ->
+        st.os_rows <- st.os_rows + Batch.count b;
+        st.os_batches <- st.os_batches + 1;
+        Seq.Cons (b, timed rest)
+    in
+    timed s
 
 and instr_stream ectx ~params (p : plan) : Tuple.t Seq.t =
   match ectx.instr with
@@ -595,6 +685,444 @@ and probe_search ectx am probe =
   Sb_resil.Faults.guard (Catalog.faults ectx.db.x_cat) ~site:"qes.probe"
     (fun () -> am.Access_method.am_search probe)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized operator bodies                                          *)
+(* ------------------------------------------------------------------ *)
+
+and input_batches ectx ~params p i = batches ectx ~params (List.nth p.inputs i)
+
+(* drops batches that selection refinement emptied *)
+and nonempty (s : Batch.t Seq.t) : Batch.t Seq.t =
+  Seq.filter (fun b -> Batch.count b > 0) s
+
+and op_batches ectx ~params (p : plan) : Batch.t Seq.t =
+  if not (Sb_optimizer.Plan.batch_capable p) then
+    (* tuple-at-a-time operator body behind the batch interface; its
+       inputs recurse through {!stream} and vectorize where capable *)
+    Batch.of_seq ~width:(width p) (op_stream ectx ~params p)
+  else
+    match p.op with
+    | Scan { sc_table; sc_cols; sc_preds } ->
+      let tab = find_table ectx sc_table in
+      let cols = Array.of_list sc_cols in
+      let src = Seq.to_dispenser (Table_store.scan tab) in
+      let finished = ref false in
+      Seq.of_dispenser (fun () ->
+          if !finished then None
+          else begin
+            let out = Batch.create (Array.length cols) in
+            let rec fill () =
+              if not (Batch.full out) then
+                match src () with
+                | None -> finished := true
+                | Some (_, row) ->
+                  ectx.counters.c_scanned <- ectx.counters.c_scanned + 1;
+                  if conj ectx ~row ~params sc_preds then
+                    Batch.append_cols out row cols;
+                  fill ()
+            in
+            fill ();
+            if Batch.count out > 0 then Some out else None
+          end)
+    | Filter preds ->
+      let scratch = Array.make (width p) Value.Null in
+      (* predicates typically read a few slots of a wide row: copy only
+         those before evaluating *)
+      let used =
+        Array.of_list
+          (List.sort_uniq compare (List.concat_map slots_used preds))
+      in
+      nonempty
+        (Seq.map
+           (fun b ->
+             Batch.keep b (fun i ->
+                 Batch.blit_slots b i scratch used;
+                 conj ectx ~row:scratch ~params preds);
+             b)
+           (input_batches ectx ~params p 0))
+    | Or_filter disjuncts ->
+      let scratch = Array.make (width p) Value.Null in
+      nonempty
+        (Seq.map
+           (fun b ->
+             Batch.keep b (fun i ->
+                 Batch.blit_row b i scratch;
+                 (* disjuncts are tried left to right; a row rejected by
+                    one branch is handed to the next *)
+                 let rec go = function
+                   | [] -> false
+                   | d :: rest ->
+                     ectx.counters.c_or_branch_evals <-
+                       ectx.counters.c_or_branch_evals + 1;
+                     (match bool3 (eval ectx ~row:scratch ~params d) with
+                     | Some true -> true
+                     | _ -> go rest)
+                 in
+                 go disjuncts);
+             b)
+           (input_batches ectx ~params p 0))
+    | Project exprs ->
+      let exprs = Array.of_list exprs in
+      let cols_only =
+        (* a pure column selection (every expression an [RCol]) moves
+           values batch to batch without a scratch row *)
+        let rec go k acc =
+          if k < 0 then Some (Array.of_list acc)
+          else
+            match exprs.(k) with
+            | RCol c -> go (k - 1) (c :: acc)
+            | _ -> None
+        in
+        go (Array.length exprs - 1) []
+      in
+      (match cols_only with
+      | Some [||] ->
+        (* width-0 projection (e.g. under a bare count): only the row count
+           survives *)
+        Seq.map
+          (fun b ->
+            let out = Batch.create 0 in
+            Batch.pad out (Batch.count b);
+            out)
+          (input_batches ectx ~params p 0)
+      | Some cols ->
+        Seq.map
+          (fun b ->
+            let out = Batch.create (Array.length cols) in
+            for i = 0 to Batch.count b - 1 do
+              Batch.append_select out b i cols
+            done;
+            out)
+          (input_batches ectx ~params p 0)
+      | None ->
+        let scratch = Array.make (width (List.nth p.inputs 0)) Value.Null in
+        Seq.map
+          (fun b ->
+            let out = Batch.create (Array.length exprs) in
+            for i = 0 to Batch.count b - 1 do
+              Batch.blit_row b i scratch;
+              Batch.append_init out (fun k ->
+                  eval ectx ~row:scratch ~params exprs.(k))
+            done;
+            out)
+          (input_batches ectx ~params p 0))
+    | Sort keys ->
+      let rows = collect ectx ~params (List.nth p.inputs 0) in
+      ectx.counters.c_sorted <- ectx.counters.c_sorted + List.length rows;
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | (i, dir) :: rest ->
+            let c = Value.compare ~registry:(registry ectx) a.(i) b.(i) in
+            let c = match dir with Ast.Asc -> c | Ast.Desc -> -c in
+            if c <> 0 then c else go rest
+        in
+        go keys
+      in
+      Batch.of_rows ~width:(width p) (List.stable_sort cmp rows)
+    | Join _ -> join_batches ectx ~params p
+    | Group _ -> group_batches ectx ~params p
+    | Distinct_op ->
+      let seen = Hashtbl.create 64 in
+      nonempty
+        (Seq.map
+           (fun b ->
+             Batch.keep b (fun i ->
+                 let key = Batch.row_list b i in
+                 if Hashtbl.mem seen key then false
+                 else begin
+                   Hashtbl.replace seen key ();
+                   true
+                 end);
+             b)
+           (input_batches ectx ~params p 0))
+    | Union_all ->
+      Seq.append (input_batches ectx ~params p 0) (input_batches ectx ~params p 1)
+    | Intersect_op all -> setop_batches ectx ~params p ~all ~intersect:true
+    | Except_op all -> setop_batches ectx ~params p ~all ~intersect:false
+    | Temp ->
+      let rows =
+        demand_rows ectx (Obj.repr p) (List.nth p.inputs 0)
+          (Array.to_list params)
+      in
+      Batch.of_rows ~width:(width p) rows
+    | Ship _ ->
+      Seq.map
+        (fun b ->
+          ectx.counters.c_shipped <- ectx.counters.c_shipped + Batch.count b;
+          b)
+        (input_batches ectx ~params p 0)
+    | Limit_op n ->
+      let src = Seq.to_dispenser (input_batches ectx ~params p 0) in
+      let remaining = ref n in
+      Seq.of_dispenser (fun () ->
+          if !remaining <= 0 then None
+          else
+            match src () with
+            | None -> None
+            | Some b ->
+              let c = Batch.count b in
+              if c <= !remaining then remaining := !remaining - c
+              else begin
+                Batch.truncate b !remaining;
+                remaining := 0
+              end;
+              Some b)
+    | Values_scan rows ->
+      Batch.of_seq ~width:(width p)
+        (Seq.map
+           (fun row ->
+             Array.of_list
+               (List.map (fun e -> eval ectx ~row:[||] ~params e) row))
+           (List.to_seq rows))
+    | Choose_op -> input_batches ectx ~params p 0
+    | Idx_access _ | Idx_and _ | Table_fn_scan _ | Bloom_filter _ | Fixpoint _
+    | Rec_delta _ ->
+      (* never batch_capable; kept for exhaustiveness *)
+      Batch.of_seq ~width:(width p) (op_stream ectx ~params p)
+
+and setop_batches ectx ~params (p : plan) ~all ~intersect : Batch.t Seq.t =
+  let left = input_batches ectx ~params p 0 in
+  let decide = setop_decider ectx ~params p ~all ~intersect in
+  nonempty
+    (Seq.map
+       (fun b ->
+         Batch.keep b (fun i -> decide (Batch.row_list b i));
+         b)
+       left)
+
+and group_batches ectx ~params (p : plan) : Batch.t Seq.t =
+  let g_keys, g_aggs =
+    match p.op with
+    | Group { g_keys; g_aggs; _ } -> (g_keys, g_aggs)
+    | _ -> assert false
+  in
+  let scratch = Array.make (width (List.nth p.inputs 0)) Value.Null in
+  if g_keys = [] then begin
+    (* keyless aggregation: one bank, no per-row group lookup; skip the
+       row copy too when no aggregate reads a slot (count of rows) *)
+    let need_row = List.exists (fun (_, _, slot) -> slot <> None) g_aggs in
+    let bank = lazy (make_agg_bank ectx g_aggs) in
+    Seq.iter
+      (fun b ->
+        match Lazy.force bank with
+        | [ (step, _) ] when not need_row ->
+          (* single row-blind aggregate, e.g. a bare count: tightest loop *)
+          for _ = 1 to Batch.count b do
+            step scratch
+          done
+        | aggs ->
+          for i = 0 to Batch.count b - 1 do
+            if need_row then Batch.blit_row b i scratch;
+            List.iter (fun (step, _) -> step scratch) aggs
+          done)
+      (input_batches ectx ~params p 0);
+    (* aggregating an empty input still yields one row *)
+    Batch.of_rows ~width:(width p) [ agg_result_row [] (Lazy.force bank) ]
+  end
+  else begin
+    let groups : (Value.t list, _) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    Seq.iter
+      (fun b ->
+        for i = 0 to Batch.count b - 1 do
+          Batch.blit_row b i scratch;
+          let key = List.map (fun s -> scratch.(s)) g_keys in
+          let aggs =
+            match Hashtbl.find_opt groups key with
+            | Some aggs -> aggs
+            | None ->
+              let aggs = make_agg_bank ectx g_aggs in
+              Hashtbl.replace groups key aggs;
+              order := key :: !order;
+              aggs
+          in
+          List.iter (fun (step, _) -> step scratch) aggs
+        done)
+      (input_batches ectx ~params p 0);
+    Batch.of_rows ~width:(width p)
+      (List.map
+         (fun key -> agg_result_row key (Hashtbl.find groups key))
+         (List.rev !order))
+  end
+
+(* --- vectorized hash/merge join --- *)
+
+and join_build ectx ~params inner (islots : int array) : hash_side =
+  let rows = Array.of_list (collect ectx ~params inner) in
+  let n = Array.length rows in
+  let nbuckets =
+    let rec grow b = if b >= n || b >= 1 lsl 22 then b else grow (b * 2) in
+    grow 16
+  in
+  let hashes = Array.make (max n 1) (-1) in
+  let next = Array.make (max n 1) (-1) in
+  let heads = Array.make nbuckets (-1) in
+  let mask = nbuckets - 1 in
+  for idx = 0 to n - 1 do
+    let h = join_key_hash rows.(idx) islots in
+    hashes.(idx) <- h;
+    if h >= 0 then begin
+      let b = h land mask in
+      next.(idx) <- heads.(b);
+      heads.(b) <- idx
+    end
+  done;
+  {
+    hs_rows = rows;
+    hs_hashes = hashes;
+    hs_next = next;
+    hs_heads = heads;
+    hs_mask = mask;
+  }
+
+(* Batch-at-a-time probe.  The sort-merge method shares this body: the
+   tuple engine, too, executes it as a keyed lookup over the grouped
+   inner, so both methods agree on semantics and differ only in the
+   optimizer's cost model. *)
+and join_batches ectx ~params (p : plan) : Batch.t Seq.t =
+  let j_kind, j_equi, j_pred, j_kind_pred =
+    match p.op with
+    | Join { j_kind; j_equi; j_pred; j_kind_pred; _ } ->
+      (j_kind, j_equi, j_pred, j_kind_pred)
+    | _ -> assert false
+  in
+  let inner = List.nth p.inputs 1 in
+  let inner_width = Array.length inner.props.p_slots in
+  let out_width = width p in
+  let oslots = Array.of_list (List.map fst j_equi) in
+  let islots = Array.of_list (List.map snd j_equi) in
+  let reg = registry ectx in
+  (* built on the first outer batch, like the tuple engine builds on
+     the first outer tuple: an empty outer never evaluates the inner *)
+  let side = ref None in
+  let force_side () =
+    match !side with
+    | Some s -> s
+    | None ->
+      let s = join_build ectx ~params inner islots in
+      side := Some s;
+      s
+  in
+  (* partial application shares one [Some reg] across all probes *)
+  let cmp = Value.compare ~registry:reg in
+  let equal_keys =
+    match oslots, islots with
+    | [| os |], [| is |] ->
+      (* single-key equi-join fast path *)
+      fun (o : Tuple.t) (irow : Tuple.t) -> cmp o.(os) irow.(is) = 0
+    | _ ->
+      fun (o : Tuple.t) (irow : Tuple.t) ->
+        let rec go k =
+          k >= Array.length oslots
+          || (cmp o.(oslots.(k)) irow.(islots.(k)) = 0 && go (k + 1))
+        in
+        go 0
+  in
+  (* per-probe match buffer, reused across rows; holds build indices in
+     chain (reverse build) order *)
+  let mbuf = ref (Array.make 64 0) in
+  let collect_matches s (o : Tuple.t) =
+    let h = join_key_hash o oslots in
+    if h < 0 then 0
+    else begin
+      let cnt = ref 0 in
+      let idx = ref s.hs_heads.(h land s.hs_mask) in
+      while !idx >= 0 do
+        let i = !idx in
+        if s.hs_hashes.(i) = h && equal_keys o s.hs_rows.(i) then begin
+          if !cnt >= Array.length !mbuf then begin
+            let bigger = Array.make (2 * Array.length !mbuf) 0 in
+            Array.blit !mbuf 0 bigger 0 !cnt;
+            mbuf := bigger
+          end;
+          (!mbuf).(!cnt) <- i;
+          incr cnt
+        end;
+        idx := s.hs_next.(i)
+      done;
+      !cnt
+    end
+  in
+  let pred_true row =
+    match j_pred with
+    | None -> true
+    | Some e -> bool3 (eval ectx ~row ~params e) = Some true
+  in
+  let kind_truth row =
+    match j_kind_pred with
+    | None -> Some true
+    | Some e -> bool3 (eval ectx ~row ~params e)
+  in
+  let ready = Queue.create () in
+  let out = ref (Batch.create out_width) in
+  let roll () =
+    if Batch.full !out then begin
+      Queue.push !out ready;
+      out := Batch.create out_width
+    end
+  in
+  let push row =
+    Batch.append !out row;
+    roll ()
+  in
+  (* reused per-probe outer row: every consumer below copies its values
+     out before the next probe overwrites it *)
+  let outer_w = width (List.nth p.inputs 0) in
+  let scratch = Array.make outer_w Value.Null in
+  let no_preds = j_pred = None && j_kind_pred = None in
+  let probe_batch b =
+    let s = force_side () in
+    for i = 0 to Batch.count b - 1 do
+      Batch.blit_row b i scratch;
+      let m = collect_matches s scratch in
+      match j_kind with
+      (* chain order is reverse build order: emit backwards to
+         reproduce the tuple engine's build-order inner emission *)
+      | J_regular when no_preds ->
+        (* the hot path: no residual predicate, so the concatenated row
+           goes straight into the output columns *)
+        for k = m - 1 downto 0 do
+          Batch.append_concat !out scratch s.hs_rows.((!mbuf).(k));
+          roll ()
+        done
+      | J_regular ->
+        for k = m - 1 downto 0 do
+          let row = Array.append scratch s.hs_rows.((!mbuf).(k)) in
+          if pred_true row && kind_truth row = Some true then push row
+        done
+      | _ ->
+        (* quantified/extension kinds may emit the outer tuple itself:
+           hand them a tuple they can own *)
+        let o = Batch.get b i in
+        let inners = ref [] in
+        for k = 0 to m - 1 do
+          inners := s.hs_rows.((!mbuf).(k)) :: !inners
+        done;
+        List.iter push
+          (join_emit ectx ~params ~j_kind:j_kind ~j_pred:j_pred
+             ~j_kind_pred:j_kind_pred ~inner_width o !inners)
+    done
+  in
+  let src = Seq.to_dispenser (input_batches ectx ~params p 0) in
+  let finished = ref false in
+  Seq.of_dispenser (fun () ->
+      let rec loop () =
+        if not (Queue.is_empty ready) then Some (Queue.pop ready)
+        else if !finished then None
+        else
+          match src () with
+          | None ->
+            finished := true;
+            let b = !out in
+            out := Batch.create out_width;
+            if Batch.count b > 0 then Some b else None
+          | Some b ->
+            probe_batch b;
+            loop ()
+      in
+      loop ())
+
 (* --- joins --- *)
 
 and join_stream ectx ~params (p : plan) : Tuple.t Seq.t =
@@ -606,17 +1134,6 @@ and join_stream ectx ~params (p : plan) : Tuple.t Seq.t =
   in
   let outer = List.nth p.inputs 0 and inner = List.nth p.inputs 1 in
   let inner_width = Array.length inner.props.p_slots in
-  let combined o i = Array.append o i in
-  let pred_true row =
-    match j_pred with
-    | None -> true
-    | Some e -> bool3 (eval ectx ~row ~params e) = Some true
-  in
-  let kind_truth row =
-    match j_kind_pred with
-    | None -> Some true
-    | Some e -> bool3 (eval ectx ~row ~params e)
-  in
   (* fetch matching inner rows for one outer tuple *)
   let inner_rows_for =
     match j_method with
@@ -680,54 +1197,103 @@ and join_stream ectx ~params (p : plan) : Tuple.t Seq.t =
   let outer_seq = stream ectx ~params outer in
   let emit_for o : Tuple.t list =
     let inners = List.filter (equi_match o) (inner_rows_for o) in
-    match j_kind with
-    | J_regular ->
-      List.filter_map
-        (fun i ->
-          let row = combined o i in
-          if pred_true row && kind_truth row = Some true then Some row else None)
-        inners
-    | J_exists ->
-      let rec go = function
-        | [] -> []
-        | i :: rest ->
-          let row = combined o i in
-          if pred_true row && kind_truth row = Some true then [ o ] else go rest
-      in
-      go inners
-    | J_all ->
-      (* SQL semantics: the outer qualifies only if the predicate is
-         true for every inner row *)
-      let ok =
-        List.for_all
-          (fun i -> kind_truth (combined o i) = Some true)
-          inners
-      in
-      if ok then [ o ] else []
-    | J_scalar -> (
-      match inners with
-      | [] -> [ Array.append o [| Value.Null |] ]
-      | [ i ] -> [ Array.append o [| i.(0) |] ]
-      | _ -> error "scalar subquery returned more than one row")
-    | J_set_pred name -> (
-      match Functions.find_set_predicate ectx.db.x_fns name with
-      | None -> error "unknown set predicate %s" name
-      | Some f ->
-        let truths =
-          Seq.map (fun i -> kind_truth (combined o i)) (List.to_seq inners)
-        in
-        if f.Functions.spf_combine truths = Some true then [ o ] else [])
-    | J_ext name -> (
-      match Hashtbl.find_opt ectx.db.x_kinds name with
-      | None -> error "join kind %s is not registered" name
-      | Some impl ->
-        impl ~outer:o ~inners
-          ~pred:(fun row -> if pred_true row then kind_truth row else Some false)
-          ~inner_width)
+    join_emit ectx ~params ~j_kind ~j_pred ~j_kind_pred ~inner_width o inners
   in
   Seq.concat_map (fun o -> List.to_seq (emit_for o)) outer_seq
 
+(** The join-kind dispatch, shared by both engines: given one outer
+    tuple and its (equi-matched) inner tuples, produce the output rows.
+    Kinds always see materialized tuples, so extension kinds are
+    engine-agnostic. *)
+and join_emit ectx ~params ~j_kind ~j_pred ~j_kind_pred ~inner_width
+    (o : Tuple.t) (inners : Tuple.t list) : Tuple.t list =
+  let combined i = Array.append o i in
+  let pred_true row =
+    match j_pred with
+    | None -> true
+    | Some e -> bool3 (eval ectx ~row ~params e) = Some true
+  in
+  let kind_truth row =
+    match j_kind_pred with
+    | None -> Some true
+    | Some e -> bool3 (eval ectx ~row ~params e)
+  in
+  match j_kind with
+  | J_regular ->
+    List.filter_map
+      (fun i ->
+        let row = combined i in
+        if pred_true row && kind_truth row = Some true then Some row else None)
+      inners
+  | J_exists ->
+    let rec go = function
+      | [] -> []
+      | i :: rest ->
+        let row = combined i in
+        if pred_true row && kind_truth row = Some true then [ o ] else go rest
+    in
+    go inners
+  | J_all ->
+    (* SQL semantics: the outer qualifies only if the predicate is
+       true for every inner row *)
+    let ok =
+      List.for_all (fun i -> kind_truth (combined i) = Some true) inners
+    in
+    if ok then [ o ] else []
+  | J_scalar -> (
+    match inners with
+    | [] -> [ Array.append o [| Value.Null |] ]
+    | [ i ] -> [ Array.append o [| i.(0) |] ]
+    | _ -> error "scalar subquery returned more than one row")
+  | J_set_pred name -> (
+    match Functions.find_set_predicate ectx.db.x_fns name with
+    | None -> error "unknown set predicate %s" name
+    | Some f ->
+      let truths =
+        Seq.map (fun i -> kind_truth (combined i)) (List.to_seq inners)
+      in
+      if f.Functions.spf_combine truths = Some true then [ o ] else [])
+  | J_ext name -> (
+    match Hashtbl.find_opt ectx.db.x_kinds name with
+    | None -> error "join kind %s is not registered" name
+    | Some impl ->
+      impl ~outer:o ~inners
+        ~pred:(fun row -> if pred_true row then kind_truth row else Some false)
+        ~inner_width)
+
 (* --- grouping --- *)
+
+(* a fresh bank of aggregate instances: (step, result) per aggregate.
+   [step] reads its argument slot immediately, so scratch rows are safe *)
+and make_agg_bank ectx g_aggs =
+  List.map
+    (fun (name, distinct, slot) ->
+      match Functions.find_aggregate ectx.db.x_fns name with
+      | None -> error "unknown aggregate %s" name
+      | Some f ->
+        let inst = f.Functions.af_make () in
+        let seen = if distinct then Some (Hashtbl.create 16) else None in
+        let step (row : Tuple.t) =
+          match slot with
+          | None -> inst.Functions.agg_step Value.Null |> ignore
+          | Some s ->
+            let v = row.(s) in
+            if not (Value.is_null v) then begin
+              match seen with
+              | Some table ->
+                if not (Hashtbl.mem table v) then begin
+                  Hashtbl.replace table v ();
+                  inst.Functions.agg_step v
+                end
+              | None -> inst.Functions.agg_step v
+            end
+        in
+        (step, inst.Functions.agg_result))
+    g_aggs
+
+and agg_result_row key aggs =
+  Array.append (Array.of_list key)
+    (Array.of_list (List.map (fun (_, result) -> result ()) aggs))
 
 and group_stream ectx ~params (p : plan) : Tuple.t Seq.t =
   let g_keys, g_aggs, g_sorted =
@@ -736,36 +1302,8 @@ and group_stream ectx ~params (p : plan) : Tuple.t Seq.t =
     | _ -> assert false
   in
   let input = List.nth p.inputs 0 in
-  let make_aggs () =
-    List.map
-      (fun (name, distinct, slot) ->
-        match Functions.find_aggregate ectx.db.x_fns name with
-        | None -> error "unknown aggregate %s" name
-        | Some f ->
-          let inst = f.Functions.af_make () in
-          let seen = if distinct then Some (Hashtbl.create 16) else None in
-          let step (row : Tuple.t) =
-            match slot with
-            | None -> inst.Functions.agg_step Value.Null |> ignore
-            | Some s ->
-              let v = row.(s) in
-              if not (Value.is_null v) then begin
-                match seen with
-                | Some table ->
-                  if not (Hashtbl.mem table v) then begin
-                    Hashtbl.replace table v ();
-                    inst.Functions.agg_step v
-                  end
-                | None -> inst.Functions.agg_step v
-              end
-          in
-          (step, inst.Functions.agg_result))
-      g_aggs
-  in
-  let result_row key aggs =
-    Array.append (Array.of_list key)
-      (Array.of_list (List.map (fun (_, result) -> result ()) aggs))
-  in
+  let make_aggs () = make_agg_bank ectx g_aggs in
+  let result_row = agg_result_row in
   if g_sorted && g_keys <> [] then
     (* streaming aggregation over key-ordered input *)
     Seq.of_dispenser
@@ -831,8 +1369,11 @@ and group_stream ectx ~params (p : plan) : Tuple.t Seq.t =
 
 (* --- set operations --- *)
 
-and setop_stream ectx ~params (p : plan) ~all ~intersect : Tuple.t Seq.t =
-  let left = input_stream ectx ~params p 0 in
+(* counts the right input into a multiset and returns the left-row
+   admission test, shared by both engines (stateful: ALL variants
+   consume right counts, non-ALL variants dedup what they emit) *)
+and setop_decider ectx ~params (p : plan) ~all ~intersect :
+    Value.t list -> bool =
   let right_counts = Hashtbl.create 64 in
   List.iter
     (fun row ->
@@ -841,34 +1382,36 @@ and setop_stream ectx ~params (p : plan) ~all ~intersect : Tuple.t Seq.t =
         (1 + Option.value ~default:0 (Hashtbl.find_opt right_counts key)))
     (collect ectx ~params (List.nth p.inputs 1));
   let emitted = Hashtbl.create 64 in
-  Seq.filter
-    (fun row ->
-      let key = Array.to_list row in
-      let rc = Option.value ~default:0 (Hashtbl.find_opt right_counts key) in
-      if intersect then
-        if all then
-          if rc > 0 then begin
-            Hashtbl.replace right_counts key (rc - 1);
-            true
-          end
-          else false
-        else if rc > 0 && not (Hashtbl.mem emitted key) then begin
-          Hashtbl.replace emitted key ();
+  fun key ->
+    let rc = Option.value ~default:0 (Hashtbl.find_opt right_counts key) in
+    if intersect then
+      if all then
+        if rc > 0 then begin
+          Hashtbl.replace right_counts key (rc - 1);
           true
         end
         else false
-      else if all then
-        if rc > 0 then begin
-          Hashtbl.replace right_counts key (rc - 1);
-          false
-        end
-        else true
-      else if rc = 0 && not (Hashtbl.mem emitted key) then begin
+      else if rc > 0 && not (Hashtbl.mem emitted key) then begin
         Hashtbl.replace emitted key ();
         true
       end
-      else false)
-    left
+      else false
+    else if all then
+      if rc > 0 then begin
+        Hashtbl.replace right_counts key (rc - 1);
+        false
+      end
+      else true
+    else if rc = 0 && not (Hashtbl.mem emitted key) then begin
+      Hashtbl.replace emitted key ();
+      true
+    end
+    else false
+
+and setop_stream ectx ~params (p : plan) ~all ~intersect : Tuple.t Seq.t =
+  let left = input_stream ectx ~params p 0 in
+  let decide = setop_decider ectx ~params p ~all ~intersect in
+  Seq.filter (fun row -> decide (Array.to_list row)) left
 
 (* --- recursion --- *)
 

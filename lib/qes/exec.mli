@@ -1,17 +1,25 @@
 (** The Query Evaluation System (section 7).
 
     Plans are interpreted against the database through an algebraic,
-    stream-based interface: each operator consumes and produces lazy
-    streams of tuples.  Join {e methods} are control structures; join
-    {e kinds} are the functions performed during the join — one operator
-    handles many kinds, and new kinds register here.  Subqueries run
-    through a single uniform {e evaluate-on-demand} mechanism with a
-    cache keyed on correlation values. *)
+    stream-based interface.  Hot operators (scans, filters,
+    projections, sorts, hash aggregation, set operations, hash/merge
+    joins) execute batch-at-a-time over columnar row batches with
+    selection vectors ({!Batch}); the remaining operators — and the
+    plan root — keep the lazy tuple-stream interface, with adapters at
+    every boundary (per-node routing via
+    {!Sb_optimizer.Plan.batch_capable}).  Join {e methods} are control
+    structures; join {e kinds} are the functions performed during the
+    join — one operator handles many kinds, new kinds register here,
+    and kind implementations always see materialized tuples, so they
+    are engine-agnostic.  Subqueries run through a single uniform
+    {e evaluate-on-demand} mechanism with a cache keyed on correlation
+    values.
+
+    Runtime failures raise structured {!Sb_resil.Err} values with
+    stage [Exec]. *)
 
 open Sb_storage
 module Functions = Sb_hydrogen.Functions
-
-exception Runtime_error of string
 
 type counters = {
   mutable c_scanned : int;  (** tuples read from base tables *)
@@ -22,6 +30,7 @@ type counters = {
   mutable c_sub_cache_hits : int;
   mutable c_or_branch_evals : int;
   mutable c_fixpoint_rounds : int;
+  mutable c_batches : int;  (** batches emitted by vectorized operators *)
   mutable c_output : int;
 }
 
@@ -44,6 +53,10 @@ type db = {
   mutable x_demand_cache : bool;
       (** evaluate-on-demand correlation caching (on by default; the
           bench harness turns it off to measure its effect) *)
+  mutable x_vectorized : bool;
+      (** batch-at-a-time execution of capable operators (on by
+          default; turning it off selects the tuple-at-a-time engine,
+          which doubles as the differential-testing oracle) *)
 }
 
 val make_db : catalog:Catalog.t -> functions:Functions.t -> db
@@ -64,9 +77,14 @@ val run :
   Tuple.t list
 
 (** Per-operator runtime accounting for EXPLAIN ANALYZE: rows produced
-    (across all re-evaluations, e.g. of a join's inner) and inclusive
-    elapsed time. *)
-type op_stats = { mutable os_rows : int; mutable os_ns : int64 }
+    (across all re-evaluations, e.g. of a join's inner), batches
+    emitted (0 for tuple-at-a-time operators), and inclusive elapsed
+    time.  Row counts are exact under both engines. *)
+type op_stats = {
+  mutable os_rows : int;
+  mutable os_batches : int;
+  mutable os_ns : int64;
+}
 
 (** Like {!run}, but with per-operator accounting: also returns a lookup
     from plan node (by physical identity, including subplans embedded in

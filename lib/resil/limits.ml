@@ -122,6 +122,19 @@ let charge_row g =
   if lim > 0 && n > lim then exceeded "intermediate_rows" lim;
   if n land 63 = 0 then check_deadline g
 
+(* batch-granularity charging: same totals and ceiling as [n] calls to
+   [charge_row], with one deadline re-check whenever the running count
+   crosses a 64-row boundary *)
+let charge_rows g n =
+  if n > 0 then begin
+    let before = g.g_intermediate_rows in
+    let total = before + n in
+    g.g_intermediate_rows <- total;
+    let lim = g.g_limits.max_intermediate_rows in
+    if lim > 0 && total > lim then exceeded "intermediate_rows" lim;
+    if total lsr 6 <> before lsr 6 then check_deadline g
+  end
+
 let charge_output g =
   let n = g.g_output_rows + 1 in
   g.g_output_rows <- n;

@@ -51,6 +51,12 @@ val limits : gov -> t
     is re-checked every 64 rows to amortise clock reads. *)
 val charge_row : gov -> unit
 
+(** [charge_rows g n] charges [n] intermediate rows at once (one batch
+    of the vectorized QES): same totals and the same ceiling as [n]
+    calls to {!charge_row}, but the breach — and the amortised deadline
+    re-check — surface at batch granularity. *)
+val charge_rows : gov -> int -> unit
+
 (** Charge one row delivered to the client. *)
 val charge_output : gov -> unit
 

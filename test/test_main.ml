@@ -10,6 +10,7 @@ let () =
       Test_rewrite.suite;
       Test_optimizer.suite;
       Test_qes.suite;
+      Test_batch.suite;
       Test_integration.suite;
       Test_integration2.suite;
       Test_extensions.suite;

@@ -68,7 +68,7 @@ let expect_error db text =
   | exception
       ( Starburst.Error _ | Sb_qgm.Builder.Semantic_error _
       | Sb_hydrogen.Parser.Parse_error _ | Sb_hydrogen.Lexer.Lex_error _
-      | Sb_optimizer.Generator.Unsupported _ | Sb_qes.Exec.Runtime_error _
+      | Sb_optimizer.Generator.Unsupported _
       | Sb_hydrogen.Functions.Function_error _ ) ->
     ()
 
